@@ -1,0 +1,99 @@
+// B6 — the dichotomy classifiers themselves (Theorems 6.1 and 7.6):
+// cost as a function of the number of FDs, the arity, and the number of
+// relations.  Also the underlying FD-theory primitives (closure,
+// implication, minimal keys, minimal cover).
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.h"
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+
+namespace prefrep {
+namespace {
+
+// A pseudo-random FD set over the given arity (deterministic seed).
+FDSet RandomFds(int arity, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  FDSet fds(arity);
+  uint64_t full = (arity == 64) ? ~uint64_t{0}
+                                : ((uint64_t{1} << arity) - 1);
+  for (size_t i = 0; i < count; ++i) {
+    fds.Add(FD(AttrSet::FromMask(rng.Next() & full),
+               AttrSet::FromMask(rng.Next() & full)));
+  }
+  return fds;
+}
+
+void BM_Classifier_FdCountSweep(benchmark::State& state) {
+  FDSet fds = RandomFds(8, static_cast<size_t>(state.range(0)), 99);
+  for (auto _ : state) {
+    RelationClassification c = ClassifyRelationFds(fds);
+    benchmark::DoNotOptimize(c.kind);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Classifier_FdCountSweep)->RangeMultiplier(2)->Range(2, 256)
+    ->Complexity();
+
+void BM_Classifier_AritySweep(benchmark::State& state) {
+  FDSet fds = RandomFds(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    RelationClassification c = ClassifyRelationFds(fds);
+    benchmark::DoNotOptimize(c.kind);
+  }
+}
+BENCHMARK(BM_Classifier_AritySweep)->DenseRange(4, 64, 12);
+
+void BM_Classifier_SchemaRelationSweep(benchmark::State& state) {
+  Schema schema;
+  Rng rng(31);
+  for (int64_t r = 0; r < state.range(0); ++r) {
+    RelId rel = schema.MustAddRelation("R" + std::to_string(r), 6);
+    FDSet fds = RandomFds(6, 4, rng.Next());
+    for (const FD& fd : fds.fds()) {
+      schema.MustAddFd(rel, fd);
+    }
+  }
+  for (auto _ : state) {
+    SchemaClassification c = ClassifySchema(schema);
+    benchmark::DoNotOptimize(c.tractable);
+    CcpSchemaClassification ccp = ClassifyCcpSchema(schema);
+    benchmark::DoNotOptimize(ccp.primary_key_assignment);
+  }
+}
+BENCHMARK(BM_Classifier_SchemaRelationSweep)->RangeMultiplier(4)
+    ->Range(1, 256);
+
+void BM_FdTheory_Closure(benchmark::State& state) {
+  FDSet fds = RandomFds(32, static_cast<size_t>(state.range(0)), 3);
+  Rng rng(5);
+  for (auto _ : state) {
+    AttrSet a = AttrSet::FromMask(rng.Next() & 0xffffffffULL);
+    benchmark::DoNotOptimize(fds.Closure(a).mask());
+  }
+}
+BENCHMARK(BM_FdTheory_Closure)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_FdTheory_MinimalKeys(benchmark::State& state) {
+  FDSet fds = RandomFds(10, static_cast<size_t>(state.range(0)), 23);
+  for (auto _ : state) {
+    std::vector<AttrSet> keys = fds.MinimalKeys();
+    benchmark::DoNotOptimize(keys.size());
+  }
+}
+BENCHMARK(BM_FdTheory_MinimalKeys)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_FdTheory_MinimalCover(benchmark::State& state) {
+  FDSet fds = RandomFds(10, static_cast<size_t>(state.range(0)), 41);
+  for (auto _ : state) {
+    FDSet cover = fds.MinimalCover();
+    benchmark::DoNotOptimize(cover.size());
+  }
+}
+BENCHMARK(BM_FdTheory_MinimalCover)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+}  // namespace prefrep
+
+BENCHMARK_MAIN();

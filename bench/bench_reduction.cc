@@ -1,0 +1,131 @@
+// B5 — the Lemma 5.2 reduction in action: cost of building the HC → S1
+// instance, cost of the Π translation (§5.3), and the exponential cost
+// of *deciding* the reduced instances with the exact checker —
+// empirically, deciding the reduction output solves Hamiltonian Cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/undirected.h"
+#include "reductions/hc_to_s1.h"
+#include "reductions/pattern_reduction.h"
+#include "reductions/pi_case1.h"
+#include "repair/exhaustive.h"
+
+namespace prefrep {
+namespace {
+
+void BM_Reduction_BuildHcInstance(benchmark::State& state) {
+  Rng rng(5);
+  UndirectedGraph g = UndirectedGraph::HamiltonianWithChords(
+      static_cast<size_t>(state.range(0)), state.range(0), &rng);
+  for (auto _ : state) {
+    PreferredRepairProblem problem = ReduceHamiltonianCycleToS1(g);
+    benchmark::DoNotOptimize(problem.instance->num_facts());
+  }
+  state.counters["facts"] = static_cast<double>(
+      ReduceHamiltonianCycleToS1(g).instance->num_facts());
+}
+BENCHMARK(BM_Reduction_BuildHcInstance)->DenseRange(4, 24, 4);
+
+// Deciding the reduced instances with the exact checker.  Timings from
+// a calibration pass: C3 (Hamiltonian, witness found) ~10 ms; P3
+// (non-Hamiltonian, full exhaustion) ~2.5 s; C4 already ~50 s and P4 is
+// out of reach — the reduction transfers Hamiltonian Cycle's hardness
+// wholesale, which is exactly Lemma 5.2's point.
+void BM_Reduction_DecideC3Hamiltonian(benchmark::State& state) {
+  UndirectedGraph g = UndirectedGraph::Cycle(3);
+  PreferredRepairProblem problem = ReduceHamiltonianCycleToS1(g);
+  ConflictGraph cg(*problem.instance);
+  for (auto _ : state) {
+    CheckResult r =
+        ExhaustiveCheckGlobalOptimal(cg, *problem.priority, problem.j);
+    benchmark::DoNotOptimize(r.optimal);
+  }
+}
+BENCHMARK(BM_Reduction_DecideC3Hamiltonian)->Unit(benchmark::kMillisecond);
+
+void BM_Reduction_DecideP3NonHamiltonian(benchmark::State& state) {
+  UndirectedGraph g = UndirectedGraph::Path(3);
+  PreferredRepairProblem problem = ReduceHamiltonianCycleToS1(g);
+  ConflictGraph cg(*problem.instance);
+  for (auto _ : state) {
+    CheckResult r =
+        ExhaustiveCheckGlobalOptimal(cg, *problem.priority, problem.j);
+    benchmark::DoNotOptimize(r.optimal);
+  }
+}
+BENCHMARK(BM_Reduction_DecideP3NonHamiltonian)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Reduction_PiTranslate(benchmark::State& state) {
+  // Π over a growing S1 instance (the HC-derived one), for a 4-ary
+  // three-key target.
+  Rng rng(3);
+  UndirectedGraph g = UndirectedGraph::HamiltonianWithChords(
+      static_cast<size_t>(state.range(0)), 2, &rng);
+  PreferredRepairProblem src = ReduceHamiltonianCycleToS1(g);
+  Schema target = Schema::SingleRelation(
+      "R", 4,
+      {FD(AttrSet{1, 2}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{2, 3}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{1, 3}, AttrSet{1, 2, 3, 4})});
+  auto reduction = PiCase1Reduction::Create(target);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction creation failed");
+    return;
+  }
+  for (auto _ : state) {
+    PreferredRepairProblem dst = reduction->Apply(src);
+    benchmark::DoNotOptimize(dst.instance->num_facts());
+  }
+  state.counters["facts"] =
+      static_cast<double>(src.instance->num_facts());
+}
+BENCHMARK(BM_Reduction_PiTranslate)->DenseRange(4, 20, 4);
+
+void BM_Reduction_HamiltonianSolverBaseline(benchmark::State& state) {
+  // The Held–Karp ground-truth solver, for scale comparison.
+  Rng rng(9);
+  UndirectedGraph g = UndirectedGraph::HamiltonianWithChords(
+      static_cast<size_t>(state.range(0)), 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HasHamiltonianCycle(g));
+  }
+}
+BENCHMARK(BM_Reduction_HamiltonianSolverBaseline)->DenseRange(4, 20, 4);
+
+// The pattern-reduction search (machine-checked completion of the
+// omitted Cases 2–7) enumerates 8^arity coordinate assignments.
+void BM_Reduction_PatternSearch(benchmark::State& state) {
+  // A hard target of the requested arity: chain 1→2, 2→3 padded with
+  // free attributes.
+  int arity = static_cast<int>(state.range(0));
+  Schema target = Schema::SingleRelation(
+      "R", arity, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  for (auto _ : state) {
+    auto reduction = PatternReduction::Search(target);
+    benchmark::DoNotOptimize(reduction.ok());
+  }
+}
+BENCHMARK(BM_Reduction_PatternSearch)->DenseRange(3, 7, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Worst case: a tractable target forces the search to exhaust all
+// assignments for all six sources before concluding NotFound.
+void BM_Reduction_PatternSearchNegative(benchmark::State& state) {
+  int arity = static_cast<int>(state.range(0));
+  Schema target = Schema::SingleRelation(
+      "R", arity, {FD(AttrSet{1}, AttrSet::Full(arity))});  // single key
+  for (auto _ : state) {
+    auto reduction = PatternReduction::Search(target);
+    benchmark::DoNotOptimize(reduction.ok());
+  }
+}
+BENCHMARK(BM_Reduction_PatternSearchNegative)->DenseRange(3, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace prefrep
+
+BENCHMARK_MAIN();

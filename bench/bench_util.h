@@ -1,0 +1,53 @@
+// Copyright (c) prefrep contributors.
+// Shared helpers for the prefrep benchmark suite.
+
+#ifndef PREFREP_BENCH_BENCH_UTIL_H_
+#define PREFREP_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "gen/random_instance.h"
+#include "model/problem.h"
+
+namespace prefrep {
+namespace bench {
+
+/// Canonical tractable schemas used across benchmarks.
+inline Schema OneFdSchema() {
+  return Schema::SingleRelation("R", 3, {FD(AttrSet{1}, AttrSet{2})});
+}
+
+inline Schema TwoKeysSchema() {
+  return Schema::SingleRelation(
+      "R", 2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+}
+
+inline Schema PrimaryKeySchema() {
+  return Schema::SingleRelation("R", 3, {FD(AttrSet{1}, AttrSet{2, 3})});
+}
+
+inline Schema ConstantAttrSchema() {
+  return Schema::SingleRelation("R", 2, {FD(AttrSet(), AttrSet{1})});
+}
+
+/// A random problem sized by the benchmark argument.  `policy` shapes
+/// how adversarial J is; conflict density is controlled by a domain
+/// that grows with n so conflict-group sizes stay ~constant.
+inline PreferredRepairProblem SizedProblem(const Schema& schema, int64_t n,
+                                           JPolicy policy,
+                                           uint64_t seed = 42,
+                                           double cross_density = 0.0) {
+  RandomProblemOptions opts;
+  opts.facts_per_relation = static_cast<size_t>(n);
+  opts.domain_size = static_cast<size_t>(n / 4 + 2);
+  opts.priority_density = 0.6;
+  opts.cross_priority_density = cross_density;
+  opts.j_policy = policy;
+  opts.seed = seed;
+  return GenerateRandomProblem(schema, opts);
+}
+
+}  // namespace bench
+}  // namespace prefrep
+
+#endif  // PREFREP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,246 @@
+// prefrepctl — command-line front end for the prefrep library.
+//
+// Subcommands (all read a problem in the text format of
+// src/io/text_format.h):
+//
+//   prefrepctl classify <file>            both dichotomy verdicts
+//   prefrepctl check <file> [--ccp] [--semantics global|pareto|completion]
+//                                         is the file's J an optimal repair?
+//   prefrepctl enumerate <file> [--optimal-only] [--limit N]
+//                                         list repairs / optimal repairs
+//   prefrepctl answers <file> "<query>" [--semantics ...]
+//                                         consistent answers of a CQ
+//   prefrepctl dump <file>                parse and pretty-print back
+//
+// Exit codes: 0 = success ("yes" answers), 1 = "no" answer, 2 = usage,
+// 3 = input error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+#include "io/dot_export.h"
+#include "io/text_format.h"
+#include "query/consistent_answers.h"
+#include "repair/checker.h"
+#include "conflicts/stats.h"
+#include "repair/counting.h"
+#include "repair/explain.h"
+
+using namespace prefrep;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: prefrepctl <command> <file> [options]\n"
+      "  classify <file>\n"
+      "  check <file> [--ccp] [--semantics global|pareto|completion]\n"
+      "  enumerate <file> [--optimal-only] [--limit N]\n"
+      "  answers <file> \"Q(x) :- R(x, y)\" [--semantics "
+      "all|global|pareto|completion]\n"
+      "  stats <file>          conflict-structure summary\n"
+      "  dot <file>            Graphviz of conflicts + priorities + J\n"
+      "  dump <file>\n");
+  return 2;
+}
+
+Result<PreferredRepairProblem> Load(const char* path) {
+  return ParseProblemFile(path);
+}
+
+int CmdClassify(const PreferredRepairProblem& p) {
+  const Schema& schema = p.instance->schema();
+  SchemaClassification ordinary = ClassifySchema(schema);
+  for (RelId r = 0; r < schema.num_relations(); ++r) {
+    std::printf("%-12s %-10s %s\n", schema.relation_name(r).c_str(),
+                TractableKindName(ordinary.relations[r].kind),
+                ordinary.relations[r].explanation.c_str());
+  }
+  CcpSchemaClassification ccp = ClassifyCcpSchema(schema);
+  std::printf("ordinary priorities:       %s\n",
+              ordinary.tractable ? "PTIME" : "coNP-complete");
+  std::printf("cross-conflict priorities: %s (%s)\n",
+              ccp.tractable() ? "PTIME" : "coNP-complete",
+              ccp.explanation.c_str());
+  return 0;
+}
+
+int CmdCheck(const PreferredRepairProblem& p, bool ccp,
+             const std::string& semantics) {
+  CheckerOptions opts;
+  opts.mode = ccp ? PriorityMode::kCrossConflict : PriorityMode::kConflictOnly;
+  Status valid = p.priority->Validate(opts.mode);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid priority: %s\n",
+                 valid.ToString().c_str());
+    return 3;
+  }
+  RepairChecker checker(*p.instance, *p.priority, opts);
+  std::printf("J = %s\n", p.instance->SubinstanceToString(p.j).c_str());
+  bool optimal = false;
+  if (semantics == "pareto") {
+    optimal = checker.CheckParetoOptimal(p.j).optimal;
+    std::printf("Pareto-optimal repair: %s\n", optimal ? "yes" : "no");
+  } else if (semantics == "completion") {
+    optimal = checker.CheckCompletionOptimal(p.j).optimal;
+    std::printf("completion-optimal repair: %s\n", optimal ? "yes" : "no");
+  } else {
+    auto outcome = checker.CheckGloballyOptimal(p.j);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome.status().ToString().c_str());
+      return 3;
+    }
+    for (const std::string& step : outcome->route) {
+      std::printf("route: %s\n", step.c_str());
+    }
+    optimal = outcome->result.optimal;
+    std::printf("globally-optimal repair: %s\n", optimal ? "yes" : "no");
+    std::printf("%s", ExplainOutcome(checker.conflict_graph(), *p.priority,
+                                     p.j, outcome->result)
+                          .c_str());
+  }
+  return optimal ? 0 : 1;
+}
+
+int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
+                 size_t limit) {
+  ConflictGraph cg(*p.instance);
+  if (optimal_only) {
+    std::vector<DynamicBitset> optimal =
+        AllOptimalRepairs(cg, *p.priority, RepairSemantics::kGlobal);
+    std::printf("%zu globally-optimal repair(s)\n", optimal.size());
+    size_t shown = 0;
+    for (const DynamicBitset& r : optimal) {
+      if (shown++ >= limit) {
+        std::printf("... (%zu more)\n", optimal.size() - limit);
+        break;
+      }
+      std::printf("  %s\n", p.instance->SubinstanceToString(r).c_str());
+    }
+    if (auto unique = UniqueGloballyOptimalRepair(cg, *p.priority)) {
+      std::printf("the cleaning is unambiguous (unique optimal repair)\n");
+    }
+    return 0;
+  }
+  size_t shown = 0;
+  uint64_t total = 0;
+  ForEachRepair(cg, [&](const DynamicBitset& r) {
+    ++total;
+    if (shown < limit) {
+      std::printf("  %s\n", p.instance->SubinstanceToString(r).c_str());
+      ++shown;
+    }
+    return true;
+  });
+  std::printf("%llu repair(s) in total\n",
+              static_cast<unsigned long long>(total));
+  return 0;
+}
+
+int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
+               const std::string& semantics) {
+  Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad query: %s\n",
+                 query.status().ToString().c_str());
+    return 3;
+  }
+  AnswerSemantics sem = AnswerSemantics::kGlobal;
+  if (semantics == "all") {
+    sem = AnswerSemantics::kAllRepairs;
+  } else if (semantics == "pareto") {
+    sem = AnswerSemantics::kPareto;
+  } else if (semantics == "completion") {
+    sem = AnswerSemantics::kCompletion;
+  }
+  ConflictGraph cg(*p.instance);
+  if (query->IsBoolean()) {
+    bool certain = CertainlyTrue(cg, *p.priority, *query, sem);
+    std::printf("certainly true: %s\n", certain ? "yes" : "no");
+    return certain ? 0 : 1;
+  }
+  auto answers = ConsistentAnswers(cg, *p.priority, *query, sem);
+  std::printf("%zu consistent answer(s):\n", answers.size());
+  for (const auto& tuple : answers) {
+    std::printf("  (");
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", tuple[i].c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Result<PreferredRepairProblem> problem = Load(argv[2]);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 problem.status().ToString().c_str());
+    return 3;
+  }
+  // Shared option parsing.
+  bool ccp = false;
+  bool optimal_only = false;
+  size_t limit = 20;
+  std::string semantics = "global";
+  const char* query_text = nullptr;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ccp") == 0) {
+      ccp = true;
+    } else if (std::strcmp(argv[i], "--optimal-only") == 0) {
+      optimal_only = true;
+    } else if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
+      limit = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--semantics") == 0 && i + 1 < argc) {
+      semantics = argv[++i];
+    } else if (query_text == nullptr) {
+      query_text = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+
+  if (command == "classify") {
+    return CmdClassify(*problem);
+  }
+  if (command == "check") {
+    return CmdCheck(*problem, ccp, semantics);
+  }
+  if (command == "enumerate") {
+    return CmdEnumerate(*problem, optimal_only, limit);
+  }
+  if (command == "answers") {
+    if (query_text == nullptr) {
+      return Usage();
+    }
+    return CmdAnswers(*problem, query_text, semantics);
+  }
+  if (command == "stats") {
+    ConflictGraph cg(*problem->instance);
+    std::printf("%s\n", ComputeConflictStats(cg).ToString().c_str());
+    return 0;
+  }
+  if (command == "dot") {
+    ConflictGraph cg(*problem->instance);
+    std::printf("%s",
+                ConflictGraphToDot(cg, *problem->priority, problem->j)
+                    .c_str());
+    return 0;
+  }
+  if (command == "dump") {
+    std::printf("%s", ProblemToText(*problem).c_str());
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,58 @@
+// Copyright (c) prefrep contributors.
+// Common macros used across the prefrep library.
+
+#ifndef PREFREP_BASE_MACROS_H_
+#define PREFREP_BASE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a branch as likely/unlikely taken for the optimizer.
+#if defined(__GNUC__) || defined(__clang__)
+#define PREFREP_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define PREFREP_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define PREFREP_LIKELY(x) (x)
+#define PREFREP_UNLIKELY(x) (x)
+#endif
+
+/// Aborts the process with a message; used for violated internal invariants.
+#define PREFREP_FATAL(msg)                                                   \
+  do {                                                                       \
+    std::fprintf(stderr, "[prefrep fatal] %s:%d: %s\n", __FILE__, __LINE__,  \
+                 (msg));                                                     \
+    std::abort();                                                            \
+  } while (0)
+
+/// Checks an invariant in all build types.  Checking algorithms in this
+/// library are verification tools, so we prefer hard failure over silent
+/// corruption even in release builds.
+#define PREFREP_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (PREFREP_UNLIKELY(!(cond))) {                                         \
+      PREFREP_FATAL("check failed: " #cond);                                 \
+    }                                                                        \
+  } while (0)
+
+#define PREFREP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (PREFREP_UNLIKELY(!(cond))) {                                         \
+      PREFREP_FATAL("check failed: " #cond " — " msg);                       \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only invariant check; compiled out in release builds.
+#ifndef NDEBUG
+#define PREFREP_DCHECK(cond) PREFREP_CHECK(cond)
+#else
+#define PREFREP_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+/// Disallows copy construction and copy assignment.
+#define PREFREP_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;        \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // PREFREP_BASE_MACROS_H_

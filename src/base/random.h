@@ -1,0 +1,80 @@
+// Copyright (c) prefrep contributors.
+// Deterministic pseudo-random generation for tests, generators and
+// benchmarks.  We use our own xoshiro256** engine so that workloads are
+// reproducible across platforms and standard-library versions.
+
+#ifndef PREFREP_BASE_RANDOM_H_
+#define PREFREP_BASE_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/macros.h"
+
+namespace prefrep {
+
+/// xoshiro256** 1.0 pseudo-random generator (Blackman & Vigna).
+/// Deterministic given the seed, identical across platforms.
+class Rng {
+ public:
+  /// Seeds the engine; any 64-bit seed is acceptable (expanded through
+  /// splitmix64).
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be positive.  Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Returns a uniformly random subset of {0, ..., n-1} of size k.
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+  /// Zipf-distributed value in [0, n) with exponent s (s = 0 is uniform).
+  /// Computed by inverse-CDF over precomputable weights; O(n) per call, use
+  /// ZipfTable for hot loops.
+  size_t NextZipf(size_t n, double s);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Precomputed Zipf sampler: O(log n) per draw.
+class ZipfTable {
+ public:
+  /// Builds the CDF table for universe size n and exponent s >= 0.
+  ZipfTable(size_t n, double s);
+
+  /// Draws one Zipf-distributed value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t universe_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_RANDOM_H_

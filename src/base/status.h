@@ -1,0 +1,157 @@
+// Copyright (c) prefrep contributors.
+// Lightweight Status / Result error-handling types in the Arrow/RocksDB
+// idiom: recoverable API-boundary errors are returned, never thrown.
+
+#ifndef PREFREP_BASE_STATUS_H_
+#define PREFREP_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/macros.h"
+
+namespace prefrep {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad schema, bad fd, bad fact, ...)
+  kNotFound,          ///< named entity (relation, fact label) does not exist
+  kAlreadyExists,     ///< duplicate definition
+  kOutOfRange,        ///< index out of bounds (attribute, fact id, ...)
+  kFailedPrecondition,///< operation not applicable in the current state
+  kUnimplemented,     ///< feature intentionally not provided
+  kInternal,          ///< invariant violation surfaced as a recoverable error
+  kParseError,        ///< text-format syntax error
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome.  Cheap to copy in the OK case (no
+/// allocation); error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error outcome.  Access to the value of a non-OK result is a
+/// fatal error (checking tools must not proceed on garbage).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PREFREP_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; fatal if !ok().
+  const T& value() const& {
+    PREFREP_CHECK_MSG(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  T& value() & {
+    PREFREP_CHECK_MSG(ok(), "Result::value() on error result");
+    return *value_;
+  }
+  T&& value() && {
+    PREFREP_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression, Arrow-style.
+#define PREFREP_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::prefrep::Status _st = (expr);          \
+    if (PREFREP_UNLIKELY(!_st.ok())) {       \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define PREFREP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (PREFREP_UNLIKELY(!tmp.ok())) {                  \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define PREFREP_ASSIGN_OR_RETURN(lhs, expr) \
+  PREFREP_ASSIGN_OR_RETURN_IMPL(            \
+      PREFREP_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define PREFREP_CONCAT_INNER_(a, b) a##b
+#define PREFREP_CONCAT_(a, b) PREFREP_CONCAT_INNER_(a, b)
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_STATUS_H_

@@ -1,0 +1,81 @@
+#include "classify/case_analysis.h"
+
+#include "classify/dichotomy.h"
+#include "fd/determiners.h"
+
+namespace prefrep {
+
+Result<HardnessCase> AnalyzeHardRelation(const FDSet& fds) {
+  RelationClassification classification = ClassifyRelationFds(fds);
+  if (classification.kind != TractableKind::kHard) {
+    return Status::InvalidArgument(
+        "FD set is tractable (" + classification.explanation +
+        "); the §5.2 branching applies only to hard relations");
+  }
+
+  HardnessCase out;
+
+  // Case 1: equivalent to three or more keys (fewer is impossible here:
+  // one key is a single FD, two keys is condition 2 of Theorem 3.1).
+  if (fds.EquivalentToSomeKeySet()) {
+    out.keys = fds.AsKeySet();
+    PREFREP_CHECK_MSG(out.keys.size() >= 3,
+                      "a hard key-set schema must have ≥ 3 keys");
+    out.case_number = 1;
+    out.explanation = "∆ is equivalent to a set of " +
+                      std::to_string(out.keys.size()) + " keys (≥ 3)";
+    return out;
+  }
+
+  // Cases 2–7.  A: minimal determiner that is not a key (§5.2 shows it
+  // exists because ∆ is not equivalent to any set of keys).
+  std::optional<AttrSet> a = MinimalNonKeyDeterminer(fds);
+  if (!a.has_value()) {
+    return Status::Internal(
+        "no minimal non-key determiner found for a non-key-set ∆ "
+        "(should be impossible)");
+  }
+  // B: non-redundant determiner ≠ A, minimal w.r.t. containment (§5.2
+  // shows it exists because ∆ is not equivalent to a single FD).
+  std::optional<AttrSet> b =
+      MinimalNonRedundantDeterminerExcluding(fds, *a);
+  if (!b.has_value()) {
+    return Status::Internal(
+        "no second non-redundant determiner found for a non-single-fd ∆ "
+        "(should be impossible)");
+  }
+  out.a = *a;
+  out.b = *b;
+  out.a_plus = fds.Closure(*a);
+  out.b_plus = fds.Closure(*b);
+  AttrSet a_hat = out.a_plus - out.a;
+  AttrSet b_hat = out.b_plus - out.b;
+
+  if (out.a_plus == out.b_plus) {
+    out.case_number = 2;
+    out.explanation = "A⁺ = B⁺";
+  } else if (!out.b_plus.IsSubsetOf(out.a_plus)) {
+    if (out.a.Intersects(b_hat)) {
+      if (a_hat.Intersects(out.b)) {
+        out.case_number = 3;
+        out.explanation = "B⁺ ⊄ A⁺, A ∩ B̂ ≠ ∅, Â ∩ B ≠ ∅";
+      } else {
+        out.case_number = 4;
+        out.explanation = "B⁺ ⊄ A⁺, A ∩ B̂ ≠ ∅, Â ∩ B = ∅";
+      }
+    } else if (b_hat.IsSubsetOf(a_hat)) {
+      out.case_number = 5;
+      out.explanation = "B⁺ ⊄ A⁺, A ∩ B̂ = ∅, B̂ ⊆ Â";
+    } else {
+      out.case_number = 6;
+      out.explanation = "B⁺ ⊄ A⁺, A ∩ B̂ = ∅, B̂ ⊄ Â";
+    }
+  } else {
+    // B⁺ ⊊ A⁺, hence A⁺ ⊄ B⁺.
+    out.case_number = 7;
+    out.explanation = "A⁺ ⊄ B⁺ (symmetric to the B⁺ ⊄ A⁺ cases)";
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,50 @@
+// Copyright (c) prefrep contributors.
+// Case branching for the hardness proof (§5.2).  Given a single-relation
+// FD set ∆ that violates the condition of Theorem 3.1 (equivalent to
+// neither a single FD nor two keys), the proof reduces from one of the
+// six hard schemas of Example 3.4 according to the following cases:
+//
+//   Case 1: ∆ is equivalent to k ≥ 3 keys          (reduce from S1)
+//   Otherwise fix a minimal determiner A that is not a key and a minimal
+//   (w.r.t. containment) non-redundant determiner B ≠ A, and with
+//   A⁺ = ⟦R.A⟧, Â = A⁺ \ A, B⁺ = ⟦R.B⟧, B̂ = B⁺ \ B:
+//   Case 2: A⁺ = B⁺                                 (reduce from S2)
+//   Case 3: B⁺ ⊄ A⁺, A ∩ B̂ ≠ ∅, Â ∩ B ≠ ∅          (reduce from S3)
+//   Case 4: B⁺ ⊄ A⁺, A ∩ B̂ ≠ ∅, Â ∩ B = ∅          (reduce from S4)
+//   Case 5: B⁺ ⊄ A⁺, A ∩ B̂ = ∅, B̂ ⊆ Â             (reduce from S5)
+//   Case 6: B⁺ ⊄ A⁺, A ∩ B̂ = ∅, B̂ ⊄ Â             (reduce from S6)
+//   Case 7: A⁺ ⊄ B⁺                                 (symmetric to B⁺ ⊄ A⁺)
+//
+// Cases 2–6 cover every subcase of B⁺ ⊆ A⁺ together with case 2; with
+// cases 1 and 7 the branching is exhaustive.
+
+#ifndef PREFREP_CLASSIFY_CASE_ANALYSIS_H_
+#define PREFREP_CLASSIFY_CASE_ANALYSIS_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "fd/fd_set.h"
+
+namespace prefrep {
+
+/// The outcome of the §5.2 branching for one hard relation.
+struct HardnessCase {
+  int case_number = 0;  ///< 1..7
+  /// For cases 2–7: the chosen determiners and their closures.
+  AttrSet a;        ///< minimal determiner that is not a key
+  AttrSet b;        ///< minimal non-redundant determiner ≠ A
+  AttrSet a_plus;   ///< ⟦R.A⟧
+  AttrSet b_plus;   ///< ⟦R.B⟧
+  /// For case 1: the equivalent keys.
+  std::vector<AttrSet> keys;
+  std::string explanation;
+};
+
+/// Runs the §5.2 branching.  Fails with InvalidArgument if `fds` does not
+/// violate the condition of Theorem 3.1 (i.e. is tractable).
+Result<HardnessCase> AnalyzeHardRelation(const FDSet& fds);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CLASSIFY_CASE_ANALYSIS_H_

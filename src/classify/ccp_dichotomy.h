@@ -1,0 +1,57 @@
+// Copyright (c) prefrep contributors.
+// The dichotomy classifier for cross-conflict priorities (Theorem 7.1 /
+// Theorem 7.6).  Over ccp-instances, globally-optimal repair checking is
+// polynomial iff ∆ is a *primary-key assignment* (every ∆|R equivalent to
+// one key constraint) or a *constant-attribute assignment* (every ∆|R
+// equivalent to one FD ∅ → B); otherwise coNP-complete.
+//
+// Note how the two dichotomies differ: under ordinary priorities the
+// tractability condition is per-relation (each relation independently
+// single-fd or two-keys); under ccp the condition is global — all
+// relations must be primary-key, or all constant-attribute — because a
+// cross-conflict priority can couple relations.
+
+#ifndef PREFREP_CLASSIFY_CCP_DICHOTOMY_H_
+#define PREFREP_CLASSIFY_CCP_DICHOTOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "model/schema.h"
+
+namespace prefrep {
+
+/// Tests whether one relation's FDs are equivalent to a single key
+/// constraint A → ⟦R⟧; returns the key through `key` if so.  An FD set
+/// with no nontrivial FD qualifies with the trivial key ⟦R⟧.
+bool IsSingleKeyEquivalent(const FDSet& fds, AttrSet* key);
+
+/// Tests whether one relation's FDs are equivalent to a single
+/// constant-attribute constraint ∅ → B; returns B = ⟦R.∅⟧ through
+/// `constant_attrs` if so.
+bool IsConstantAttrEquivalent(const FDSet& fds, AttrSet* constant_attrs);
+
+/// Classification of a schema for the ccp dichotomy.
+struct CcpSchemaClassification {
+  bool primary_key_assignment = false;
+  bool constant_attr_assignment = false;
+  /// Per-relation key (valid when primary_key_assignment).
+  std::vector<AttrSet> keys;
+  /// Per-relation constant attributes (valid when
+  /// constant_attr_assignment).
+  std::vector<AttrSet> constant_attrs;
+  std::string explanation;
+
+  bool tractable() const {
+    return primary_key_assignment || constant_attr_assignment;
+  }
+};
+
+/// Theorem 7.6: decides in polynomial time which side of the dichotomy
+/// of Theorem 7.1 the schema is on.
+CcpSchemaClassification ClassifyCcpSchema(const Schema& schema);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CLASSIFY_CCP_DICHOTOMY_H_

@@ -1,0 +1,101 @@
+#include "classify/dichotomy.h"
+
+namespace prefrep {
+
+const char* TractableKindName(TractableKind kind) {
+  switch (kind) {
+    case TractableKind::kSingleFd:
+      return "single-fd";
+    case TractableKind::kTwoKeys:
+      return "two-keys";
+    case TractableKind::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+RelationClassification ClassifyRelationFds(const FDSet& fds) {
+  RelationClassification out;
+  const int arity = fds.arity();
+
+  // Condition 1: ∆|R equivalent to a single FD.  By Lemma 6.2(1) the LHS
+  // of such an FD can be taken from the syntactic LHSs; the best RHS for
+  // a fixed LHS A is its closure ⟦R.A⟧.
+  FDSet nontrivial = fds.WithoutTrivial();
+  if (nontrivial.empty()) {
+    out.kind = TractableKind::kSingleFd;
+    out.single_fd = FD(AttrSet(), AttrSet());
+    out.explanation = "∆|R has no nontrivial fd (equivalent to a trivial fd)";
+    return out;
+  }
+  for (const AttrSet& a : fds.LeftHandSides()) {
+    FD candidate(a, fds.Closure(a));
+    FDSet single(arity, {candidate});
+    if (single.ImpliesAll(fds)) {  // fds ⊨ candidate holds by construction
+      out.kind = TractableKind::kSingleFd;
+      out.single_fd = candidate;
+      out.explanation =
+          "∆|R is equivalent to the single fd " + candidate.ToString();
+      return out;
+    }
+  }
+
+  // Condition 2: ∆|R equivalent to two (incomparable) key constraints.
+  // By Lemma 6.2(2) both LHSs can be taken from the syntactic LHSs; a
+  // comparable pair collapses to a single key, which condition 1 already
+  // covers.
+  std::vector<AttrSet> lhss = fds.LeftHandSides();
+  AttrSet full = fds.AllAttrs();
+  for (size_t i = 0; i < lhss.size(); ++i) {
+    if (!fds.IsKey(lhss[i])) {
+      continue;
+    }
+    for (size_t k = i + 1; k < lhss.size(); ++k) {
+      if (!fds.IsKey(lhss[k])) {
+        continue;
+      }
+      if (lhss[i].IsSubsetOf(lhss[k]) || lhss[k].IsSubsetOf(lhss[i])) {
+        continue;
+      }
+      FDSet two_keys(arity, {FD(lhss[i], full), FD(lhss[k], full)});
+      if (two_keys.ImpliesAll(fds)) {
+        out.kind = TractableKind::kTwoKeys;
+        out.key1 = lhss[i];
+        out.key2 = lhss[k];
+        out.explanation = "∆|R is equivalent to the two keys " +
+                          lhss[i].ToString() + " → ⟦R⟧ and " +
+                          lhss[k].ToString() + " → ⟦R⟧";
+        return out;
+      }
+    }
+  }
+
+  out.kind = TractableKind::kHard;
+  out.explanation =
+      "∆|R is equivalent to neither a single fd nor two key constraints";
+  return out;
+}
+
+std::vector<RelId> SchemaClassification::HardRelations() const {
+  std::vector<RelId> out;
+  for (RelId r = 0; r < relations.size(); ++r) {
+    if (relations[r].kind == TractableKind::kHard) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+SchemaClassification ClassifySchema(const Schema& schema) {
+  SchemaClassification out;
+  out.relations.reserve(schema.num_relations());
+  for (RelId r = 0; r < schema.num_relations(); ++r) {
+    out.relations.push_back(ClassifyRelationFds(schema.fds(r)));
+    if (out.relations.back().kind == TractableKind::kHard) {
+      out.tractable = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,69 @@
+// Copyright (c) prefrep contributors.
+// The dichotomy classifier of Theorem 3.1 / §6.  For a schema S = (R, ∆),
+// globally-optimal repair checking (ordinary, conflict-bounded
+// priorities) is solvable in polynomial time iff for every relation
+// symbol R:
+//
+//   1. ∆|R is equivalent to a single FD, or
+//   2. ∆|R is equivalent to a set of two key constraints;
+//
+// otherwise it is coNP-complete.  Theorem 6.1: which side a schema is on
+// is decidable in polynomial time; the algorithm below follows §6,
+// justified by Lemma 6.2 (an equivalent single FD / pair of incomparable
+// keys can always be found among the syntactic left-hand sides) and
+// Theorem 6.3 (FD implication is polynomial).
+
+#ifndef PREFREP_CLASSIFY_DICHOTOMY_H_
+#define PREFREP_CLASSIFY_DICHOTOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "model/schema.h"
+
+namespace prefrep {
+
+/// Which tractable case (if any) a relation's FD set falls into.
+enum class TractableKind {
+  kSingleFd,  ///< ∆|R ≡ {A → B} (Theorem 3.1, condition 1)
+  kTwoKeys,   ///< ∆|R ≡ {A1 → ⟦R⟧, A2 → ⟦R⟧}, incomparable (condition 2)
+  kHard,      ///< neither: coNP-complete relation
+};
+
+const char* TractableKindName(TractableKind kind);
+
+/// Classification of one relation's FD set, with the artifacts the
+/// tractable algorithms need.
+struct RelationClassification {
+  TractableKind kind = TractableKind::kHard;
+  /// For kSingleFd: the equivalent FD A → ⟦R.A⟧ (trivial ∅ → ∅ when ∆|R
+  /// has no nontrivial FD).
+  FD single_fd;
+  /// For kTwoKeys: the two incomparable keys.
+  AttrSet key1;
+  AttrSet key2;
+  /// Human-readable justification.
+  std::string explanation;
+};
+
+/// Classifies one relation's FD set (the single-relation dichotomy).
+/// Prefers kSingleFd when both conditions hold (e.g. a single key).
+RelationClassification ClassifyRelationFds(const FDSet& fds);
+
+/// Classification of a whole schema: tractable iff every relation is.
+struct SchemaClassification {
+  bool tractable = true;
+  std::vector<RelationClassification> relations;  // indexed by RelId
+
+  /// The hard relations (empty iff tractable).
+  std::vector<RelId> HardRelations() const;
+};
+
+/// Theorem 6.1: decides in polynomial time which side of the dichotomy
+/// of Theorem 3.1 the schema is on.
+SchemaClassification ClassifySchema(const Schema& schema);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CLASSIFY_DICHOTOMY_H_

@@ -1,0 +1,168 @@
+#include "conflicts/conflicts.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/hash.h"
+
+namespace prefrep {
+
+bool FactsAgreeOn(const Fact& f, const Fact& g, AttrSet attrs) {
+  PREFREP_DCHECK(f.rel == g.rel);
+  bool agree = true;
+  attrs.ForEach([&](int a) {
+    if (f.values[a - 1] != g.values[a - 1]) {
+      agree = false;
+    }
+  });
+  return agree;
+}
+
+bool IsDeltaConflict(const Fact& f, const Fact& g, const FD& fd) {
+  if (f.rel != g.rel) {
+    return false;
+  }
+  return FactsAgreeOn(f, g, fd.lhs) && !FactsAgreeOn(f, g, fd.rhs);
+}
+
+bool FactsConflict(const Instance& instance, FactId f, FactId g) {
+  const Fact& ff = instance.fact(f);
+  const Fact& gg = instance.fact(g);
+  if (ff.rel != gg.rel) {
+    return false;
+  }
+  for (const FD& fd : instance.schema().fds(ff.rel).fds()) {
+    if (IsDeltaConflict(ff, gg, fd)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Projects a fact onto an attribute set, producing a hashable key.
+std::vector<ValueId> Project(const Fact& f, AttrSet attrs) {
+  std::vector<ValueId> key;
+  key.reserve(static_cast<size_t>(attrs.size()));
+  attrs.ForEach([&](int a) { key.push_back(f.values[a - 1]); });
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::pair<FactId, FactId>> AllConflictPairsNaive(
+    const Instance& instance) {
+  std::vector<std::pair<FactId, FactId>> out;
+  const Schema& schema = instance.schema();
+  for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
+    const std::vector<FactId>& facts = instance.facts_of(rel);
+    for (size_t i = 0; i < facts.size(); ++i) {
+      for (size_t k = i + 1; k < facts.size(); ++k) {
+        FactId f = std::min(facts[i], facts[k]);
+        FactId g = std::max(facts[i], facts[k]);
+        if (FactsConflict(instance, f, g)) {
+          out.emplace_back(f, g);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ConflictGraph::ConflictGraph(const Instance& instance)
+    : instance_(&instance) {
+  size_t n = instance.num_facts();
+  adjacency_.assign(n, {});
+  const Schema& schema = instance.schema();
+
+  // For each relation and each FD A → B: bucket the facts by their
+  // A-projection; within a bucket, sub-bucket by B-projection; facts in
+  // different sub-buckets of the same bucket are in δ-conflict.
+  for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
+    const std::vector<FactId>& rel_facts = instance.facts_of(rel);
+    for (const FD& fd : schema.fds(rel).fds()) {
+      if (fd.IsTrivial()) {
+        continue;
+      }
+      std::unordered_map<std::vector<ValueId>,
+                         std::unordered_map<std::vector<ValueId>,
+                                            std::vector<FactId>,
+                                            VectorHash<ValueId>>,
+                         VectorHash<ValueId>>
+          buckets;
+      for (FactId f : rel_facts) {
+        const Fact& fact = instance.fact(f);
+        buckets[Project(fact, fd.lhs)][Project(fact, fd.rhs)].push_back(f);
+      }
+      for (const auto& [lhs_key, sub_buckets] : buckets) {
+        (void)lhs_key;
+        if (sub_buckets.size() < 2) {
+          continue;
+        }
+        // Collect sub-bucket groups, then connect facts across groups.
+        std::vector<const std::vector<FactId>*> groups;
+        groups.reserve(sub_buckets.size());
+        for (const auto& [rhs_key, group] : sub_buckets) {
+          (void)rhs_key;
+          groups.push_back(&group);
+        }
+        for (size_t i = 0; i < groups.size(); ++i) {
+          for (size_t j = i + 1; j < groups.size(); ++j) {
+            for (FactId f : *groups[i]) {
+              for (FactId g : *groups[j]) {
+                adjacency_[f].push_back(g);
+                adjacency_[g].push_back(f);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Deduplicate adjacency (a pair may conflict under several FDs) and
+  // derive the edge list.
+  for (FactId f = 0; f < n; ++f) {
+    std::vector<FactId>& adj = adjacency_[f];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    for (FactId g : adj) {
+      if (f < g) {
+        edges_.emplace_back(f, g);
+      }
+    }
+  }
+}
+
+DynamicBitset ConflictGraph::NeighborSet(FactId f) const {
+  DynamicBitset out(adjacency_.size());
+  for (FactId g : neighbors(f)) {
+    out.set(g);
+  }
+  return out;
+}
+
+bool ConflictGraph::ConflictsWithSet(FactId f,
+                                     const DynamicBitset& sub) const {
+  for (FactId g : neighbors(f)) {
+    if (sub.test(g)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FactId> ConflictGraph::ConflictsInSet(
+    FactId f, const DynamicBitset& sub) const {
+  std::vector<FactId> out;
+  for (FactId g : neighbors(f)) {
+    if (sub.test(g)) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,83 @@
+// Copyright (c) prefrep contributors.
+// δ-conflicts and conflict graphs (§2.2).  Two facts form a δ-conflict for
+// an FD δ = R: A → B if they agree on A and disagree on B.  Facts conflict
+// if they form a δ-conflict for some δ ∈ ∆.  Since FDs are binary-violation
+// constraints, a subinstance is consistent iff it is an independent set of
+// the conflict graph.
+
+#ifndef PREFREP_CONFLICTS_CONFLICTS_H_
+#define PREFREP_CONFLICTS_CONFLICTS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/dynamic_bitset.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// Returns true if facts f and g agree on every attribute in `attrs`
+/// (1-based positions).  The facts must be of the same relation.
+bool FactsAgreeOn(const Fact& f, const Fact& g, AttrSet attrs);
+
+/// Returns true if {f, g} is a δ-conflict for the given FD.
+bool IsDeltaConflict(const Fact& f, const Fact& g, const FD& fd);
+
+/// Returns true if f and g are conflicting facts under the schema of the
+/// instance (δ-conflict for some δ in ∆|rel).  Facts of different
+/// relations never conflict (all constraints are FDs).
+bool FactsConflict(const Instance& instance, FactId f, FactId g);
+
+/// All conflicting pairs {f, g} (f < g) by the naive all-pairs scan —
+/// the O(n²·|∆|) ablation baseline for the hash-bucketed ConflictGraph
+/// construction (see bench_enumeration).  Results are sorted.
+std::vector<std::pair<FactId, FactId>> AllConflictPairsNaive(
+    const Instance& instance);
+
+/// The materialized conflict graph of an instance: for each fact, the
+/// (sorted) list of facts it conflicts with, plus the edge list.
+///
+/// The graph can be quadratic in the number of facts (that is inherent);
+/// algorithms that only need point queries should use FactsConflict or the
+/// consistency checks in repair/subinstance_ops.h.
+class ConflictGraph {
+ public:
+  /// Builds the conflict graph of `instance` by hashing facts on FD
+  /// left-hand sides (no all-pairs scan across groups).
+  explicit ConflictGraph(const Instance& instance);
+
+  const Instance& instance() const { return *instance_; }
+
+  size_t num_facts() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Facts conflicting with `f`, sorted ascending, no duplicates.
+  const std::vector<FactId>& neighbors(FactId f) const {
+    PREFREP_CHECK(f < adjacency_.size());
+    return adjacency_[f];
+  }
+
+  /// All conflicting pairs {f, g} with f < g.
+  const std::vector<std::pair<FactId, FactId>>& edges() const {
+    return edges_;
+  }
+
+  /// Bitset of neighbors of `f` (materialized lazily per call).
+  DynamicBitset NeighborSet(FactId f) const;
+
+  /// True if some fact of `sub` conflicts with `f`.
+  bool ConflictsWithSet(FactId f, const DynamicBitset& sub) const;
+
+  /// Facts of `sub` that conflict with `f`.
+  std::vector<FactId> ConflictsInSet(FactId f, const DynamicBitset& sub) const;
+
+ private:
+  const Instance* instance_;
+  std::vector<std::vector<FactId>> adjacency_;
+  std::vector<std::pair<FactId, FactId>> edges_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONFLICTS_CONFLICTS_H_

@@ -1,0 +1,46 @@
+// Copyright (c) prefrep contributors.
+// Summary statistics of a conflict graph: how contested an instance is,
+// how its conflicts cluster, and a cheap upper bound on the repair
+// count — useful for deciding whether exact enumeration is feasible
+// before attempting it.
+
+#ifndef PREFREP_CONFLICTS_STATS_H_
+#define PREFREP_CONFLICTS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "conflicts/conflicts.h"
+
+namespace prefrep {
+
+/// Aggregate statistics of one conflict graph.
+struct ConflictStats {
+  size_t num_facts = 0;
+  size_t num_conflicts = 0;       ///< conflicting pairs
+  size_t conflicting_facts = 0;   ///< facts with ≥ 1 conflict
+  size_t max_degree = 0;
+  /// Connected components of the conflict graph *excluding* isolated
+  /// facts (every isolated fact belongs to every repair).
+  size_t num_components = 0;
+  size_t largest_component = 0;
+  /// ∏ over components of (#maximal independent sets upper bound):
+  /// capped at 2^63; exact per-component counts are exponential to get,
+  /// so this uses the Moon–Moser bound 3^(n/3) per component.
+  double log2_repair_upper_bound = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes the statistics in O(facts + conflicts).
+ConflictStats ComputeConflictStats(const ConflictGraph& cg);
+
+/// Connected components of the conflict graph: for each fact its
+/// component id (isolated facts get their own singleton components).
+/// Exposed for tests and for per-component processing.
+std::vector<size_t> ConflictComponents(const ConflictGraph& cg,
+                                       size_t* num_components);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONFLICTS_STATS_H_

@@ -1,0 +1,66 @@
+#include "fd/armstrong.h"
+
+#include "conflicts/conflicts.h"
+
+namespace prefrep {
+
+std::vector<AttrSet> ClosedAttributeSets(const FDSet& fds) {
+  int arity = fds.arity();
+  PREFREP_CHECK_MSG(arity <= 20, "closed-set enumeration limited to 20");
+  std::vector<AttrSet> out;
+  uint64_t full = (arity == 0) ? 0 : ((uint64_t{1} << arity) - 1);
+  for (uint64_t mask = 0; mask <= full; ++mask) {
+    AttrSet candidate = AttrSet::FromMask(mask);
+    if (fds.Closure(candidate) == candidate) {
+      out.push_back(candidate);
+    }
+    if (full == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Instance> BuildArmstrongInstance(const Schema& schema,
+                                                 const FDSet& fds) {
+  PREFREP_CHECK_MSG(schema.num_relations() == 1 &&
+                        schema.arity(0) == fds.arity(),
+                    "schema must consist of the FD set's single relation");
+  auto instance = std::make_unique<Instance>(&schema);
+  int arity = fds.arity();
+  // Base tuple: b_1, ..., b_m.
+  std::vector<std::string> base(static_cast<size_t>(arity));
+  for (int a = 1; a <= arity; ++a) {
+    base[static_cast<size_t>(a - 1)] = "b" + std::to_string(a);
+  }
+  PREFREP_CHECK(instance->AddFact(0, base).ok());
+  // One witness tuple per closed set: agree with the base exactly there.
+  size_t counter = 0;
+  for (const AttrSet& closed : ClosedAttributeSets(fds)) {
+    std::vector<std::string> tuple = base;
+    for (int a = 1; a <= arity; ++a) {
+      if (!closed.Contains(a)) {
+        tuple[static_cast<size_t>(a - 1)] =
+            "w" + std::to_string(counter) + "_" + std::to_string(a);
+      }
+    }
+    ++counter;
+    PREFREP_CHECK(instance->AddFact(0, tuple).ok());
+  }
+  return instance;
+}
+
+bool InstanceSatisfiesFd(const Instance& instance, RelId rel, const FD& fd) {
+  const std::vector<FactId>& facts = instance.facts_of(rel);
+  for (size_t i = 0; i < facts.size(); ++i) {
+    for (size_t k = i + 1; k < facts.size(); ++k) {
+      if (IsDeltaConflict(instance.fact(facts[i]), instance.fact(facts[k]),
+                          fd)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace prefrep

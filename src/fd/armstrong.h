@@ -1,0 +1,46 @@
+// Copyright (c) prefrep contributors.
+// Armstrong relations.  For an FD set ∆ over a relation R, an Armstrong
+// relation is an instance that satisfies an FD X → Y **iff** ∆ ⊨ X → Y —
+// the classical certificate that ∆'s closure is exactly what one thinks
+// it is (Armstrong 1974; Beeri–Dowd–Fagin–Statman 1984, co-authored by
+// this paper's first author).
+//
+// Construction: the sets on which two tuples may agree without forcing
+// more agreement are exactly the ∆-closed attribute sets.  Starting
+// from one base tuple, add for every closed set C a tuple agreeing with
+// the base precisely on C (fresh values elsewhere).  Any X → Y with
+// ∆ ⊭ X → Y is then violated by the witness pair for C = ⟦R.X⟧, while
+// every implied FD holds by closedness.
+//
+// Used in tests as an independent oracle for the FD machinery and the
+// dichotomy classifiers: an instance-level ground truth for implication.
+
+#ifndef PREFREP_FD_ARMSTRONG_H_
+#define PREFREP_FD_ARMSTRONG_H_
+
+#include <memory>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// All ∆-closed attribute sets (fixpoints of the closure), ascending by
+/// mask.  Enumerates 2^arity subsets; arity ≤ 20 enforced.
+std::vector<AttrSet> ClosedAttributeSets(const FDSet& fds);
+
+/// Builds an Armstrong relation for `fds` into a fresh instance over
+/// `schema` (which must have the single relation the FD set describes).
+/// Returns the instance; fact 0 is the base tuple and fact i ≥ 1 agrees
+/// with it exactly on the i-th closed set.
+std::unique_ptr<Instance> BuildArmstrongInstance(const Schema& schema,
+                                                 const FDSet& fds);
+
+/// True iff `instance`'s relation `rel` satisfies the FD (the
+/// definitional check, O(n²) pairs — test-oracle use).
+bool InstanceSatisfiesFd(const Instance& instance, RelId rel, const FD& fd);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_FD_ARMSTRONG_H_

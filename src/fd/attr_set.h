@@ -1,0 +1,155 @@
+// Copyright (c) prefrep contributors.
+// Attribute sets.  Following the paper (§2.1), attributes of a relation
+// symbol R are the positions 1..arity(R), written ⟦R⟧.  An AttrSet is a
+// subset of ⟦R⟧ represented as a 64-bit mask, so arity is limited to 64
+// (enforced at schema construction).
+//
+// Externally (parsing, printing, the paper) attributes are 1-based; the
+// mask stores attribute i at bit (i-1).
+
+#ifndef PREFREP_FD_ATTR_SET_H_
+#define PREFREP_FD_ATTR_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/macros.h"
+
+namespace prefrep {
+
+/// Maximum supported relation arity.
+inline constexpr int kMaxArity = 64;
+
+/// A set of attribute positions (1-based, as in the paper).
+class AttrSet {
+ public:
+  /// The empty attribute set.
+  constexpr AttrSet() : mask_(0) {}
+
+  /// Constructs from 1-based attribute positions, e.g. AttrSet{1, 3}.
+  AttrSet(std::initializer_list<int> attrs) : mask_(0) {
+    for (int a : attrs) {
+      Add(a);
+    }
+  }
+
+  /// The full set ⟦R⟧ = {1, ..., arity}.
+  static AttrSet Full(int arity) {
+    PREFREP_CHECK(arity >= 0 && arity <= kMaxArity);
+    if (arity == 0) {
+      return AttrSet();
+    }
+    AttrSet s;
+    s.mask_ = (arity == 64) ? ~uint64_t{0} : ((uint64_t{1} << arity) - 1);
+    return s;
+  }
+
+  /// Constructs from a raw mask (bit i-1 ⇔ attribute i).
+  static AttrSet FromMask(uint64_t mask) {
+    AttrSet s;
+    s.mask_ = mask;
+    return s;
+  }
+
+  uint64_t mask() const { return mask_; }
+
+  bool empty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcountll(mask_); }
+
+  /// Membership of 1-based attribute `a`.
+  bool Contains(int a) const {
+    PREFREP_DCHECK(a >= 1 && a <= kMaxArity);
+    return (mask_ >> (a - 1)) & 1;
+  }
+
+  void Add(int a) {
+    PREFREP_CHECK(a >= 1 && a <= kMaxArity);
+    mask_ |= uint64_t{1} << (a - 1);
+  }
+
+  void Remove(int a) {
+    PREFREP_CHECK(a >= 1 && a <= kMaxArity);
+    mask_ &= ~(uint64_t{1} << (a - 1));
+  }
+
+  bool IsSubsetOf(const AttrSet& other) const {
+    return (mask_ & ~other.mask_) == 0;
+  }
+
+  /// Proper subset.
+  bool IsStrictSubsetOf(const AttrSet& other) const {
+    return IsSubsetOf(other) && mask_ != other.mask_;
+  }
+
+  bool Intersects(const AttrSet& other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  friend AttrSet operator|(AttrSet a, AttrSet b) {
+    return FromMask(a.mask_ | b.mask_);
+  }
+  friend AttrSet operator&(AttrSet a, AttrSet b) {
+    return FromMask(a.mask_ & b.mask_);
+  }
+  /// Set difference.
+  friend AttrSet operator-(AttrSet a, AttrSet b) {
+    return FromMask(a.mask_ & ~b.mask_);
+  }
+
+  AttrSet& operator|=(AttrSet b) {
+    mask_ |= b.mask_;
+    return *this;
+  }
+  AttrSet& operator&=(AttrSet b) {
+    mask_ &= b.mask_;
+    return *this;
+  }
+  AttrSet& operator-=(AttrSet b) {
+    mask_ &= ~b.mask_;
+    return *this;
+  }
+
+  bool operator==(const AttrSet& other) const { return mask_ == other.mask_; }
+  bool operator!=(const AttrSet& other) const { return mask_ != other.mask_; }
+  /// Arbitrary stable order (by mask); lets AttrSet key ordered containers.
+  bool operator<(const AttrSet& other) const { return mask_ < other.mask_; }
+
+  /// 1-based attribute positions in increasing order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    uint64_t m = mask_;
+    while (m) {
+      out.push_back(__builtin_ctzll(m) + 1);
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  /// Calls fn(a) for each 1-based attribute in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t m = mask_;
+    while (m) {
+      fn(__builtin_ctzll(m) + 1);
+      m &= m - 1;
+    }
+  }
+
+  /// Renders as "{1, 3}" ("∅" for the empty set is spelled "{}").
+  std::string ToString() const;
+
+ private:
+  uint64_t mask_;
+};
+
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const {
+    return static_cast<size_t>(s.mask() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_FD_ATTR_SET_H_

@@ -1,0 +1,129 @@
+#include "fd/determiners.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+bool IsNontrivialDeterminer(const FDSet& fds, AttrSet a) {
+  return a.IsStrictSubsetOf(fds.Closure(a));
+}
+
+bool IsNonRedundantDeterminer(const FDSet& fds, AttrSet a) {
+  if (!IsNontrivialDeterminer(fds, a)) {
+    return false;
+  }
+  AttrSet gained = fds.Closure(a) - a;
+  // Enumerate proper subsets of a.  |a| is bounded by the arity of the
+  // (fixed, small) schema, so 2^|a| enumeration is acceptable here.
+  std::vector<int> attrs = a.ToVector();
+  size_t n = attrs.size();
+  PREFREP_CHECK_MSG(n <= 24, "determiner enumeration limited to 24 attrs");
+  for (uint64_t bits = 0; bits + 1 < (uint64_t{1} << n); ++bits) {
+    AttrSet subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((bits >> i) & 1) {
+        subset.Add(attrs[i]);
+      }
+    }
+    if (gained.IsSubsetOf(fds.Closure(subset))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsMinimalDeterminer(const FDSet& fds, AttrSet a) {
+  if (!IsNontrivialDeterminer(fds, a)) {
+    return false;
+  }
+  // Every nontrivial determiner contains a syntactic LHS that is itself
+  // nontrivial (the first FD whose application grows the closure of `a`
+  // has its LHS inside `a`), so it suffices to look at the LHSs of ∆.
+  for (const AttrSet& lhs : fds.LeftHandSides()) {
+    if (lhs.IsStrictSubsetOf(a) && IsNontrivialDeterminer(fds, lhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AttrSet> MinimalDeterminers(const FDSet& fds) {
+  // Every minimal determiner is a syntactic LHS: if A is nontrivial, then
+  // the first closure-growing FD application from A has LHS X ⊆ A with X
+  // nontrivial; minimality forces X = A.
+  std::vector<AttrSet> out;
+  for (const AttrSet& lhs : fds.LeftHandSides()) {
+    if (IsMinimalDeterminer(fds, lhs) &&
+        std::find(out.begin(), out.end(), lhs) == out.end()) {
+      out.push_back(lhs);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<AttrSet> MinimalNonKeyDeterminer(const FDSet& fds) {
+  for (const AttrSet& a : MinimalDeterminers(fds)) {
+    if (!fds.IsKey(a)) {
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Non-redundant determiners are subsets of the union of the syntactic
+// LHSs: an attribute outside every LHS never fires an FD, so dropping it
+// leaves the gained closure intact and witnesses redundancy.
+std::vector<AttrSet> AllNonRedundantDeterminers(const FDSet& fds) {
+  AttrSet universe;
+  for (const AttrSet& lhs : fds.LeftHandSides()) {
+    universe |= lhs;
+  }
+  std::vector<int> attrs = universe.ToVector();
+  size_t n = attrs.size();
+  PREFREP_CHECK_MSG(n <= 20, "determiner enumeration limited to 20 attrs");
+  std::vector<AttrSet> out;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+    AttrSet candidate;
+    for (size_t i = 0; i < n; ++i) {
+      if ((bits >> i) & 1) {
+        candidate.Add(attrs[i]);
+      }
+    }
+    if (IsNonRedundantDeterminer(fds, candidate)) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<AttrSet> MinimalNonRedundantDeterminerExcluding(
+    const FDSet& fds, AttrSet exclude) {
+  std::vector<AttrSet> candidates = AllNonRedundantDeterminers(fds);
+  std::optional<AttrSet> best;
+  for (const AttrSet& b : candidates) {
+    if (b == exclude) {
+      continue;
+    }
+    bool minimal = true;
+    for (const AttrSet& other : candidates) {
+      if (other != exclude && other.IsStrictSubsetOf(b)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) {
+      continue;
+    }
+    if (!best.has_value() || b < *best) {
+      best = b;  // deterministic tie-break for reproducibility
+    }
+  }
+  return best;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,55 @@
+// Copyright (c) prefrep contributors.
+// Determiners (§5.2 of the paper).  For a single-relation schema with FD
+// set ∆ over ⟦R⟧:
+//
+//  * A is a *nontrivial determiner*  iff A ⊊ ⟦R.A⟧ (its closure strictly
+//    grows);
+//  * A is a *non-redundant determiner* iff there is no B ⊊ A with
+//    (⟦R.A⟧ \ A) ⊆ ⟦R.B⟧ (what A adds is not already determined by a
+//    proper subset);
+//  * A is a *minimal determiner* iff A is nontrivial and no proper subset
+//    of A is a nontrivial determiner.
+//
+// These notions drive the case branching of the hardness proof (Cases 2–7)
+// and are exposed for the case-analysis module and its tests.
+
+#ifndef PREFREP_FD_DETERMINERS_H_
+#define PREFREP_FD_DETERMINERS_H_
+
+#include <optional>
+#include <vector>
+
+#include "fd/fd_set.h"
+
+namespace prefrep {
+
+/// True iff A ⊊ ⟦R.A⟧ under `fds`.
+bool IsNontrivialDeterminer(const FDSet& fds, AttrSet a);
+
+/// True iff no B ⊊ A has (⟦R.A⟧ \ A) ⊆ ⟦R.B⟧ and A is nontrivial.
+/// (The paper notes every non-redundant determiner is nontrivial.)
+bool IsNonRedundantDeterminer(const FDSet& fds, AttrSet a);
+
+/// True iff A is nontrivial and no proper subset of A is nontrivial.
+bool IsMinimalDeterminer(const FDSet& fds, AttrSet a);
+
+/// All minimal determiners, found among subsets of syntactic LHSs (every
+/// minimal determiner is contained in a syntactic LHS whose closure grows,
+/// so this search is complete).
+std::vector<AttrSet> MinimalDeterminers(const FDSet& fds);
+
+/// Finds a minimal determiner that is not a key, if one exists (used for
+/// Cases 2–7 of the hardness branching, where ∆ is not equivalent to any
+/// set of keys and such an A must exist).
+std::optional<AttrSet> MinimalNonKeyDeterminer(const FDSet& fds);
+
+/// Finds a non-redundant determiner B ≠ `exclude` that is minimal w.r.t.
+/// set containment among such determiners (used as the second determiner
+/// in the hardness branching; exists whenever ∆ is not equivalent to a
+/// single FD).
+std::optional<AttrSet> MinimalNonRedundantDeterminerExcluding(
+    const FDSet& fds, AttrSet exclude);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_FD_DETERMINERS_H_

@@ -1,0 +1,64 @@
+#include "fd/fd.h"
+
+#include "base/string_util.h"
+
+namespace prefrep {
+
+std::string FD::ToString() const {
+  return lhs.ToString() + " -> " + rhs.ToString();
+}
+
+std::string AttrSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int a) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += std::to_string(a);
+  });
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Parses one side of an FD: "1", "{1,2}", "{}", "" (empty set).
+Result<AttrSet> ParseSide(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  if (!s.empty() && s.front() == '{') {
+    if (s.back() != '}') {
+      return Status::ParseError("unbalanced '{' in attribute set: '" +
+                                std::string(text) + "'");
+    }
+    s = s.substr(1, s.size() - 2);
+  }
+  AttrSet result;
+  for (const std::string& piece : StrSplitTrimmed(s, ',')) {
+    std::optional<uint64_t> attr = ParseUint(piece);
+    if (!attr.has_value() || *attr < 1 ||
+        *attr > static_cast<uint64_t>(kMaxArity)) {
+      return Status::ParseError("bad attribute position '" + piece +
+                                "' (must be 1.." + std::to_string(kMaxArity) +
+                                ")");
+    }
+    result.Add(static_cast<int>(*attr));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<FD> FD::Parse(std::string_view text) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("missing '->' in fd: '" + std::string(text) +
+                              "'");
+  }
+  PREFREP_ASSIGN_OR_RETURN(AttrSet lhs, ParseSide(text.substr(0, arrow)));
+  PREFREP_ASSIGN_OR_RETURN(AttrSet rhs, ParseSide(text.substr(arrow + 2)));
+  return FD(lhs, rhs);
+}
+
+}  // namespace prefrep

@@ -1,0 +1,69 @@
+// Copyright (c) prefrep contributors.
+// Functional dependencies over a single relation symbol (§2.2 of the
+// paper).  An FD is "A → B" with A, B ⊆ ⟦R⟧.  FDs here are unqualified by
+// the relation symbol; a Schema associates FD sets with relation symbols.
+
+#ifndef PREFREP_FD_FD_H_
+#define PREFREP_FD_FD_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "fd/attr_set.h"
+
+namespace prefrep {
+
+/// A functional dependency A → B over attribute positions.
+struct FD {
+  AttrSet lhs;  ///< A, the determining attributes (may be empty: "∅ → B").
+  AttrSet rhs;  ///< B, the determined attributes.
+
+  FD() = default;
+  FD(AttrSet a, AttrSet b) : lhs(a), rhs(b) {}
+
+  /// True iff B ⊆ A; trivial FDs are satisfied by every instance.
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  /// True iff the FD is a key constraint for the given arity: B = ⟦R⟧.
+  /// (The paper's definition; note that A → ⟦R⟧ makes A a key.)
+  bool IsKeyConstraint(int arity) const {
+    return rhs == AttrSet::Full(arity);
+  }
+
+  /// True iff A = ∅ (a "constant-attribute constraint", §7.1).
+  bool IsConstantAttribute() const { return lhs.empty(); }
+
+  /// True iff every attribute mentioned is within 1..arity.
+  bool FitsArity(int arity) const {
+    return (lhs | rhs).IsSubsetOf(AttrSet::Full(arity));
+  }
+
+  bool operator==(const FD& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+  bool operator!=(const FD& other) const { return !(*this == other); }
+  bool operator<(const FD& other) const {
+    if (lhs != other.lhs) return lhs < other.lhs;
+    return rhs < other.rhs;
+  }
+
+  /// Renders as "{1, 2} -> {3}".
+  std::string ToString() const;
+
+  /// Parses "A -> B" where each side is a comma-separated list of 1-based
+  /// positions, optionally wrapped in braces; an empty side or "{}" denotes
+  /// the empty set.  Examples: "1 -> 2", "{1,2} -> {3}", "{} -> 1".
+  static Result<FD> Parse(std::string_view text);
+};
+
+struct FDHash {
+  size_t operator()(const FD& fd) const {
+    uint64_t x = fd.lhs.mask() * 0x9e3779b97f4a7c15ULL;
+    x ^= fd.rhs.mask() + 0x165667b19e3779f9ULL + (x << 12) + (x >> 7);
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_FD_FD_H_

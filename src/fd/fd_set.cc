@@ -1,0 +1,285 @@
+#include "fd/fd_set.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+FDSet::FDSet(int arity) : arity_(arity) {
+  PREFREP_CHECK(arity >= 0 && arity <= kMaxArity);
+}
+
+FDSet::FDSet(int arity, std::initializer_list<FD> fds) : FDSet(arity) {
+  for (const FD& fd : fds) {
+    Add(fd);
+  }
+}
+
+void FDSet::Add(const FD& fd) {
+  PREFREP_CHECK_MSG(fd.FitsArity(arity_), "fd mentions attribute > arity");
+  if (std::find(fds_.begin(), fds_.end(), fd) == fds_.end()) {
+    fds_.push_back(fd);
+  }
+}
+
+Status FDSet::AddParsed(std::string_view text) {
+  PREFREP_ASSIGN_OR_RETURN(FD fd, FD::Parse(text));
+  if (!fd.FitsArity(arity_)) {
+    return Status::InvalidArgument("fd '" + std::string(text) +
+                                   "' mentions attribute beyond arity " +
+                                   std::to_string(arity_));
+  }
+  Add(fd);
+  return Status::OK();
+}
+
+AttrSet FDSet::Closure(AttrSet attrs) const {
+  AttrSet closure = attrs;
+  bool changed = true;
+  // Fixpoint iteration.  With ≤ 64 attributes and small FD sets, the naive
+  // loop outperforms the linear-time Beeri–Bernstein bookkeeping.
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds_) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure |= fd.rhs;
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FDSet::Implies(const FD& fd) const {
+  return fd.rhs.IsSubsetOf(Closure(fd.lhs));
+}
+
+bool FDSet::ImpliesAll(const FDSet& other) const {
+  PREFREP_CHECK(arity_ == other.arity_);
+  for (const FD& fd : other.fds_) {
+    if (!Implies(fd)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FDSet::EquivalentTo(const FDSet& other) const {
+  return ImpliesAll(other) && other.ImpliesAll(*this);
+}
+
+bool FDSet::IsKey(AttrSet attrs) const {
+  return Closure(attrs) == AllAttrs();
+}
+
+bool FDSet::IsMinimalKey(AttrSet attrs) const {
+  if (!IsKey(attrs)) {
+    return false;
+  }
+  bool minimal = true;
+  attrs.ForEach([&](int a) {
+    AttrSet smaller = attrs;
+    smaller.Remove(a);
+    if (IsKey(smaller)) {
+      minimal = false;
+    }
+  });
+  return minimal;
+}
+
+namespace {
+
+// Shrinks a key to a minimal key by greedily dropping attributes.
+AttrSet MinimizeKey(const FDSet& fds, AttrSet key) {
+  for (int a : key.ToVector()) {
+    AttrSet smaller = key;
+    smaller.Remove(a);
+    if (fds.IsKey(smaller)) {
+      key = smaller;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<AttrSet> FDSet::MinimalKeys() const {
+  // Lucchesi–Osborn saturation: starting from one minimal key, every other
+  // minimal key is reachable by replacing, for some FD X → Y, the part of
+  // the key inside Y with X and re-minimizing.
+  std::vector<AttrSet> keys;
+  std::vector<AttrSet> queue;
+  AttrSet first = MinimizeKey(*this, AllAttrs());
+  keys.push_back(first);
+  queue.push_back(first);
+  while (!queue.empty()) {
+    AttrSet key = queue.back();
+    queue.pop_back();
+    for (const FD& fd : fds_) {
+      if (!fd.rhs.Intersects(key)) {
+        continue;
+      }
+      AttrSet candidate = fd.lhs | (key - fd.rhs);
+      bool dominated = false;
+      for (const AttrSet& k : keys) {
+        if (k.IsSubsetOf(candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        continue;
+      }
+      AttrSet minimized = MinimizeKey(*this, candidate);
+      if (std::find(keys.begin(), keys.end(), minimized) == keys.end()) {
+        keys.push_back(minimized);
+        queue.push_back(minimized);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<AttrSet> FDSet::LeftHandSides() const {
+  std::vector<AttrSet> out;
+  for (const FD& fd : fds_) {
+    if (std::find(out.begin(), out.end(), fd.lhs) == out.end()) {
+      out.push_back(fd.lhs);
+    }
+  }
+  return out;
+}
+
+FDSet FDSet::SaturatePerLhs() const {
+  FDSet out(arity_);
+  for (const AttrSet& lhs : LeftHandSides()) {
+    AttrSet closure = Closure(lhs);
+    if (closure != lhs) {
+      out.Add(FD(lhs, closure));
+    }
+  }
+  return out;
+}
+
+FDSet FDSet::WithoutTrivial() const {
+  FDSet out(arity_);
+  for (const FD& fd : fds_) {
+    if (!fd.IsTrivial()) {
+      out.Add(fd);
+    }
+  }
+  return out;
+}
+
+FDSet FDSet::MinimalCover() const {
+  // Step 1: singleton right-hand sides, trivial parts dropped.
+  FDSet g(arity_);
+  for (const FD& fd : fds_) {
+    (fd.rhs - fd.lhs).ForEach([&](int b) { g.Add(FD(fd.lhs, AttrSet{b})); });
+  }
+  // Step 2: remove extraneous LHS attributes (w.r.t. the full set g).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < g.fds_.size(); ++i) {
+      FD& fd = g.fds_[i];
+      for (int a : fd.lhs.ToVector()) {
+        AttrSet reduced = fd.lhs;
+        reduced.Remove(a);
+        if (fd.rhs.IsSubsetOf(g.Closure(reduced))) {
+          fd.lhs = reduced;
+          changed = true;
+        }
+      }
+    }
+  }
+  // Dedup after LHS reduction.
+  FDSet dedup(arity_);
+  for (const FD& fd : g.fds_) {
+    if (!fd.IsTrivial()) {
+      dedup.Add(fd);
+    }
+  }
+  // Step 3: drop redundant FDs.
+  FDSet out(arity_);
+  std::vector<bool> keep(dedup.fds_.size(), true);
+  for (size_t i = 0; i < dedup.fds_.size(); ++i) {
+    FDSet rest(arity_);
+    for (size_t j = 0; j < dedup.fds_.size(); ++j) {
+      if (j != i && keep[j]) {
+        rest.Add(dedup.fds_[j]);
+      }
+    }
+    if (rest.Implies(dedup.fds_[i])) {
+      keep[i] = false;
+    }
+  }
+  for (size_t i = 0; i < dedup.fds_.size(); ++i) {
+    if (keep[i]) {
+      out.Add(dedup.fds_[i]);
+    }
+  }
+  return out;
+}
+
+bool FDSet::EquivalentToSomeKeySet() const {
+  // ∆ is equivalent to a set of key constraints iff the LHS of every
+  // nontrivial FD in ∆ is a key under ∆.  ("⇐" is immediate; "⇒" because a
+  // set of keys can only enlarge a closure to the full set ⟦R⟧, so any
+  // strictly-growing FD must start from a key.)
+  for (const FD& fd : fds_) {
+    if (!fd.IsTrivial() && !IsKey(fd.lhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AttrSet> FDSet::AsKeySet() const {
+  if (!EquivalentToSomeKeySet()) {
+    return {};
+  }
+  // Collect the key LHSs of nontrivial FDs and keep only the containment
+  // antichain (if A ⊆ A' then A' → ⟦R⟧ is implied by A → ⟦R⟧).
+  std::vector<AttrSet> lhss;
+  for (const FD& fd : fds_) {
+    if (fd.IsTrivial()) {
+      continue;
+    }
+    if (std::find(lhss.begin(), lhss.end(), fd.lhs) == lhss.end()) {
+      lhss.push_back(fd.lhs);
+    }
+  }
+  std::vector<AttrSet> keys;
+  for (const AttrSet& a : lhss) {
+    bool dominated = false;
+    for (const AttrSet& b : lhss) {
+      if (b != a && b.IsSubsetOf(a)) {
+        dominated = true;
+        break;
+      }
+      if (b == a && &b != &a) {
+        // duplicates were removed above
+      }
+    }
+    if (!dominated && std::find(keys.begin(), keys.end(), a) == keys.end()) {
+      keys.push_back(a);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string FDSet::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fds_[i].ToString();
+  }
+  out += "] over arity " + std::to_string(arity_);
+  return out;
+}
+
+}  // namespace prefrep

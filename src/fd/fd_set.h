@@ -1,0 +1,113 @@
+// Copyright (c) prefrep contributors.
+// Sets of functional dependencies over one relation symbol, with the
+// classical FD-theory toolbox: attribute-set closure, implication testing
+// (Maier–Mendelzon–Sagiv, Theorem 6.3 of the paper), equivalence of FD
+// sets, key discovery and minimal covers.
+
+#ifndef PREFREP_FD_FD_SET_H_
+#define PREFREP_FD_FD_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fd/fd.h"
+
+namespace prefrep {
+
+/// An ordered collection of FDs over a relation of fixed arity.
+///
+/// The collection preserves insertion order and duplicates are dropped.
+/// All reasoning operations (closure, implication, equivalence) are with
+/// respect to the standard logical semantics of FDs.
+class FDSet {
+ public:
+  /// Constructs an empty FD set over a relation of the given arity.
+  explicit FDSet(int arity = 0);
+
+  /// Constructs from a list of FDs; all must fit the arity (checked).
+  FDSet(int arity, std::initializer_list<FD> fds);
+
+  int arity() const { return arity_; }
+  const std::vector<FD>& fds() const { return fds_; }
+  bool empty() const { return fds_.empty(); }
+  size_t size() const { return fds_.size(); }
+
+  /// Adds an FD; it must fit the arity.  Duplicate FDs are ignored.
+  void Add(const FD& fd);
+
+  /// Adds an FD parsed from text (see FD::Parse).
+  Status AddParsed(std::string_view text);
+
+  /// The full attribute set ⟦R⟧.
+  AttrSet AllAttrs() const { return AttrSet::Full(arity_); }
+
+  /// Computes the closure ⟦R.A⟧ = {i : A → i ∈ ∆⁺} of an attribute set
+  /// under this FD set (fixpoint of one-step FD application; the universe
+  /// has ≤ 64 attributes so this is effectively linear).
+  AttrSet Closure(AttrSet attrs) const;
+
+  /// Tests whether this FD set logically implies `fd` (∆ ⊨ A → B, i.e.
+  /// B ⊆ ⟦R.A⟧).  Polynomial time (Theorem 6.3 / [Maier-Mendelzon-Sagiv]).
+  bool Implies(const FD& fd) const;
+
+  /// Tests whether this FD set implies every FD of `other`.
+  bool ImpliesAll(const FDSet& other) const;
+
+  /// Tests logical equivalence: ∆₁⁺ = ∆₂⁺ (§2.2).
+  bool EquivalentTo(const FDSet& other) const;
+
+  /// Tests whether attribute set A is a key: ⟦R.A⟧ = ⟦R⟧.
+  bool IsKey(AttrSet attrs) const;
+
+  /// Tests whether A is a *minimal* key (a key no proper subset of which
+  /// is a key).
+  bool IsMinimalKey(AttrSet attrs) const;
+
+  /// Enumerates all minimal keys (Lucchesi–Osborn style saturation).
+  /// Worst-case exponential in arity, fine for the small schemas of this
+  /// library.
+  std::vector<AttrSet> MinimalKeys() const;
+
+  /// Returns the distinct left-hand sides appearing syntactically in this
+  /// FD set, in first-appearance order.
+  std::vector<AttrSet> LeftHandSides() const;
+
+  /// Returns an equivalent FD set in which every FD is A → ⟦R.A⟧ for a
+  /// distinct left-hand side A of this set, with trivial FDs dropped.
+  /// This is the "saturated per-LHS" normal form used by the dichotomy
+  /// classifiers (§6).
+  FDSet SaturatePerLhs() const;
+
+  /// Computes a minimal cover: an equivalent FD set with singleton
+  /// right-hand sides, no extraneous left-hand-side attributes and no
+  /// redundant FDs (standard Maier construction).
+  FDSet MinimalCover() const;
+
+  /// Removes syntactic duplicates and trivial FDs (keeps semantics).
+  FDSet WithoutTrivial() const;
+
+  /// True iff every FD in the set is a key constraint B = ⟦R⟧ after
+  /// saturation — i.e. the set is equivalent to a set of key constraints.
+  bool EquivalentToSomeKeySet() const;
+
+  /// If the set is equivalent to a set of key constraints, returns the
+  /// minimal such set (the minimal keys among saturated LHSs); otherwise
+  /// returns an empty vector.  See §5.2 Case 1.
+  std::vector<AttrSet> AsKeySet() const;
+
+  bool operator==(const FDSet& other) const {
+    return arity_ == other.arity_ && fds_ == other.fds_;
+  }
+
+  /// Renders as "[{1} -> {2}, {2} -> {1}] over arity 2".
+  std::string ToString() const;
+
+ private:
+  int arity_;
+  std::vector<FD> fds_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_FD_FD_SET_H_

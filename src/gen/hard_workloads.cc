@@ -1,0 +1,77 @@
+#include "gen/hard_workloads.h"
+
+#include "base/string_util.h"
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+
+namespace {
+
+// Per-schema gadget shapes.  u(i) is a constant unique to gadget i,
+// shared by both facts; hi/lo suffixes make the conflicting attribute
+// differ.  The shapes are chosen so that facts of different gadgets
+// never conflict (verified in gen_test.cc):
+//
+//   S1 {12→3,13→2,23→1}: (k_i, m_i, c_i{hi,lo}) — conflict on {1,2}→3;
+//       across gadgets every attribute pair differs.
+//   S2 {1→2,2→1} (ternary): (k_i, m_i{hi,lo}, t_i).
+//   S3 {{1,2}→3, 3→2}: (k_i, m_i, c_i{hi,lo}) with globally unique c.
+//   S4 {1→2, 2→3}: (k_i, m_i{hi,lo}, t_i{hi,lo}) — attr-2 values unique.
+//   S5 {1→3, 2→3}: (k_i, m_i{hi,lo}, c_i{hi,lo}).
+//   S6 {∅→1, 2→3}: (z, m_i, t_i{hi,lo}) — attr 1 constant everywhere so
+//       the ∅→1 constraint never fires; conflicts are per-gadget on 2→3.
+std::vector<std::string> GadgetFact(int index, size_t i, bool hi) {
+  std::string k = StrFormat("k%zu", i);
+  std::string m = StrFormat("m%zu", i);
+  std::string t = StrFormat("t%zu", i);
+  std::string suffix = hi ? "hi" : "lo";
+  switch (index) {
+    case 1:
+      return {k, m, StrFormat("c%zu_%s", i, suffix.c_str())};
+    case 2:
+      return {k, StrFormat("m%zu_%s", i, suffix.c_str()), t};
+    case 3:
+      return {k, m, StrFormat("c%zu_%s", i, suffix.c_str())};
+    case 4:
+      return {k, StrFormat("m%zu_%s", i, suffix.c_str()),
+              StrFormat("t%zu_%s", i, suffix.c_str())};
+    case 5:
+      return {k, StrFormat("m%zu_%s", i, suffix.c_str()),
+              StrFormat("c%zu_%s", i, suffix.c_str())};
+    case 6:
+      return {"z", m, StrFormat("t%zu_%s", i, suffix.c_str())};
+    default:
+      PREFREP_FATAL("hard workload index must be 1..6");
+  }
+}
+
+}  // namespace
+
+PreferredRepairProblem MakeHardChoiceWorkload(int index, size_t groups,
+                                              HardJ j_choice) {
+  PreferredRepairProblem problem(HardSchema(index));
+  Instance& inst = *problem.instance;
+  const std::string relation = inst.schema().relation_name(0);
+  for (size_t i = 0; i < groups; ++i) {
+    inst.MustAddFact(relation, GadgetFact(index, i, /*hi=*/true),
+                     StrFormat("hi:%zu", i));
+    inst.MustAddFact(relation, GadgetFact(index, i, /*hi=*/false),
+                     StrFormat("lo:%zu", i));
+  }
+  problem.InitPriority();
+  for (size_t i = 0; i < groups; ++i) {
+    PREFREP_CHECK(problem.priority
+                      ->AddByLabels(StrFormat("hi:%zu", i),
+                                    StrFormat("lo:%zu", i))
+                      .ok());
+  }
+  problem.j = inst.EmptySubinstance();
+  for (size_t i = 0; i < groups; ++i) {
+    problem.j.set(inst.FindLabel(
+        j_choice == HardJ::kAllPreferred ? StrFormat("hi:%zu", i)
+                                         : StrFormat("lo:%zu", i)));
+  }
+  return problem;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,35 @@
+// Copyright (c) prefrep contributors.
+// Structured adversarial workloads for the six hard schemas of
+// Example 3.4.  Each instance consists of `groups` independent
+// conflicting fact pairs (a "choice gadget" per group), so the repair
+// space has exactly 2^groups elements — the shape that makes the
+// exponential exact checker visibly exponential in the benchmarks while
+// remaining trivially verifiable in tests.
+//
+// Per gadget the two facts are "hi" (preferred) and "lo", with
+// hi ≻ lo.  J can be the all-hi repair (globally optimal: the checker
+// must exhaust the space to accept) or the all-lo repair (every gadget
+// improvable: checkers find a witness quickly).
+
+#ifndef PREFREP_GEN_HARD_WORKLOADS_H_
+#define PREFREP_GEN_HARD_WORKLOADS_H_
+
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// Which candidate J the workload carries.
+enum class HardJ {
+  kAllPreferred,     ///< globally-optimal: exact checking exhausts 2^groups
+  kAllDispreferred,  ///< improvable everywhere: witnesses abound
+};
+
+/// Builds the choice-gadget instance for hard schema S`index` (1..6)
+/// with the given number of independent gadgets.
+/// Facts are labeled "hi:i" / "lo:i".
+PreferredRepairProblem MakeHardChoiceWorkload(int index, size_t groups,
+                                              HardJ j_choice);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GEN_HARD_WORKLOADS_H_

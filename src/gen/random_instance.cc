@@ -1,0 +1,119 @@
+#include "gen/random_instance.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "conflicts/conflicts.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+PreferredRepairProblem GenerateRandomProblem(
+    const Schema& schema, const RandomProblemOptions& opts) {
+  Rng rng(opts.seed);
+  PreferredRepairProblem problem(schema);
+  Instance& inst = *problem.instance;
+
+  // Facts: per-attribute values from a shared domain, uniform or
+  // Zipf-skewed.
+  size_t domain = std::max<size_t>(1, opts.domain_size);
+  std::optional<ZipfTable> zipf;
+  if (opts.value_skew > 0) {
+    zipf.emplace(domain, opts.value_skew);
+  }
+  auto draw = [&]() {
+    return zipf.has_value() ? zipf->Sample(&rng) : rng.NextBounded(domain);
+  };
+  for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
+    int arity = schema.arity(rel);
+    for (size_t k = 0; k < opts.facts_per_relation; ++k) {
+      std::vector<std::string> values;
+      values.reserve(static_cast<size_t>(arity));
+      for (int a = 0; a < arity; ++a) {
+        values.push_back("x" + std::to_string(draw()));
+      }
+      Result<FactId> added = inst.AddFact(rel, values);
+      PREFREP_CHECK(added.ok());
+    }
+  }
+
+  size_t n = inst.num_facts();
+  // Hidden linear order: rank[f] = position of f in a random permutation.
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  rng.Shuffle(&perm);
+  std::vector<size_t> rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[perm[i]] = i;
+  }
+
+  ConflictGraph cg(inst);
+  problem.InitPriority();
+  // Conflict-bounded edges, oriented by rank (higher rank = preferred).
+  for (const auto& [f, g] : cg.edges()) {
+    if (!rng.NextBool(opts.priority_density)) {
+      continue;
+    }
+    FactId higher = rank[f] > rank[g] ? f : g;
+    FactId lower = higher == f ? g : f;
+    problem.priority->MustAdd(higher, lower);
+  }
+  // Cross-conflict edges between random non-conflicting pairs.
+  if (opts.cross_priority_density > 0 && n >= 2) {
+    for (size_t attempt = 0; attempt < n; ++attempt) {
+      FactId f = static_cast<FactId>(rng.NextBounded(n));
+      FactId g = static_cast<FactId>(rng.NextBounded(n));
+      if (f == g || FactsConflict(inst, f, g)) {
+        continue;
+      }
+      if (!rng.NextBool(opts.cross_priority_density)) {
+        continue;
+      }
+      FactId higher = rank[f] > rank[g] ? f : g;
+      FactId lower = higher == f ? g : f;
+      problem.priority->MustAdd(higher, lower);
+    }
+  }
+
+  // Candidate J.
+  std::vector<FactId> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<FactId>(i);
+  }
+  switch (opts.j_policy) {
+    case JPolicy::kRandomRepair:
+    case JPolicy::kRandomConsistentSubset:
+      rng.Shuffle(&order);
+      break;
+    case JPolicy::kLowPriorityRepair:
+      std::sort(order.begin(), order.end(), [&](FactId a, FactId b) {
+        return rank[a] < rank[b];
+      });
+      break;
+    case JPolicy::kHighPriorityRepair:
+      std::sort(order.begin(), order.end(), [&](FactId a, FactId b) {
+        return rank[a] > rank[b];
+      });
+      break;
+  }
+  DynamicBitset j(n);
+  for (FactId f : order) {
+    if (!cg.ConflictsWithSet(f, j)) {
+      j.set(f);
+    }
+  }
+  if (opts.j_policy == JPolicy::kRandomConsistentSubset) {
+    // Drop ~30% of the facts to make J (likely) non-maximal.
+    j.ForEach([&](size_t f) {
+      if (rng.NextBool(0.3)) {
+        j.reset(f);
+      }
+    });
+  }
+  problem.j = std::move(j);
+  return problem;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,58 @@
+// Copyright (c) prefrep contributors.
+// Randomized problem generation for property tests and benchmarks:
+// instances with controllable conflict density, acyclic priorities
+// (sampled from a hidden linear order, hence always acyclic), and
+// several candidate-J policies.
+
+#ifndef PREFREP_GEN_RANDOM_INSTANCE_H_
+#define PREFREP_GEN_RANDOM_INSTANCE_H_
+
+#include "base/random.h"
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// How the candidate subinstance J of a generated problem is chosen.
+enum class JPolicy {
+  /// A repair obtained by greedy insertion in random order.
+  kRandomRepair,
+  /// A repair grown greedily from the *lowest*-priority facts first —
+  /// adversarial: most likely to admit improvements.
+  kLowPriorityRepair,
+  /// A repair grown greedily from the highest-priority facts first —
+  /// most likely to be optimal.
+  kHighPriorityRepair,
+  /// A random consistent, possibly non-maximal subinstance.
+  kRandomConsistentSubset,
+};
+
+/// Knobs for the generator.
+struct RandomProblemOptions {
+  /// Facts generated per relation (duplicates collapse, so the actual
+  /// count can be slightly lower).
+  size_t facts_per_relation = 20;
+  /// Domain size per attribute; smaller domains create more conflicts.
+  size_t domain_size = 4;
+  /// Zipf exponent for drawing attribute values (0 = uniform).  Skewed
+  /// domains concentrate facts on few values, creating hub-shaped
+  /// conflict graphs like real dirty data.
+  double value_skew = 0.0;
+  /// Probability that a conflicting pair receives a priority edge.
+  double priority_density = 0.5;
+  /// Probability that a sampled non-conflicting pair receives a priority
+  /// edge (cross-conflict mode only; 0 keeps the priority conflict-
+  /// bounded).  The generator samples ~num_facts such pairs.
+  double cross_priority_density = 0.0;
+  JPolicy j_policy = JPolicy::kRandomRepair;
+  uint64_t seed = 1;
+};
+
+/// Generates a random prioritizing instance + J over `schema`.
+/// The priority edges are oriented by a hidden random linear order, so
+/// the relation is acyclic by construction.
+PreferredRepairProblem GenerateRandomProblem(const Schema& schema,
+                                             const RandomProblemOptions& opts);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GEN_RANDOM_INSTANCE_H_

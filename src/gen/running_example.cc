@@ -1,0 +1,79 @@
+#include "gen/running_example.h"
+
+#include "conflicts/conflicts.h"
+
+namespace prefrep {
+
+Schema RunningExampleSchema() {
+  Schema schema;
+  RelId book_loc = schema.MustAddRelation("BookLoc", 3);
+  RelId lib_loc = schema.MustAddRelation("LibLoc", 2);
+  schema.MustAddFd(book_loc, FD(AttrSet{1}, AttrSet{2}));  // δ1
+  schema.MustAddFd(lib_loc, FD(AttrSet{1}, AttrSet{2}));   // δ2
+  schema.MustAddFd(lib_loc, FD(AttrSet{2}, AttrSet{1}));   // δ3
+  return schema;
+}
+
+PreferredRepairProblem RunningExampleProblem() {
+  PreferredRepairProblem problem(RunningExampleSchema());
+  Instance& inst = *problem.instance;
+
+  // Figure 1, BookLoc(isbn, genre, lib).
+  inst.MustAddFact("BookLoc", {"b1", "fiction", "lib1"}, "g1f1");
+  inst.MustAddFact("BookLoc", {"b1", "fiction", "lib2"}, "g1f2");
+  inst.MustAddFact("BookLoc", {"b1", "drama", "lib3"}, "f1d3");
+  inst.MustAddFact("BookLoc", {"b2", "poetry", "lib1"}, "f2p1");
+  inst.MustAddFact("BookLoc", {"b3", "horror", "lib2"}, "h3h2");
+
+  // Figure 1, LibLoc(lib, loc).
+  inst.MustAddFact("LibLoc", {"lib1", "almaden"}, "d1a");
+  inst.MustAddFact("LibLoc", {"lib1", "edenvale"}, "d1e");
+  inst.MustAddFact("LibLoc", {"lib2", "almaden"}, "g2a");
+  inst.MustAddFact("LibLoc", {"lib2", "bascom"}, "f2b");
+  inst.MustAddFact("LibLoc", {"lib3", "almaden"}, "f3a");
+  inst.MustAddFact("LibLoc", {"lib3", "cambrian"}, "f3c");
+  inst.MustAddFact("LibLoc", {"lib1", "bascom"}, "e1b");
+  inst.MustAddFact("LibLoc", {"lib3", "bascom"}, "e3b");
+
+  // Example 2.3: gy ≻ fx and ey ≻ dx for all conflicting pairs, where a
+  // fact's grade is the leading letter of its label.
+  problem.InitPriority();
+  for (FactId f = 0; f < inst.num_facts(); ++f) {
+    for (FactId g = 0; g < inst.num_facts(); ++g) {
+      if (f == g || !FactsConflict(inst, f, g)) {
+        continue;
+      }
+      char higher = inst.label(g)[0];
+      char lower = inst.label(f)[0];
+      if ((higher == 'g' && lower == 'f') ||
+          (higher == 'e' && lower == 'd')) {
+        problem.priority->MustAdd(g, f);
+      }
+    }
+  }
+  problem.j = inst.EmptySubinstance();
+  return problem;
+}
+
+DynamicBitset RunningExampleJ(const Instance& instance, int index) {
+  switch (index) {
+    case 1:
+      return instance.SubinstanceByLabels(
+          {"g1f1", "g1f2", "f2p1", "h3h2", "d1e", "f2b", "f3a"});
+    case 2:
+      return instance.SubinstanceByLabels(
+          {"g1f1", "g1f2", "f2p1", "h3h2", "d1e", "g2a", "e3b"});
+    case 3:
+      // See the header note: the repair that is Pareto-optimal but not
+      // globally-optimal (the printed J3 duplicates J1).
+      return instance.SubinstanceByLabels(
+          {"g1f1", "g1f2", "f2p1", "h3h2", "d1a", "f2b", "f3c"});
+    case 4:
+      return instance.SubinstanceByLabels(
+          {"g1f1", "g1f2", "f2p1", "h3h2", "e1b", "g2a", "f3c"});
+    default:
+      PREFREP_FATAL("running-example J index must be 1..4");
+  }
+}
+
+}  // namespace prefrep

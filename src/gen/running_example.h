@@ -1,0 +1,39 @@
+// Copyright (c) prefrep contributors.
+// The paper's running example (Examples 2.1–2.5, Figure 1).
+//
+// Schema: BookLoc(isbn, genre, lib) with δ1 = BookLoc: 1 → 2, and
+// LibLoc(lib, loc) with δ2 = LibLoc: 1 → 2 and δ3 = LibLoc: 2 → 1.
+//
+// The instance of Figure 1 (fact labels encode contents, e.g. g1f1 =
+// BookLoc(b1, fiction, lib1)) and the priority of Example 2.3:
+// gy ≻ fx and ey ≻ dx for all conflicting pairs, where the leading
+// letter of the label is the grade.
+
+#ifndef PREFREP_GEN_RUNNING_EXAMPLE_H_
+#define PREFREP_GEN_RUNNING_EXAMPLE_H_
+
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// Builds the running-example schema (Example 2.2).
+Schema RunningExampleSchema();
+
+/// Builds the running-example prioritizing instance (Figure 1 +
+/// Example 2.3).  The returned problem's `j` is empty; use the J1..J4
+/// helpers or Instance::SubinstanceByLabels.
+PreferredRepairProblem RunningExampleProblem();
+
+/// The subinstances of Example 2.5 (as printed, J1 = {g1f1, g1f2, f2p1,
+/// h3h2, d1e, f2b, f3a}, etc.).  J3 as printed coincides with J1, which
+/// contradicts the example's claim that J3 is Pareto-optimal (g2a is
+/// preferred over both of its J1-conflicts); we therefore expose the
+/// unique repair of this instance that is Pareto-optimal but not
+/// globally-optimal — {g1f1, g1f2, f2p1, h3h2, d1a, f2b, f3c} — as
+/// "J3", preserving the example's intent.  running_example_test verifies
+/// by exhaustive enumeration that this is the only such repair.
+DynamicBitset RunningExampleJ(const Instance& instance, int index);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GEN_RUNNING_EXAMPLE_H_

@@ -1,0 +1,145 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+std::optional<std::vector<size_t>> Digraph::TopologicalOrder() const {
+  size_t n = adjacency_.size();
+  std::vector<uint32_t> indegree(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v : adjacency_[u]) {
+      ++indegree[v];
+    }
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<size_t> queue;
+  for (size_t u = 0; u < n; ++u) {
+    if (indegree[u] == 0) {
+      queue.push_back(u);
+    }
+  }
+  while (!queue.empty()) {
+    size_t u = queue.back();
+    queue.pop_back();
+    order.push_back(u);
+    for (size_t v : adjacency_[u]) {
+      if (--indegree[v] == 0) {
+        queue.push_back(v);
+      }
+    }
+  }
+  if (order.size() != n) {
+    return std::nullopt;
+  }
+  return order;
+}
+
+bool Digraph::IsAcyclic() const { return TopologicalOrder().has_value(); }
+
+std::optional<std::vector<size_t>> Digraph::FindCycle() const {
+  size_t n = adjacency_.size();
+  // Iterative DFS with colors; on a back edge, unwind the explicit stack
+  // to produce the cycle.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(n, kWhite);
+  std::vector<size_t> parent(n, SIZE_MAX);
+  // Stack entries: (node, next-successor-index).
+  std::vector<std::pair<size_t, size_t>> stack;
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) {
+      continue;
+    }
+    color[root] = kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adjacency_[u].size()) {
+        size_t v = adjacency_[u][next++];
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == kGray) {
+          // Cycle: v → ... → u → v; walk parents from u back to v.
+          std::vector<size_t> cycle;
+          size_t w = u;
+          cycle.push_back(v);
+          while (w != v) {
+            cycle.push_back(w);
+            w = parent[w];
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> Digraph::StronglyConnectedComponents(
+    size_t* num_components) const {
+  size_t n = adjacency_.size();
+  std::vector<size_t> comp(n, SIZE_MAX);
+  std::vector<size_t> index(n, SIZE_MAX);
+  std::vector<size_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> scc_stack;
+  size_t next_index = 0;
+  size_t next_comp = 0;
+
+  // Iterative Tarjan.
+  std::vector<std::pair<size_t, size_t>> call_stack;
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != SIZE_MAX) {
+      continue;
+    }
+    call_stack.emplace_back(root, 0);
+    while (!call_stack.empty()) {
+      auto& [u, next] = call_stack.back();
+      if (next == 0) {
+        index[u] = low[u] = next_index++;
+        scc_stack.push_back(u);
+        on_stack[u] = true;
+      }
+      if (next < adjacency_[u].size()) {
+        size_t v = adjacency_[u][next++];
+        if (index[v] == SIZE_MAX) {
+          call_stack.emplace_back(v, 0);
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], index[v]);
+        }
+      } else {
+        if (low[u] == index[u]) {
+          for (;;) {
+            size_t w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == u) {
+              break;
+            }
+          }
+          ++next_comp;
+        }
+        size_t u_done = u;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          size_t parent = call_stack.back().first;
+          low[parent] = std::min(low[parent], low[u_done]);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) {
+    *num_components = next_comp;
+  }
+  return comp;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,67 @@
+// Copyright (c) prefrep contributors.
+// A minimal directed-graph utility: adjacency lists over dense node ids,
+// cycle detection and extraction, topological order, and Tarjan SCC.
+// Used by the improvement-graph constructions of §4.2 and §7.2.1.
+
+#ifndef PREFREP_GRAPH_DIGRAPH_H_
+#define PREFREP_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/macros.h"
+
+namespace prefrep {
+
+/// A directed graph over nodes 0..n-1.
+class Digraph {
+ public:
+  explicit Digraph(size_t num_nodes = 0) : adjacency_(num_nodes) {}
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Appends a new node; returns its id.
+  size_t AddNode() {
+    adjacency_.emplace_back();
+    return adjacency_.size() - 1;
+  }
+
+  /// Adds the edge u → v (parallel edges are kept; they do not affect any
+  /// of the queries below).
+  void AddEdge(size_t u, size_t v) {
+    PREFREP_CHECK(u < adjacency_.size() && v < adjacency_.size());
+    adjacency_[u].push_back(v);
+    ++num_edges_;
+  }
+
+  const std::vector<size_t>& successors(size_t u) const {
+    PREFREP_CHECK(u < adjacency_.size());
+    return adjacency_[u];
+  }
+
+  /// True iff the graph has no directed cycle.
+  bool IsAcyclic() const;
+
+  /// Returns some directed cycle as a node sequence v0 → v1 → ... → v0
+  /// (first node not repeated at the end), or nullopt if acyclic.
+  std::optional<std::vector<size_t>> FindCycle() const;
+
+  /// A topological order, or nullopt if the graph has a cycle.
+  std::optional<std::vector<size_t>> TopologicalOrder() const;
+
+  /// Strongly connected components (Tarjan, iterative); returns for each
+  /// node its component id, components numbered in reverse topological
+  /// order of the condensation.
+  std::vector<size_t> StronglyConnectedComponents(size_t* num_components)
+      const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_DIGRAPH_H_

@@ -1,0 +1,209 @@
+#include "graph/undirected.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+void UndirectedGraph::AddEdge(size_t u, size_t v) {
+  PREFREP_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  if (u == v || HasEdge(u, v)) {
+    return;
+  }
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool UndirectedGraph::HasEdge(size_t u, size_t v) const {
+  PREFREP_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  const std::vector<size_t>& smaller = adjacency_[u].size() <=
+                                               adjacency_[v].size()
+                                           ? adjacency_[u]
+                                           : adjacency_[v];
+  size_t other = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+UndirectedGraph UndirectedGraph::Cycle(size_t n) {
+  UndirectedGraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1);
+  }
+  if (n >= 3) {
+    g.AddEdge(n - 1, 0);
+  } else if (n == 2) {
+    g.AddEdge(0, 1);
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::Complete(size_t n) {
+  UndirectedGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::Path(size_t n) {
+  UndirectedGraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1);
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::HamiltonianWithChords(size_t n,
+                                                       size_t extra_edges,
+                                                       Rng* rng) {
+  PREFREP_CHECK(n >= 3);
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  rng->Shuffle(&perm);
+  UndirectedGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(perm[i], perm[(i + 1) % n]);
+  }
+  for (size_t added = 0; added < extra_edges;) {
+    size_t u = rng->NextBounded(n);
+    size_t v = rng->NextBounded(n);
+    if (u != v && !g.HasEdge(u, v)) {
+      g.AddEdge(u, v);
+      ++added;
+    } else {
+      // Bail out once the graph is complete.
+      if (g.num_edges() == n * (n - 1) / 2) {
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::Random(size_t n, double p, Rng* rng) {
+  UndirectedGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->NextBool(p)) {
+        g.AddEdge(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::NonHamiltonianPendant(size_t n, double p,
+                                                       Rng* rng) {
+  PREFREP_CHECK(n >= 2);
+  UndirectedGraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j + 1 < n; ++j) {
+      if (rng->NextBool(p)) {
+        g.AddEdge(i, j);
+      }
+    }
+  }
+  // Node n-1 has a single neighbor, so no cycle can pass through it.
+  g.AddEdge(n - 1, rng->NextBounded(n - 1));
+  return g;
+}
+
+namespace {
+
+// Held–Karp reachability: dp[mask] = set of end nodes v such that there
+// is a simple path 0 → ... → v visiting exactly the nodes of mask.
+// The graph has a Hamiltonian cycle iff some v adjacent to 0 ends a path
+// over the full mask.
+std::vector<uint32_t> HamiltonianDp(const UndirectedGraph& g) {
+  size_t n = g.num_nodes();
+  PREFREP_CHECK_MSG(n <= 24, "Hamiltonian solver limited to 24 nodes");
+  std::vector<uint32_t> dp(size_t{1} << n, 0);
+  dp[1] = 1;  // path {0} ending at 0
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    if (!(mask & 1) || dp[mask] == 0) {
+      continue;  // all paths start at node 0
+    }
+    uint32_t ends = dp[mask];
+    while (ends) {
+      size_t v = static_cast<size_t>(__builtin_ctz(ends));
+      ends &= ends - 1;
+      for (size_t u : g.neighbors(v)) {
+        if (!(mask & (uint32_t{1} << u))) {
+          dp[mask | (uint32_t{1} << u)] |= uint32_t{1} << u;
+        }
+      }
+    }
+  }
+  return dp;
+}
+
+}  // namespace
+
+bool HasHamiltonianCycle(const UndirectedGraph& g) {
+  size_t n = g.num_nodes();
+  if (n < 3) {
+    return false;  // a cycle needs at least three distinct nodes
+  }
+  std::vector<uint32_t> dp = HamiltonianDp(g);
+  uint32_t full = (n == 32) ? ~uint32_t{0} : ((uint32_t{1} << n) - 1);
+  uint32_t ends = dp[full];
+  while (ends) {
+    size_t v = static_cast<size_t>(__builtin_ctz(ends));
+    ends &= ends - 1;
+    if (v != 0 && g.HasEdge(v, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<size_t>> FindHamiltonianCycle(
+    const UndirectedGraph& g) {
+  size_t n = g.num_nodes();
+  if (n < 3) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> dp = HamiltonianDp(g);
+  uint32_t full = (uint32_t{1} << n) - 1;
+  size_t last = SIZE_MAX;
+  uint32_t ends = dp[full];
+  while (ends) {
+    size_t v = static_cast<size_t>(__builtin_ctz(ends));
+    ends &= ends - 1;
+    if (v != 0 && g.HasEdge(v, 0)) {
+      last = v;
+      break;
+    }
+  }
+  if (last == SIZE_MAX) {
+    return std::nullopt;
+  }
+  // Reconstruct the path backwards.
+  std::vector<size_t> path;
+  uint32_t mask = full;
+  size_t v = last;
+  while (v != 0 || mask != 1) {
+    path.push_back(v);
+    uint32_t prev_mask = mask & ~(uint32_t{1} << v);
+    size_t prev = SIZE_MAX;
+    for (size_t u : g.neighbors(v)) {
+      if ((prev_mask & (uint32_t{1} << u)) &&
+          (dp[prev_mask] & (uint32_t{1} << u))) {
+        prev = u;
+        break;
+      }
+    }
+    PREFREP_CHECK_MSG(prev != SIZE_MAX, "dp reconstruction failed");
+    v = prev;
+    mask = prev_mask;
+  }
+  path.push_back(0);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace prefrep

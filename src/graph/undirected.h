@@ -1,0 +1,83 @@
+// Copyright (c) prefrep contributors.
+// Undirected graphs and a Hamiltonian-cycle solver.  Lemma 5.2 reduces
+// undirected Hamiltonian Cycle to globally-optimal repair checking over
+// the hard schema S1; the solver provides ground truth for validating
+// that reduction end to end.
+
+#ifndef PREFREP_GRAPH_UNDIRECTED_H_
+#define PREFREP_GRAPH_UNDIRECTED_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/macros.h"
+#include "base/random.h"
+
+namespace prefrep {
+
+/// A simple undirected graph over nodes 0..n-1.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(size_t num_nodes) : adjacency_(num_nodes) {}
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v}; duplicates and self-loops are
+  /// ignored.
+  void AddEdge(size_t u, size_t v);
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  const std::vector<size_t>& neighbors(size_t u) const {
+    PREFREP_CHECK(u < adjacency_.size());
+    return adjacency_[u];
+  }
+
+  const std::vector<std::pair<size_t, size_t>>& edges() const {
+    return edges_;
+  }
+
+  /// --- Generators -------------------------------------------------------
+
+  /// The cycle v0 - v1 - ... - v(n-1) - v0 (has a Hamiltonian cycle by
+  /// construction).
+  static UndirectedGraph Cycle(size_t n);
+
+  /// The complete graph K_n.
+  static UndirectedGraph Complete(size_t n);
+
+  /// The path v0 - ... - v(n-1) (no Hamiltonian cycle for n ≥ 3).
+  static UndirectedGraph Path(size_t n);
+
+  /// A Hamiltonian cycle through a random permutation plus `extra_edges`
+  /// random chords: guaranteed Hamiltonian, adversarially noisy.
+  static UndirectedGraph HamiltonianWithChords(size_t n, size_t extra_edges,
+                                               Rng* rng);
+
+  /// An Erdős–Rényi graph with edge probability p.
+  static UndirectedGraph Random(size_t n, double p, Rng* rng);
+
+  /// A graph guaranteed non-Hamiltonian: a random graph on n-1 nodes plus
+  /// a pendant node of degree 1.
+  static UndirectedGraph NonHamiltonianPendant(size_t n, double p, Rng* rng);
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+/// Decides whether the graph has a Hamiltonian cycle.  Held–Karp bitmask
+/// dynamic programming, O(2^n · n^2); intended for the small ground-truth
+/// graphs of tests and benchmarks (n ≤ 24 enforced).
+bool HasHamiltonianCycle(const UndirectedGraph& g);
+
+/// Returns a Hamiltonian cycle as a permutation v0, ..., v(n-1) (with the
+/// closing edge back to v0 implied), or nullopt if none exists.
+std::optional<std::vector<size_t>> FindHamiltonianCycle(
+    const UndirectedGraph& g);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_UNDIRECTED_H_

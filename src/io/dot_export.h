@@ -1,0 +1,42 @@
+// Copyright (c) prefrep contributors.
+// Graphviz DOT export for the library's graph structures: conflict
+// graphs (with J / I\J colouring and priority edges), the two-keys
+// improvement graphs G12_J/G21_J of §4.2 (Figure 3), and the ccp graph
+// G_{J,I\J} of §7.2.1 (Figure 6).  Lets users render the paper's
+// figures from their own instances:
+//
+//   ./build/examples/prefrepctl dot problem.txt | dot -Tsvg > out.svg
+
+#ifndef PREFREP_IO_DOT_EXPORT_H_
+#define PREFREP_IO_DOT_EXPORT_H_
+
+#include <string>
+
+#include "conflicts/conflicts.h"
+#include "priority/priority.h"
+#include "repair/global_two_keys.h"
+
+namespace prefrep {
+
+/// Renders the instance as an undirected conflict graph plus directed
+/// priority edges.  Facts in `j` are drawn filled; conflict edges solid,
+/// priority edges dashed arrows from the preferred fact.
+std::string ConflictGraphToDot(const ConflictGraph& cg,
+                               const PriorityRelation& pr,
+                               const DynamicBitset& j);
+
+/// Renders a two-keys improvement graph (Figure 3 style): left-side
+/// nodes as boxes, right-side as ellipses, forward edges solid,
+/// backward edges dashed.
+std::string ImprovementGraphToDot(const KeyedImprovementGraph& graph,
+                                  const std::string& title);
+
+/// Renders the ccp graph G_{J,I\J} (Figure 6 style): J facts on the
+/// left rank, I\J on the right.
+std::string CcpGraphToDot(const ConflictGraph& cg,
+                          const PriorityRelation& pr,
+                          const DynamicBitset& j);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_IO_DOT_EXPORT_H_

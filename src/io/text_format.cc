@@ -1,0 +1,203 @@
+#include "io/text_format.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace prefrep {
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+// Parses "Name(c1, c2, ...)" into relation name + constants.
+Status ParseFactTerm(std::string_view term, std::string* relation,
+                     std::vector<std::string>* constants) {
+  size_t open = term.find('(');
+  if (open == std::string_view::npos || term.back() != ')') {
+    return Status::ParseError("expected Name(c1, c2, ...), got '" +
+                              std::string(term) + "'");
+  }
+  *relation = std::string(StripAsciiWhitespace(term.substr(0, open)));
+  std::string_view inner = term.substr(open + 1, term.size() - open - 2);
+  *constants = StrSplitTrimmed(inner, ',');
+  if (relation->empty()) {
+    return Status::ParseError("missing relation name in fact term");
+  }
+  if (constants->empty()) {
+    return Status::ParseError("fact needs at least one constant");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PreferredRepairProblem> ParseProblemText(std::string_view text) {
+  // Two passes: schema lines first (relations + fds), then facts,
+  // priorities and J, so declarations may appear in any order.
+  std::vector<std::pair<size_t, std::string>> lines;
+  {
+    size_t line_no = 0;
+    for (const std::string& raw : StrSplit(text, '\n')) {
+      ++line_no;
+      std::string line = raw;
+      size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::string_view stripped = StripAsciiWhitespace(line);
+      if (!stripped.empty()) {
+        lines.emplace_back(line_no, std::string(stripped));
+      }
+    }
+  }
+
+  Schema schema;
+  // Relations first so fd lines may precede their relation declaration.
+  for (const auto& [line_no, line] : lines) {
+    if (StartsWith(line, "relation ")) {
+      std::vector<std::string> parts = StrSplitTrimmed(line, ' ');
+      if (parts.size() != 3) {
+        return LineError(line_no, "expected 'relation <Name> <arity>'");
+      }
+      std::optional<uint64_t> arity = ParseUint(parts[2]);
+      if (!arity.has_value() || *arity < 1 ||
+          *arity > static_cast<uint64_t>(kMaxArity)) {
+        return LineError(line_no, "bad arity '" + parts[2] + "'");
+      }
+      Result<RelId> rel =
+          schema.AddRelation(parts[1], static_cast<int>(*arity));
+      if (!rel.ok()) {
+        return LineError(line_no, rel.status().message());
+      }
+    }
+  }
+  for (const auto& [line_no, line] : lines) {
+    if (StartsWith(line, "fd ")) {
+      Status s = schema.AddFdParsed(line.substr(3));
+      if (!s.ok()) {
+        return LineError(line_no, s.message());
+      }
+    }
+  }
+
+  PreferredRepairProblem problem(std::move(schema));
+  Instance& inst = *problem.instance;
+  // Second pass: facts.
+  for (const auto& [line_no, line] : lines) {
+    if (!StartsWith(line, "fact ")) {
+      continue;
+    }
+    std::string_view rest = StripAsciiWhitespace(
+        std::string_view(line).substr(5));
+    size_t space = rest.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return LineError(line_no, "expected 'fact <label> <Name>(...)'");
+    }
+    std::string label(rest.substr(0, space));
+    std::string relation;
+    std::vector<std::string> constants;
+    Status s = ParseFactTerm(StripAsciiWhitespace(rest.substr(space)),
+                             &relation, &constants);
+    if (!s.ok()) {
+      return LineError(line_no, s.message());
+    }
+    RelId rel = problem.instance->schema().FindRelation(relation);
+    if (rel == kInvalidRelId) {
+      return LineError(line_no, "unknown relation '" + relation + "'");
+    }
+    Result<FactId> added = inst.AddFact(rel, constants, label);
+    if (!added.ok()) {
+      return LineError(line_no, added.status().message());
+    }
+  }
+
+  // Third pass: priorities and J.
+  problem.InitPriority();
+  problem.j = inst.EmptySubinstance();
+  for (const auto& [line_no, line] : lines) {
+    if (StartsWith(line, "prefer ")) {
+      std::vector<std::string> chain =
+          StrSplitTrimmed(line.substr(7), '>');
+      if (chain.size() < 2) {
+        return LineError(line_no, "expected 'prefer a > b [> c ...]'");
+      }
+      for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        Status s = problem.priority->AddByLabels(chain[i], chain[i + 1]);
+        if (!s.ok()) {
+          return LineError(line_no, s.message());
+        }
+      }
+    } else if (StartsWith(line, "j ") || line == "j") {
+      for (const std::string& label :
+           StrSplitTrimmed(std::string_view(line).substr(1), ' ')) {
+        FactId id = inst.FindLabel(label);
+        if (id == kInvalidFactId) {
+          return LineError(line_no, "unknown fact label '" + label + "'");
+        }
+        problem.j.set(id);
+      }
+    } else if (!StartsWith(line, "relation ") && !StartsWith(line, "fd ") &&
+               !StartsWith(line, "fact ")) {
+      return LineError(line_no, "unrecognized directive: '" + line + "'");
+    }
+  }
+  return problem;
+}
+
+Result<PreferredRepairProblem> ParseProblemFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseProblemText(buffer.str());
+}
+
+std::string ProblemToText(const PreferredRepairProblem& problem) {
+  const Instance& inst = *problem.instance;
+  const Schema& schema = inst.schema();
+  std::string out;
+  for (RelId r = 0; r < schema.num_relations(); ++r) {
+    out += "relation " + schema.relation_name(r) + " " +
+           std::to_string(schema.arity(r)) + "\n";
+    for (const FD& fd : schema.fds(r).fds()) {
+      out += "fd " + schema.relation_name(r) + ": " + fd.ToString() + "\n";
+    }
+  }
+  auto label_of = [&inst](FactId f) {
+    return inst.label(f).empty() ? "f" + std::to_string(f) : inst.label(f);
+  };
+  for (FactId f = 0; f < inst.num_facts(); ++f) {
+    const Fact& fact = inst.fact(f);
+    out += "fact " + label_of(f) + " " +
+           schema.relation_name(fact.rel) + "(";
+    for (size_t i = 0; i < fact.values.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += inst.dict().Text(fact.values[i]);
+    }
+    out += ")\n";
+  }
+  if (problem.priority != nullptr) {
+    for (const auto& [higher, lower] : problem.priority->edges()) {
+      out += "prefer " + label_of(higher) + " > " + label_of(lower) + "\n";
+    }
+  }
+  if (problem.j.any()) {
+    out += "j";
+    problem.j.ForEach([&](size_t f) {
+      out += " " + label_of(static_cast<FactId>(f));
+    });
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,45 @@
+// Copyright (c) prefrep contributors.
+// A small declarative text format for preferred-repair problems, used by
+// the examples, the CLI tools and round-trip tests.  Grammar (lines;
+// '#' starts a comment; blank lines ignored):
+//
+//   relation <Name> <arity>
+//   fd <Name>: <A> -> <B>          # e.g.  fd LibLoc: 2 -> 1
+//   fact <label> <Name>(<c1>, <c2>, ...)
+//   prefer <label> > <label> [> <label> ...]   # chain of priorities
+//   j <label> [<label> ...]        # adds facts to the candidate J
+//
+// Example:
+//
+//   relation LibLoc 2
+//   fd LibLoc: 1 -> 2
+//   fd LibLoc: 2 -> 1
+//   fact d1a LibLoc(lib1, almaden)
+//   fact e1b LibLoc(lib1, bascom)
+//   prefer e1b > d1a
+//   j d1a
+
+#ifndef PREFREP_IO_TEXT_FORMAT_H_
+#define PREFREP_IO_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// Parses a whole problem from text.  Errors carry the line number.
+Result<PreferredRepairProblem> ParseProblemText(std::string_view text);
+
+/// Reads a problem from a file.
+Result<PreferredRepairProblem> ParseProblemFile(const std::string& path);
+
+/// Serializes a problem to the same text format (labels are synthesized
+/// as f<id> for unlabeled facts).
+std::string ProblemToText(const PreferredRepairProblem& problem);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_IO_TEXT_FORMAT_H_

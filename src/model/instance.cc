@@ -1,0 +1,125 @@
+#include "model/instance.h"
+
+namespace prefrep {
+
+Result<FactId> Instance::AddFact(RelId rel,
+                                 const std::vector<std::string>& constants,
+                                 std::string_view label) {
+  std::vector<ValueId> values;
+  values.reserve(constants.size());
+  for (const std::string& c : constants) {
+    values.push_back(dict_.Intern(c));
+  }
+  return AddFactValues(rel, std::move(values), label);
+}
+
+Result<FactId> Instance::AddFactValues(RelId rel, std::vector<ValueId> values,
+                                       std::string_view label) {
+  if (rel >= schema_->num_relations()) {
+    return Status::OutOfRange("relation id out of range");
+  }
+  if (static_cast<int>(values.size()) != schema_->arity(rel)) {
+    return Status::InvalidArgument(
+        "fact over '" + schema_->relation_name(rel) + "' has " +
+        std::to_string(values.size()) + " values, arity is " +
+        std::to_string(schema_->arity(rel)));
+  }
+  Fact fact{rel, std::move(values)};
+  auto it = fact_index_.find(fact);
+  FactId id;
+  if (it != fact_index_.end()) {
+    id = it->second;  // set semantics: duplicate facts collapse
+  } else {
+    PREFREP_CHECK_MSG(facts_.size() < kInvalidFactId, "fact id overflow");
+    id = static_cast<FactId>(facts_.size());
+    facts_.push_back(fact);
+    labels_.emplace_back();
+    if (by_relation_.size() < schema_->num_relations()) {
+      by_relation_.resize(schema_->num_relations());
+    }
+    by_relation_[rel].push_back(id);
+    fact_index_.emplace(std::move(fact), id);
+  }
+  if (!label.empty()) {
+    std::string key(label);
+    auto existing = label_index_.find(key);
+    if (existing != label_index_.end() && existing->second != id) {
+      return Status::AlreadyExists("label '" + key +
+                                   "' already names a different fact");
+    }
+    labels_[id] = key;
+    label_index_.emplace(std::move(key), id);
+  }
+  return id;
+}
+
+FactId Instance::MustAddFact(std::string_view relation_name,
+                             const std::vector<std::string>& constants,
+                             std::string_view label) {
+  RelId rel = schema_->FindRelation(relation_name);
+  PREFREP_CHECK_MSG(rel != kInvalidRelId, "unknown relation in MustAddFact");
+  Result<FactId> r = AddFact(rel, constants, label);
+  PREFREP_CHECK_MSG(r.ok(), "MustAddFact failed");
+  return *r;
+}
+
+FactId Instance::FindFact(const Fact& fact) const {
+  auto it = fact_index_.find(fact);
+  return it == fact_index_.end() ? kInvalidFactId : it->second;
+}
+
+FactId Instance::FindLabel(std::string_view label) const {
+  auto it = label_index_.find(std::string(label));
+  return it == label_index_.end() ? kInvalidFactId : it->second;
+}
+
+DynamicBitset Instance::SubinstanceByLabels(
+    const std::vector<std::string>& labels) const {
+  DynamicBitset sub(facts_.size());
+  for (const std::string& label : labels) {
+    FactId id = FindLabel(label);
+    PREFREP_CHECK_MSG(id != kInvalidFactId, "unknown fact label");
+    sub.set(id);
+  }
+  return sub;
+}
+
+std::string Instance::FactToString(FactId id) const {
+  const Fact& f = fact(id);
+  std::string out;
+  if (!labels_[id].empty()) {
+    out += labels_[id];
+    out += "=";
+  }
+  out += schema_->relation_name(f.rel);
+  out += "(";
+  for (size_t i = 0; i < f.values.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += dict_.Text(f.values[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Instance::SubinstanceToString(const DynamicBitset& sub) const {
+  std::string out = "{";
+  bool first = true;
+  sub.ForEach([&](size_t id) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    FactId fid = static_cast<FactId>(id);
+    if (!labels_[fid].empty()) {
+      out += labels_[fid];
+    } else {
+      out += FactToString(fid);
+    }
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,145 @@
+// Copyright (c) prefrep contributors.
+// Database instances (§2.1).  An instance over a signature is a finite set
+// of facts R_i(t); we identify each instance with its set of facts and
+// give every fact a dense FactId so subinstances are bitsets.
+
+#ifndef PREFREP_MODEL_INSTANCE_H_
+#define PREFREP_MODEL_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/dynamic_bitset.h"
+#include "base/hash.h"
+#include "base/status.h"
+#include "model/schema.h"
+#include "model/value.h"
+
+namespace prefrep {
+
+/// Dense id of a fact within an Instance.
+using FactId = uint32_t;
+
+inline constexpr FactId kInvalidFactId = UINT32_MAX;
+
+/// A fact R(t): a relation symbol and a tuple of interned values.
+struct Fact {
+  RelId rel = kInvalidRelId;
+  std::vector<ValueId> values;
+
+  bool operator==(const Fact& other) const {
+    return rel == other.rel && values == other.values;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    size_t seed = HashMix64(f.rel);
+    for (ValueId v : f.values) {
+      HashCombine(&seed, v);
+    }
+    return seed;
+  }
+};
+
+/// A database instance: a set of facts over a schema, with dense ids.
+///
+/// Facts are set-valued (duplicates collapse to the same id) and ids are
+/// stable.  An Instance owns its ValueDict, so facts from different
+/// instances must never be mixed.  Facts can carry optional labels (like
+/// the paper's g1f1, d1a, ...) used by the text format, the examples and
+/// error messages.
+class Instance {
+ public:
+  /// Creates an empty instance over `schema`.  The schema must outlive the
+  /// instance.
+  explicit Instance(const Schema* schema) : schema_(schema) {
+    PREFREP_CHECK(schema != nullptr);
+    by_relation_.resize(schema->num_relations());
+  }
+
+  PREFREP_DISALLOW_COPY(Instance);
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+  ValueDict& dict() { return dict_; }
+  const ValueDict& dict() const { return dict_; }
+
+  size_t num_facts() const { return facts_.size(); }
+
+  const Fact& fact(FactId id) const {
+    PREFREP_CHECK(id < facts_.size());
+    return facts_[id];
+  }
+
+  /// Adds a fact given by relation id and constant texts; returns the
+  /// (possibly pre-existing) fact id.  Arity is checked.
+  Result<FactId> AddFact(RelId rel, const std::vector<std::string>& constants,
+                         std::string_view label = {});
+
+  /// Adds a fact with already-interned values.
+  Result<FactId> AddFactValues(RelId rel, std::vector<ValueId> values,
+                               std::string_view label = {});
+
+  /// Adds by relation name; fatal on error (for tests/examples).
+  FactId MustAddFact(std::string_view relation_name,
+                     const std::vector<std::string>& constants,
+                     std::string_view label = {});
+
+  /// Finds a fact by content; kInvalidFactId if absent.
+  FactId FindFact(const Fact& fact) const;
+
+  /// Finds a fact by label; kInvalidFactId if absent.
+  FactId FindLabel(std::string_view label) const;
+
+  /// The label of a fact (empty if unlabeled).
+  const std::string& label(FactId id) const {
+    PREFREP_CHECK(id < labels_.size());
+    return labels_[id];
+  }
+
+  /// All fact ids of relation `rel`, in insertion order.
+  const std::vector<FactId>& facts_of(RelId rel) const {
+    PREFREP_CHECK(rel < by_relation_.size());
+    return by_relation_[rel];
+  }
+
+  /// An all-ones bitset over the facts (the subinstance I itself).
+  DynamicBitset AllFacts() const {
+    DynamicBitset b(facts_.size());
+    b.set_all();
+    return b;
+  }
+
+  /// An all-zero bitset over the facts.
+  DynamicBitset EmptySubinstance() const {
+    return DynamicBitset(facts_.size());
+  }
+
+  /// Builds a subinstance bitset from fact labels; fatal on unknown label.
+  DynamicBitset SubinstanceByLabels(
+      const std::vector<std::string>& labels) const;
+
+  /// Renders a fact as "Rel(a, b, c)" (with its label prefix if present).
+  std::string FactToString(FactId id) const;
+
+  /// Renders a subinstance as "{f1, f2, ...}" using labels when available.
+  std::string SubinstanceToString(const DynamicBitset& sub) const;
+
+ private:
+  const Schema* schema_;
+  ValueDict dict_;
+  std::vector<Fact> facts_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<FactId>> by_relation_;
+  std::unordered_map<Fact, FactId, FactHash> fact_index_;
+  std::unordered_map<std::string, FactId> label_index_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_MODEL_INSTANCE_H_

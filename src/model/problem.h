@@ -1,0 +1,41 @@
+// Copyright (c) prefrep contributors.
+// A self-contained preferred-repair-checking problem: the schema, the
+// (inconsistent) prioritizing instance (I, ≻), and the candidate
+// subinstance J.  Generators and reductions produce this bundle; owning
+// pointers keep internal references stable across moves.
+
+#ifndef PREFREP_MODEL_PROBLEM_H_
+#define PREFREP_MODEL_PROBLEM_H_
+
+#include <memory>
+
+#include "base/dynamic_bitset.h"
+#include "model/instance.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+/// A repair-checking input ((I, ≻), J) together with its schema.
+struct PreferredRepairProblem {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Instance> instance;
+  std::unique_ptr<PriorityRelation> priority;
+  DynamicBitset j;
+
+  PreferredRepairProblem() = default;
+
+  /// Allocates an empty problem over a copy of `schema_value`.
+  explicit PreferredRepairProblem(Schema schema_value)
+      : schema(std::make_unique<Schema>(std::move(schema_value))) {
+    instance = std::make_unique<Instance>(schema.get());
+  }
+
+  /// Initializes the priority relation once all facts exist.
+  void InitPriority() {
+    priority = std::make_unique<PriorityRelation>(instance.get());
+  }
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_MODEL_PROBLEM_H_

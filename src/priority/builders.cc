@@ -1,0 +1,38 @@
+#include "priority/builders.h"
+
+namespace prefrep {
+
+PriorityRelation BuildScorePriority(const ConflictGraph& cg,
+                                    const FactScore& score,
+                                    PriorityMode mode) {
+  const Instance& inst = cg.instance();
+  PriorityRelation pr(&inst);
+  size_t n = inst.num_facts();
+  if (mode == PriorityMode::kConflictOnly) {
+    for (const auto& [f, g] : cg.edges()) {
+      int64_t sf = score(f);
+      int64_t sg = score(g);
+      if (sf > sg) {
+        pr.MustAdd(f, g);
+      } else if (sg > sf) {
+        pr.MustAdd(g, f);
+      }
+    }
+  } else {
+    for (FactId f = 0; f < n; ++f) {
+      int64_t sf = score(f);
+      for (FactId g = f + 1; g < n; ++g) {
+        int64_t sg = score(g);
+        if (sf > sg) {
+          pr.MustAdd(f, g);
+        } else if (sg > sf) {
+          pr.MustAdd(g, f);
+        }
+      }
+    }
+  }
+  PREFREP_DCHECK(pr.IsAcyclic());
+  return pr;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,54 @@
+// Copyright (c) prefrep contributors.
+// Priority-relation builders for the common preference sources the
+// paper's introduction motivates: source reliability ("one source is
+// regarded to be more reliable than another") and recency ("timestamp
+// information implies that a more recent fact should be preferred").
+//
+// Every builder emits edges only between *conflicting* facts when asked
+// for PriorityMode::kConflictOnly, and between arbitrary fact pairs of
+// distinct score when asked for kCrossConflict.  Scores induce no edge
+// when equal, so the result is acyclic by construction.
+
+#ifndef PREFREP_PRIORITY_BUILDERS_H_
+#define PREFREP_PRIORITY_BUILDERS_H_
+
+#include <functional>
+
+#include "conflicts/conflicts.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+/// A score for each fact; ties produce no preference.
+using FactScore = std::function<int64_t(FactId)>;
+
+/// Builds the priority "higher score ≻ lower score" over the given
+/// instance.  In kConflictOnly mode edges are restricted to conflicting
+/// pairs (O(conflicts)); in kCrossConflict mode every ordered pair of
+/// facts with distinct scores is related (O(n²)) — suitable for small
+/// instances or demos.
+PriorityRelation BuildScorePriority(const ConflictGraph& cg,
+                                    const FactScore& score,
+                                    PriorityMode mode);
+
+/// Source-reliability priority: `source_rank(f)` returns the rank of
+/// the source that contributed fact f (higher = more trusted).
+inline PriorityRelation BuildSourcePriority(const ConflictGraph& cg,
+                                            const FactScore& source_rank,
+                                            PriorityMode mode =
+                                                PriorityMode::kConflictOnly) {
+  return BuildScorePriority(cg, source_rank, mode);
+}
+
+/// Recency priority: `timestamp(f)` returns the arrival time of fact f;
+/// later facts are preferred over conflicting earlier ones.
+inline PriorityRelation BuildRecencyPriority(const ConflictGraph& cg,
+                                             const FactScore& timestamp,
+                                             PriorityMode mode =
+                                                 PriorityMode::kConflictOnly) {
+  return BuildScorePriority(cg, timestamp, mode);
+}
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PRIORITY_BUILDERS_H_

@@ -1,0 +1,103 @@
+#include "priority/priority.h"
+
+#include "conflicts/conflicts.h"
+
+namespace prefrep {
+
+PriorityRelation::PriorityRelation(const Instance* instance)
+    : instance_(instance) {
+  PREFREP_CHECK(instance != nullptr);
+  dominates_.resize(instance->num_facts());
+  dominated_by_.resize(instance->num_facts());
+}
+
+Status PriorityRelation::Add(FactId higher, FactId lower) {
+  if (higher >= instance_->num_facts() || lower >= instance_->num_facts()) {
+    return Status::OutOfRange("priority edge references unknown fact");
+  }
+  if (higher == lower) {
+    return Status::InvalidArgument(
+        "priority self-loop on fact " + instance_->FactToString(higher) +
+        " (a cycle of length 1)");
+  }
+  if (edge_set_.count({higher, lower})) {
+    return Status::OK();  // duplicate edge, no-op
+  }
+  edges_.emplace_back(higher, lower);
+  edge_set_.insert({higher, lower});
+  dominates_[higher].push_back(lower);
+  dominated_by_[lower].push_back(higher);
+  return Status::OK();
+}
+
+Status PriorityRelation::AddByLabels(std::string_view higher,
+                                     std::string_view lower) {
+  FactId h = instance_->FindLabel(higher);
+  if (h == kInvalidFactId) {
+    return Status::NotFound("unknown fact label '" + std::string(higher) +
+                            "'");
+  }
+  FactId l = instance_->FindLabel(lower);
+  if (l == kInvalidFactId) {
+    return Status::NotFound("unknown fact label '" + std::string(lower) +
+                            "'");
+  }
+  return Add(h, l);
+}
+
+void PriorityRelation::MustAdd(FactId higher, FactId lower) {
+  Status s = Add(higher, lower);
+  PREFREP_CHECK_MSG(s.ok(), "PriorityRelation::MustAdd failed");
+}
+
+bool PriorityRelation::IsAcyclic() const {
+  // Kahn's algorithm on the ≻-digraph (edge f → g for f ≻ g).
+  size_t n = instance_->num_facts();
+  std::vector<uint32_t> indegree(n, 0);
+  for (const auto& [higher, lower] : edges_) {
+    (void)higher;
+    ++indegree[lower];
+  }
+  std::vector<FactId> queue;
+  queue.reserve(n);
+  for (FactId f = 0; f < n; ++f) {
+    if (indegree[f] == 0) {
+      queue.push_back(f);
+    }
+  }
+  size_t processed = 0;
+  while (!queue.empty()) {
+    FactId f = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (FactId g : dominates_[f]) {
+      if (--indegree[g] == 0) {
+        queue.push_back(g);
+      }
+    }
+  }
+  return processed == n;
+}
+
+bool PriorityRelation::IsConflictBounded() const {
+  for (const auto& [higher, lower] : edges_) {
+    if (!FactsConflict(*instance_, higher, lower)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status PriorityRelation::Validate(PriorityMode mode) const {
+  if (!IsAcyclic()) {
+    return Status::InvalidArgument("priority relation has a cycle");
+  }
+  if (mode == PriorityMode::kConflictOnly && !IsConflictBounded()) {
+    return Status::InvalidArgument(
+        "priority relation relates non-conflicting facts; use "
+        "PriorityMode::kCrossConflict for ccp-instances (§7)");
+  }
+  return Status::OK();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,102 @@
+// Copyright (c) prefrep contributors.
+// Priority relations (§2.3, §7).  A priority ≻ on an instance I is an
+// acyclic binary relation on the facts of I; "f ≻ g" reads "f has higher
+// priority than g".  In the ordinary setting (§2.3) priorities must relate
+// only conflicting facts; in the cross-conflict setting (ccp, §7) any
+// acyclic relation is allowed.
+
+#ifndef PREFREP_PRIORITY_PRIORITY_H_
+#define PREFREP_PRIORITY_PRIORITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// Which priority relations a checking problem admits.
+enum class PriorityMode {
+  /// §2.3: f ≻ g only for conflicting f, g (ordinary prioritizing
+  /// instance).
+  kConflictOnly,
+  /// §7: any acyclic relation (cross-conflict-prioritizing instance).
+  kCrossConflict,
+};
+
+/// An acyclic binary priority relation over the facts of one instance.
+///
+/// Edges are inserted with Add/Prefer; Validate() checks acyclicity and,
+/// in kConflictOnly mode, that every edge joins conflicting facts.
+/// Algorithms assume a validated relation.
+class PriorityRelation {
+ public:
+  /// Creates an empty priority over the facts of `instance` (which must
+  /// outlive this relation; fact ids must already be final).
+  explicit PriorityRelation(const Instance* instance);
+
+  PREFREP_DISALLOW_COPY(PriorityRelation);
+  PriorityRelation(PriorityRelation&&) = default;
+  PriorityRelation& operator=(PriorityRelation&&) = default;
+
+  const Instance& instance() const { return *instance_; }
+
+  /// Declares `higher ≻ lower`.  Duplicate edges are ignored;
+  /// self-loops are rejected (they are cycles of length 1).
+  Status Add(FactId higher, FactId lower);
+
+  /// Declares a preference by fact labels.
+  Status AddByLabels(std::string_view higher, std::string_view lower);
+
+  /// Fatal-on-error convenience for literal construction.
+  void MustAdd(FactId higher, FactId lower);
+
+  /// True iff f ≻ g was declared.
+  bool Prefers(FactId f, FactId g) const {
+    return edge_set_.count({f, g}) > 0;
+  }
+
+  /// Facts g with f ≻ g.
+  const std::vector<FactId>& Dominates(FactId f) const {
+    PREFREP_CHECK(f < dominates_.size());
+    return dominates_[f];
+  }
+
+  /// Facts g with g ≻ f.
+  const std::vector<FactId>& DominatedBy(FactId f) const {
+    PREFREP_CHECK(f < dominated_by_.size());
+    return dominated_by_[f];
+  }
+
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<std::pair<FactId, FactId>>& edges() const {
+    return edges_;
+  }
+
+  /// True iff the relation has no cycle (required of every priority).
+  bool IsAcyclic() const;
+
+  /// Full validation: acyclicity and, in kConflictOnly mode, that every
+  /// edge joins conflicting facts (which also forces same-relation edges).
+  Status Validate(PriorityMode mode) const;
+
+  /// True iff every edge joins conflicting facts.
+  bool IsConflictBounded() const;
+
+ private:
+  const Instance* instance_;
+  std::vector<std::pair<FactId, FactId>> edges_;
+  std::unordered_set<std::pair<FactId, FactId>, PairHash<FactId, FactId>>
+      edge_set_;
+  std::vector<std::vector<FactId>> dominates_;
+  std::vector<std::vector<FactId>> dominated_by_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PRIORITY_PRIORITY_H_

@@ -1,0 +1,252 @@
+#include "query/conjunctive_query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace prefrep {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits "R(a, b), S(b, c)" into atom strings, respecting parentheses.
+std::vector<std::string> SplitAtoms(std::string_view body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string current;
+  for (char c : body) {
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    }
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!StripAsciiWhitespace(current).empty()) {
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Parse(std::string_view text) {
+  size_t arrow = text.find(":-");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("missing ':-' in query");
+  }
+  std::string_view head_part = StripAsciiWhitespace(text.substr(0, arrow));
+  std::string_view body_part = StripAsciiWhitespace(text.substr(arrow + 2));
+
+  ConjunctiveQuery q;
+  std::map<std::string, size_t> var_index;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_index.find(name);
+    if (it != var_index.end()) {
+      return it->second;
+    }
+    size_t idx = q.variables_.size();
+    q.variables_.push_back(name);
+    var_index.emplace(name, idx);
+    return idx;
+  };
+
+  // Head: "Q(x, y)" or "Q()" or just "Q".
+  std::vector<std::string> head_vars;
+  {
+    size_t open = head_part.find('(');
+    if (open != std::string_view::npos) {
+      if (head_part.back() != ')') {
+        return Status::ParseError("unbalanced head parentheses");
+      }
+      std::string_view inner =
+          head_part.substr(open + 1, head_part.size() - open - 2);
+      head_vars = StrSplitTrimmed(inner, ',');
+    }
+  }
+
+  // Body atoms.
+  for (const std::string& atom_text : SplitAtoms(body_part)) {
+    std::string_view a = StripAsciiWhitespace(atom_text);
+    size_t open = a.find('(');
+    if (open == std::string_view::npos || a.back() != ')') {
+      return Status::ParseError("bad atom '" + std::string(a) + "'");
+    }
+    QueryAtom atom;
+    atom.relation = std::string(StripAsciiWhitespace(a.substr(0, open)));
+    if (atom.relation.empty()) {
+      return Status::ParseError("atom without relation name");
+    }
+    for (const std::string& term_text :
+         StrSplitTrimmed(a.substr(open + 1, a.size() - open - 2), ',')) {
+      QueryTerm term;
+      if (term_text.size() >= 2 && term_text.front() == '"' &&
+          term_text.back() == '"') {
+        term.kind = QueryTerm::Kind::kConstant;
+        term.constant = term_text.substr(1, term_text.size() - 2);
+      } else {
+        for (char c : term_text) {
+          if (!IsIdentChar(c)) {
+            return Status::ParseError("bad term '" + term_text +
+                                      "' (constants must be quoted)");
+          }
+        }
+        term.kind = QueryTerm::Kind::kVariable;
+        term.variable = intern_var(term_text);
+      }
+      atom.terms.push_back(std::move(term));
+    }
+    if (atom.terms.empty()) {
+      return Status::ParseError("atom '" + atom.relation +
+                                "' has no arguments");
+    }
+    q.body_.push_back(std::move(atom));
+  }
+  if (q.body_.empty()) {
+    return Status::ParseError("query has an empty body");
+  }
+
+  // Head variables must be body variables (safety).
+  for (const std::string& v : head_vars) {
+    auto it = var_index.find(v);
+    if (it == var_index.end()) {
+      return Status::ParseError("head variable '" + v +
+                                "' does not occur in the body");
+    }
+    q.head_.push_back(it->second);
+  }
+  return q;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Q(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += variables_[head_[i]];
+  }
+  out += ") :- ";
+  for (size_t a = 0; a < body_.size(); ++a) {
+    if (a > 0) {
+      out += ", ";
+    }
+    out += body_[a].relation + "(";
+    for (size_t t = 0; t < body_[a].terms.size(); ++t) {
+      if (t > 0) {
+        out += ", ";
+      }
+      const QueryTerm& term = body_[a].terms[t];
+      out += term.kind == QueryTerm::Kind::kVariable
+                 ? variables_[term.variable]
+                 : "\"" + term.constant + "\"";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+// Backtracking join state.
+struct Matcher {
+  const Instance& instance;
+  const DynamicBitset& sub;
+  const std::vector<QueryAtom>& body;
+  std::vector<ValueId>& binding;  // per variable, kInvalidValueId = free
+  const std::function<bool()>& on_match;
+
+  // Returns false to abort enumeration entirely.
+  bool MatchFrom(size_t atom_idx) {
+    if (atom_idx == body.size()) {
+      return on_match();
+    }
+    const QueryAtom& atom = body[atom_idx];
+    RelId rel = instance.schema().FindRelation(atom.relation);
+    if (rel == kInvalidRelId) {
+      return true;  // unknown relation: empty, no matches
+    }
+    if (static_cast<size_t>(instance.schema().arity(rel)) !=
+        atom.terms.size()) {
+      return true;  // arity mismatch: no matches
+    }
+    for (FactId f : instance.facts_of(rel)) {
+      if (!sub.test(f)) {
+        continue;
+      }
+      const Fact& fact = instance.fact(f);
+      // Try to unify; remember which variables this atom bound.
+      std::vector<size_t> bound_here;
+      bool ok = true;
+      for (size_t t = 0; t < atom.terms.size() && ok; ++t) {
+        const QueryTerm& term = atom.terms[t];
+        ValueId v = fact.values[t];
+        if (term.kind == QueryTerm::Kind::kConstant) {
+          ValueId want = instance.dict().Find(term.constant);
+          if (want == kInvalidValueId || want != v) {
+            ok = false;
+          }
+        } else if (binding[term.variable] == kInvalidValueId) {
+          binding[term.variable] = v;
+          bound_here.push_back(term.variable);
+        } else if (binding[term.variable] != v) {
+          ok = false;
+        }
+      }
+      if (ok && !MatchFrom(atom_idx + 1)) {
+        return false;
+      }
+      for (size_t var : bound_here) {
+        binding[var] = kInvalidValueId;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<ConjunctiveQuery::AnswerTuple> ConjunctiveQuery::Evaluate(
+    const Instance& instance, const DynamicBitset& sub) const {
+  std::vector<AnswerTuple> answers;
+  std::vector<ValueId> binding(variables_.size(), kInvalidValueId);
+  std::function<bool()> on_match = [&]() {
+    AnswerTuple tuple;
+    tuple.reserve(head_.size());
+    for (size_t var : head_) {
+      PREFREP_DCHECK(binding[var] != kInvalidValueId);
+      tuple.push_back(instance.dict().Text(binding[var]));
+    }
+    answers.push_back(std::move(tuple));
+    return true;
+  };
+  Matcher matcher{instance, sub, body_, binding, on_match};
+  matcher.MatchFrom(0);
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+bool ConjunctiveQuery::EvaluateBoolean(const Instance& instance,
+                                       const DynamicBitset& sub) const {
+  bool found = false;
+  std::vector<ValueId> binding(variables_.size(), kInvalidValueId);
+  std::function<bool()> on_match = [&]() {
+    found = true;
+    return false;  // abort at the first homomorphism
+  };
+  Matcher matcher{instance, sub, body_, binding, on_match};
+  matcher.MatchFrom(0);
+  return found;
+}
+
+}  // namespace prefrep

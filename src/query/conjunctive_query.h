@@ -1,0 +1,79 @@
+// Copyright (c) prefrep contributors.
+// Conjunctive queries over prefrep instances.  The paper's concluding
+// remarks single out *consistent query answering under preferred
+// repairs* as the next problem in the framework; this module provides
+// the query substrate: CQ representation, parsing and evaluation, used
+// by query/consistent_answers.h.
+//
+// A query has the form
+//
+//     Q(x, z) :- R(x, y), S(y, z, "c")
+//
+// with variables (identifiers) and quoted constants in atom arguments;
+// the head lists the output variables (an empty head is a boolean
+// query).
+
+#ifndef PREFREP_QUERY_CONJUNCTIVE_QUERY_H_
+#define PREFREP_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/dynamic_bitset.h"
+#include "base/status.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// One argument of an atom: a variable or a constant.
+struct QueryTerm {
+  enum class Kind { kVariable, kConstant };
+  Kind kind = Kind::kVariable;
+  /// Variable index (into ConjunctiveQuery::variables) or constant text.
+  size_t variable = 0;
+  std::string constant;
+};
+
+/// One atom R(t1, ..., tk).
+struct QueryAtom {
+  std::string relation;
+  std::vector<QueryTerm> terms;
+};
+
+/// A conjunctive query with named variables.
+class ConjunctiveQuery {
+ public:
+  /// Parses "Q(x, y) :- R(x, z), S(z, y)".  Constants are quoted with
+  /// double quotes.  Head variables must occur in the body (safety).
+  static Result<ConjunctiveQuery> Parse(std::string_view text);
+
+  const std::vector<std::string>& variables() const { return variables_; }
+  const std::vector<size_t>& head() const { return head_; }
+  const std::vector<QueryAtom>& body() const { return body_; }
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// Renders back to the parse syntax.
+  std::string ToString() const;
+
+  /// An output tuple: one constant per head variable.
+  using AnswerTuple = std::vector<std::string>;
+
+  /// Evaluates the query on the subinstance `sub` of `instance` by
+  /// backtracking join (atom order as written; small queries only).
+  /// Answers are deduplicated and sorted.
+  std::vector<AnswerTuple> Evaluate(const Instance& instance,
+                                    const DynamicBitset& sub) const;
+
+  /// Boolean-query convenience: true iff some homomorphism exists.
+  bool EvaluateBoolean(const Instance& instance,
+                       const DynamicBitset& sub) const;
+
+ private:
+  std::vector<std::string> variables_;  // variable names by index
+  std::vector<size_t> head_;            // head variable indices
+  std::vector<QueryAtom> body_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_QUERY_CONJUNCTIVE_QUERY_H_

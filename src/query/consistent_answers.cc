@@ -1,0 +1,73 @@
+#include "query/consistent_answers.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+namespace {
+
+std::vector<DynamicBitset> RepairsFor(const ConflictGraph& cg,
+                                      const PriorityRelation& priority,
+                                      AnswerSemantics semantics) {
+  switch (semantics) {
+    case AnswerSemantics::kAllRepairs:
+      return AllRepairs(cg);
+    case AnswerSemantics::kGlobal:
+      return AllOptimalRepairs(cg, priority, RepairSemantics::kGlobal);
+    case AnswerSemantics::kPareto:
+      return AllOptimalRepairs(cg, priority, RepairSemantics::kPareto);
+    case AnswerSemantics::kCompletion:
+      return AllOptimalRepairs(cg, priority, RepairSemantics::kCompletion);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
+    const ConflictGraph& cg, const PriorityRelation& priority,
+    const ConjunctiveQuery& query, AnswerSemantics semantics) {
+  std::vector<DynamicBitset> repairs = RepairsFor(cg, priority, semantics);
+  // Every preferred-repair semantics admits at least one optimal repair
+  // (completion-optimal repairs exist, and they are global- and
+  // Pareto-optimal); an empty instance has the empty repair.
+  PREFREP_CHECK_MSG(!repairs.empty(),
+                    "no repair under the requested semantics");
+  std::vector<ConjunctiveQuery::AnswerTuple> intersection =
+      query.Evaluate(cg.instance(), repairs.front());
+  for (size_t i = 1; i < repairs.size() && !intersection.empty(); ++i) {
+    std::vector<ConjunctiveQuery::AnswerTuple> next =
+        query.Evaluate(cg.instance(), repairs[i]);
+    std::vector<ConjunctiveQuery::AnswerTuple> merged;
+    std::set_intersection(intersection.begin(), intersection.end(),
+                          next.begin(), next.end(),
+                          std::back_inserter(merged));
+    intersection = std::move(merged);
+  }
+  return intersection;
+}
+
+bool CertainlyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                   const ConjunctiveQuery& query,
+                   AnswerSemantics semantics) {
+  for (const DynamicBitset& repair :
+       RepairsFor(cg, priority, semantics)) {
+    if (!query.EvaluateBoolean(cg.instance(), repair)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PossiblyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                  const ConjunctiveQuery& query, AnswerSemantics semantics) {
+  for (const DynamicBitset& repair :
+       RepairsFor(cg, priority, semantics)) {
+    if (query.EvaluateBoolean(cg.instance(), repair)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prefrep

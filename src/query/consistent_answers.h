@@ -1,0 +1,49 @@
+// Copyright (c) prefrep contributors.
+// Consistent query answering under preferred repairs — the paper's
+// stated next step ("the classification of the computational complexity
+// of ... consistent query answering, in the framework of preferred
+// repairs", §1 and §8).
+//
+// The consistent answers of Q on (I, ≻) under a repair semantics σ are
+//     ⋂ { Q(J) : J is a σ-optimal repair of I }
+// (for σ = subset-repairs this is the classical Arenas–Bertossi–Chomicki
+// notion).  This module computes them by enumeration — exact but
+// exponential in general, matching the problem's hardness; it exists to
+// let users experiment with the open problem, not as a claimed
+// polynomial algorithm.
+
+#ifndef PREFREP_QUERY_CONSISTENT_ANSWERS_H_
+#define PREFREP_QUERY_CONSISTENT_ANSWERS_H_
+
+#include "priority/priority.h"
+#include "query/conjunctive_query.h"
+#include "repair/exhaustive.h"
+
+namespace prefrep {
+
+/// Which repairs the intersection ranges over.
+enum class AnswerSemantics {
+  kAllRepairs,   ///< classical consistent answers (no preferences)
+  kGlobal,       ///< globally-optimal repairs only
+  kPareto,       ///< Pareto-optimal repairs only
+  kCompletion,   ///< completion-optimal repairs only
+};
+
+/// Computes the consistent answers of `query` on (I, ≻) under the given
+/// semantics.  Exponential in general (repair enumeration); intended
+/// for small instances and experimentation.
+std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
+    const ConflictGraph& cg, const PriorityRelation& priority,
+    const ConjunctiveQuery& query, AnswerSemantics semantics);
+
+/// Boolean-query variant: true iff Q holds in *every* σ-optimal repair.
+bool CertainlyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                   const ConjunctiveQuery& query, AnswerSemantics semantics);
+
+/// True iff Q holds in *some* σ-optimal repair (possible answers).
+bool PossiblyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                  const ConjunctiveQuery& query, AnswerSemantics semantics);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_QUERY_CONSISTENT_ANSWERS_H_

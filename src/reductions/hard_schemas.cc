@@ -1,0 +1,79 @@
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+
+Schema HardSchemaS1() {
+  return Schema::SingleRelation(
+      "R1", 3,
+      {FD(AttrSet{1, 2}, AttrSet{3}), FD(AttrSet{1, 3}, AttrSet{2}),
+       FD(AttrSet{2, 3}, AttrSet{1})});
+}
+
+Schema HardSchemaS2() {
+  return Schema::SingleRelation(
+      "R2", 3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+}
+
+Schema HardSchemaS3() {
+  return Schema::SingleRelation(
+      "R3", 3, {FD(AttrSet{1, 2}, AttrSet{3}), FD(AttrSet{3}, AttrSet{2})});
+}
+
+Schema HardSchemaS4() {
+  return Schema::SingleRelation(
+      "R4", 3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+}
+
+Schema HardSchemaS5() {
+  return Schema::SingleRelation(
+      "R5", 3, {FD(AttrSet{1}, AttrSet{3}), FD(AttrSet{2}, AttrSet{3})});
+}
+
+Schema HardSchemaS6() {
+  return Schema::SingleRelation(
+      "R6", 3, {FD(AttrSet(), AttrSet{1}), FD(AttrSet{2}, AttrSet{3})});
+}
+
+Schema HardSchema(int index) {
+  switch (index) {
+    case 1:
+      return HardSchemaS1();
+    case 2:
+      return HardSchemaS2();
+    case 3:
+      return HardSchemaS3();
+    case 4:
+      return HardSchemaS4();
+    case 5:
+      return HardSchemaS5();
+    case 6:
+      return HardSchemaS6();
+    default:
+      PREFREP_FATAL("hard schema index must be 1..6");
+  }
+}
+
+Schema CcpHardSchemaSa() {
+  Schema schema;
+  RelId r = schema.MustAddRelation("R", 2);
+  RelId s = schema.MustAddRelation("S", 2);
+  schema.MustAddFd(r, FD(AttrSet{1}, AttrSet{2}));
+  schema.MustAddFd(s, FD(AttrSet(), AttrSet{1}));
+  return schema;
+}
+
+Schema CcpHardSchemaSb() {
+  return Schema::SingleRelation("R", 3, {FD(AttrSet{1}, AttrSet{2})});
+}
+
+Schema CcpHardSchemaSc() {
+  return Schema::SingleRelation(
+      "R", 3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet(), AttrSet{3})});
+}
+
+Schema CcpHardSchemaSd() {
+  return Schema::SingleRelation(
+      "R", 2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+}
+
+}  // namespace prefrep

@@ -1,0 +1,48 @@
+// Copyright (c) prefrep contributors.
+// The concrete hard schemas of the paper.
+//
+// Example 3.4: six single-relation schemas S1..S6, each a ternary
+// relation, for which globally-optimal repair checking is coNP-complete
+// (ordinary priorities); they are the sources of the reductions of §5.
+//
+// §7.3: four schemas Sa..Sd for which globally-optimal repair checking
+// over ccp-instances is coNP-complete; note Sd = {1→2, 2→1} is tractable
+// under ordinary priorities (two keys!) but hard under cross-conflict
+// ones — the two dichotomies genuinely differ.
+
+#ifndef PREFREP_REDUCTIONS_HARD_SCHEMAS_H_
+#define PREFREP_REDUCTIONS_HARD_SCHEMAS_H_
+
+#include "model/schema.h"
+
+namespace prefrep {
+
+/// S1 = ({R1}, {{1,2}→3, {1,3}→2, {2,3}→1}) — three keys.
+Schema HardSchemaS1();
+/// S2 = ({R2}, {1→2, 2→1}) over a ternary relation.
+Schema HardSchemaS2();
+/// S3 = ({R3}, {{1,2}→3, 3→2}).
+Schema HardSchemaS3();
+/// S4 = ({R4}, {1→2, 2→3}).
+Schema HardSchemaS4();
+/// S5 = ({R5}, {1→3, 2→3}).
+Schema HardSchemaS5();
+/// S6 = ({R6}, {∅→1, 2→3}).
+Schema HardSchemaS6();
+
+/// All six Example 3.4 schemas, indexed 1..6 (index 0 unused).
+Schema HardSchema(int index);
+
+/// Sa = ({R/2, S/2}, {R: 1→2, S: ∅→1}) — hard over ccp-instances.
+Schema CcpHardSchemaSa();
+/// Sb = ({R/3}, {1→2}) — hard over ccp-instances.
+Schema CcpHardSchemaSb();
+/// Sc = ({R/3}, {1→2, ∅→3}) — hard over ccp-instances.
+Schema CcpHardSchemaSc();
+/// Sd = ({R/2}, {1→2, 2→1}) — hard over ccp-instances, tractable under
+/// ordinary priorities.
+Schema CcpHardSchemaSd();
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REDUCTIONS_HARD_SCHEMAS_H_

@@ -1,0 +1,123 @@
+#include "reductions/hc_to_s1.h"
+
+#include "base/string_util.h"
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+
+namespace {
+
+// Constant spellings.  i is the position index (mod n), j the node index.
+std::string IdxConst(size_t i) { return std::to_string(i); }
+std::string NodeConst(size_t j) { return "v" + std::to_string(j); }
+std::string PConst(size_t i, size_t j) {
+  return StrFormat("p^%zu_%zu", i, j);
+}
+std::string QConst(size_t i, size_t j) {
+  return StrFormat("q^%zu_%zu", i, j);
+}
+std::string RConst(size_t i, size_t j) {
+  return StrFormat("r^%zu_%zu", i, j);
+}
+
+// Fact labels used by tests and witnesses.
+std::string PvLabel(size_t i, size_t j) { return StrFormat("pv:%zu:%zu", i, j); }
+std::string QrPrevLabel(size_t i, size_t j) {
+  return StrFormat("qr-:%zu:%zu", i, j);
+}
+std::string VrLabel(size_t i, size_t j) { return StrFormat("vr:%zu:%zu", i, j); }
+std::string QrLabel(size_t i, size_t j) { return StrFormat("qr:%zu:%zu", i, j); }
+std::string VvLabel(size_t i, size_t j) { return StrFormat("vv:%zu:%zu", i, j); }
+std::string PrLabel(size_t i, size_t j, size_t k) {
+  return StrFormat("pr:%zu:%zu:%zu", i, j, k);
+}
+
+}  // namespace
+
+PreferredRepairProblem ReduceHamiltonianCycleToS1(const UndirectedGraph& g) {
+  size_t n = g.num_nodes();
+  PREFREP_CHECK_MSG(n >= 2, "the Lemma 5.2 construction needs >= 2 nodes");
+  PreferredRepairProblem problem(HardSchemaS1());
+  Instance& inst = *problem.instance;
+  auto prev = [n](size_t i) { return (i + n - 1) % n; };
+  auto next = [n](size_t i) { return (i + 1) % n; };
+
+  // Facts.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      inst.MustAddFact("R1", {IdxConst(i), PConst(i, j), NodeConst(j)},
+                       PvLabel(i, j));
+      inst.MustAddFact("R1", {IdxConst(prev(i)), QConst(i, j), RConst(i, j)},
+                       QrPrevLabel(i, j));
+      inst.MustAddFact("R1", {IdxConst(i), NodeConst(j), RConst(i, j)},
+                       VrLabel(i, j));
+      inst.MustAddFact("R1", {IdxConst(i), QConst(i, j), RConst(i, j)},
+                       QrLabel(i, j));
+      inst.MustAddFact("R1", {IdxConst(i), NodeConst(j), NodeConst(j)},
+                       VvLabel(i, j));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [u, v] : g.edges()) {
+      // Both orientations of the undirected edge.
+      inst.MustAddFact(
+          "R1", {IdxConst(i), PConst(i, u), RConst(next(i), v)},
+          PrLabel(i, u, v));
+      inst.MustAddFact(
+          "R1", {IdxConst(i), PConst(i, v), RConst(next(i), u)},
+          PrLabel(i, v, u));
+    }
+  }
+
+  // Priorities.
+  problem.InitPriority();
+  PriorityRelation& pr = *problem.priority;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      PREFREP_CHECK(
+          pr.AddByLabels(QrLabel(i, j), QrPrevLabel(i, j)).ok());
+      PREFREP_CHECK(pr.AddByLabels(VvLabel(i, j), VrLabel(i, j)).ok());
+    }
+    for (const auto& [u, v] : g.edges()) {
+      PREFREP_CHECK(pr.AddByLabels(PrLabel(i, u, v), PvLabel(i, u)).ok());
+      PREFREP_CHECK(pr.AddByLabels(PrLabel(i, v, u), PvLabel(i, v)).ok());
+    }
+  }
+
+  // J: the pv / qr- / vr facts.
+  problem.j = DynamicBitset(inst.num_facts());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      problem.j.set(inst.FindLabel(PvLabel(i, j)));
+      problem.j.set(inst.FindLabel(QrPrevLabel(i, j)));
+      problem.j.set(inst.FindLabel(VrLabel(i, j)));
+    }
+  }
+  return problem;
+}
+
+DynamicBitset ImprovementFromHamiltonianCycle(
+    const PreferredRepairProblem& problem, const UndirectedGraph& g,
+    const std::vector<size_t>& cycle) {
+  size_t n = g.num_nodes();
+  PREFREP_CHECK(cycle.size() == n);
+  const Instance& inst = *problem.instance;
+  DynamicBitset out = problem.j;
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = cycle[i];
+    size_t k = cycle[(i + 1) % n];
+    PREFREP_CHECK_MSG(g.HasEdge(j, k), "cycle uses a non-edge");
+    // R1(i, p_j^i, v_j) → R1(i, p_j^i, r_k^{i+1})
+    out.reset(inst.FindLabel(PvLabel(i, j)));
+    out.set(inst.FindLabel(PrLabel(i, j, k)));
+    // R1(i-1, q_j^i, r_j^i) → R1(i, q_j^i, r_j^i)
+    out.reset(inst.FindLabel(QrPrevLabel(i, j)));
+    out.set(inst.FindLabel(QrLabel(i, j)));
+    // R1(i, v_j, r_j^i) → R1(i, v_j, v_j)
+    out.reset(inst.FindLabel(VrLabel(i, j)));
+    out.set(inst.FindLabel(VvLabel(i, j)));
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,51 @@
+// Copyright (c) prefrep contributors.
+// The reduction of Lemma 5.2: undirected Hamiltonian Cycle ≤p the
+// complement of globally-optimal repair checking over S1.
+//
+// Given a graph G = (V, E) with V = {v0, ..., v(n-1)}, the construction
+// produces ((I, ≻), J) over S1 such that J has a global improvement iff
+// G has a Hamiltonian cycle — i.e. J is a globally-optimal repair iff G
+// is NOT Hamiltonian.  Figure 5 of the paper illustrates the instance
+// for the two-node graph with a single edge.
+//
+// Facts of I, for every index i ∈ {0..n-1} (arithmetic mod n) and node
+// vj (p, q, r are fresh constants per (i, j)):
+//
+//   R1(i, p_j^i, v_j)            ∈ J
+//   R1(i-1, q_j^i, r_j^i)        ∈ J
+//   R1(i, v_j, r_j^i)            ∈ J
+//   R1(i, q_j^i, r_j^i)
+//   R1(i, v_j, v_j)
+//   R1(i, p_j^i, r_k^{i+1})      for every edge {v_j, v_k} ∈ E
+//                                (both orientations of the edge)
+//
+// Priorities:
+//
+//   R1(i, p_j^i, r_k^{i+1}) ≻ R1(i, p_j^i, v_j)
+//   R1(i, q_j^i, r_j^i)     ≻ R1(i-1, q_j^i, r_j^i)
+//   R1(i, v_j, v_j)         ≻ R1(i, v_j, r_j^i)
+
+#ifndef PREFREP_REDUCTIONS_HC_TO_S1_H_
+#define PREFREP_REDUCTIONS_HC_TO_S1_H_
+
+#include "graph/undirected.h"
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// Builds the Lemma 5.2 instance for `g` (which must have ≥ 1 node).
+/// The returned problem satisfies: priority is acyclic and conflict-
+/// bounded, J is a repair, and J is globally-optimal iff `g` has no
+/// Hamiltonian cycle.
+PreferredRepairProblem ReduceHamiltonianCycleToS1(const UndirectedGraph& g);
+
+/// Builds the global improvement J′ that the "if" direction of Lemma 5.2
+/// derives from a Hamiltonian cycle `cycle` (a permutation of the nodes).
+/// Useful for verifying the forward direction constructively.
+DynamicBitset ImprovementFromHamiltonianCycle(
+    const PreferredRepairProblem& problem, const UndirectedGraph& g,
+    const std::vector<size_t>& cycle);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REDUCTIONS_HC_TO_S1_H_

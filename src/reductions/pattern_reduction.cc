@@ -1,0 +1,229 @@
+#include "reductions/pattern_reduction.h"
+
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+
+namespace {
+
+// P (as a mask over attributes/coordinates) is closed under the FD set
+// iff its closure adds nothing — the pair-consistency criterion.
+bool IsClosed(const FDSet& fds, AttrSet attrs) {
+  return fds.Closure(attrs) == attrs;
+}
+
+// The agreement image T(P) = {a : D_a ⊆ P} as an attribute mask.
+uint64_t AgreementImage(const std::vector<uint8_t>& d, int p) {
+  uint64_t t = 0;
+  for (size_t a = 0; a < d.size(); ++a) {
+    if ((d[a] & ~p) == 0) {
+      t |= uint64_t{1} << a;
+    }
+  }
+  return t;
+}
+
+// Checks condition (★) and coordinate coverage for a source of arity k.
+bool SatisfiesStar(const FDSet& src, const FDSet& target,
+                   const std::vector<uint8_t>& d) {
+  int k = src.arity();
+  int full = (1 << k) - 1;
+  int cover = 0;
+  for (uint8_t mask : d) {
+    cover |= mask;
+  }
+  if (cover != full) {
+    return false;  // some coordinate unused: Π not injective
+  }
+  for (int p = 0; p < full; ++p) {  // proper subsets of {1..k}
+    bool src_closed = IsClosed(src, AttrSet::FromMask(p));
+    bool dst_closed =
+        IsClosed(target, AttrSet::FromMask(AgreementImage(d, p)));
+    if (src_closed != dst_closed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PatternReduction> PatternReduction::SearchFromSchema(
+    const Schema& source, std::string source_name, const Schema& target) {
+  if (target.num_relations() != 1 || source.num_relations() != 1) {
+    return Status::InvalidArgument(
+        "pattern reductions relate single-relation schemas");
+  }
+  const FDSet& target_fds = target.fds(0);
+  const FDSet& src_fds = source.fds(0);
+  int k = src_fds.arity();
+  if (k > 4) {
+    return Status::InvalidArgument("source arity above 4 is not supported");
+  }
+  int m = target_fds.arity();
+  if (m > 7) {
+    return Status::Unimplemented(
+        "pattern search enumerates (2^k)^arity assignments; target arity "
+        "> 7 is not supported");
+  }
+  size_t choices = size_t{1} << k;  // subsets of source coordinates
+  std::vector<uint8_t> d(static_cast<size_t>(m), 0);
+  uint64_t total = 1;
+  for (int i = 0; i < m; ++i) {
+    total *= choices;
+  }
+  for (uint64_t code = 0; code < total; ++code) {
+    uint64_t c = code;
+    for (int i = 0; i < m; ++i) {
+      d[static_cast<size_t>(i)] = static_cast<uint8_t>(c % choices);
+      c /= choices;
+    }
+    if (SatisfiesStar(src_fds, target_fds, d)) {
+      PatternReduction out;
+      out.source_ = source;
+      out.source_name_ = std::move(source_name);
+      out.target_ = target;
+      out.source_arity_ = k;
+      out.arity_ = m;
+      out.d_ = d;
+      return out;
+    }
+  }
+  return Status::NotFound("no pattern reduction from " + source_name +
+                          " to the target schema (expected for tractable "
+                          "targets)");
+}
+
+Result<PatternReduction> PatternReduction::SearchFrom(int source_index,
+                                                      const Schema& target) {
+  if (source_index < 1 || source_index > 6) {
+    return Status::InvalidArgument("source index must be 1..6");
+  }
+  return SearchFromSchema(HardSchema(source_index),
+                          "S" + std::to_string(source_index), target);
+}
+
+Result<PatternReduction> PatternReduction::Search(const Schema& target) {
+  for (int source = 1; source <= 6; ++source) {
+    Result<PatternReduction> found = SearchFrom(source, target);
+    if (found.ok()) {
+      return found;
+    }
+    if (found.status().code() != StatusCode::kNotFound) {
+      return found.status();  // structural problem; other sources won't help
+    }
+  }
+  return Status::NotFound(
+      "no pattern reduction from any of S1..S6 to the target schema "
+      "(expected for Theorem 3.1-tractable targets)");
+}
+
+Result<PatternReduction> PatternReduction::SearchCcp(const Schema& target) {
+  const std::pair<const char*, Schema> sources[] = {
+      {"Sb", CcpHardSchemaSb()},
+      {"Sc", CcpHardSchemaSc()},
+      {"Sd", CcpHardSchemaSd()},
+  };
+  for (const auto& [name, source] : sources) {
+    Result<PatternReduction> found =
+        SearchFromSchema(source, name, target);
+    if (found.ok()) {
+      return found;
+    }
+    if (found.status().code() != StatusCode::kNotFound) {
+      return found.status();
+    }
+  }
+  return Status::NotFound(
+      "no pattern reduction from Sb/Sc/Sd to the target schema (expected "
+      "for Theorem 7.1-tractable targets)");
+}
+
+Status PatternReduction::Verify() const {
+  return SatisfiesStar(source_.fds(0), target_.fds(0), d_)
+             ? Status::OK()
+             : Status::Internal("pattern condition (★) violated");
+}
+
+std::vector<std::string> PatternReduction::TranslateConstants(
+    const std::vector<std::string>& c) const {
+  PREFREP_CHECK_MSG(static_cast<int>(c.size()) == source_arity_,
+                    "constant count must equal the source arity");
+  std::vector<std::string> out(static_cast<size_t>(arity_));
+  for (size_t a = 0; a < out.size(); ++a) {
+    uint8_t mask = d_[a];
+    if (mask == 0) {
+      out[a] = "•";  // constant attribute: same value in every image
+      continue;
+    }
+    std::string value = "<";
+    for (int k = 0; k < source_arity_; ++k) {
+      if (mask & (1 << k)) {
+        if (value.size() > 1) {
+          value += "|";
+        }
+        value += c[static_cast<size_t>(k)];
+      }
+    }
+    value += ">";
+    out[a] = std::move(value);
+  }
+  return out;
+}
+
+PreferredRepairProblem PatternReduction::Apply(
+    const PreferredRepairProblem& source) const {
+  const Instance& src = *source.instance;
+  PREFREP_CHECK_MSG(src.schema().num_relations() == 1 &&
+                        src.schema().arity(0) == source_arity_,
+                    "source problem shape does not match the reduction's "
+                    "source schema");
+  PreferredRepairProblem out(target_);
+  Instance& dst = *out.instance;
+  std::vector<std::string> c(static_cast<size_t>(source_arity_));
+  for (FactId f = 0; f < src.num_facts(); ++f) {
+    const Fact& fact = src.fact(f);
+    for (int k = 0; k < source_arity_; ++k) {
+      c[static_cast<size_t>(k)] =
+          src.dict().Text(fact.values[static_cast<size_t>(k)]);
+    }
+    Result<FactId> added =
+        dst.AddFact(RelId{0}, TranslateConstants(c), src.label(f));
+    PREFREP_CHECK_MSG(added.ok() && *added == f,
+                      "pattern translation failed to be injective");
+  }
+  out.InitPriority();
+  for (const auto& [higher, lower] : source.priority->edges()) {
+    out.priority->MustAdd(higher, lower);
+  }
+  out.j = source.j;
+  return out;
+}
+
+std::string PatternReduction::ToString() const {
+  std::string out = source_name_ + " → " + target_.relation_name(0) +
+                    " via D = [";
+  for (size_t a = 0; a < d_.size(); ++a) {
+    if (a > 0) {
+      out += ", ";
+    }
+    if (d_[a] == 0) {
+      out += "•";
+      continue;
+    }
+    std::string coords;
+    for (int k = 0; k < source_arity_; ++k) {
+      if (d_[a] & (1 << k)) {
+        if (!coords.empty()) {
+          coords += ",";
+        }
+        coords += "c" + std::to_string(k + 1);
+      }
+    }
+    out += (d_[a] & (d_[a] - 1)) ? "{" + coords + "}" : coords;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace prefrep

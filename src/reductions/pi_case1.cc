@@ -1,0 +1,190 @@
+#include "reductions/pi_case1.h"
+
+#include "conflicts/conflicts.h"
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+
+namespace {
+
+// The fixed constant used for attributes inside all three key sets.
+constexpr const char* kBullet = "•";
+
+std::string EncodePair(const std::string& x, const std::string& y) {
+  return "<" + x + "|" + y + ">";
+}
+
+std::string EncodeTriple(const std::string& x, const std::string& y,
+                         const std::string& z) {
+  return "<" + x + "|" + y + "|" + z + ">";
+}
+
+}  // namespace
+
+Result<PiCase1Reduction> PiCase1Reduction::Create(const Schema& target) {
+  if (target.num_relations() != 1) {
+    return Status::InvalidArgument(
+        "Case 1 reduction targets single-relation schemas");
+  }
+  const FDSet& fds = target.fds(0);
+  if (!fds.EquivalentToSomeKeySet()) {
+    return Status::InvalidArgument(
+        "target ∆ is not equivalent to a set of key constraints");
+  }
+  std::vector<AttrSet> keys = fds.AsKeySet();
+  if (keys.size() < 3) {
+    return Status::InvalidArgument(
+        "target ∆ is equivalent to fewer than three keys (tractable side)");
+  }
+  PiCase1Reduction out;
+  out.target_ = target;
+  out.arity_ = fds.arity();
+  out.keys_ = keys;
+  out.a12_ = keys[0];
+  out.a23_ = keys[1];
+  out.a13_ = keys[2];
+  return out;
+}
+
+std::vector<std::string> PiCase1Reduction::TranslateConstants(
+    const std::array<std::string, 3>& c) const {
+  std::vector<std::string> d(static_cast<size_t>(arity_));
+  for (int i = 1; i <= arity_; ++i) {
+    bool in12 = a12_.Contains(i);
+    bool in23 = a23_.Contains(i);
+    bool in13 = a13_.Contains(i);
+    std::string value;
+    int count = static_cast<int>(in12) + static_cast<int>(in23) +
+                static_cast<int>(in13);
+    switch (count) {
+      case 3:
+        value = kBullet;
+        break;
+      case 2:
+        // The shared coordinate of the two key sets containing i.
+        if (in12 && in23) {
+          value = c[1];  // c2
+        } else if (in12 && in13) {
+          value = c[0];  // c1
+        } else {
+          value = c[2];  // c3
+        }
+        break;
+      case 1:
+        if (in12) {
+          value = EncodePair(c[0], c[1]);
+        } else if (in23) {
+          value = EncodePair(c[1], c[2]);
+        } else {
+          value = EncodePair(c[0], c[2]);
+        }
+        break;
+      default:
+        value = EncodeTriple(c[0], c[1], c[2]);
+        break;
+    }
+    d[static_cast<size_t>(i - 1)] = std::move(value);
+  }
+  return d;
+}
+
+PreferredRepairProblem PiCase1Reduction::Apply(
+    const PreferredRepairProblem& s1_problem) const {
+  const Instance& src = *s1_problem.instance;
+  PREFREP_CHECK_MSG(src.schema().num_relations() == 1 &&
+                        src.schema().arity(0) == 3,
+                    "source problem must be over the ternary S1 relation");
+  PreferredRepairProblem out(target_);
+  Instance& dst = *out.instance;
+
+  // Π(I): translate facts, preserving ids 1:1 (AddFact dedups, and Π is
+  // injective, so ids line up with the source's).
+  for (FactId f = 0; f < src.num_facts(); ++f) {
+    const Fact& fact = src.fact(f);
+    std::array<std::string, 3> c = {src.dict().Text(fact.values[0]),
+                                    src.dict().Text(fact.values[1]),
+                                    src.dict().Text(fact.values[2])};
+    Result<FactId> added =
+        dst.AddFact(RelId{0}, TranslateConstants(c), src.label(f));
+    PREFREP_CHECK_MSG(added.ok() && *added == f,
+                      "Π failed to be injective on the given facts");
+  }
+
+  // Π(≻) and Π(J) are then identity on ids.
+  out.InitPriority();
+  for (const auto& [higher, lower] : s1_problem.priority->edges()) {
+    out.priority->MustAdd(higher, lower);
+  }
+  out.j = s1_problem.j;
+  return out;
+}
+
+Status ValidatePiProperties(const PiCase1Reduction& reduction,
+                            const Instance& s1_instance) {
+  // Lemma 5.3 (injectivity) on the instance's facts, and Lemma 5.4
+  // (consistency preservation) on every fact pair.  FD consistency is a
+  // pairwise property, so pair coverage is complete.
+  const Schema& s1_schema = s1_instance.schema();
+  // Translate every fact once.
+  std::vector<std::vector<std::string>> images;
+  for (FactId f = 0; f < s1_instance.num_facts(); ++f) {
+    const Fact& fact = s1_instance.fact(f);
+    std::array<std::string, 3> c = {
+        s1_instance.dict().Text(fact.values[0]),
+        s1_instance.dict().Text(fact.values[1]),
+        s1_instance.dict().Text(fact.values[2])};
+    images.push_back(reduction.TranslateConstants(c));
+  }
+  for (size_t f = 0; f < images.size(); ++f) {
+    for (size_t g = f + 1; g < images.size(); ++g) {
+      if (images[f] == images[g]) {
+        return Status::Internal("Π not injective: facts " +
+                                std::to_string(f) + " and " +
+                                std::to_string(g) + " collide");
+      }
+    }
+  }
+
+  // Pairwise consistency preservation, evaluated via two throwaway
+  // two-fact instances.
+  const FDSet& s1_fds = s1_schema.fds(0);
+  for (size_t f = 0; f < images.size(); ++f) {
+    for (size_t g = f + 1; g < images.size(); ++g) {
+      // S1-side consistency of {f, g}.
+      Fact ff = s1_instance.fact(static_cast<FactId>(f));
+      Fact gg = s1_instance.fact(static_cast<FactId>(g));
+      bool src_consistent = true;
+      for (const FD& fd : s1_fds.fds()) {
+        if (IsDeltaConflict(ff, gg, fd)) {
+          src_consistent = false;
+          break;
+        }
+      }
+      // Target-side consistency of {Π(f), Π(g)}.
+      // The target ∆ is equivalent to reduction.keys(), so two distinct
+      // facts conflict iff they agree on some key.
+      bool dst_consistent = true;
+      for (const AttrSet& key : reduction.keys()) {
+        bool agree_on_key = true;
+        key.ForEach([&](int a) {
+          if (images[f][static_cast<size_t>(a - 1)] !=
+              images[g][static_cast<size_t>(a - 1)]) {
+            agree_on_key = false;
+          }
+        });
+        if (agree_on_key && images[f] != images[g]) {
+          dst_consistent = false;
+          break;
+        }
+      }
+      if (src_consistent != dst_consistent) {
+        return Status::Internal(
+            "Π does not preserve consistency on facts " + std::to_string(f) +
+            ", " + std::to_string(g));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prefrep

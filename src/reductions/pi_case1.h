@@ -1,0 +1,75 @@
+// Copyright (c) prefrep contributors.
+// The fact-translation function Π of §5.3 (Case 1 of the hardness
+// branching): a reduction from globally-optimal repair checking over S1
+// to globally-optimal repair checking over any single-relation schema
+// whose FDs are equivalent to k ≥ 3 pairwise-incomparable keys.
+//
+// Writing the first three keys as A{1,2}, A{2,3}, A{1,3}, a fact
+// f = R1(c1, c2, c3) maps to Π(f) = R(d1, ..., dk) where, per attribute
+// position i,
+//
+//   d_i = ⟨c_a, c_b⟩  if i lies only in A{a,b};
+//   d_i = c_s         if i lies in exactly two of the sets, s their
+//                     shared coordinate;
+//   d_i = •           (one fixed constant) if i lies in all three;
+//   d_i = ⟨c1,c2,c3⟩  if i lies in none.
+//
+// Lemma 5.3: Π is injective.  Lemma 5.4: Π preserves consistency and
+// inconsistency of fact pairs.  Both are checked empirically by
+// ValidatePiProperties, and the end-to-end equivalence (J optimal over
+// S1 ⟺ Π(J) optimal over the target) is exercised in reductions_test.
+
+#ifndef PREFREP_REDUCTIONS_PI_CASE1_H_
+#define PREFREP_REDUCTIONS_PI_CASE1_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// The Case 1 reduction bound to one target schema.
+class PiCase1Reduction {
+ public:
+  /// Validates that `target` is a single-relation schema equivalent to
+  /// three or more pairwise-incomparable keys, and fixes the first three
+  /// as A{1,2}, A{2,3}, A{1,3}.
+  static Result<PiCase1Reduction> Create(const Schema& target);
+
+  /// The antichain of keys the target is equivalent to.
+  const std::vector<AttrSet>& keys() const { return keys_; }
+  AttrSet a12() const { return a12_; }
+  AttrSet a23() const { return a23_; }
+  AttrSet a13() const { return a13_; }
+
+  /// Translates one S1 fact, given as its three constants, into the
+  /// target fact's constants.
+  std::vector<std::string> TranslateConstants(
+      const std::array<std::string, 3>& c) const;
+
+  /// Translates a whole repair-checking input over S1: I, ≻ and J map
+  /// through Π fact by fact.  Fact labels are preserved.
+  PreferredRepairProblem Apply(const PreferredRepairProblem& s1_problem)
+      const;
+
+ private:
+  PiCase1Reduction() = default;
+
+  Schema target_;
+  int arity_ = 0;
+  std::vector<AttrSet> keys_;
+  AttrSet a12_, a23_, a13_;
+};
+
+/// Empirically verifies Lemmas 5.3 and 5.4 on a concrete S1 instance:
+/// Π is injective on its facts, and every fact pair is S1-consistent iff
+/// its image is target-consistent.  Returns the first violation found.
+Status ValidatePiProperties(const PiCase1Reduction& reduction,
+                            const Instance& s1_instance);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REDUCTIONS_PI_CASE1_H_

@@ -1,0 +1,44 @@
+// Copyright (c) prefrep contributors.
+// Globally-optimal repair checking over ccp-instances when ∆ is a
+// *constant-attribute assignment*: every relation's FDs are equivalent to
+// a single FD ∅ → B (§7.2.2).
+//
+// For such schemas every repair consists of one "consistent partition"
+// per relation — a maximal set of facts of R agreeing on ⟦R.∅⟧ — so the
+// repairs can be enumerated outright: their number is ∏_R (#partitions
+// of R), polynomial for a fixed schema.  J is globally-optimal iff it is
+// a repair and no enumerated repair is a global improvement of it (an
+// argument in the module shows improvements may be assumed maximal).
+
+#ifndef PREFREP_REPAIR_CCP_CONSTANT_ATTR_H_
+#define PREFREP_REPAIR_CCP_CONSTANT_ATTR_H_
+
+#include <functional>
+#include <vector>
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// The consistent partitions of relation `rel`: facts grouped by their
+/// projection onto ⟦R.∅⟧ (the closure of ∅ under ∆|rel).  If ∆|rel is
+/// trivial the single group is all of R^I.  Exposed for tests.
+std::vector<std::vector<FactId>> ConsistentPartitions(
+    const Instance& instance, RelId rel);
+
+/// Enumerates every repair of the instance (one partition per non-empty
+/// relation), invoking `fn(repair)`; stops early if `fn` returns false.
+/// Only valid under a constant-attribute assignment.
+void ForEachConstantAttrRepair(
+    const Instance& instance,
+    const std::function<bool(const DynamicBitset&)>& fn);
+
+/// Decides whether J is a globally-optimal repair of the ccp-instance
+/// (I, ≻) under a constant-attribute assignment ∆.
+CheckResult CheckGlobalOptimalCcpConstantAttr(const ConflictGraph& cg,
+                                              const PriorityRelation& pr,
+                                              const DynamicBitset& j);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_CCP_CONSTANT_ATTR_H_

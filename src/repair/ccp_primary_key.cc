@@ -1,0 +1,67 @@
+#include "repair/ccp_primary_key.h"
+
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+Digraph BuildCcpPrimaryKeyGraph(const ConflictGraph& cg,
+                                const PriorityRelation& pr,
+                                const DynamicBitset& j) {
+  size_t n = cg.num_facts();
+  Digraph graph(n);
+  for (FactId f = 0; f < n; ++f) {
+    if (j.test(f)) {
+      // f ∈ J: conflict edges towards I \ J.
+      for (FactId g : cg.neighbors(f)) {
+        if (!j.test(g)) {
+          graph.AddEdge(f, g);
+        }
+      }
+    } else {
+      // f ∈ I \ J: priority edges towards the J-facts it improves.
+      for (FactId target : pr.Dominates(f)) {
+        if (j.test(target)) {
+          graph.AddEdge(f, target);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+CheckResult CheckGlobalOptimalCcpPrimaryKey(const ConflictGraph& cg,
+                                            const PriorityRelation& pr,
+                                            const DynamicBitset& j) {
+  const Instance& instance = cg.instance();
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};  // not a repair
+  }
+  if (std::optional<FactId> extension = FindExtension(cg, j)) {
+    DynamicBitset improvement = j;
+    improvement.set(*extension);
+    return CheckResult::NotOptimal(
+        std::move(improvement),
+        "J is not maximal: " + instance.FactToString(*extension) +
+            " can be added without conflict");
+  }
+
+  Digraph graph = BuildCcpPrimaryKeyGraph(cg, pr, j);
+  std::optional<std::vector<size_t>> cycle = graph.FindCycle();
+  if (!cycle.has_value()) {
+    return CheckResult::Optimal();
+  }
+  // Lemma 7.3: J' = (J \ {f_i}) ∪ {g_i} over the cycle's J / I\J nodes.
+  DynamicBitset improvement = j;
+  for (size_t node : *cycle) {
+    FactId f = static_cast<FactId>(node);
+    if (j.test(f)) {
+      improvement.reset(f);
+    } else {
+      improvement.set(f);
+    }
+  }
+  return CheckResult::NotOptimal(std::move(improvement),
+                                 "cycle in G_{J, I\\J}");
+}
+
+}  // namespace prefrep

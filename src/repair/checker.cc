@@ -1,0 +1,153 @@
+#include "repair/checker.h"
+
+#include "repair/ccp_constant_attr.h"
+#include "repair/ccp_primary_key.h"
+#include "repair/completion.h"
+#include "repair/exhaustive.h"
+#include "repair/global_one_fd.h"
+#include "repair/global_two_keys.h"
+#include "repair/pareto.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+RepairChecker::RepairChecker(const Instance& instance,
+                             const PriorityRelation& priority,
+                             CheckerOptions options)
+    : instance_(instance),
+      priority_(priority),
+      options_(options),
+      cg_(instance),
+      classification_(ClassifySchema(instance.schema())),
+      ccp_classification_(ClassifyCcpSchema(instance.schema())) {
+  Status valid = priority.Validate(options.mode);
+  PREFREP_CHECK_MSG(valid.ok(),
+                    "priority relation invalid for the checker's mode");
+  PREFREP_CHECK_MSG(&priority.instance() == &instance,
+                    "priority relation is over a different instance");
+}
+
+bool RepairChecker::SchemaIsTractable() const {
+  return options_.mode == PriorityMode::kConflictOnly
+             ? classification_.tractable
+             : ccp_classification_.tractable();
+}
+
+bool RepairChecker::IsRepair(const DynamicBitset& j) const {
+  return prefrep::IsRepair(cg_, j);
+}
+
+Result<CheckOutcome> RepairChecker::CheckGloballyOptimal(
+    const DynamicBitset& j) const {
+  PREFREP_CHECK_MSG(j.size() == instance_.num_facts(),
+                    "subinstance bitset size mismatch");
+  return options_.mode == PriorityMode::kConflictOnly
+             ? CheckConflictOnly(j)
+             : CheckCrossConflict(j);
+}
+
+Result<CheckOutcome> RepairChecker::CheckConflictOnly(
+    const DynamicBitset& j) const {
+  CheckOutcome outcome;
+  outcome.result = CheckResult::Optimal();
+  // An inconsistent J is no repair at all; reject before dispatch.
+  if (!IsConsistent(cg_, j)) {
+    outcome.result = CheckResult{false, std::nullopt};
+    outcome.route.push_back("rejected: J is inconsistent (not a repair)");
+    return outcome;
+  }
+  // Proposition 3.5: route relation by relation.
+  for (RelId rel = 0; rel < instance_.schema().num_relations(); ++rel) {
+    const RelationClassification& rc = classification_.relations[rel];
+    const std::string& name = instance_.schema().relation_name(rel);
+    CheckResult result;
+    switch (rc.kind) {
+      case TractableKind::kSingleFd:
+        result = CheckGlobalOptimalOneFd(cg_, priority_, rel, rc.single_fd, j);
+        outcome.route.push_back(name + ": GRepCheck1FD (" +
+                                rc.single_fd.ToString() + ")");
+        break;
+      case TractableKind::kTwoKeys:
+        result = CheckGlobalOptimalTwoKeys(cg_, priority_, rel, rc.key1,
+                                           rc.key2, j);
+        outcome.route.push_back(name + ": GRepCheck2Keys (" +
+                                rc.key1.ToString() + ", " +
+                                rc.key2.ToString() + ")");
+        break;
+      case TractableKind::kHard: {
+        if (!options_.allow_exponential) {
+          return Status::FailedPrecondition(
+              "relation '" + name +
+              "' is on the coNP-complete side of Theorem 3.1 and the "
+              "exponential fallback is disabled");
+        }
+        outcome.route.push_back(name + ": exhaustive fallback");
+        // Maximality within the relation.
+        DynamicBitset universe(instance_.num_facts());
+        for (FactId f : instance_.facts_of(rel)) {
+          universe.set(f);
+        }
+        result = CheckResult::Optimal();
+        bool found = false;
+        ForEachRepairWithin(
+            cg_, universe, [&](const DynamicBitset& rel_repair) {
+              // Candidate: J outside this relation, rel_repair inside.
+              DynamicBitset candidate = (j - universe) | rel_repair;
+              if (IsGlobalImprovement(cg_, priority_, j, candidate)) {
+                result = CheckResult::NotOptimal(
+                    candidate, "an enumerated repair of relation '" + name +
+                                   "' improves J");
+                found = true;
+                return false;
+              }
+              return true;
+            });
+        (void)found;
+        break;
+      }
+    }
+    if (!result.optimal) {
+      outcome.result = std::move(result);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+Result<CheckOutcome> RepairChecker::CheckCrossConflict(
+    const DynamicBitset& j) const {
+  CheckOutcome outcome;
+  if (ccp_classification_.primary_key_assignment) {
+    outcome.route.push_back("ccp primary-key algorithm (G_{J,I\\J})");
+    outcome.result = CheckGlobalOptimalCcpPrimaryKey(cg_, priority_, j);
+    return outcome;
+  }
+  if (ccp_classification_.constant_attr_assignment) {
+    outcome.route.push_back(
+        "ccp constant-attribute algorithm (partition enumeration)");
+    outcome.result = CheckGlobalOptimalCcpConstantAttr(cg_, priority_, j);
+    return outcome;
+  }
+  if (!options_.allow_exponential) {
+    return Status::FailedPrecondition(
+        "schema is on the coNP-complete side of Theorem 7.1 and the "
+        "exponential fallback is disabled");
+  }
+  outcome.route.push_back("exhaustive fallback (whole instance)");
+  outcome.result = ExhaustiveCheckGlobalOptimal(cg_, priority_, j);
+  return outcome;
+}
+
+CheckResult RepairChecker::CheckParetoOptimal(const DynamicBitset& j) const {
+  return prefrep::CheckParetoOptimal(cg_, priority_, j);
+}
+
+CheckResult RepairChecker::CheckCompletionOptimal(
+    const DynamicBitset& j) const {
+  PREFREP_CHECK_MSG(options_.mode == PriorityMode::kConflictOnly,
+                    "completion semantics are defined for conflict-bounded "
+                    "priorities only");
+  return prefrep::CheckCompletionOptimal(cg_, priority_, j);
+}
+
+}  // namespace prefrep

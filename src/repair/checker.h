@@ -1,0 +1,91 @@
+// Copyright (c) prefrep contributors.
+// The unified preferred-repair checker.  It classifies the schema along
+// the dichotomy of the selected priority mode (Theorem 3.1 for ordinary
+// priorities, Theorem 7.1 for cross-conflict ones) and dispatches each
+// check to the matching polynomial algorithm, falling back to the exact
+// exponential baseline on the coNP-complete side.
+//
+// Ordinary mode additionally exploits Proposition 3.5: both conflicts
+// and (conflict-bounded) priorities are intra-relation, so J is
+// globally-optimal iff each restriction J|R is — the checker therefore
+// routes relation by relation, and a schema that mixes tractable and
+// hard relations only pays the exponential fallback on the hard ones.
+
+#ifndef PREFREP_REPAIR_CHECKER_H_
+#define PREFREP_REPAIR_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// Configuration for the unified checker.
+struct CheckerOptions {
+  /// Which priority relations the problem admits; selects the dichotomy.
+  PriorityMode mode = PriorityMode::kConflictOnly;
+  /// Permit the exponential exact fallback on hard (coNP-complete)
+  /// schemas.  When false, checks on hard schemas fail with
+  /// FailedPrecondition instead of potentially running forever.
+  bool allow_exponential = true;
+};
+
+/// Outcome of a dispatched check: the answer plus the route taken.
+struct CheckOutcome {
+  CheckResult result;
+  /// One entry per algorithm invocation, e.g.
+  /// "BookLoc: GRepCheck1FD ({1} -> {1, 2})".
+  std::vector<std::string> route;
+};
+
+/// A checker bound to one prioritizing instance.  Builds the conflict
+/// graph and the schema classifications once; individual checks are then
+/// as cheap as the dispatched algorithm.
+class RepairChecker {
+ public:
+  /// The priority must be validated for the mode in `options` (checked).
+  RepairChecker(const Instance& instance, const PriorityRelation& priority,
+                CheckerOptions options = {});
+
+  const ConflictGraph& conflict_graph() const { return cg_; }
+  const SchemaClassification& classification() const {
+    return classification_;
+  }
+  const CcpSchemaClassification& ccp_classification() const {
+    return ccp_classification_;
+  }
+
+  /// Whether every dispatched global check runs in polynomial time.
+  bool SchemaIsTractable() const;
+
+  /// Plain repair checking: is J a maximal consistent subinstance?
+  bool IsRepair(const DynamicBitset& j) const;
+
+  /// Globally-optimal repair checking (the paper's central problem).
+  Result<CheckOutcome> CheckGloballyOptimal(const DynamicBitset& j) const;
+
+  /// Pareto-optimal repair checking (PTIME for every schema and mode).
+  CheckResult CheckParetoOptimal(const DynamicBitset& j) const;
+
+  /// Completion-optimal repair checking (PTIME; ordinary mode only).
+  CheckResult CheckCompletionOptimal(const DynamicBitset& j) const;
+
+ private:
+  Result<CheckOutcome> CheckConflictOnly(const DynamicBitset& j) const;
+  Result<CheckOutcome> CheckCrossConflict(const DynamicBitset& j) const;
+
+  const Instance& instance_;
+  const PriorityRelation& priority_;
+  CheckerOptions options_;
+  ConflictGraph cg_;
+  SchemaClassification classification_;
+  CcpSchemaClassification ccp_classification_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_CHECKER_H_

@@ -1,0 +1,92 @@
+#include "repair/completion.h"
+
+#include "base/random.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
+                                   const PriorityRelation& pr,
+                                   const DynamicBitset& j) {
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "completion semantics require conflict-bounded "
+                    "priorities (§2.3)");
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};
+  }
+  size_t n = cg.num_facts();
+  DynamicBitset remaining(n);
+  remaining.set_all();
+  DynamicBitset picked(n);
+
+  // Greedy fixpoint over J-facts.  Picking a pickable fact never blocks
+  // another (deletions only shrink the set of potential dominators), so
+  // the order of picks within a round is immaterial.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FactId f = 0; f < n; ++f) {
+      if (!j.test(f) || !remaining.test(f)) {
+        continue;
+      }
+      bool blocked = false;
+      for (FactId g : pr.DominatedBy(f)) {
+        if (remaining.test(g)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        continue;
+      }
+      picked.set(f);
+      remaining.reset(f);
+      for (FactId u : cg.neighbors(f)) {
+        remaining.reset(u);
+      }
+      changed = true;
+    }
+  }
+  if (picked == j && remaining.none()) {
+    return CheckResult::Optimal();
+  }
+  return CheckResult{false, std::nullopt};
+}
+
+DynamicBitset GreedyCompletionRepair(const ConflictGraph& cg,
+                                     const PriorityRelation& pr,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  size_t n = cg.num_facts();
+  DynamicBitset remaining(n);
+  remaining.set_all();
+  DynamicBitset out(n);
+  size_t left = n;
+  while (left > 0) {
+    // Collect the ≻-maximal remaining facts.
+    std::vector<FactId> candidates;
+    remaining.ForEach([&](size_t f) {
+      for (FactId g : pr.DominatedBy(static_cast<FactId>(f))) {
+        if (remaining.test(g)) {
+          return;
+        }
+      }
+      candidates.push_back(static_cast<FactId>(f));
+    });
+    PREFREP_CHECK_MSG(!candidates.empty(),
+                      "acyclic priority must leave a maximal fact");
+    FactId f = candidates[rng.NextBounded(candidates.size())];
+    out.set(f);
+    remaining.reset(f);
+    --left;
+    for (FactId u : cg.neighbors(f)) {
+      if (remaining.test(u)) {
+        remaining.reset(u);
+        --left;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace prefrep

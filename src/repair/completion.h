@@ -1,0 +1,51 @@
+// Copyright (c) prefrep contributors.
+// Completion-optimal repair checking.  [SCM] define J to be a
+// completion-optimal repair of (I, ≻) if J is the (unique) globally-
+// optimal repair under some *completion* of ≻ — an acyclic extension that
+// is total on every conflicting pair.  Completion-optimal repairs are
+// exactly the possible outputs of the nondeterministic greedy procedure
+//
+//   while facts remain: pick any remaining fact f with no remaining g ≻ f,
+//   add f to the output, delete f's conflicting facts;
+//
+// and [SCM, Cor. 4] show checking is polynomial.  Our checker runs the
+// greedy restricted to J-facts to a fixpoint; confluence (removals never
+// block a pickable fact, and priorities never hold between the mutually
+// consistent facts of J) makes the fixpoint canonical:
+//
+//   J is completion-optimal  ⟺  the fixpoint picks all of J and the
+//   conflict deletions eliminate all of I \ J.
+//
+// The equivalence with the enumerate-all-completions definition is
+// verified by brute force in completion_test.cc.
+//
+// NOTE (§4.1): [SCM, Prop. 10(iii)] claimed completion and global
+// optimality coincide for single-FD schemas; the paper reports this is
+// incorrect.  See completion_test.cc for a concrete single-FD instance
+// with a globally-optimal repair that is not completion-optimal.
+
+#ifndef PREFREP_REPAIR_COMPLETION_H_
+#define PREFREP_REPAIR_COMPLETION_H_
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// Decides whether J is a completion-optimal repair of (I, ≻).
+/// Requires a conflict-bounded priority (§2.3); completion semantics for
+/// cross-conflict priorities are not defined by [SCM] and are rejected
+/// with a PREFREP_CHECK.
+CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
+                                   const PriorityRelation& pr,
+                                   const DynamicBitset& j);
+
+/// Runs one (deterministic, seeded) execution of the greedy procedure,
+/// producing a completion-optimal repair.  Different seeds explore
+/// different completions.
+DynamicBitset GreedyCompletionRepair(const ConflictGraph& cg,
+                                     const PriorityRelation& pr,
+                                     uint64_t seed);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_COMPLETION_H_

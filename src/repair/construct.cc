@@ -1,0 +1,81 @@
+#include "repair/construct.h"
+
+#include <unordered_set>
+
+#include "base/random.h"
+
+namespace prefrep {
+
+DynamicBitset ConstructGloballyOptimalRepair(
+    const ConflictGraph& cg, const PriorityRelation& pr,
+    const ConstructOptions& options) {
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "construction relies on completion semantics, which "
+                    "require conflict-bounded priorities (§2.3)");
+  Rng rng(options.seed);
+  size_t n = cg.num_facts();
+  DynamicBitset remaining(n);
+  remaining.set_all();
+  DynamicBitset out(n);
+  size_t left = n;
+  while (left > 0) {
+    // The ≻-maximal remaining facts (acyclicity guarantees one exists).
+    std::vector<FactId> candidates;
+    remaining.ForEach([&](size_t f) {
+      for (FactId g : pr.DominatedBy(static_cast<FactId>(f))) {
+        if (remaining.test(g)) {
+          return;
+        }
+      }
+      candidates.push_back(static_cast<FactId>(f));
+    });
+    PREFREP_CHECK_MSG(!candidates.empty(),
+                      "acyclic priority must leave a maximal fact");
+    FactId pick = candidates.front();
+    switch (options.tie_break) {
+      case TieBreak::kFirstFact:
+        break;  // candidates are in ascending id order already
+      case TieBreak::kRandom:
+        pick = candidates[rng.NextBounded(candidates.size())];
+        break;
+      case TieBreak::kMostDominating: {
+        size_t best = 0;
+        for (FactId c : candidates) {
+          size_t score = pr.Dominates(c).size();
+          if (score > best) {
+            best = score;
+            pick = c;
+          }
+        }
+        break;
+      }
+    }
+    out.set(pick);
+    remaining.reset(pick);
+    --left;
+    for (FactId u : cg.neighbors(pick)) {
+      if (remaining.test(u)) {
+        remaining.reset(u);
+        --left;
+      }
+    }
+  }
+  return out;
+}
+
+void SampleOptimalRepairs(
+    const ConflictGraph& cg, const PriorityRelation& pr, size_t attempts,
+    const std::function<bool(const DynamicBitset&)>& fn) {
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> seen;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    ConstructOptions options;
+    options.tie_break = TieBreak::kRandom;
+    options.seed = attempt * 0x9e3779b97f4a7c15ULL + 1;
+    DynamicBitset repair = ConstructGloballyOptimalRepair(cg, pr, options);
+    if (seen.insert(repair).second && !fn(repair)) {
+      return;
+    }
+  }
+}
+
+}  // namespace prefrep

@@ -1,0 +1,60 @@
+// Copyright (c) prefrep contributors.
+// Constructing preferred repairs (as opposed to checking them).
+//
+// A corollary the framework gives for free: completion-optimal repairs
+// are globally-optimal and Pareto-optimal ([SCM]; inclusions verified
+// in this library's tests), and the greedy procedure produces a
+// completion-optimal repair in polynomial time for *every* schema.  So
+// although globally-optimal repair *checking* is coNP-complete on the
+// hard side of Theorem 3.1, *finding some* globally-optimal repair is
+// always polynomial — checking is the hard direction, not construction.
+//
+// This module packages that corollary, with tie-breaking policies that
+// choose among the (possibly many) optimal repairs.  Conflict-bounded
+// priorities only (completion semantics, §2.3).
+
+#ifndef PREFREP_REPAIR_CONSTRUCT_H_
+#define PREFREP_REPAIR_CONSTRUCT_H_
+
+#include <functional>
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// How the greedy construction breaks ties among currently ≻-maximal
+/// facts.
+enum class TieBreak {
+  /// Lowest fact id first — deterministic, stable across runs.
+  kFirstFact,
+  /// Seeded pseudo-random choice — explores different optimal repairs.
+  kRandom,
+  /// Facts with the most dominated facts first — greedily maximizes the
+  /// "authority" of kept facts.
+  kMostDominating,
+};
+
+/// Options for ConstructGloballyOptimalRepair.
+struct ConstructOptions {
+  TieBreak tie_break = TieBreak::kFirstFact;
+  uint64_t seed = 1;  ///< used by TieBreak::kRandom
+};
+
+/// Builds a repair of (I, ≻) that is completion-optimal — hence
+/// globally-optimal and Pareto-optimal — in O(n²) time, for any schema.
+/// Requires a validated conflict-bounded priority.
+DynamicBitset ConstructGloballyOptimalRepair(
+    const ConflictGraph& cg, const PriorityRelation& pr,
+    const ConstructOptions& options = {});
+
+/// Enumerates distinct completion-optimal repairs by running the greedy
+/// under `attempts` different random tie-breaks, invoking `fn` for each
+/// distinct result; stops early when `fn` returns false.  A sampling
+/// tool, not an exhaustive enumeration (which is exponential).
+void SampleOptimalRepairs(const ConflictGraph& cg,
+                          const PriorityRelation& pr, size_t attempts,
+                          const std::function<bool(const DynamicBitset&)>& fn);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_CONSTRUCT_H_

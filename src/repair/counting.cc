@@ -1,0 +1,44 @@
+#include "repair/counting.h"
+
+#include "repair/completion.h"
+
+namespace prefrep {
+
+uint64_t CountOptimalRepairs(const ConflictGraph& cg,
+                             const PriorityRelation& pr,
+                             RepairSemantics semantics) {
+  return AllOptimalRepairs(cg, pr, semantics).size();
+}
+
+std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
+    const ConflictGraph& cg, const PriorityRelation& pr) {
+  std::vector<DynamicBitset> optimal =
+      AllOptimalRepairs(cg, pr, RepairSemantics::kGlobal);
+  if (optimal.size() == 1) {
+    return optimal.front();
+  }
+  return std::nullopt;
+}
+
+bool IsPriorityTotalOnConflicts(const ConflictGraph& cg,
+                                const PriorityRelation& pr) {
+  for (const auto& [f, g] : cg.edges()) {
+    if (!pr.Prefers(f, g) && !pr.Prefers(g, f)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<DynamicBitset> UniqueOptimalIfTotalPriority(
+    const ConflictGraph& cg, const PriorityRelation& pr) {
+  if (!IsPriorityTotalOnConflicts(cg, pr)) {
+    return std::nullopt;
+  }
+  // With a total priority the greedy output does not depend on the
+  // tie-break seed, and it is the unique optimal repair under all three
+  // semantics [SCM].
+  return GreedyCompletionRepair(cg, pr, /*seed=*/1);
+}
+
+}  // namespace prefrep

@@ -1,0 +1,48 @@
+// Copyright (c) prefrep contributors.
+// Counting and uniqueness of preferred repairs — the second direction
+// named by the paper's concluding remarks: "to determine the number of
+// globally-optimal repairs, and in particular, to characterize when
+// precisely one such repair exists", the interesting case because a
+// unique repair means the constraints and priorities define an
+// unambiguous cleaning.
+//
+// Counting is by enumeration (exact, exponential in general); a
+// polynomial sufficient condition for uniqueness (total priority) is
+// also provided.
+
+#ifndef PREFREP_REPAIR_COUNTING_H_
+#define PREFREP_REPAIR_COUNTING_H_
+
+#include <optional>
+
+#include "repair/exhaustive.h"
+
+namespace prefrep {
+
+/// Exact count of optimal repairs under the given semantics (by
+/// enumeration; quadratic in the number of repairs for global/Pareto).
+uint64_t CountOptimalRepairs(const ConflictGraph& cg,
+                             const PriorityRelation& pr,
+                             RepairSemantics semantics);
+
+/// If exactly one globally-optimal repair exists, returns it; nullopt
+/// when there are several.  Exponential (enumeration).
+std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
+    const ConflictGraph& cg, const PriorityRelation& pr);
+
+/// True iff ≻ orders every conflicting pair (a "total" priority in the
+/// sense of [SCM] completions).
+bool IsPriorityTotalOnConflicts(const ConflictGraph& cg,
+                                const PriorityRelation& pr);
+
+/// Polynomial *sufficient* condition for uniqueness: when the priority
+/// is total on conflicts, completion/global/Pareto optimality coincide
+/// and the single optimal repair is the greedy one — returned here.
+/// nullopt when the condition does not apply (the optimal repair may
+/// still happen to be unique; use UniqueGloballyOptimalRepair to know).
+std::optional<DynamicBitset> UniqueOptimalIfTotalPriority(
+    const ConflictGraph& cg, const PriorityRelation& pr);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_COUNTING_H_

@@ -1,0 +1,208 @@
+#include "repair/exhaustive.h"
+
+#include "repair/completion.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+namespace {
+
+// Bron–Kerbosch with pivoting over the *complement* of the conflict
+// graph: maximal cliques there are exactly the repairs.
+class RepairEnumerator {
+ public:
+  RepairEnumerator(const ConflictGraph& cg,
+                   const std::function<bool(const DynamicBitset&)>& fn,
+                   bool use_pivot = true)
+      : fn_(fn), n_(cg.num_facts()), use_pivot_(use_pivot) {
+    // Complement adjacency (minus self-loops): compatible(v) = facts that
+    // do not conflict with v.
+    compatible_.reserve(n_);
+    for (FactId v = 0; v < n_; ++v) {
+      DynamicBitset row(n_);
+      row.set_all();
+      row.reset(v);
+      for (FactId u : cg.neighbors(v)) {
+        row.reset(u);
+      }
+      compatible_.push_back(std::move(row));
+    }
+  }
+
+  bool Run(const DynamicBitset& universe) {
+    DynamicBitset r(n_), x(n_);
+    return Recurse(r, universe, x);
+  }
+
+ private:
+  // Returns false to abort the whole enumeration.
+  bool Recurse(DynamicBitset& r, DynamicBitset p, DynamicBitset x) {
+    if (p.none() && x.none()) {
+      return fn_(r);
+    }
+    // Pivot: the vertex of P ∪ X with the most compatible facts in P
+    // minimizes the branching P \ compatible(pivot).
+    size_t pivot = SIZE_MAX;
+    size_t best = 0;
+    bool have_pivot = false;
+    if (use_pivot_) {
+      (p | x).ForEach([&](size_t u) {
+        size_t score = (p & compatible_[u]).count();
+        if (!have_pivot || score > best) {
+          have_pivot = true;
+          best = score;
+          pivot = u;
+        }
+      });
+    }
+    DynamicBitset candidates = p;
+    if (have_pivot) {
+      candidates -= compatible_[pivot];
+    }
+    bool keep_going = true;
+    candidates.ForEach([&](size_t v) {
+      if (!keep_going) {
+        return;
+      }
+      r.set(v);
+      if (!Recurse(r, p & compatible_[v], x & compatible_[v])) {
+        keep_going = false;
+      }
+      r.reset(v);
+      p.reset(v);
+      x.set(v);
+    });
+    return keep_going;
+  }
+
+  const std::function<bool(const DynamicBitset&)>& fn_;
+  size_t n_;
+  bool use_pivot_;
+  std::vector<DynamicBitset> compatible_;
+};
+
+}  // namespace
+
+void ForEachRepair(const ConflictGraph& cg,
+                   const std::function<bool(const DynamicBitset&)>& fn) {
+  DynamicBitset universe(cg.num_facts());
+  universe.set_all();
+  RepairEnumerator(cg, fn).Run(universe);
+}
+
+void ForEachRepairNoPivot(
+    const ConflictGraph& cg,
+    const std::function<bool(const DynamicBitset&)>& fn) {
+  DynamicBitset universe(cg.num_facts());
+  universe.set_all();
+  RepairEnumerator(cg, fn, /*use_pivot=*/false).Run(universe);
+}
+
+void ForEachRepairWithin(
+    const ConflictGraph& cg, const DynamicBitset& universe,
+    const std::function<bool(const DynamicBitset&)>& fn) {
+  RepairEnumerator(cg, fn).Run(universe);
+}
+
+std::vector<DynamicBitset> AllRepairs(const ConflictGraph& cg) {
+  std::vector<DynamicBitset> out;
+  ForEachRepair(cg, [&](const DynamicBitset& repair) {
+    out.push_back(repair);
+    return true;
+  });
+  return out;
+}
+
+uint64_t CountRepairs(const ConflictGraph& cg) {
+  uint64_t count = 0;
+  ForEachRepair(cg, [&](const DynamicBitset&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j) {
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};
+  }
+  if (std::optional<FactId> ext = FindExtension(cg, j)) {
+    DynamicBitset improvement = j;
+    improvement.set(*ext);
+    return CheckResult::NotOptimal(std::move(improvement),
+                                   "J is not maximal");
+  }
+  CheckResult result = CheckResult::Optimal();
+  ForEachRepair(cg, [&](const DynamicBitset& candidate) {
+    if (IsGlobalImprovement(cg, pr, j, candidate)) {
+      result = CheckResult::NotOptimal(candidate,
+                                       "an enumerated repair improves J");
+      return false;
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j) {
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};
+  }
+  if (std::optional<FactId> ext = FindExtension(cg, j)) {
+    DynamicBitset improvement = j;
+    improvement.set(*ext);
+    return CheckResult::NotOptimal(std::move(improvement),
+                                   "J is not maximal");
+  }
+  CheckResult result = CheckResult::Optimal();
+  ForEachRepair(cg, [&](const DynamicBitset& candidate) {
+    if (IsParetoImprovement(cg, pr, j, candidate)) {
+      result = CheckResult::NotOptimal(
+          candidate, "an enumerated repair Pareto-improves J");
+      return false;
+    }
+    return true;
+  });
+  return result;
+}
+
+std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
+                                             const PriorityRelation& pr,
+                                             RepairSemantics semantics) {
+  std::vector<DynamicBitset> repairs = AllRepairs(cg);
+  std::vector<DynamicBitset> out;
+  for (const DynamicBitset& j : repairs) {
+    bool optimal = true;
+    switch (semantics) {
+      case RepairSemantics::kGlobal:
+        for (const DynamicBitset& other : repairs) {
+          if (IsGlobalImprovement(cg, pr, j, other)) {
+            optimal = false;
+            break;
+          }
+        }
+        break;
+      case RepairSemantics::kPareto:
+        for (const DynamicBitset& other : repairs) {
+          if (IsParetoImprovement(cg, pr, j, other)) {
+            optimal = false;
+            break;
+          }
+        }
+        break;
+      case RepairSemantics::kCompletion:
+        optimal = CheckCompletionOptimal(cg, pr, j).optimal;
+        break;
+    }
+    if (optimal) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace prefrep

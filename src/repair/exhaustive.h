@@ -1,0 +1,84 @@
+// Copyright (c) prefrep contributors.
+// Exponential exact baselines.  Globally-optimal repair checking is
+// coNP-complete in general (Theorem 3.1's hard side), so the library
+// ships an exact checker based on repair enumeration:
+//
+//   * a consistent subinstance is an independent set of the conflict
+//     graph, so repairs are its maximal independent sets, enumerated with
+//     Bron–Kerbosch (with pivoting) on the complement graph;
+//   * if J has a global improvement, it has one that is a repair (extend
+//     any improvement J′ to a maximal J″: J″\J ⊇ J′\J while J\J″ ⊆ J\J′),
+//     so scanning repairs is complete — and the same argument holds for
+//     Pareto improvements.
+//
+// These routines validate the polynomial algorithms in the test suite and
+// exhibit the exponential blow-up on the hard schemas in the benchmarks.
+
+#ifndef PREFREP_REPAIR_EXHAUSTIVE_H_
+#define PREFREP_REPAIR_EXHAUSTIVE_H_
+
+#include <functional>
+#include <vector>
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// Enumerates every repair (maximal consistent subinstance) of the
+/// instance underlying `cg`, invoking `fn`; stops early when `fn` returns
+/// false.  Worst-case exponential output (that is inherent).
+void ForEachRepair(const ConflictGraph& cg,
+                   const std::function<bool(const DynamicBitset&)>& fn);
+
+/// Same, restricted to the facts of `universe`: enumerates the maximal
+/// consistent subsets of `universe` (used for the per-relation fallback
+/// of the unified checker, where one relation is hard but the others are
+/// tractable).
+void ForEachRepairWithin(const ConflictGraph& cg,
+                         const DynamicBitset& universe,
+                         const std::function<bool(const DynamicBitset&)>& fn);
+
+/// Ablation variant of ForEachRepair: Bron–Kerbosch *without* pivoting.
+/// Exposed for the ablation benchmark that justifies the pivoting
+/// choice; results are identical (verified in tests), only slower.
+void ForEachRepairNoPivot(
+    const ConflictGraph& cg,
+    const std::function<bool(const DynamicBitset&)>& fn);
+
+/// Materializes all repairs (use only on small instances).
+std::vector<DynamicBitset> AllRepairs(const ConflictGraph& cg);
+
+/// Counts the repairs without materializing them.
+uint64_t CountRepairs(const ConflictGraph& cg);
+
+/// Exact globally-optimal repair checking by repair enumeration.
+/// Correct for every schema and for both priority modes.
+CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j);
+
+/// Exact Pareto-optimal repair checking by repair enumeration (used to
+/// cross-validate the polynomial Pareto check).
+CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j);
+
+/// The three preferred-repair semantics of [SCM] (§2.4).
+enum class RepairSemantics {
+  kGlobal,
+  kPareto,
+  kCompletion,
+};
+
+/// Materializes all repairs optimal under the given semantics (use only
+/// on small instances; quadratic in the number of repairs for kGlobal /
+/// kPareto).  Useful for counting preferred repairs — the paper's
+/// concluding remarks single out counting globally-optimal repairs as an
+/// open direction.
+std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
+                                             const PriorityRelation& pr,
+                                             RepairSemantics semantics);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_EXHAUSTIVE_H_

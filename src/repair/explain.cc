@@ -1,0 +1,70 @@
+#include "repair/explain.h"
+
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+std::string ExplainImprovement(const ConflictGraph& cg,
+                               const PriorityRelation& pr,
+                               const DynamicBitset& j,
+                               const DynamicBitset& improvement) {
+  const Instance& inst = cg.instance();
+  if (!IsGlobalImprovement(cg, pr, j, improvement)) {
+    return "(not a global improvement of J)\n";
+  }
+  DynamicBitset removed = j - improvement;
+  DynamicBitset added = improvement - j;
+  std::string out;
+  if (removed.none()) {
+    out += "J is not maximal; the following facts can be added:\n";
+  } else {
+    out += "every removed fact is outranked by an added one:\n";
+    removed.ForEach([&](size_t f_prime) {
+      // Find one added improver (one exists by validity).
+      FactId improver = kInvalidFactId;
+      for (FactId f : pr.DominatedBy(static_cast<FactId>(f_prime))) {
+        if (added.test(f)) {
+          improver = f;
+          break;
+        }
+      }
+      out += "  - drop " + inst.FactToString(static_cast<FactId>(f_prime)) +
+             "  (outranked by " + inst.FactToString(improver) + ")\n";
+    });
+  }
+  added.ForEach([&](size_t f) {
+    out += "  + add  " + inst.FactToString(static_cast<FactId>(f)) + "\n";
+  });
+  if (IsParetoImprovement(cg, pr, j, improvement)) {
+    out += "this is also a Pareto improvement\n";
+  }
+  return out;
+}
+
+std::string ExplainOutcome(const ConflictGraph& cg,
+                           const PriorityRelation& pr,
+                           const DynamicBitset& j,
+                           const CheckResult& result) {
+  const Instance& inst = cg.instance();
+  if (result.optimal) {
+    return "J is a globally-optimal repair: no exchange of facts with "
+           "preferred facts can improve it.\n";
+  }
+  if (result.witness.has_value()) {
+    std::string out = "J is not globally optimal";
+    if (!result.witness->explanation.empty()) {
+      out += " (" + result.witness->explanation + ")";
+    }
+    out += ":\n";
+    out += ExplainImprovement(cg, pr, j, result.witness->improvement);
+    return out;
+  }
+  // No witness: J is not a repair at all.
+  if (auto violation = FindViolation(inst, j)) {
+    return "J is inconsistent: " + inst.FactToString(violation->first) +
+           " conflicts with " + inst.FactToString(violation->second) + "\n";
+  }
+  return "J is not globally optimal.\n";
+}
+
+}  // namespace prefrep

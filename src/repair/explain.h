@@ -1,0 +1,36 @@
+// Copyright (c) prefrep contributors.
+// Human-readable explanations of check outcomes.  A boolean verdict is
+// rarely enough for a cleaning tool: when J is rejected, the user wants
+// to see which facts must leave, which enter, and which preference
+// justifies every eviction (the structure of Definition 2.4).
+
+#ifndef PREFREP_REPAIR_EXPLAIN_H_
+#define PREFREP_REPAIR_EXPLAIN_H_
+
+#include <string>
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// Renders a multi-line explanation of why `improvement` is a global
+/// improvement of `j`: the removed facts each paired with a preferred
+/// added fact, the added facts, and whether the improvement is also a
+/// Pareto improvement.  Requires the improvement to be valid (checked;
+/// returns a diagnostic line otherwise).
+std::string ExplainImprovement(const ConflictGraph& cg,
+                               const PriorityRelation& pr,
+                               const DynamicBitset& j,
+                               const DynamicBitset& improvement);
+
+/// Renders a full outcome: optimal → a one-line confirmation; not
+/// optimal with a witness → ExplainImprovement of the witness; not
+/// optimal without a witness → the reason J is not even a repair.
+std::string ExplainOutcome(const ConflictGraph& cg,
+                           const PriorityRelation& pr,
+                           const DynamicBitset& j,
+                           const CheckResult& result);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_EXPLAIN_H_

@@ -1,0 +1,85 @@
+#include "repair/global_one_fd.h"
+
+#include "conflicts/conflicts.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+DynamicBitset SwapBlocks(const Instance& instance, RelId rel, const FD& fd,
+                         const DynamicBitset& j, FactId f, FactId g) {
+  PREFREP_CHECK_MSG(j.test(f), "SwapBlocks requires f ∈ J");
+  const Fact& ff = instance.fact(f);
+  const Fact& gg = instance.fact(g);
+  PREFREP_CHECK(ff.rel == rel && gg.rel == rel);
+  PREFREP_CHECK_MSG(IsDeltaConflict(ff, gg, fd),
+                    "SwapBlocks requires f, g to form a δ-conflict");
+  AttrSet ab = fd.lhs | fd.rhs;
+  DynamicBitset out = j;
+  for (FactId h : instance.facts_of(rel)) {
+    const Fact& hh = instance.fact(h);
+    if (FactsAgreeOn(hh, ff, ab)) {
+      out.reset(h);  // remove the A∪B-block of f
+    } else if (FactsAgreeOn(hh, gg, ab)) {
+      out.set(h);  // add the A∪B-block of g
+    }
+  }
+  return out;
+}
+
+CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
+                                    const PriorityRelation& pr, RelId rel,
+                                    const FD& fd, const DynamicBitset& j) {
+  const Instance& instance = cg.instance();
+  const std::vector<FactId>& rel_facts = instance.facts_of(rel);
+
+  // Reject a J that is not even a repair of I|rel.  Consistency: no two
+  // J-facts of the relation may form a δ-conflict for `fd` (∆|rel ≡ {fd},
+  // so this equals consistency w.r.t. ∆|rel).
+  for (FactId f : rel_facts) {
+    if (!j.test(f)) {
+      continue;
+    }
+    for (FactId g : cg.neighbors(f)) {
+      if (g > f && j.test(g)) {
+        return CheckResult{false, std::nullopt};  // J inconsistent: no repair
+      }
+    }
+  }
+  // Maximality: any addable fact yields a (superset) global improvement.
+  for (FactId g : rel_facts) {
+    if (j.test(g)) {
+      continue;
+    }
+    if (!cg.ConflictsWithSet(g, j)) {
+      DynamicBitset improvement = j;
+      improvement.set(g);
+      return CheckResult::NotOptimal(
+          std::move(improvement),
+          "J is not maximal: " + instance.FactToString(g) +
+              " can be added without conflict");
+    }
+  }
+
+  // GRepCheck1FD (Figure 2): try every swap J[f↔g] over conflicting
+  // f ∈ J, g ∈ I \ J.
+  for (FactId f : rel_facts) {
+    if (!j.test(f)) {
+      continue;
+    }
+    for (FactId g : cg.neighbors(f)) {
+      if (j.test(g)) {
+        continue;
+      }
+      DynamicBitset swapped = SwapBlocks(instance, rel, fd, j, f, g);
+      if (IsGlobalImprovement(cg, pr, j, swapped)) {
+        return CheckResult::NotOptimal(
+            std::move(swapped),
+            "J[" + instance.FactToString(f) + " ↔ " +
+                instance.FactToString(g) + "] is a global improvement");
+      }
+    }
+  }
+  return CheckResult::Optimal();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,40 @@
+// Copyright (c) prefrep contributors.
+// Globally-optimal repair checking for a single-relation schema whose FD
+// set is equivalent to a single FD A → B (§4.1, algorithm GRepCheck1FD of
+// Figure 2).
+//
+// The algorithm tries, for every conflicting pair f ∈ J, g ∈ I \ J, the
+// swap J[f↔g] — remove from J the facts agreeing with f on A∪B, add the
+// facts of I agreeing with g on A∪B — and accepts J iff no swap is a
+// global improvement (Lemma 4.2 shows this is complete).
+//
+// Historical note (§4.1): Proposition 10(iii) of [SCM] claimed global and
+// completion optimality coincide for a single FD, which would have given
+// tractability via completion checking; that proposition is incorrect,
+// and this algorithm is the paper's replacement proof of tractability.
+
+#ifndef PREFREP_REPAIR_GLOBAL_ONE_FD_H_
+#define PREFREP_REPAIR_GLOBAL_ONE_FD_H_
+
+#include "repair/improvement.h"
+
+namespace prefrep {
+
+/// The swap J[f↔g] of Example 4.1: requires f ∈ J, f and g agree on
+/// fd.lhs and disagree on fd.rhs.  Exposed for tests (Example 4.1).
+DynamicBitset SwapBlocks(const Instance& instance, RelId rel, const FD& fd,
+                         const DynamicBitset& j, FactId f, FactId g);
+
+/// GRepCheck1FD restricted to relation `rel`: decides whether J ∩ rel is
+/// a globally-optimal repair of I ∩ rel, where ∆|rel is equivalent to the
+/// single FD `fd` (caller obtains `fd` from the dichotomy classifier).
+///
+/// Handles arbitrary J: an inconsistent or non-maximal J|rel is rejected
+/// (with a witness for the non-maximal case).
+CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
+                                    const PriorityRelation& pr, RelId rel,
+                                    const FD& fd, const DynamicBitset& j);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_GLOBAL_ONE_FD_H_

@@ -1,0 +1,70 @@
+#include "repair/improvement.h"
+
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+bool IsGlobalImprovement(const ConflictGraph& cg, const PriorityRelation& pr,
+                         const DynamicBitset& j,
+                         const DynamicBitset& improved) {
+  if (improved == j) {
+    return false;
+  }
+  if (!IsConsistent(cg, improved)) {
+    return false;
+  }
+  DynamicBitset removed = j - improved;   // J \ J'
+  DynamicBitset added = improved - j;     // J' \ J
+  bool ok = true;
+  removed.ForEach([&](size_t f_prime) {
+    if (!ok) {
+      return;
+    }
+    // Some added fact must be preferred over f'.
+    bool covered = false;
+    for (FactId f : pr.DominatedBy(static_cast<FactId>(f_prime))) {
+      if (added.test(f)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+bool IsParetoImprovement(const ConflictGraph& cg, const PriorityRelation& pr,
+                         const DynamicBitset& j,
+                         const DynamicBitset& improved) {
+  if (improved == j) {
+    return false;
+  }
+  if (!IsConsistent(cg, improved)) {
+    return false;
+  }
+  DynamicBitset removed = j - improved;
+  DynamicBitset added = improved - j;
+  bool found = false;
+  added.ForEach([&](size_t f) {
+    if (found) {
+      return;
+    }
+    bool dominates_all = true;
+    removed.ForEach([&](size_t f_prime) {
+      if (dominates_all &&
+          !pr.Prefers(static_cast<FactId>(f), static_cast<FactId>(f_prime))) {
+        dominates_all = false;
+      }
+    });
+    if (dominates_all) {
+      found = true;
+    }
+  });
+  // A Pareto improvement needs a witness fact in J' \ J; if J' ⊆ J there
+  // is none (and indeed no subset of J can Pareto-improve J).
+  return found && added.any();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,61 @@
+// Copyright (c) prefrep contributors.
+// Global and Pareto improvements (Definition 2.4).  Given consistent
+// subinstances J and J′ of a prioritizing instance (I, ≻):
+//
+//  * J′ is a *global improvement* of J if J′ ≠ J and every fact
+//    f′ ∈ J \ J′ has some f ∈ J′ \ J with f ≻ f′;
+//  * J′ is a *Pareto improvement* of J if some fact f ∈ J′ \ J has
+//    f ≻ f′ for every f′ ∈ J \ J′.
+//
+// These are the definitional checkers; every algorithm in this library
+// that reports a non-optimality witness has that witness re-verified by
+// these functions in the test suite.
+
+#ifndef PREFREP_REPAIR_IMPROVEMENT_H_
+#define PREFREP_REPAIR_IMPROVEMENT_H_
+
+#include <string>
+
+#include "base/dynamic_bitset.h"
+#include "conflicts/conflicts.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+/// True iff `improved` is a global improvement of `j` (both must be
+/// consistent; consistency of `improved` is verified, `j` is assumed).
+bool IsGlobalImprovement(const ConflictGraph& cg, const PriorityRelation& pr,
+                         const DynamicBitset& j,
+                         const DynamicBitset& improved);
+
+/// True iff `improved` is a Pareto improvement of `j`.
+bool IsParetoImprovement(const ConflictGraph& cg, const PriorityRelation& pr,
+                         const DynamicBitset& j,
+                         const DynamicBitset& improved);
+
+/// An improvement witness: the subinstance found to improve J, plus a
+/// human-readable explanation of how it was found.
+struct ImprovementWitness {
+  DynamicBitset improvement;
+  std::string explanation;
+};
+
+/// Outcome of a preferred-repair check.  `optimal` answers the decision
+/// problem; when false and the algorithm produces witnesses, `witness`
+/// holds an improving subinstance.
+struct CheckResult {
+  bool optimal = false;
+  std::optional<ImprovementWitness> witness;
+
+  static CheckResult Optimal() { return CheckResult{true, std::nullopt}; }
+  static CheckResult NotOptimal(DynamicBitset improvement,
+                                std::string explanation) {
+    return CheckResult{
+        false, ImprovementWitness{std::move(improvement),
+                                  std::move(explanation)}};
+  }
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_IMPROVEMENT_H_

@@ -1,0 +1,57 @@
+#include "repair/pareto.h"
+
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+CheckResult FindParetoImprovement(const ConflictGraph& cg,
+                                  const PriorityRelation& pr,
+                                  const DynamicBitset& j) {
+  PREFREP_CHECK_MSG(IsConsistent(cg, j),
+                    "FindParetoImprovement requires a consistent J");
+  size_t n = cg.num_facts();
+  const Instance& instance = cg.instance();
+  for (FactId g = 0; g < n; ++g) {
+    if (j.test(g)) {
+      continue;
+    }
+    // g improves J iff g ≻ f for every f ∈ J conflicting with g.
+    bool improves = true;
+    for (FactId f : cg.neighbors(g)) {
+      if (j.test(f) && !pr.Prefers(g, f)) {
+        improves = false;
+        break;
+      }
+    }
+    if (!improves) {
+      continue;
+    }
+    DynamicBitset improvement = j;
+    for (FactId f : cg.neighbors(g)) {
+      if (j.test(f)) {
+        improvement.reset(f);
+      }
+    }
+    improvement.set(g);
+    return CheckResult::NotOptimal(
+        std::move(improvement),
+        "fact " + instance.FactToString(g) +
+            " is preferred over every fact of J it conflicts with");
+  }
+  return CheckResult::Optimal();
+}
+
+CheckResult CheckParetoOptimal(const ConflictGraph& cg,
+                               const PriorityRelation& pr,
+                               const DynamicBitset& j) {
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};  // not even a repair
+  }
+  CheckResult improvement = FindParetoImprovement(cg, pr, j);
+  if (!improvement.optimal) {
+    return improvement;
+  }
+  return CheckResult::Optimal();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,116 @@
+#include "repair/subinstance_ops.h"
+
+#include <unordered_map>
+
+#include "base/hash.h"
+
+namespace prefrep {
+
+namespace {
+
+std::vector<ValueId> Project(const Fact& f, AttrSet attrs) {
+  std::vector<ValueId> key;
+  key.reserve(static_cast<size_t>(attrs.size()));
+  attrs.ForEach([&](int a) { key.push_back(f.values[a - 1]); });
+  return key;
+}
+
+}  // namespace
+
+bool IsConsistent(const Instance& instance, const DynamicBitset& sub) {
+  return !FindViolation(instance, sub).has_value();
+}
+
+std::optional<std::pair<FactId, FactId>> FindViolation(
+    const Instance& instance, const DynamicBitset& sub) {
+  const Schema& schema = instance.schema();
+  for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
+    for (const FD& fd : schema.fds(rel).fds()) {
+      if (fd.IsTrivial()) {
+        continue;
+      }
+      // For A → B: within each A-projection group, all facts must share
+      // the same B-projection; remember one representative per group.
+      std::unordered_map<std::vector<ValueId>,
+                         std::pair<std::vector<ValueId>, FactId>,
+                         VectorHash<ValueId>>
+          groups;
+      for (FactId f : instance.facts_of(rel)) {
+        if (!sub.test(f)) {
+          continue;
+        }
+        const Fact& fact = instance.fact(f);
+        std::vector<ValueId> lhs_key = Project(fact, fd.lhs);
+        std::vector<ValueId> rhs_key = Project(fact, fd.rhs);
+        auto [it, inserted] =
+            groups.try_emplace(std::move(lhs_key), rhs_key, f);
+        if (!inserted && it->second.first != rhs_key) {
+          return std::make_pair(it->second.second, f);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsConsistent(const ConflictGraph& cg, const DynamicBitset& sub) {
+  bool consistent = true;
+  sub.ForEach([&](size_t f) {
+    if (!consistent) {
+      return;
+    }
+    for (FactId g : cg.neighbors(static_cast<FactId>(f))) {
+      if (g > f && sub.test(g)) {
+        consistent = false;
+        return;
+      }
+    }
+  });
+  return consistent;
+}
+
+bool IsRepair(const ConflictGraph& cg, const DynamicBitset& sub) {
+  if (!IsConsistent(cg, sub)) {
+    return false;
+  }
+  return !FindExtension(cg, sub).has_value();
+}
+
+std::optional<FactId> FindExtension(const ConflictGraph& cg,
+                                    const DynamicBitset& sub) {
+  size_t n = cg.num_facts();
+  for (FactId f = 0; f < n; ++f) {
+    if (sub.test(f)) {
+      continue;
+    }
+    if (!cg.ConflictsWithSet(f, sub)) {
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+DynamicBitset ExtendToRepair(const ConflictGraph& cg, DynamicBitset sub) {
+  PREFREP_CHECK_MSG(IsConsistent(cg, sub),
+                    "ExtendToRepair requires a consistent subinstance");
+  size_t n = cg.num_facts();
+  for (FactId f = 0; f < n; ++f) {
+    if (!sub.test(f) && !cg.ConflictsWithSet(f, sub)) {
+      sub.set(f);
+    }
+  }
+  return sub;
+}
+
+DynamicBitset RestrictToRelation(const Instance& instance, RelId rel,
+                                 const DynamicBitset& sub) {
+  DynamicBitset out(instance.num_facts());
+  for (FactId f : instance.facts_of(rel)) {
+    if (sub.test(f)) {
+      out.set(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace prefrep

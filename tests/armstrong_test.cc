@@ -1,0 +1,89 @@
+// Tests for Armstrong relations, and their use as an instance-level
+// oracle for FD implication: the built instance satisfies exactly the
+// FDs that ∆ implies, so the whole implication machinery gets verified
+// against definitional pairwise satisfaction.
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "fd/armstrong.h"
+
+namespace prefrep {
+namespace {
+
+TEST(ArmstrongTest, ClosedSetsBasics) {
+  // ∆ = {1→2}: closed sets are those not containing 1 without 2.
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2})});
+  std::vector<AttrSet> closed = ClosedAttributeSets(fds);
+  // Of the 8 subsets, {1}, {1,3} are not closed.
+  EXPECT_EQ(closed.size(), 6u);
+  for (const AttrSet& c : closed) {
+    EXPECT_EQ(fds.Closure(c), c);
+  }
+  // ∅ and the full set are always closed.
+  EXPECT_EQ(closed.front(), AttrSet());
+  EXPECT_EQ(closed.back(), (AttrSet{1, 2, 3}));
+}
+
+TEST(ArmstrongTest, EmptyFdSetMakesEverythingClosed) {
+  FDSet fds(3);
+  EXPECT_EQ(ClosedAttributeSets(fds).size(), 8u);
+}
+
+TEST(ArmstrongTest, ConstantAttributeShrinksClosedSets) {
+  // ∅→1: closed sets must contain 1.
+  FDSet fds(2, {FD(AttrSet(), AttrSet{1})});
+  std::vector<AttrSet> closed = ClosedAttributeSets(fds);
+  for (const AttrSet& c : closed) {
+    EXPECT_TRUE(c.Contains(1));
+  }
+  EXPECT_EQ(closed.size(), 2u);  // {1}, {1,2}
+}
+
+TEST(ArmstrongTest, InstanceIsArmstrongForKnownFdSet) {
+  Schema schema = Schema::SingleRelation(
+      "R", 3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  const FDSet& fds = schema.fds(0);
+  std::unique_ptr<Instance> inst = BuildArmstrongInstance(schema, fds);
+  // Satisfies the declared FDs and their consequences...
+  EXPECT_TRUE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet{1}, AttrSet{2})));
+  EXPECT_TRUE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet{1}, AttrSet{3})));
+  EXPECT_TRUE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet{1, 3}, AttrSet{2})));
+  // ... but nothing else.
+  EXPECT_FALSE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet{2}, AttrSet{1})));
+  EXPECT_FALSE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet{3}, AttrSet{2})));
+  EXPECT_FALSE(InstanceSatisfiesFd(*inst, 0, FD(AttrSet(), AttrSet{3})));
+}
+
+// The defining property, randomized: satisfaction in the Armstrong
+// instance ⟺ implication from ∆, for every (X, Y) over the arity.
+class ArmstrongProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArmstrongProperty, SatisfiesExactlyTheImpliedFds) {
+  Rng rng(GetParam() * 10007 + 3);
+  int arity = 2 + static_cast<int>(rng.NextBounded(3));  // 2..4
+  Schema schema;
+  RelId rel = schema.MustAddRelation("R", arity);
+  uint64_t full = (uint64_t{1} << arity) - 1;
+  size_t num_fds = rng.NextBounded(4);
+  for (size_t i = 0; i < num_fds; ++i) {
+    schema.MustAddFd(rel, FD(AttrSet::FromMask(rng.Next() & full),
+                             AttrSet::FromMask(rng.Next() & full)));
+  }
+  const FDSet& fds = schema.fds(0);
+  std::unique_ptr<Instance> inst = BuildArmstrongInstance(schema, fds);
+  for (uint64_t x = 0; x <= full; ++x) {
+    for (uint64_t y = 0; y <= full; ++y) {
+      FD candidate(AttrSet::FromMask(x), AttrSet::FromMask(y));
+      EXPECT_EQ(InstanceSatisfiesFd(*inst, 0, candidate),
+                fds.Implies(candidate))
+          << fds.ToString() << " candidate " << candidate.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmstrongProperty,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,172 @@
+// Tests for the base utilities: Status/Result, DynamicBitset, Rng,
+// string helpers and hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/dynamic_bitset.h"
+#include "base/random.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace prefrep {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad fd");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad fd");
+}
+
+TEST(StatusTest, ResultValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(7), 42);
+
+  Result<int> bad = Status::NotFound("missing");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(BitsetTest, SetTestCount) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(63));
+  b.reset(64);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitsetTest, SetAllRespectsUniverse) {
+  DynamicBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_EQ(b.ToVector().back(), 69u);
+}
+
+TEST(BitsetTest, Algebra) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  a.set(99);
+  b.set(50);
+  b.set(2);
+  EXPECT_EQ((a & b).ToVector(), std::vector<size_t>{50});
+  EXPECT_EQ((a | b).count(), 4u);
+  EXPECT_EQ((a - b).ToVector(), (std::vector<size_t>{1, 99}));
+  EXPECT_TRUE((a & b).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_FALSE(a.IsDisjointFrom(b));
+  b.reset(50);
+  EXPECT_TRUE(a.IsDisjointFrom(b));
+}
+
+TEST(BitsetTest, ForEachOrderAndFindFirst) {
+  DynamicBitset b(200);
+  b.set(150);
+  b.set(3);
+  b.set(64);
+  EXPECT_EQ(b.ToVector(), (std::vector<size_t>{3, 64, 150}));
+  EXPECT_EQ(b.FindFirst(), 3u);
+  DynamicBitset empty(10);
+  EXPECT_EQ(empty.FindFirst(), 10u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  DynamicBitset a(65), b(65);
+  a.set(64);
+  EXPECT_NE(a, b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.HashValue(), b.HashValue());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedIsInRangeAndCoversValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(17);
+  std::vector<size_t> s = rng.Sample(10, 4);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (size_t x : s) {
+    EXPECT_LT(x, 10u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(3);
+  ZipfTable zipf(100, 1.2);
+  size_t low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (zipf.Sample(&rng) < 10) {
+      ++low;
+    }
+  }
+  EXPECT_GT(low, 1000u);  // heavy head
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplitTrimmed(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrJoin({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(StripAsciiWhitespace("  hi\t"), "hi");
+  EXPECT_TRUE(StartsWith("relation R 2", "relation "));
+  EXPECT_FALSE(StartsWith("rel", "relation"));
+}
+
+TEST(StringUtilTest, ParseUint) {
+  EXPECT_EQ(ParseUint("0"), 0u);
+  EXPECT_EQ(ParseUint("12345"), 12345u);
+  EXPECT_FALSE(ParseUint("").has_value());
+  EXPECT_FALSE(ParseUint("-3").has_value());
+  EXPECT_FALSE(ParseUint("1a").has_value());
+  EXPECT_FALSE(ParseUint("99999999999999999999999").has_value());
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%zu", size_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace prefrep

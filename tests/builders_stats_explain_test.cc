@@ -1,0 +1,165 @@
+// Tests for the priority builders, conflict statistics and the
+// explanation facility.
+
+#include <gtest/gtest.h>
+
+#include "conflicts/stats.h"
+#include "gen/running_example.h"
+#include "priority/builders.h"
+#include "repair/checker.h"
+#include "repair/explain.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+using testing_util::ProblemSpec;
+
+// --- Priority builders -------------------------------------------------------
+
+TEST(BuildersTest, ScorePriorityConflictOnly) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"old: k, 1", "new: k, 2", "other: m, 1"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  const Instance& inst = *p.instance;
+  ConflictGraph cg(inst);
+  std::vector<int64_t> ts = {1, 2, 9};  // by fact id
+  PriorityRelation pr = BuildRecencyPriority(
+      cg, [&ts](FactId f) { return ts[f]; });
+  EXPECT_TRUE(pr.Validate(PriorityMode::kConflictOnly).ok());
+  EXPECT_TRUE(pr.Prefers(inst.FindLabel("new"), inst.FindLabel("old")));
+  // "other" conflicts with nothing: no edges despite its high score.
+  EXPECT_TRUE(pr.Dominates(inst.FindLabel("other")).empty());
+  EXPECT_EQ(pr.num_edges(), 1u);
+}
+
+TEST(BuildersTest, ScorePriorityCrossConflict) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a: k, 1", "b: k, 2", "c: m, 1"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  std::vector<int64_t> rank = {1, 2, 3};
+  PriorityRelation pr = BuildScorePriority(
+      cg, [&rank](FactId f) { return rank[f]; },
+      PriorityMode::kCrossConflict);
+  // All three pairs ordered (distinct scores).
+  EXPECT_EQ(pr.num_edges(), 3u);
+  EXPECT_TRUE(pr.Validate(PriorityMode::kCrossConflict).ok());
+  EXPECT_FALSE(pr.Validate(PriorityMode::kConflictOnly).ok());
+}
+
+TEST(BuildersTest, TiedScoresProduceNoEdge) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a: k, 1", "b: k, 2"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  PriorityRelation pr =
+      BuildSourcePriority(cg, [](FactId) { return 7; });
+  EXPECT_EQ(pr.num_edges(), 0u);
+}
+
+// --- Conflict statistics ------------------------------------------------------
+
+TEST(StatsTest, RunningExampleStats) {
+  PreferredRepairProblem p = RunningExampleProblem();
+  ConflictGraph cg(*p.instance);
+  ConflictStats stats = ComputeConflictStats(cg);
+  EXPECT_EQ(stats.num_facts, 13u);
+  EXPECT_EQ(stats.num_conflicts, 15u);
+  // f2p1 and h3h2 are uncontested; the other 11 facts conflict.
+  EXPECT_EQ(stats.conflicting_facts, 11u);
+  // Components: BookLoc {g1f1, g1f2, f1d3}; the LibLoc facts form one
+  // connected blob (all 8 are linked through lib/loc chains).
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(stats.largest_component, 8u);
+  EXPECT_GT(stats.log2_repair_upper_bound, 4.0);  // ≥ 16 actual repairs
+  EXPECT_NE(stats.ToString().find("13 facts"), std::string::npos);
+}
+
+TEST(StatsTest, ComponentsOfConflictFreeInstance) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a: k1, 1", "b: k2, 2"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  ConflictStats stats = ComputeConflictStats(cg);
+  EXPECT_EQ(stats.num_conflicts, 0u);
+  EXPECT_EQ(stats.num_components, 0u);
+  EXPECT_EQ(stats.log2_repair_upper_bound, 0.0);
+  size_t n = 0;
+  std::vector<size_t> comp = ConflictComponents(cg, &n);
+  EXPECT_EQ(n, 2u);  // two singleton components
+  EXPECT_NE(comp[0], comp[1]);
+}
+
+// --- Explanations --------------------------------------------------------------
+
+TEST(ExplainTest, NotOptimalExplanationNamesImprovers) {
+  PreferredRepairProblem p = RunningExampleProblem();
+  RepairChecker checker(*p.instance, *p.priority);
+  DynamicBitset j1 = RunningExampleJ(*p.instance, 1);
+  auto outcome = checker.CheckGloballyOptimal(j1);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->result.optimal);
+  std::string text = ExplainOutcome(checker.conflict_graph(), *p.priority,
+                                    j1, outcome->result);
+  EXPECT_NE(text.find("not globally optimal"), std::string::npos);
+  EXPECT_NE(text.find("drop"), std::string::npos);
+  EXPECT_NE(text.find("outranked by"), std::string::npos);
+  EXPECT_NE(text.find("g2a"), std::string::npos);  // the improver
+}
+
+TEST(ExplainTest, OptimalAndInconsistentMessages) {
+  PreferredRepairProblem p = RunningExampleProblem();
+  RepairChecker checker(*p.instance, *p.priority);
+  DynamicBitset j2 = RunningExampleJ(*p.instance, 2);
+  auto ok = checker.CheckGloballyOptimal(j2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ExplainOutcome(checker.conflict_graph(), *p.priority, j2,
+                           ok->result)
+                .find("globally-optimal repair"),
+            std::string::npos);
+
+  DynamicBitset bad = p.instance->AllFacts();
+  auto rejected = checker.CheckGloballyOptimal(bad);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_NE(ExplainOutcome(checker.conflict_graph(), *p.priority, bad,
+                           rejected->result)
+                .find("inconsistent"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, NonMaximalExplanationListsAdditions) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a: k, 1", "b: m, 1"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  DynamicBitset j = testing_util::Sub(*p.instance, {"a"});
+  DynamicBitset improvement = p.instance->AllFacts();
+  std::string text = ExplainImprovement(cg, *p.priority, j, improvement);
+  EXPECT_NE(text.find("not maximal"), std::string::npos);
+  EXPECT_NE(text.find("+ add"), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsInvalidImprovement) {
+  PreferredRepairProblem p = RunningExampleProblem();
+  ConflictGraph cg(*p.instance);
+  DynamicBitset j2 = RunningExampleJ(*p.instance, 2);
+  DynamicBitset j1 = RunningExampleJ(*p.instance, 1);
+  // J1 does not improve J2.
+  EXPECT_NE(ExplainImprovement(cg, *p.priority, j2, j1)
+                .find("not a global improvement"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefrep

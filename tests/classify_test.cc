@@ -1,0 +1,323 @@
+// Tests for both dichotomy classifiers (Theorems 3.1/6.1 and 7.1/7.6) and
+// the §5.2 hardness case analysis.  Covers the paper's worked examples
+// (3.2, 3.3, 3.4, §7.1) and cross-validates the Lemma 6.2-based classifier
+// against brute force over *all* attribute subsets on random FD sets.
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "classify/case_analysis.h"
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+#include "gen/running_example.h"
+#include "reductions/hard_schemas.h"
+
+namespace prefrep {
+namespace {
+
+// --- Theorem 3.1 classifier -------------------------------------------------
+
+// Example 3.2: the running-example schema is tractable.
+TEST(DichotomyTest, Example32RunningExample) {
+  SchemaClassification c = ClassifySchema(RunningExampleSchema());
+  EXPECT_TRUE(c.tractable);
+  EXPECT_TRUE(c.HardRelations().empty());
+}
+
+// Example 3.3: R (single fd), S (empty ∆), T (equivalent to two keys).
+TEST(DichotomyTest, Example33) {
+  Schema schema;
+  RelId r = schema.MustAddRelation("R", 3);
+  schema.MustAddRelation("S", 3);
+  RelId t = schema.MustAddRelation("T", 4);
+  schema.MustAddFd(r, FD(AttrSet{1}, AttrSet{2}));
+  schema.MustAddFd(t, FD(AttrSet{1}, AttrSet{2, 3, 4}));
+  schema.MustAddFd(t, FD(AttrSet{2, 3}, AttrSet{1}));
+
+  SchemaClassification c = ClassifySchema(schema);
+  EXPECT_TRUE(c.tractable);
+  EXPECT_EQ(c.relations[0].kind, TractableKind::kSingleFd);
+  EXPECT_EQ(c.relations[1].kind, TractableKind::kSingleFd);  // trivial fd
+  EXPECT_EQ(c.relations[2].kind, TractableKind::kTwoKeys);
+  EXPECT_EQ(c.relations[2].key1, AttrSet{1});
+  EXPECT_EQ(c.relations[2].key2, (AttrSet{2, 3}));
+}
+
+// Example 3.4: all six hard schemas classify as hard.
+TEST(DichotomyTest, Example34AllSixHard) {
+  for (int i = 1; i <= 6; ++i) {
+    SchemaClassification c = ClassifySchema(HardSchema(i));
+    EXPECT_FALSE(c.tractable) << "S" << i;
+    EXPECT_EQ(c.relations[0].kind, TractableKind::kHard) << "S" << i;
+  }
+}
+
+TEST(DichotomyTest, SingleKeyIsSingleFd) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{1, 2, 3})});
+  RelationClassification c = ClassifyRelationFds(fds);
+  EXPECT_EQ(c.kind, TractableKind::kSingleFd);
+  EXPECT_EQ(c.single_fd.lhs, AttrSet{1});
+}
+
+TEST(DichotomyTest, RedundantSpellingsOfOneFd) {
+  // {1→2, 1→3, {1,3}→2} ≡ {1 → {2,3}}.
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{1}, AttrSet{3}),
+                FD(AttrSet{1, 3}, AttrSet{2})});
+  RelationClassification c = ClassifyRelationFds(fds);
+  EXPECT_EQ(c.kind, TractableKind::kSingleFd);
+  EXPECT_TRUE(FDSet(3, {c.single_fd}).EquivalentTo(fds));
+}
+
+TEST(DichotomyTest, TwoComparableKeysAreOneKey) {
+  // {1}→all and {1,2}→all: equivalent to the single key {1}.
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{1, 2, 3}),
+                FD(AttrSet{1, 2}, AttrSet{1, 2, 3})});
+  EXPECT_EQ(ClassifyRelationFds(fds).kind, TractableKind::kSingleFd);
+}
+
+TEST(DichotomyTest, ThreeKeysAreHard) {
+  FDSet fds(3, {FD(AttrSet{1, 2}, AttrSet{3}), FD(AttrSet{1, 3}, AttrSet{2}),
+                FD(AttrSet{2, 3}, AttrSet{1})});
+  EXPECT_EQ(ClassifyRelationFds(fds).kind, TractableKind::kHard);
+}
+
+TEST(DichotomyTest, TwoKeysPlusImpliedFdStillTwoKeys) {
+  // 1→2, 2→1 over binary, plus the implied {1,2}→{1,2} (trivial).
+  FDSet fds(2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1}),
+                FD(AttrSet{1, 2}, AttrSet{1, 2})});
+  RelationClassification c = ClassifyRelationFds(fds);
+  EXPECT_EQ(c.kind, TractableKind::kTwoKeys);
+}
+
+TEST(DichotomyTest, EmptyFdSetTractable) {
+  RelationClassification c = ClassifyRelationFds(FDSet(4));
+  EXPECT_EQ(c.kind, TractableKind::kSingleFd);
+  EXPECT_TRUE(c.single_fd.IsTrivial());
+}
+
+// Brute force over all subsets: ∆ is single-fd-equivalent iff some
+// A ⊆ ⟦R⟧ has {A → ⟦R.A⟧} ≡ ∆; two-keys iff some incomparable key pair
+// works.  The classifier must agree on random FD sets.
+TEST(DichotomyTest, RandomFdSetsMatchBruteForce) {
+  Rng rng(20250707);
+  for (int trial = 0; trial < 400; ++trial) {
+    int arity = 2 + static_cast<int>(rng.NextBounded(3));  // 2..4
+    FDSet fds(arity);
+    size_t num_fds = 1 + rng.NextBounded(4);
+    for (size_t i = 0; i < num_fds; ++i) {
+      uint64_t full = (uint64_t{1} << arity) - 1;
+      AttrSet lhs = AttrSet::FromMask(rng.Next() & full);
+      AttrSet rhs = AttrSet::FromMask(rng.Next() & full);
+      fds.Add(FD(lhs, rhs));
+    }
+    RelationClassification c = ClassifyRelationFds(fds);
+
+    bool single = false;
+    uint64_t full = (uint64_t{1} << arity) - 1;
+    for (uint64_t mask = 0; mask <= full && !single; ++mask) {
+      AttrSet a = AttrSet::FromMask(mask);
+      FDSet candidate(arity, {FD(a, fds.Closure(a))});
+      if (candidate.EquivalentTo(fds)) {
+        single = true;
+      }
+    }
+    bool two_keys = false;
+    AttrSet all = AttrSet::Full(arity);
+    for (uint64_t m1 = 0; m1 <= full && !two_keys; ++m1) {
+      for (uint64_t m2 = m1 + 1; m2 <= full && !two_keys; ++m2) {
+        AttrSet a1 = AttrSet::FromMask(m1);
+        AttrSet a2 = AttrSet::FromMask(m2);
+        if (a1.IsSubsetOf(a2) || a2.IsSubsetOf(a1)) {
+          continue;
+        }
+        FDSet candidate(arity, {FD(a1, all), FD(a2, all)});
+        if (candidate.EquivalentTo(fds)) {
+          two_keys = true;
+        }
+      }
+    }
+    bool tractable_bf = single || two_keys;
+    EXPECT_EQ(c.kind != TractableKind::kHard, tractable_bf)
+        << "trial " << trial << ": " << fds.ToString() << " single=" << single
+        << " two_keys=" << two_keys << " classifier=" << c.explanation;
+    // The classifier's artifacts must themselves be equivalent to ∆.
+    if (c.kind == TractableKind::kSingleFd) {
+      EXPECT_TRUE(FDSet(arity, {c.single_fd}).EquivalentTo(fds));
+    } else if (c.kind == TractableKind::kTwoKeys) {
+      FDSet candidate(arity, {FD(c.key1, all), FD(c.key2, all)});
+      EXPECT_TRUE(candidate.EquivalentTo(fds));
+    }
+  }
+}
+
+// --- Theorem 7.1 classifier --------------------------------------------------
+
+TEST(CcpDichotomyTest, SingleKeyEquivalences) {
+  AttrSet key;
+  FDSet pk(3, {FD(AttrSet{1}, AttrSet{2, 3})});
+  EXPECT_TRUE(IsSingleKeyEquivalent(pk, &key));
+  EXPECT_EQ(key, AttrSet{1});
+
+  FDSet not_key(3, {FD(AttrSet{1}, AttrSet{2})});
+  EXPECT_FALSE(IsSingleKeyEquivalent(not_key, &key));
+
+  FDSet empty(3);
+  EXPECT_TRUE(IsSingleKeyEquivalent(empty, &key));
+  EXPECT_EQ(key, (AttrSet{1, 2, 3}));
+
+  FDSet two(2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+  EXPECT_FALSE(IsSingleKeyEquivalent(two, &key));
+}
+
+TEST(CcpDichotomyTest, ConstantAttrEquivalences) {
+  AttrSet b;
+  FDSet ca(3, {FD(AttrSet(), AttrSet{1, 2})});
+  EXPECT_TRUE(IsConstantAttrEquivalent(ca, &b));
+  EXPECT_EQ(b, (AttrSet{1, 2}));
+
+  // ∅→1, 1→2: closure(∅) = {1,2}, and {∅→{1,2}} implies both.
+  FDSet chain(3, {FD(AttrSet(), AttrSet{1}), FD(AttrSet{1}, AttrSet{2})});
+  EXPECT_TRUE(IsConstantAttrEquivalent(chain, &b));
+  EXPECT_EQ(b, (AttrSet{1, 2}));
+
+  FDSet pk(3, {FD(AttrSet{1}, AttrSet{2, 3})});
+  EXPECT_FALSE(IsConstantAttrEquivalent(pk, &b));
+
+  FDSet empty(3);
+  EXPECT_TRUE(IsConstantAttrEquivalent(empty, &b));
+  EXPECT_TRUE(b.empty());
+}
+
+// §7.1's worked examples around Example 3.3's schema.
+TEST(CcpDichotomyTest, Section71Examples) {
+  // The Example 3.3 schema: tractable under Theorem 3.1 but hard for ccp.
+  Schema ex33;
+  RelId r = ex33.MustAddRelation("R", 3);
+  ex33.MustAddRelation("S", 3);
+  RelId t = ex33.MustAddRelation("T", 4);
+  ex33.MustAddFd(r, FD(AttrSet{1}, AttrSet{2}));
+  ex33.MustAddFd(t, FD(AttrSet{1}, AttrSet{2, 3, 4}));
+  ex33.MustAddFd(t, FD(AttrSet{2, 3}, AttrSet{1}));
+  EXPECT_TRUE(ClassifySchema(ex33).tractable);
+  EXPECT_FALSE(ClassifyCcpSchema(ex33).tractable());
+
+  // {R: 1→{2,3}, S: ∅→1}: neither a primary-key nor a constant-attribute
+  // assignment → still coNP-complete.
+  Schema mixed;
+  RelId mr = mixed.MustAddRelation("R", 3);
+  RelId ms = mixed.MustAddRelation("S", 3);
+  mixed.MustAddRelation("T", 4);
+  mixed.MustAddFd(mr, FD(AttrSet{1}, AttrSet{2, 3}));
+  mixed.MustAddFd(ms, FD(AttrSet(), AttrSet{1}));
+  CcpSchemaClassification c = ClassifyCcpSchema(mixed);
+  EXPECT_FALSE(c.tractable());
+  EXPECT_FALSE(c.primary_key_assignment);   // S fails
+  EXPECT_FALSE(c.constant_attr_assignment);  // R fails
+
+  // {R: 1→{2,3}, S: {1,2}→3}: a primary-key assignment (T gets the
+  // trivial key), hence tractable for ccp.
+  Schema pk;
+  RelId pr = pk.MustAddRelation("R", 3);
+  RelId ps = pk.MustAddRelation("S", 3);
+  pk.MustAddRelation("T", 4);
+  pk.MustAddFd(pr, FD(AttrSet{1}, AttrSet{2, 3}));
+  pk.MustAddFd(ps, FD(AttrSet{1, 2}, AttrSet{3}));
+  CcpSchemaClassification c2 = ClassifyCcpSchema(pk);
+  EXPECT_TRUE(c2.primary_key_assignment);
+  EXPECT_TRUE(c2.tractable());
+}
+
+TEST(CcpDichotomyTest, CcpHardSchemasClassifyHard) {
+  EXPECT_FALSE(ClassifyCcpSchema(CcpHardSchemaSa()).tractable());
+  EXPECT_FALSE(ClassifyCcpSchema(CcpHardSchemaSb()).tractable());
+  EXPECT_FALSE(ClassifyCcpSchema(CcpHardSchemaSc()).tractable());
+  EXPECT_FALSE(ClassifyCcpSchema(CcpHardSchemaSd()).tractable());
+}
+
+// The dichotomies differ: Sd = {1→2, 2→1} is two keys (tractable,
+// Theorem 3.1) yet hard over ccp-instances (Theorem 7.1); S6 ∆ = {∅→1,
+// 2→3} is hard under Theorem 3.1 while its relation-wise pieces matter
+// differently for ccp.
+TEST(CcpDichotomyTest, DichotomiesDiverge) {
+  Schema sd = CcpHardSchemaSd();
+  EXPECT_TRUE(ClassifySchema(sd).tractable);
+  EXPECT_FALSE(ClassifyCcpSchema(sd).tractable());
+
+  // Single-fd schema Sb: tractable under 3.1, hard under 7.1.
+  Schema sb = CcpHardSchemaSb();
+  EXPECT_TRUE(ClassifySchema(sb).tractable);
+  EXPECT_FALSE(ClassifyCcpSchema(sb).tractable());
+
+  // A primary-key schema is tractable under both.
+  Schema pk = Schema::SingleRelation("R", 3, {FD(AttrSet{1}, AttrSet{2, 3})});
+  EXPECT_TRUE(ClassifySchema(pk).tractable);
+  EXPECT_TRUE(ClassifyCcpSchema(pk).tractable());
+}
+
+// --- §5.2 case analysis ------------------------------------------------------
+
+TEST(CaseAnalysisTest, TractableSchemasRejected) {
+  FDSet single(3, {FD(AttrSet{1}, AttrSet{2})});
+  EXPECT_FALSE(AnalyzeHardRelation(single).ok());
+  FDSet two(2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+  EXPECT_FALSE(AnalyzeHardRelation(two).ok());
+}
+
+TEST(CaseAnalysisTest, SixHardSchemasLandInTheirCases) {
+  // The six schemas of Example 3.4 are the reduction sources for the six
+  // cases; each must land in "its" case.
+  for (int i = 1; i <= 6; ++i) {
+    Schema schema = HardSchema(i);
+    Result<HardnessCase> result = AnalyzeHardRelation(schema.fds(0));
+    ASSERT_TRUE(result.ok()) << "S" << i;
+    EXPECT_EQ(result->case_number, i)
+        << "S" << i << ": " << result->explanation;
+  }
+}
+
+TEST(CaseAnalysisTest, Case7Reachable) {
+  // ∆ = {1→{2,3,4}, 2→3} over arity 5: A = {1} is the smallest minimal
+  // determiner and is not a key (attribute 5 is never determined), with
+  // A⁺ = {1,2,3,4}; B = {2} is the minimal non-redundant determiner
+  // besides A, with B⁺ = {2,3} ⊊ A⁺ — hence case 7 (A⁺ ⊄ B⁺).
+  FDSet fds(5, {FD(AttrSet{1}, AttrSet{2, 3, 4}), FD(AttrSet{2}, AttrSet{3})});
+  Result<HardnessCase> result = AnalyzeHardRelation(fds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->case_number, 7) << result->explanation;
+  EXPECT_EQ(result->a, AttrSet{1});
+  EXPECT_EQ(result->b, AttrSet{2});
+}
+
+TEST(CaseAnalysisTest, BranchingIsExhaustiveOnRandomHardSets) {
+  Rng rng(424242);
+  int analyzed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    int arity = 3 + static_cast<int>(rng.NextBounded(2));
+    FDSet fds(arity);
+    size_t num_fds = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < num_fds; ++i) {
+      uint64_t full = (uint64_t{1} << arity) - 1;
+      fds.Add(FD(AttrSet::FromMask(rng.Next() & full),
+                 AttrSet::FromMask(rng.Next() & full)));
+    }
+    if (ClassifyRelationFds(fds).kind != TractableKind::kHard) {
+      continue;
+    }
+    Result<HardnessCase> result = AnalyzeHardRelation(fds);
+    ASSERT_TRUE(result.ok()) << fds.ToString();
+    EXPECT_GE(result->case_number, 1);
+    EXPECT_LE(result->case_number, 7);
+    if (result->case_number >= 2) {
+      // The chosen determiners satisfy their defining properties.
+      EXPECT_FALSE(fds.IsKey(result->a)) << fds.ToString();
+      EXPECT_TRUE(result->a.IsStrictSubsetOf(result->a_plus));
+      EXPECT_TRUE(result->b.IsStrictSubsetOf(result->b_plus));
+      EXPECT_NE(result->a, result->b);
+    }
+    ++analyzed;
+  }
+  EXPECT_GT(analyzed, 20) << "sweep produced too few hard sets";
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,122 @@
+// Tests for counting / uniqueness of preferred repairs (the concluding-
+// remarks extension) and for the hard choice-gadget workload generator.
+
+#include <gtest/gtest.h>
+
+#include "gen/hard_workloads.h"
+#include "gen/random_instance.h"
+#include "repair/counting.h"
+#include "repair/subinstance_ops.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+using testing_util::ProblemSpec;
+
+TEST(HardWorkloadTest, GadgetsAreIndependentAcrossAllSixSchemas) {
+  for (int index = 1; index <= 6; ++index) {
+    PreferredRepairProblem p =
+        MakeHardChoiceWorkload(index, 6, HardJ::kAllPreferred);
+    ConflictGraph cg(*p.instance);
+    // Exactly one conflict per gadget, hence 2^6 repairs.
+    EXPECT_EQ(cg.num_edges(), 6u) << "S" << index;
+    EXPECT_EQ(CountRepairs(cg), 64u) << "S" << index;
+    EXPECT_TRUE(p.priority->Validate(PriorityMode::kConflictOnly).ok())
+        << "S" << index;
+    EXPECT_TRUE(IsRepair(cg, p.j)) << "S" << index;
+  }
+}
+
+TEST(HardWorkloadTest, PreferredJIsOptimalDispreferredIsNot) {
+  for (int index = 1; index <= 6; ++index) {
+    PreferredRepairProblem hi =
+        MakeHardChoiceWorkload(index, 5, HardJ::kAllPreferred);
+    ConflictGraph cg_hi(*hi.instance);
+    EXPECT_TRUE(
+        ExhaustiveCheckGlobalOptimal(cg_hi, *hi.priority, hi.j).optimal)
+        << "S" << index;
+
+    PreferredRepairProblem lo =
+        MakeHardChoiceWorkload(index, 5, HardJ::kAllDispreferred);
+    ConflictGraph cg_lo(*lo.instance);
+    EXPECT_FALSE(
+        ExhaustiveCheckGlobalOptimal(cg_lo, *lo.priority, lo.j).optimal)
+        << "S" << index;
+  }
+}
+
+TEST(CountingTest, GadgetWorkloadHasUniqueOptimal) {
+  PreferredRepairProblem p = MakeHardChoiceWorkload(4, 4, HardJ::kAllPreferred);
+  ConflictGraph cg(*p.instance);
+  EXPECT_EQ(CountOptimalRepairs(cg, *p.priority, RepairSemantics::kGlobal),
+            1u);
+  auto unique = UniqueGloballyOptimalRepair(cg, *p.priority);
+  ASSERT_TRUE(unique.has_value());
+  EXPECT_EQ(*unique, p.j);
+  // The priority orders every conflicting pair here, so the polynomial
+  // sufficient condition applies and agrees.
+  EXPECT_TRUE(IsPriorityTotalOnConflicts(cg, *p.priority));
+  auto fast = UniqueOptimalIfTotalPriority(cg, *p.priority);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, *unique);
+}
+
+TEST(CountingTest, IncomparableChoicesGiveMultipleOptima) {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a: k, 1", "b: k, 2"};
+  // No priority: both singleton repairs are optimal.
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  EXPECT_EQ(CountOptimalRepairs(cg, *p.priority, RepairSemantics::kGlobal),
+            2u);
+  EXPECT_FALSE(UniqueGloballyOptimalRepair(cg, *p.priority).has_value());
+  EXPECT_FALSE(IsPriorityTotalOnConflicts(cg, *p.priority));
+  EXPECT_FALSE(UniqueOptimalIfTotalPriority(cg, *p.priority).has_value());
+}
+
+TEST(CountingTest, TotalityIsSufficientButNotNecessary) {
+  // Two conflicting facts with a priority, plus an unconflicted third:
+  // the optimal repair is unique; now add an unordered conflict pair
+  // whose members both lose to a third fact — still unique, though the
+  // priority is not total.
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"top: k, 1", "l1: k, 2", "l2: k, 3"};
+  spec.priorities = {"top > l1", "top > l2"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  ConflictGraph cg(*p.instance);
+  EXPECT_FALSE(IsPriorityTotalOnConflicts(cg, *p.priority));  // l1 vs l2
+  EXPECT_FALSE(UniqueOptimalIfTotalPriority(cg, *p.priority).has_value());
+  auto unique = UniqueGloballyOptimalRepair(cg, *p.priority);
+  ASSERT_TRUE(unique.has_value());
+  EXPECT_EQ(*unique, testing_util::Sub(*p.instance, {"top"}));
+}
+
+TEST(CountingTest, CountsAgreeWithSemanticsInclusion) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schema schema = Schema::SingleRelation(
+        "R", 3, {FD(AttrSet{1}, AttrSet{2})});
+    RandomProblemOptions opts;
+    opts.facts_per_relation = 10;
+    opts.domain_size = 3;
+    opts.seed = seed * 53;
+    PreferredRepairProblem p = GenerateRandomProblem(schema, opts);
+    ConflictGraph cg(*p.instance);
+    uint64_t completion =
+        CountOptimalRepairs(cg, *p.priority, RepairSemantics::kCompletion);
+    uint64_t global =
+        CountOptimalRepairs(cg, *p.priority, RepairSemantics::kGlobal);
+    uint64_t pareto =
+        CountOptimalRepairs(cg, *p.priority, RepairSemantics::kPareto);
+    EXPECT_GE(global, uint64_t{1});
+    EXPECT_LE(completion, global);
+    EXPECT_LE(global, pareto);
+  }
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,272 @@
+// Tests for the FD-theory substrate: attribute sets, FD parsing, closure,
+// implication, equivalence, keys, minimal covers and determiners.
+// Includes the worked closures of Example 2.2.
+
+#include <gtest/gtest.h>
+
+#include "fd/determiners.h"
+#include "fd/fd_set.h"
+
+namespace prefrep {
+namespace {
+
+TEST(AttrSetTest, BasicSetAlgebra) {
+  AttrSet a{1, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_TRUE(a.Contains(1));
+  EXPECT_FALSE(a.Contains(2));
+  EXPECT_EQ((a | b), (AttrSet{1, 3, 4}));
+  EXPECT_EQ((a & b), (AttrSet{3}));
+  EXPECT_EQ((a - b), (AttrSet{1}));
+  EXPECT_TRUE((a & b).IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet{1}.IsStrictSubsetOf(a));
+  EXPECT_FALSE(a.IsStrictSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttrSet{2}));
+}
+
+TEST(AttrSetTest, FullAndBoundaries) {
+  EXPECT_EQ(AttrSet::Full(0), AttrSet());
+  EXPECT_EQ(AttrSet::Full(3), (AttrSet{1, 2, 3}));
+  AttrSet full64 = AttrSet::Full(64);
+  EXPECT_EQ(full64.size(), 64);
+  EXPECT_TRUE(full64.Contains(64));
+  EXPECT_TRUE(full64.Contains(1));
+}
+
+TEST(AttrSetTest, IterationOrderAndToString) {
+  AttrSet a{5, 1, 3};
+  EXPECT_EQ(a.ToVector(), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(a.ToString(), "{1, 3, 5}");
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+}
+
+TEST(FdTest, ParseVariants) {
+  auto fd1 = FD::Parse("1 -> 2");
+  ASSERT_TRUE(fd1.ok());
+  EXPECT_EQ(fd1->lhs, AttrSet{1});
+  EXPECT_EQ(fd1->rhs, AttrSet{2});
+
+  auto fd2 = FD::Parse("{1, 2} -> {3}");
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(fd2->lhs, (AttrSet{1, 2}));
+  EXPECT_EQ(fd2->rhs, AttrSet{3});
+
+  auto fd3 = FD::Parse("{} -> 1");
+  ASSERT_TRUE(fd3.ok());
+  EXPECT_TRUE(fd3->lhs.empty());
+  EXPECT_TRUE(fd3->IsConstantAttribute());
+
+  EXPECT_FALSE(FD::Parse("1, 2").ok());
+  EXPECT_FALSE(FD::Parse("{1 -> 2").ok());
+  EXPECT_FALSE(FD::Parse("a -> b").ok());
+  EXPECT_FALSE(FD::Parse("0 -> 1").ok());
+  EXPECT_FALSE(FD::Parse("65 -> 1").ok());
+}
+
+TEST(FdTest, TrivialAndKeyPredicates) {
+  EXPECT_TRUE(FD(AttrSet{1, 2}, AttrSet{1}).IsTrivial());
+  EXPECT_FALSE(FD(AttrSet{1}, AttrSet{2}).IsTrivial());
+  EXPECT_TRUE(FD(AttrSet{1}, AttrSet{1, 2, 3}).IsKeyConstraint(3));
+  EXPECT_FALSE(FD(AttrSet{1}, AttrSet{1, 2}).IsKeyConstraint(3));
+}
+
+// Example 2.2: ∆ = {R:1→2, R:2→3} over a ternary R has, in ∆⁺, the fds
+// 1→3, {1,2}→3 and 3→3; ⟦R.{1}⟧ = {1,2,3}.
+TEST(FdSetTest, ClosureAndImplicationExample) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_EQ(fds.Closure(AttrSet{1}), (AttrSet{1, 2, 3}));
+  EXPECT_EQ(fds.Closure(AttrSet{2}), (AttrSet{2, 3}));
+  EXPECT_EQ(fds.Closure(AttrSet{3}), (AttrSet{3}));
+  EXPECT_TRUE(fds.Implies(FD(AttrSet{1}, AttrSet{3})));
+  EXPECT_TRUE(fds.Implies(FD(AttrSet{1, 2}, AttrSet{3})));
+  EXPECT_TRUE(fds.Implies(FD(AttrSet{3}, AttrSet{3})));
+  EXPECT_FALSE(fds.Implies(FD(AttrSet{3}, AttrSet{1})));
+  EXPECT_FALSE(fds.Implies(FD(AttrSet{2}, AttrSet{1})));
+}
+
+// Example 2.2 closures for the running-example schema: with
+// ∆|BookLoc = {1→2}, ⟦BookLoc.{1}⟧ = {1,2} and ⟦BookLoc.{1,3}⟧ = {1,2,3}.
+TEST(FdSetTest, RunningExampleClosures) {
+  FDSet book_loc(3, {FD(AttrSet{1}, AttrSet{2})});
+  EXPECT_EQ(book_loc.Closure(AttrSet{1}), (AttrSet{1, 2}));
+  EXPECT_EQ(book_loc.Closure(AttrSet{1, 3}), (AttrSet{1, 2, 3}));
+  // BookLoc: {1,3} → {1,2} is in ∆⁺ but not in ∆.
+  EXPECT_TRUE(book_loc.Implies(FD(AttrSet{1, 3}, AttrSet{1, 2})));
+}
+
+TEST(FdSetTest, EmptyLhsClosure) {
+  FDSet fds(3, {FD(AttrSet(), AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_EQ(fds.Closure(AttrSet()), (AttrSet{2, 3}));
+  EXPECT_TRUE(fds.Implies(FD(AttrSet{1}, AttrSet{3})));
+}
+
+TEST(FdSetTest, Equivalence) {
+  FDSet a(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  FDSet b(3, {FD(AttrSet{1}, AttrSet{2, 3}), FD(AttrSet{2}, AttrSet{3})});
+  FDSet c(3, {FD(AttrSet{1}, AttrSet{2, 3})});
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_TRUE(b.EquivalentTo(a));
+  EXPECT_FALSE(a.EquivalentTo(c));  // c does not imply 2→3
+  EXPECT_TRUE(c.ImpliesAll(FDSet(3)));
+  EXPECT_TRUE(a.EquivalentTo(a));
+}
+
+TEST(FdSetTest, KeysBasic) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_TRUE(fds.IsKey(AttrSet{1}));
+  EXPECT_TRUE(fds.IsKey(AttrSet{1, 3}));
+  EXPECT_FALSE(fds.IsKey(AttrSet{2}));
+  EXPECT_TRUE(fds.IsMinimalKey(AttrSet{1}));
+  EXPECT_FALSE(fds.IsMinimalKey(AttrSet{1, 3}));
+  EXPECT_EQ(fds.MinimalKeys(), std::vector<AttrSet>{AttrSet{1}});
+}
+
+TEST(FdSetTest, MinimalKeysMultiple) {
+  // 1→2, 2→1 over a binary relation: minimal keys {1} and {2}.
+  FDSet fds(2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+  EXPECT_EQ(fds.MinimalKeys(), (std::vector<AttrSet>{AttrSet{1}, AttrSet{2}}));
+}
+
+TEST(FdSetTest, MinimalKeysS1) {
+  // S1's three fds make every pair of attributes a minimal key.
+  FDSet fds(3, {FD(AttrSet{1, 2}, AttrSet{3}), FD(AttrSet{1, 3}, AttrSet{2}),
+                FD(AttrSet{2, 3}, AttrSet{1})});
+  std::vector<AttrSet> keys = fds.MinimalKeys();
+  EXPECT_EQ(keys.size(), 3u);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), (AttrSet{1, 2})), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), (AttrSet{1, 3})), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), (AttrSet{2, 3})), keys.end());
+}
+
+TEST(FdSetTest, MinimalKeysEmptyFdSet) {
+  FDSet fds(3);
+  EXPECT_EQ(fds.MinimalKeys(), std::vector<AttrSet>{(AttrSet{1, 2, 3})});
+}
+
+TEST(FdSetTest, SaturatePerLhs) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3}),
+                FD(AttrSet{1}, AttrSet{3})});
+  FDSet saturated = fds.SaturatePerLhs();
+  EXPECT_EQ(saturated.size(), 2u);  // LHSs {1} and {2}
+  EXPECT_TRUE(saturated.EquivalentTo(fds));
+  for (const FD& fd : saturated.fds()) {
+    EXPECT_EQ(fd.rhs, fds.Closure(fd.lhs));
+  }
+}
+
+TEST(FdSetTest, MinimalCover) {
+  // Redundant set: 1→2, 2→3, 1→3 (implied), {1,3}→2 (extraneous attr 3).
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3}),
+                FD(AttrSet{1}, AttrSet{3}), FD(AttrSet{1, 3}, AttrSet{2})});
+  FDSet cover = fds.MinimalCover();
+  EXPECT_TRUE(cover.EquivalentTo(fds));
+  EXPECT_LE(cover.size(), 2u);
+  for (const FD& fd : cover.fds()) {
+    EXPECT_EQ(fd.rhs.size(), 1);
+    EXPECT_FALSE(fd.IsTrivial());
+  }
+}
+
+TEST(FdSetTest, MinimalCoverOfEquivalentSetsMatchesSemantics) {
+  FDSet a(4, {FD(AttrSet{1}, AttrSet{2, 3, 4})});
+  FDSet b(4, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{1}, AttrSet{3}),
+              FD(AttrSet{1}, AttrSet{4})});
+  EXPECT_TRUE(a.MinimalCover().EquivalentTo(b.MinimalCover()));
+}
+
+TEST(FdSetTest, KeySetEquivalence) {
+  // {1→all, 2→all} is a key set.
+  FDSet keys(2, {FD(AttrSet{1}, AttrSet{1, 2}), FD(AttrSet{2}, AttrSet{1, 2})});
+  EXPECT_TRUE(keys.EquivalentToSomeKeySet());
+  EXPECT_EQ(keys.AsKeySet(), (std::vector<AttrSet>{AttrSet{1}, AttrSet{2}}));
+
+  // 1→2, 2→1 over binary: both LHSs are keys, so a key set.
+  FDSet twokeys(2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})});
+  EXPECT_TRUE(twokeys.EquivalentToSomeKeySet());
+
+  // 1→2, 2→3 over ternary: LHS {2} is not a key.
+  FDSet chain(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_FALSE(chain.EquivalentToSomeKeySet());
+
+  // Example 3.3's T: {1→{2,3,4}, {2,3}→1} is equivalent to two keys.
+  FDSet t(4, {FD(AttrSet{1}, AttrSet{2, 3, 4}), FD(AttrSet{2, 3}, AttrSet{1})});
+  EXPECT_TRUE(t.EquivalentToSomeKeySet());
+  EXPECT_EQ(t.AsKeySet(), (std::vector<AttrSet>{AttrSet{1}, (AttrSet{2, 3})}));
+}
+
+TEST(FdSetTest, AsKeySetDropsContainedKeys) {
+  // {1}→all and {1,2}→all: the latter is implied.
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{1, 2, 3}),
+                FD(AttrSet{1, 2}, AttrSet{1, 2, 3})});
+  EXPECT_TRUE(fds.EquivalentToSomeKeySet());
+  EXPECT_EQ(fds.AsKeySet(), std::vector<AttrSet>{AttrSet{1}});
+}
+
+// --- Determiners (§5.2) ---------------------------------------------------
+
+TEST(DeterminerTest, NontrivialAndMinimal) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_TRUE(IsNontrivialDeterminer(fds, AttrSet{1}));
+  EXPECT_TRUE(IsNontrivialDeterminer(fds, AttrSet{2}));
+  EXPECT_FALSE(IsNontrivialDeterminer(fds, AttrSet{3}));
+  EXPECT_TRUE(IsNontrivialDeterminer(fds, AttrSet{1, 3}));
+
+  EXPECT_TRUE(IsMinimalDeterminer(fds, AttrSet{1}));
+  EXPECT_TRUE(IsMinimalDeterminer(fds, AttrSet{2}));
+  EXPECT_FALSE(IsMinimalDeterminer(fds, AttrSet{1, 3}));
+  EXPECT_EQ(MinimalDeterminers(fds),
+            (std::vector<AttrSet>{AttrSet{1}, AttrSet{2}}));
+}
+
+TEST(DeterminerTest, NonRedundant) {
+  FDSet fds(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  EXPECT_TRUE(IsNonRedundantDeterminer(fds, AttrSet{1}));
+  EXPECT_TRUE(IsNonRedundantDeterminer(fds, AttrSet{2}));
+  // {1,2} adds only {3} which {2} alone already determines.
+  EXPECT_FALSE(IsNonRedundantDeterminer(fds, (AttrSet{1, 2})));
+  // {1,3} adds only {2} which {1} alone already determines.
+  EXPECT_FALSE(IsNonRedundantDeterminer(fds, (AttrSet{1, 3})));
+}
+
+TEST(DeterminerTest, NonRedundantNeedNotBeLhs) {
+  // ∆ = {2→5, {4,5}→6} over arity 6: {2,4} is a non-redundant determiner
+  // that is not a syntactic LHS (closure adds {5,6}; {2} alone only adds
+  // {5}, {4} alone nothing).
+  FDSet fds(6, {FD(AttrSet{2}, AttrSet{5}), FD(AttrSet{4, 5}, AttrSet{6})});
+  EXPECT_TRUE(IsNonRedundantDeterminer(fds, (AttrSet{2, 4})));
+  EXPECT_FALSE(IsMinimalDeterminer(fds, (AttrSet{2, 4})));
+}
+
+TEST(DeterminerTest, EmptySetDeterminer) {
+  FDSet fds(2, {FD(AttrSet(), AttrSet{1})});
+  EXPECT_TRUE(IsNontrivialDeterminer(fds, AttrSet()));
+  EXPECT_TRUE(IsMinimalDeterminer(fds, AttrSet()));
+  EXPECT_TRUE(IsNonRedundantDeterminer(fds, AttrSet()));
+  // Any superset of ∅ gains nothing beyond what ∅ already determines.
+  EXPECT_FALSE(IsNonRedundantDeterminer(fds, AttrSet{2}));
+}
+
+TEST(DeterminerTest, MinimalNonKeyDeterminer) {
+  // S4 = {1→2, 2→3}: minimal determiners {1} (a key) and {2} (not).
+  FDSet s4(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  auto a = MinimalNonKeyDeterminer(s4);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, AttrSet{2});
+
+  // A pure key set has no non-key minimal determiner.
+  FDSet keys(2, {FD(AttrSet{1}, AttrSet{1, 2}), FD(AttrSet{2}, AttrSet{1, 2})});
+  EXPECT_FALSE(MinimalNonKeyDeterminer(keys).has_value());
+}
+
+TEST(DeterminerTest, SecondDeterminerExcluding) {
+  FDSet s4(3, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{3})});
+  auto b = MinimalNonRedundantDeterminerExcluding(s4, AttrSet{2});
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, AttrSet{1});
+}
+
+}  // namespace
+}  // namespace prefrep

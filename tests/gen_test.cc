@@ -1,0 +1,112 @@
+// Tests for the workload generators: structural invariants of the
+// random problem generator (acyclicity, conflict-boundedness, J-policy
+// guarantees, skew behaviour) across a seed sweep.
+
+#include <gtest/gtest.h>
+
+#include "gen/random_instance.h"
+#include "reductions/hard_schemas.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+namespace {
+
+class GeneratorInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorInvariants, PriorityAlwaysValid) {
+  RandomProblemOptions opts;
+  opts.facts_per_relation = 25;
+  opts.domain_size = 3;
+  opts.priority_density = 0.8;
+  opts.seed = GetParam();
+  PreferredRepairProblem p =
+      GenerateRandomProblem(HardSchemaS4(), opts);
+  // Without cross density the priority is conflict-bounded and acyclic.
+  EXPECT_TRUE(p.priority->Validate(PriorityMode::kConflictOnly).ok());
+
+  opts.cross_priority_density = 0.8;
+  PreferredRepairProblem ccp =
+      GenerateRandomProblem(HardSchemaS4(), opts);
+  EXPECT_TRUE(ccp.priority->Validate(PriorityMode::kCrossConflict).ok());
+}
+
+TEST_P(GeneratorInvariants, RepairPoliciesYieldRepairs) {
+  for (JPolicy policy : {JPolicy::kRandomRepair, JPolicy::kLowPriorityRepair,
+                         JPolicy::kHighPriorityRepair}) {
+    RandomProblemOptions opts;
+    opts.facts_per_relation = 20;
+    opts.domain_size = 3;
+    opts.j_policy = policy;
+    opts.seed = GetParam() * 7 + 1;
+    PreferredRepairProblem p =
+        GenerateRandomProblem(HardSchemaS2(), opts);
+    ConflictGraph cg(*p.instance);
+    EXPECT_TRUE(IsRepair(cg, p.j));
+  }
+}
+
+TEST_P(GeneratorInvariants, SubsetPolicyYieldsConsistentSubset) {
+  RandomProblemOptions opts;
+  opts.facts_per_relation = 20;
+  opts.domain_size = 3;
+  opts.j_policy = JPolicy::kRandomConsistentSubset;
+  opts.seed = GetParam() * 13 + 5;
+  PreferredRepairProblem p = GenerateRandomProblem(HardSchemaS2(), opts);
+  EXPECT_TRUE(IsConsistent(*p.instance, p.j));
+}
+
+TEST_P(GeneratorInvariants, DeterministicForFixedSeed) {
+  RandomProblemOptions opts;
+  opts.facts_per_relation = 15;
+  opts.seed = GetParam();
+  PreferredRepairProblem a = GenerateRandomProblem(HardSchemaS5(), opts);
+  PreferredRepairProblem b = GenerateRandomProblem(HardSchemaS5(), opts);
+  EXPECT_EQ(a.instance->num_facts(), b.instance->num_facts());
+  EXPECT_EQ(a.priority->edges(), b.priority->edges());
+  EXPECT_EQ(a.j, b.j);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorInvariants,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(GeneratorTest, DomainSizeControlsConflicts) {
+  Schema schema = Schema::SingleRelation("R", 2, {FD(AttrSet{1}, AttrSet{2})});
+  RandomProblemOptions small_domain;
+  small_domain.facts_per_relation = 40;
+  small_domain.domain_size = 4;
+  small_domain.seed = 3;
+  RandomProblemOptions big_domain = small_domain;
+  big_domain.domain_size = 40;
+  PreferredRepairProblem pd = GenerateRandomProblem(schema, small_domain);
+  PreferredRepairProblem ps = GenerateRandomProblem(schema, big_domain);
+  ConflictGraph dense(*pd.instance);
+  ConflictGraph sparse(*ps.instance);
+  // Small domains dedupe more tuples, so compare conflict *rates*
+  // (edges per fact pair) rather than raw counts.
+  auto rate = [](const ConflictGraph& cg) {
+    size_t n = cg.num_facts();
+    return n < 2 ? 0.0
+                 : static_cast<double>(cg.num_edges()) * 2.0 /
+                       (static_cast<double>(n) * (n - 1));
+  };
+  EXPECT_GT(rate(dense), 2.0 * rate(sparse));
+}
+
+TEST(GeneratorTest, PriorityDensityControlsEdges) {
+  Schema schema = Schema::SingleRelation("R", 2, {FD(AttrSet{1}, AttrSet{2})});
+  RandomProblemOptions none;
+  none.facts_per_relation = 40;
+  none.domain_size = 3;
+  none.priority_density = 0.0;
+  none.seed = 5;
+  RandomProblemOptions full = none;
+  full.priority_density = 1.0;
+  PreferredRepairProblem p0 = GenerateRandomProblem(schema, none);
+  PreferredRepairProblem p1 = GenerateRandomProblem(schema, full);
+  EXPECT_EQ(p0.priority->num_edges(), 0u);
+  ConflictGraph cg(*p1.instance);
+  EXPECT_EQ(p1.priority->num_edges(), cg.num_edges());
+}
+
+}  // namespace
+}  // namespace prefrep

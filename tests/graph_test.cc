@@ -1,0 +1,116 @@
+// Tests for the graph utilities: digraph cycle detection / topological
+// order / SCC, and undirected-graph generators.
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/undirected.h"
+
+namespace prefrep {
+namespace {
+
+TEST(DigraphTest, AcyclicAndTopologicalOrder) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  EXPECT_TRUE(g.IsAcyclic());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.has_value());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) {
+    pos[(*order)[i]] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[0], pos[3]);
+  EXPECT_FALSE(g.FindCycle().has_value());
+}
+
+TEST(DigraphTest, FindCycleReturnsRealCycle) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);  // cycle 1 → 2 → 3 → 1
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.IsAcyclic());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 2u);
+  for (size_t i = 0; i < cycle->size(); ++i) {
+    size_t u = (*cycle)[i];
+    size_t v = (*cycle)[(i + 1) % cycle->size()];
+    bool edge = false;
+    for (size_t w : g.successors(u)) {
+      if (w == v) {
+        edge = true;
+      }
+    }
+    EXPECT_TRUE(edge) << u << " -> " << v;
+  }
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g(2);
+  g.AddEdge(1, 1);
+  EXPECT_FALSE(g.IsAcyclic());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1u);
+}
+
+TEST(DigraphTest, TwoCycleFound) {
+  Digraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 0);
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);
+}
+
+TEST(DigraphTest, SccComponents) {
+  // Two SCCs {0,1,2} and {3}, plus isolated {4}.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  size_t n = 0;
+  std::vector<size_t> comp = g.StronglyConnectedComponents(&n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(UndirectedTest, GeneratorsShapes) {
+  UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  EXPECT_EQ(c5.num_edges(), 5u);
+  UndirectedGraph k4 = UndirectedGraph::Complete(4);
+  EXPECT_EQ(k4.num_edges(), 6u);
+  UndirectedGraph p4 = UndirectedGraph::Path(4);
+  EXPECT_EQ(p4.num_edges(), 3u);
+  EXPECT_TRUE(c5.HasEdge(4, 0));
+  EXPECT_FALSE(p4.HasEdge(3, 0));
+}
+
+TEST(UndirectedTest, NoDuplicateEdgesOrSelfLoops) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(UndirectedTest, HamiltonianWithChordsIsHamiltonian) {
+  Rng rng(77);
+  for (int i = 0; i < 10; ++i) {
+    UndirectedGraph g = UndirectedGraph::HamiltonianWithChords(8, 6, &rng);
+    EXPECT_TRUE(HasHamiltonianCycle(g));
+  }
+}
+
+}  // namespace
+}  // namespace prefrep

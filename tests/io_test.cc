@@ -1,0 +1,130 @@
+// Tests for the text-format parser/serializer, including round-trips
+// through the running example and error reporting with line numbers.
+
+#include <gtest/gtest.h>
+
+#include "gen/running_example.h"
+#include "io/text_format.h"
+#include "repair/exhaustive.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+namespace {
+
+constexpr const char* kLibLocText = R"(
+# The LibLoc fragment of the running example.
+relation LibLoc 2
+fd LibLoc: 1 -> 2
+fd LibLoc: 2 -> 1
+
+fact d1a LibLoc(lib1, almaden)
+fact e1b LibLoc(lib1, bascom)
+fact g2a LibLoc(lib2, almaden)
+fact f2b LibLoc(lib2, bascom)
+
+prefer e1b > d1a
+prefer g2a > f2b
+j d1a f2b
+)";
+
+TEST(TextFormatTest, ParsesSchemaFactsPrioritiesAndJ) {
+  auto parsed = ParseProblemText(kLibLocText);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const PreferredRepairProblem& p = *parsed;
+  EXPECT_EQ(p.instance->schema().num_relations(), 1u);
+  EXPECT_EQ(p.instance->num_facts(), 4u);
+  EXPECT_EQ(p.priority->num_edges(), 2u);
+  EXPECT_EQ(p.j.count(), 2u);
+  EXPECT_TRUE(p.j.test(p.instance->FindLabel("d1a")));
+  EXPECT_TRUE(p.priority->Prefers(p.instance->FindLabel("e1b"),
+                                  p.instance->FindLabel("d1a")));
+}
+
+TEST(TextFormatTest, PreferChains) {
+  auto parsed = ParseProblemText(R"(
+relation R 2
+fd R: 1 -> 2
+fact a R(k, 1)
+fact b R(k, 2)
+fact c R(k, 3)
+prefer a > b > c
+)");
+  ASSERT_TRUE(parsed.ok());
+  const PreferredRepairProblem& p = *parsed;
+  EXPECT_TRUE(p.priority->Prefers(p.instance->FindLabel("a"),
+                                  p.instance->FindLabel("b")));
+  EXPECT_TRUE(p.priority->Prefers(p.instance->FindLabel("b"),
+                                  p.instance->FindLabel("c")));
+  EXPECT_FALSE(p.priority->Prefers(p.instance->FindLabel("a"),
+                                   p.instance->FindLabel("c")));
+}
+
+TEST(TextFormatTest, DeclarationsInAnyOrder) {
+  // Facts before their relation declaration, fd before relation.
+  auto parsed = ParseProblemText(R"(
+fact a R(k, 1)
+fd R: 1 -> 2
+relation R 2
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->instance->num_facts(), 1u);
+}
+
+TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+  auto bad_arity = ParseProblemText("relation R zero\n");
+  EXPECT_FALSE(bad_arity.ok());
+  EXPECT_NE(bad_arity.status().message().find("line 1"), std::string::npos);
+
+  auto unknown_rel = ParseProblemText("relation R 2\nfact a S(x, y)\n");
+  EXPECT_FALSE(unknown_rel.ok());
+  EXPECT_NE(unknown_rel.status().message().find("line 2"),
+            std::string::npos);
+
+  auto bad_directive = ParseProblemText("relation R 2\nfoo bar\n");
+  EXPECT_FALSE(bad_directive.ok());
+
+  auto arity_mismatch = ParseProblemText("relation R 2\nfact a R(x)\n");
+  EXPECT_FALSE(arity_mismatch.ok());
+
+  auto unknown_label = ParseProblemText(
+      "relation R 2\nfact a R(x, y)\nprefer a > b\n");
+  EXPECT_FALSE(unknown_label.ok());
+
+  auto dup_relation = ParseProblemText("relation R 2\nrelation R 3\n");
+  EXPECT_FALSE(dup_relation.ok());
+}
+
+TEST(TextFormatTest, RoundTripPreservesSemantics) {
+  PreferredRepairProblem original = RunningExampleProblem();
+  original.j = RunningExampleJ(*original.instance, 2);
+  std::string text = ProblemToText(original);
+  auto reparsed = ParseProblemText(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const PreferredRepairProblem& p = *reparsed;
+  EXPECT_EQ(p.instance->num_facts(), original.instance->num_facts());
+  EXPECT_EQ(p.priority->num_edges(), original.priority->num_edges());
+  EXPECT_EQ(p.j.count(), original.j.count());
+  // Same optimality verdicts after the round trip.
+  ConflictGraph cg1(*original.instance);
+  ConflictGraph cg2(*p.instance);
+  EXPECT_EQ(
+      ExhaustiveCheckGlobalOptimal(cg1, *original.priority, original.j)
+          .optimal,
+      ExhaustiveCheckGlobalOptimal(cg2, *p.priority, p.j).optimal);
+  EXPECT_EQ(CountRepairs(cg1), CountRepairs(cg2));
+}
+
+TEST(TextFormatTest, UnlabeledFactsSerializeWithSyntheticLabels) {
+  Schema schema = Schema::SingleRelation("R", 2, {FD(AttrSet{1}, AttrSet{2})});
+  PreferredRepairProblem p(std::move(schema));
+  p.instance->MustAddFact("R", {"x", "y"});
+  p.InitPriority();
+  std::string text = ProblemToText(p);
+  EXPECT_NE(text.find("fact f0 R(x, y)"), std::string::npos);
+  auto reparsed = ParseProblemText(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->instance->num_facts(), 1u);
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,111 @@
+// Tests for the relational model: value interning, schemas, instances,
+// fact identity, labels and subinstance rendering.
+
+#include <gtest/gtest.h>
+
+#include "model/instance.h"
+
+namespace prefrep {
+namespace {
+
+TEST(ValueDictTest, InternIsIdempotent) {
+  ValueDict dict;
+  ValueId a = dict.Intern("almaden");
+  ValueId b = dict.Intern("bascom");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("almaden"), a);
+  EXPECT_EQ(dict.Text(a), "almaden");
+  EXPECT_EQ(dict.Find("bascom"), b);
+  EXPECT_EQ(dict.Find("nope"), kInvalidValueId);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.InternInt(42), dict.Intern("42"));
+}
+
+TEST(SchemaTest, RelationsAndFds) {
+  Schema schema;
+  auto r = schema.AddRelation("R", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(schema.AddRelation("R", 3).ok());  // duplicate
+  EXPECT_FALSE(schema.AddRelation("", 2).ok());
+  EXPECT_FALSE(schema.AddRelation("Bad", 0).ok());
+  EXPECT_FALSE(schema.AddRelation("Bad", 65).ok());
+  EXPECT_EQ(schema.FindRelation("R"), *r);
+  EXPECT_EQ(schema.FindRelation("S"), kInvalidRelId);
+
+  EXPECT_TRUE(schema.AddFd(*r, FD(AttrSet{1}, AttrSet{2})).ok());
+  EXPECT_FALSE(schema.AddFd(*r, FD(AttrSet{1}, AttrSet{3})).ok());  // arity
+  EXPECT_TRUE(schema.AddFd("R", FD(AttrSet{2}, AttrSet{1})).ok());
+  EXPECT_FALSE(schema.AddFd("S", FD(AttrSet{1}, AttrSet{2})).ok());
+  EXPECT_EQ(schema.fds(*r).size(), 2u);
+}
+
+TEST(SchemaTest, ParsedFdsWithAndWithoutRelationName) {
+  Schema schema;
+  schema.MustAddRelation("Only", 3);
+  EXPECT_TRUE(schema.AddFdParsed("Only: 1 -> 2").ok());
+  EXPECT_TRUE(schema.AddFdParsed("2 -> 3").ok());  // single-relation form
+  schema.MustAddRelation("Second", 2);
+  EXPECT_FALSE(schema.AddFdParsed("1 -> 2").ok());  // now ambiguous
+  EXPECT_TRUE(schema.AddFdParsed("Second: 1 -> 2").ok());
+}
+
+TEST(InstanceTest, FactsAreASet) {
+  Schema schema = Schema::SingleRelation("R", 2, {});
+  Instance inst(&schema);
+  auto a = inst.AddFact(0, {"x", "y"});
+  auto b = inst.AddFact(0, {"x", "y"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // duplicates collapse
+  EXPECT_EQ(inst.num_facts(), 1u);
+  auto c = inst.AddFact(0, {"x", "z"});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(inst.num_facts(), 2u);
+}
+
+TEST(InstanceTest, ArityChecked) {
+  Schema schema = Schema::SingleRelation("R", 2, {});
+  Instance inst(&schema);
+  EXPECT_FALSE(inst.AddFact(0, {"x"}).ok());
+  EXPECT_FALSE(inst.AddFact(0, {"x", "y", "z"}).ok());
+  EXPECT_FALSE(inst.AddFact(5, {"x", "y"}).ok());
+}
+
+TEST(InstanceTest, Labels) {
+  Schema schema = Schema::SingleRelation("R", 2, {});
+  Instance inst(&schema);
+  FactId f = inst.MustAddFact("R", {"x", "y"}, "mine");
+  EXPECT_EQ(inst.FindLabel("mine"), f);
+  EXPECT_EQ(inst.FindLabel("other"), kInvalidFactId);
+  EXPECT_EQ(inst.label(f), "mine");
+  // The same label may be re-declared for the same fact, but not reused
+  // for a different one.
+  EXPECT_TRUE(inst.AddFact(0, {"x", "y"}, "mine").ok());
+  EXPECT_FALSE(inst.AddFact(0, {"a", "b"}, "mine").ok());
+}
+
+TEST(InstanceTest, RenderingUsesLabels) {
+  Schema schema = Schema::SingleRelation("R", 2, {});
+  Instance inst(&schema);
+  FactId f = inst.MustAddFact("R", {"x", "y"}, "lab");
+  FactId g = inst.MustAddFact("R", {"u", "v"});
+  EXPECT_EQ(inst.FactToString(f), "lab=R(x, y)");
+  EXPECT_EQ(inst.FactToString(g), "R(u, v)");
+  DynamicBitset sub = inst.AllFacts();
+  EXPECT_EQ(inst.SubinstanceToString(sub), "{lab, R(u, v)}");
+}
+
+TEST(InstanceTest, FactsOfRelation) {
+  Schema schema;
+  schema.MustAddRelation("A", 1);
+  schema.MustAddRelation("B", 1);
+  Instance inst(&schema);
+  inst.MustAddFact("A", {"1"});
+  inst.MustAddFact("B", {"2"});
+  inst.MustAddFact("A", {"3"});
+  EXPECT_EQ(inst.facts_of(0).size(), 2u);
+  EXPECT_EQ(inst.facts_of(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,266 @@
+// Tests for the pattern-reduction framework — the machine-searchable
+// completion of the paper's omitted hardness cases (§5.2 Cases 2–7).
+//
+// The load-bearing facts verified here:
+//   1. the search finds a (finitely verified) reduction for every hard
+//      schema we try, with S1..S6 reducing from themselves;
+//   2. it finds NONE for tractable schemas — as it must, since a valid
+//      reduction from a coNP-complete problem into a PTIME one would
+//      collapse the dichotomy;
+//   3. applied reductions preserve legality and optimality verdicts
+//      end to end, including composed with the Lemma 5.2 HC reduction.
+
+#include <gtest/gtest.h>
+
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+#include "gen/random_instance.h"
+#include "graph/undirected.h"
+#include "reductions/hard_schemas.h"
+#include "reductions/hc_to_s1.h"
+#include "reductions/pattern_reduction.h"
+#include "repair/exhaustive.h"
+#include "repair/subinstance_ops.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+TEST(PatternReductionTest, SixHardSchemasReduceFromThemselves) {
+  for (int i = 1; i <= 6; ++i) {
+    Schema target = HardSchema(i);
+    auto self = PatternReduction::SearchFrom(i, target);
+    ASSERT_TRUE(self.ok()) << "S" << i << ": " << self.status().ToString();
+    EXPECT_EQ(self->Verify().ToString(), "OK");
+    EXPECT_EQ(self->source_name(), "S" + std::to_string(i));
+  }
+}
+
+TEST(PatternReductionTest, AssortedHardTargets) {
+  std::vector<Schema> targets;
+  // Three overlapping composite keys sharing attribute 4.
+  targets.push_back(Schema::SingleRelation(
+      "R", 4,
+      {FD(AttrSet{1, 4}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{2, 4}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{3, 4}, AttrSet{1, 2, 3, 4})}));
+  // The case-7 example from classify_test.
+  targets.push_back(Schema::SingleRelation(
+      "R", 5, {FD(AttrSet{1}, AttrSet{2, 3, 4}), FD(AttrSet{2}, AttrSet{3})}));
+  // Two independent single-fd "wings" (hard in combination).
+  targets.push_back(Schema::SingleRelation(
+      "R", 4, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{3}, AttrSet{4})}));
+  // A constant-attribute + chain mix (case 6 flavour).
+  targets.push_back(Schema::SingleRelation(
+      "R", 4, {FD(AttrSet(), AttrSet{1}), FD(AttrSet{2}, AttrSet{3})}));
+  for (const Schema& target : targets) {
+    ASSERT_EQ(ClassifyRelationFds(target.fds(0)).kind, TractableKind::kHard);
+    auto reduction = PatternReduction::Search(target);
+    ASSERT_TRUE(reduction.ok())
+        << target.ToString() << reduction.status().ToString();
+    EXPECT_EQ(reduction->Verify().ToString(), "OK") << reduction->ToString();
+  }
+}
+
+TEST(PatternReductionTest, TractableTargetsAdmitNoReduction) {
+  std::vector<Schema> targets;
+  targets.push_back(Schema::SingleRelation(
+      "R", 3, {FD(AttrSet{1}, AttrSet{2})}));  // single fd
+  targets.push_back(Schema::SingleRelation(
+      "R", 2, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{2}, AttrSet{1})}));
+  targets.push_back(Schema::SingleRelation(
+      "R", 4, {FD(AttrSet{1}, AttrSet{2, 3, 4})}));  // single key
+  targets.push_back(Schema::SingleRelation("R", 3, {}));  // no fds
+  targets.push_back(Schema::SingleRelation(
+      "T", 4, {FD(AttrSet{1}, AttrSet{2, 3, 4}),
+               FD(AttrSet{2, 3}, AttrSet{1})}));  // Example 3.3's two keys
+  for (const Schema& target : targets) {
+    ASSERT_NE(ClassifyRelationFds(target.fds(0)).kind, TractableKind::kHard);
+    auto reduction = PatternReduction::Search(target);
+    EXPECT_FALSE(reduction.ok()) << target.ToString();
+    EXPECT_EQ(reduction.status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(PatternReductionTest, RandomHardSchemasAllReducible) {
+  // Sweep random FD sets; every hard one (arity ≤ 4 keeps the search
+  // instant) must admit a reduction, every tractable one must not.
+  Rng rng(777);
+  int hard_seen = 0;
+  int tractable_seen = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    int arity = 3 + static_cast<int>(rng.NextBounded(2));
+    FDSet fds(arity);
+    size_t num_fds = 1 + rng.NextBounded(3);
+    uint64_t full = (uint64_t{1} << arity) - 1;
+    for (size_t i = 0; i < num_fds; ++i) {
+      fds.Add(FD(AttrSet::FromMask(rng.Next() & full),
+                 AttrSet::FromMask(rng.Next() & full)));
+    }
+    Schema target;
+    RelId rel = target.MustAddRelation("R", arity);
+    for (const FD& fd : fds.fds()) {
+      target.MustAddFd(rel, fd);
+    }
+    bool hard = ClassifyRelationFds(fds).kind == TractableKind::kHard;
+    auto reduction = PatternReduction::Search(target);
+    EXPECT_EQ(reduction.ok(), hard) << fds.ToString();
+    (hard ? hard_seen : tractable_seen)++;
+  }
+  EXPECT_GT(hard_seen, 10);
+  EXPECT_GT(tractable_seen, 10);
+}
+
+TEST(PatternReductionTest, EndToEndEquivalenceOnRandomInputs) {
+  Schema target = Schema::SingleRelation(
+      "R", 4, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet{3}, AttrSet{4})});
+  auto reduction = PatternReduction::Search(target);
+  ASSERT_TRUE(reduction.ok());
+  Schema source = reduction->source_schema();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomProblemOptions opts;
+    opts.facts_per_relation = 12;
+    opts.domain_size = 2;
+    opts.priority_density = 0.7;
+    opts.j_policy = (seed % 2 == 0) ? JPolicy::kRandomRepair
+                                    : JPolicy::kLowPriorityRepair;
+    opts.seed = seed * 37;
+    PreferredRepairProblem src = GenerateRandomProblem(source, opts);
+    PreferredRepairProblem dst = reduction->Apply(src);
+    EXPECT_TRUE(dst.priority->Validate(PriorityMode::kConflictOnly).ok());
+    ConflictGraph src_cg(*src.instance);
+    ConflictGraph dst_cg(*dst.instance);
+    // Conflicts correspond 1:1 under the fact bijection.
+    EXPECT_EQ(src_cg.num_edges(), dst_cg.num_edges());
+    EXPECT_EQ(
+        ExhaustiveCheckGlobalOptimal(src_cg, *src.priority, src.j).optimal,
+        ExhaustiveCheckGlobalOptimal(dst_cg, *dst.priority, dst.j).optimal)
+        << "seed " << seed;
+  }
+}
+
+TEST(PatternReductionTest, HamiltonianCycleThroughPatternReduction) {
+  // Compose: HC → S1 → (pattern search from S1) → a 4-attribute
+  // three-overlapping-keys schema.  The final instance answers the
+  // original graph question.
+  Schema target = Schema::SingleRelation(
+      "R", 4,
+      {FD(AttrSet{1, 4}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{2, 4}, AttrSet{1, 2, 3, 4}),
+       FD(AttrSet{3, 4}, AttrSet{1, 2, 3, 4})});
+  auto reduction = PatternReduction::SearchFrom(1, target);
+  ASSERT_TRUE(reduction.ok()) << reduction.status().ToString();
+  for (bool hamiltonian : {true, false}) {
+    UndirectedGraph g =
+        hamiltonian ? UndirectedGraph::Cycle(3) : UndirectedGraph::Path(3);
+    PreferredRepairProblem src = ReduceHamiltonianCycleToS1(g);
+    PreferredRepairProblem dst = reduction->Apply(src);
+    ConflictGraph cg(*dst.instance);
+    EXPECT_TRUE(IsRepair(cg, dst.j));
+    EXPECT_EQ(ExhaustiveCheckGlobalOptimal(cg, *dst.priority, dst.j).optimal,
+              !hamiltonian);
+  }
+}
+
+TEST(PatternReductionTest, TranslationShapes) {
+  Schema target = Schema::SingleRelation(
+      "R", 4, {FD(AttrSet(), AttrSet{1}), FD(AttrSet{2}, AttrSet{3})});
+  auto reduction = PatternReduction::Search(target);
+  ASSERT_TRUE(reduction.ok());
+  std::vector<std::string> image =
+      reduction->TranslateConstants({"a", "b", "c"});  // source arity 3
+  ASSERT_EQ(image.size(), 4u);
+  // Constant attributes render as the bullet; composed ones are
+  // bracketed.
+  for (size_t a = 0; a < image.size(); ++a) {
+    if (reduction->coordinate_masks()[a] == 0) {
+      EXPECT_EQ(image[a], "•");
+    } else {
+      EXPECT_EQ(image[a].front(), '<');
+      EXPECT_EQ(image[a].back(), '>');
+    }
+  }
+  EXPECT_NE(reduction->ToString().find("→"), std::string::npos);
+}
+
+// --- Cross-conflict mode (Theorem 7.1's hard side) ---------------------------
+
+TEST(PatternReductionTest, CcpSourcesReduceFromThemselves) {
+  for (const Schema& source :
+       {CcpHardSchemaSb(), CcpHardSchemaSc(), CcpHardSchemaSd()}) {
+    auto reduction = PatternReduction::SearchCcp(source);
+    ASSERT_TRUE(reduction.ok()) << source.ToString();
+    EXPECT_EQ(reduction->Verify().ToString(), "OK");
+  }
+}
+
+TEST(PatternReductionTest, CcpSearchMatchesTheorem71OnRandomSchemas) {
+  // The searchable reduction exists iff the schema is on the hard side
+  // of Theorem 7.1 — an independent re-derivation of the ccp dichotomy
+  // boundary.
+  Rng rng(99);
+  int hard_seen = 0;
+  int tractable_seen = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    int arity = 2 + static_cast<int>(rng.NextBounded(3));
+    FDSet fds(arity);
+    size_t num_fds = 1 + rng.NextBounded(3);
+    uint64_t full = (uint64_t{1} << arity) - 1;
+    for (size_t i = 0; i < num_fds; ++i) {
+      fds.Add(FD(AttrSet::FromMask(rng.Next() & full),
+                 AttrSet::FromMask(rng.Next() & full)));
+    }
+    Schema target;
+    RelId rel = target.MustAddRelation("R", arity);
+    for (const FD& fd : fds.fds()) {
+      target.MustAddFd(rel, fd);
+    }
+    bool tractable = IsSingleKeyEquivalent(fds, nullptr) ||
+                     IsConstantAttrEquivalent(fds, nullptr);
+    auto reduction = PatternReduction::SearchCcp(target);
+    EXPECT_EQ(reduction.ok(), !tractable) << fds.ToString();
+    (tractable ? tractable_seen : hard_seen)++;
+  }
+  EXPECT_GT(hard_seen, 10);
+  EXPECT_GT(tractable_seen, 10);
+}
+
+TEST(PatternReductionTest, CcpEndToEndEquivalence) {
+  // For several ccp-hard targets, search for a reduction (from whichever
+  // of Sb/Sc/Sd admits one — e.g. Sd → Sb is provably impossible, since
+  // Sb cannot host two symmetric non-closed singleton patterns) and
+  // compare optimality verdicts under cross-conflict priorities.
+  std::vector<Schema> targets;
+  targets.push_back(CcpHardSchemaSb());
+  targets.push_back(CcpHardSchemaSc());
+  targets.push_back(CcpHardSchemaSd());
+  targets.push_back(Schema::SingleRelation(
+      "R", 4, {FD(AttrSet{1}, AttrSet{2}), FD(AttrSet(), AttrSet{4})}));
+  for (const Schema& target : targets) {
+    auto reduction = PatternReduction::SearchCcp(target);
+    ASSERT_TRUE(reduction.ok()) << target.ToString();
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      RandomProblemOptions opts;
+      opts.facts_per_relation = 10;
+      opts.domain_size = 3;
+      opts.priority_density = 0.6;
+      opts.cross_priority_density = 0.5;
+      opts.j_policy = JPolicy::kRandomRepair;
+      opts.seed = seed * 41;
+      PreferredRepairProblem src =
+          GenerateRandomProblem(reduction->source_schema(), opts);
+      PreferredRepairProblem dst = reduction->Apply(src);
+      EXPECT_TRUE(dst.priority->Validate(PriorityMode::kCrossConflict).ok());
+      ConflictGraph src_cg(*src.instance);
+      ConflictGraph dst_cg(*dst.instance);
+      EXPECT_EQ(src_cg.num_edges(), dst_cg.num_edges());
+      EXPECT_EQ(
+          ExhaustiveCheckGlobalOptimal(src_cg, *src.priority, src.j).optimal,
+          ExhaustiveCheckGlobalOptimal(dst_cg, *dst.priority, dst.j).optimal)
+          << target.ToString() << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prefrep
