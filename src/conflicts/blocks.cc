@@ -1,0 +1,63 @@
+#include "conflicts/blocks.h"
+
+namespace prefrep {
+
+BlockDecomposition::BlockDecomposition(const ConflictGraph& cg)
+    : free_facts_(cg.num_facts()),
+      block_of_(cg.num_facts(), kNoBlock),
+      by_relation_(cg.instance().schema().num_relations()) {
+  size_t n = cg.num_facts();
+  const Instance& instance = cg.instance();
+  // BFS from each unvisited non-isolated fact; scanning fact ids in
+  // ascending order numbers blocks by their smallest member.
+  std::vector<FactId> queue;
+  for (FactId start = 0; start < n; ++start) {
+    if (cg.neighbors(start).empty()) {
+      free_facts_.set(start);
+      continue;
+    }
+    if (block_of_[start] != kNoBlock) {
+      continue;
+    }
+    Block block;
+    block.id = blocks_.size();
+    block.rel = instance.fact(start).rel;
+    block.facts = DynamicBitset(n);
+    queue.clear();
+    queue.push_back(start);
+    block_of_[start] = block.id;
+    while (!queue.empty()) {
+      FactId f = queue.back();
+      queue.pop_back();
+      block.facts.set(f);
+      PREFREP_CHECK_MSG(instance.fact(f).rel == block.rel,
+                        "conflict edges must be intra-relation");
+      for (FactId g : cg.neighbors(f)) {
+        if (block_of_[g] == kNoBlock) {
+          block_of_[g] = block.id;
+          queue.push_back(g);
+        }
+      }
+    }
+    block.fact_list.reserve(block.facts.count());
+    block.facts.ForEach([&](size_t f) {
+      block.fact_list.push_back(static_cast<FactId>(f));
+    });
+    largest_block_ = std::max(largest_block_, block.fact_list.size());
+    by_relation_[block.rel].push_back(block.id);
+    blocks_.push_back(std::move(block));
+  }
+}
+
+bool PriorityIsBlockLocal(const BlockDecomposition& blocks,
+                          const PriorityRelation& priority) {
+  for (const auto& [higher, lower] : priority.edges()) {
+    size_t b = blocks.block_of(higher);
+    if (b == BlockDecomposition::kNoBlock || blocks.block_of(lower) != b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace prefrep

@@ -1,8 +1,10 @@
 #include "conflicts/stats.h"
 
 #include <cmath>
+#include <map>
 
 #include "base/string_util.h"
+#include "conflicts/blocks.h"
 
 namespace prefrep {
 
@@ -80,31 +82,36 @@ ConflictStats ComputeConflictStats(const ConflictGraph& cg) {
     }
     stats.max_degree = std::max(stats.max_degree, degree);
   }
-  size_t total_components = 0;
-  std::vector<size_t> component = ConflictComponents(cg, &total_components);
-  std::vector<size_t> sizes(total_components, 0);
-  for (size_t f = 0; f < cg.num_facts(); ++f) {
-    ++sizes[component[f]];
+  BlockDecomposition blocks(cg);
+  stats.num_components = blocks.num_blocks();
+  stats.largest_component = blocks.largest_block();
+  stats.free_facts = blocks.free_facts().count();
+  std::map<size_t, size_t> histogram;
+  for (const Block& block : blocks.blocks()) {
+    ++histogram[block.size()];
+    // Moon–Moser: a graph on k vertices has ≤ 3^(k/3) maximal
+    // independent sets; repairs multiply across blocks.
+    stats.log2_repair_upper_bound +=
+        static_cast<double>(block.size()) / 3.0 * std::log2(3.0);
   }
-  for (size_t size : sizes) {
-    if (size >= 2) {
-      ++stats.num_components;
-      stats.largest_component = std::max(stats.largest_component, size);
-      // Moon–Moser: a graph on k vertices has ≤ 3^(k/3) maximal
-      // independent sets; repairs multiply across components.
-      stats.log2_repair_upper_bound +=
-          static_cast<double>(size) / 3.0 * std::log2(3.0);
-    }
-  }
+  stats.block_size_histogram.assign(histogram.begin(), histogram.end());
   return stats;
 }
 
 std::string ConflictStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%zu facts, %zu conflicts (%zu facts contested, max degree %zu); "
-      "%zu non-trivial component(s), largest %zu; repairs <= 2^%.1f",
+      "%zu block(s), largest %zu, %zu free fact(s); repairs <= 2^%.1f",
       num_facts, num_conflicts, conflicting_facts, max_degree,
-      num_components, largest_component, log2_repair_upper_bound);
+      num_components, largest_component, free_facts,
+      log2_repair_upper_bound);
+  if (!block_size_histogram.empty()) {
+    out += "; block sizes:";
+    for (const auto& [size, count] : block_size_histogram) {
+      out += StrFormat(" %zux%zu", count, size);
+    }
+  }
+  return out;
 }
 
 }  // namespace prefrep

@@ -8,6 +8,7 @@
 #define PREFREP_CONFLICTS_STATS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "conflicts/conflicts.h"
@@ -28,6 +29,13 @@ struct ConflictStats {
   /// capped at 2^63; exact per-component counts are exponential to get,
   /// so this uses the Moon–Moser bound 3^(n/3) per component.
   double log2_repair_upper_bound = 0.0;
+  /// Facts with no conflicts at all (members of every repair).
+  size_t free_facts = 0;
+  /// Block-size distribution: (size, number of blocks of that size),
+  /// ascending by size.  Blocks are the ≥ 2-fact components
+  /// (conflicts/blocks.h); their sizes govern the cost of the per-block
+  /// exponential fallbacks (Σ 2^size) and of repair counting.
+  std::vector<std::pair<size_t, size_t>> block_size_histogram;
 
   std::string ToString() const;
 };

@@ -1,0 +1,71 @@
+#include "model/context.h"
+
+namespace prefrep {
+
+ProblemContext::ProblemContext(const Instance& instance,
+                               const PriorityRelation& priority)
+    : instance_(&instance), priority_(&priority) {
+  PREFREP_CHECK_MSG(&priority.instance() == &instance,
+                    "priority relation is over a different instance");
+}
+
+ProblemContext::ProblemContext(const ConflictGraph& graph,
+                               const PriorityRelation& priority)
+    : instance_(&graph.instance()),
+      priority_(&priority),
+      external_graph_(&graph) {
+  PREFREP_CHECK_MSG(&priority.instance() == &graph.instance(),
+                    "priority relation is over a different instance");
+}
+
+const ConflictGraph& ProblemContext::conflict_graph() const {
+  if (external_graph_ != nullptr) {
+    return *external_graph_;
+  }
+  if (graph_ == nullptr) {
+    graph_ = std::make_unique<ConflictGraph>(*instance_);
+  }
+  return *graph_;
+}
+
+const SchemaClassification& ProblemContext::classification() const {
+  if (classification_ == nullptr) {
+    classification_ =
+        std::make_unique<SchemaClassification>(ClassifySchema(
+            instance_->schema()));
+  }
+  return *classification_;
+}
+
+const CcpSchemaClassification& ProblemContext::ccp_classification() const {
+  if (ccp_classification_ == nullptr) {
+    ccp_classification_ = std::make_unique<CcpSchemaClassification>(
+        ClassifyCcpSchema(instance_->schema()));
+  }
+  return *ccp_classification_;
+}
+
+const BlockDecomposition& ProblemContext::blocks() const {
+  if (blocks_ == nullptr) {
+    blocks_ = std::make_unique<BlockDecomposition>(conflict_graph());
+  }
+  return *blocks_;
+}
+
+bool ProblemContext::priority_block_local() const {
+  if (priority_block_local_ == nullptr) {
+    priority_block_local_ =
+        std::make_unique<bool>(PriorityIsBlockLocal(blocks(), *priority_));
+  }
+  return *priority_block_local_;
+}
+
+void ProblemContext::Prime() const {
+  conflict_graph();
+  classification();
+  ccp_classification();
+  blocks();
+  priority_block_local();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,83 @@
+// Copyright (c) prefrep contributors.
+// ProblemContext — the shared, lazily-built state of one prioritizing
+// instance (I, ≻).  Every nontrivial algorithm needs some subset of
+// {conflict graph, Theorem 3.1 classification, Theorem 7.1
+// classification, block decomposition}; before this layer existed each
+// consumer (checker, counting, construction, consistent answers)
+// rebuilt them independently.  A ProblemContext builds each artifact at
+// most once, on first use, and hands out const references, so a whole
+// solving session — classify, check, count, enumerate, answer queries —
+// pays for each construction a single time.
+//
+// Physically this file lives in model/ (it is the natural companion of
+// model/problem.h), but architecturally it sits *above* conflicts/ and
+// classify/: it may include their headers, never the other way around.
+//
+// Lazy construction is not synchronized; share a context across threads
+// only after touching the artifacts you need (or calling Prime()).
+
+#ifndef PREFREP_MODEL_CONTEXT_H_
+#define PREFREP_MODEL_CONTEXT_H_
+
+#include <memory>
+
+#include "classify/ccp_dichotomy.h"
+#include "classify/dichotomy.h"
+#include "conflicts/blocks.h"
+#include "conflicts/conflicts.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+/// Shared lazily-cached artifacts of one prioritizing instance.
+class ProblemContext {
+ public:
+  /// Binds `instance` and `priority` (both must outlive the context).
+  /// Nothing is built until first use.
+  ProblemContext(const Instance& instance, const PriorityRelation& priority);
+
+  /// Adopts an externally-built conflict graph instead of building one
+  /// (for callers that already paid for it, e.g. the legacy
+  /// (ConflictGraph, PriorityRelation) entry points).  `graph` must
+  /// outlive the context and belong to the same instance as `priority`.
+  ProblemContext(const ConflictGraph& graph, const PriorityRelation& priority);
+
+  PREFREP_DISALLOW_COPY(ProblemContext);
+
+  const Instance& instance() const { return *instance_; }
+  const PriorityRelation& priority() const { return *priority_; }
+
+  /// The conflict graph; built on first call.
+  const ConflictGraph& conflict_graph() const;
+
+  /// The Theorem 3.1 (ordinary-priority) schema classification.
+  const SchemaClassification& classification() const;
+
+  /// The Theorem 7.1 (cross-conflict-priority) schema classification.
+  const CcpSchemaClassification& ccp_classification() const;
+
+  /// The block decomposition of the conflict graph.
+  const BlockDecomposition& blocks() const;
+
+  /// Whether every priority edge stays inside one block — the
+  /// precondition for per-block optimality checking.  Always true for
+  /// conflict-bounded priorities.
+  bool priority_block_local() const;
+
+  /// Eagerly builds every artifact (for sharing across threads).
+  void Prime() const;
+
+ private:
+  const Instance* instance_;
+  const PriorityRelation* priority_;
+  const ConflictGraph* external_graph_ = nullptr;
+  mutable std::unique_ptr<ConflictGraph> graph_;
+  mutable std::unique_ptr<SchemaClassification> classification_;
+  mutable std::unique_ptr<CcpSchemaClassification> ccp_classification_;
+  mutable std::unique_ptr<BlockDecomposition> blocks_;
+  mutable std::unique_ptr<bool> priority_block_local_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_MODEL_CONTEXT_H_

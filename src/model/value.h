@@ -7,6 +7,7 @@
 #define PREFREP_MODEL_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,6 +23,15 @@ using ValueId = uint32_t;
 /// Sentinel for "no value".
 inline constexpr ValueId kInvalidValueId = UINT32_MAX;
 
+/// Transparent string hash, so the index can be probed with a
+/// string_view directly (no std::string materialized per lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Bidirectional map between constants (strings) and dense ValueIds.
 ///
 /// Interning is append-only; ids are stable for the dictionary's lifetime.
@@ -33,8 +43,9 @@ class ValueDict {
   ValueDict& operator=(ValueDict&&) = default;
 
   /// Interns `text`, returning its id (existing id if already interned).
+  /// Allocation-free when `text` is already interned.
   ValueId Intern(std::string_view text) {
-    auto it = index_.find(std::string(text));
+    auto it = index_.find(text);
     if (it != index_.end()) {
       return it->second;
     }
@@ -50,8 +61,9 @@ class ValueDict {
   ValueId InternInt(int64_t v) { return Intern(std::to_string(v)); }
 
   /// Looks up an already-interned constant; kInvalidValueId if absent.
+  /// Allocation-free.
   ValueId Find(std::string_view text) const {
-    auto it = index_.find(std::string(text));
+    auto it = index_.find(text);
     return it == index_.end() ? kInvalidValueId : it->second;
   }
 
@@ -65,7 +77,9 @@ class ValueDict {
 
  private:
   std::vector<std::string> values_;
-  std::unordered_map<std::string, ValueId> index_;
+  std::unordered_map<std::string, ValueId, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
 };
 
 }  // namespace prefrep

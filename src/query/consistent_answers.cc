@@ -2,22 +2,23 @@
 
 #include <algorithm>
 
+#include "repair/block_solver.h"
+
 namespace prefrep {
 
 namespace {
 
-std::vector<DynamicBitset> RepairsFor(const ConflictGraph& cg,
-                                      const PriorityRelation& priority,
+std::vector<DynamicBitset> RepairsFor(const ProblemContext& ctx,
                                       AnswerSemantics semantics) {
   switch (semantics) {
     case AnswerSemantics::kAllRepairs:
-      return AllRepairs(cg);
+      return AllRepairs(ctx.conflict_graph());
     case AnswerSemantics::kGlobal:
-      return AllOptimalRepairs(cg, priority, RepairSemantics::kGlobal);
+      return AllOptimalRepairs(ctx, RepairSemantics::kGlobal);
     case AnswerSemantics::kPareto:
-      return AllOptimalRepairs(cg, priority, RepairSemantics::kPareto);
+      return AllOptimalRepairs(ctx, RepairSemantics::kPareto);
     case AnswerSemantics::kCompletion:
-      return AllOptimalRepairs(cg, priority, RepairSemantics::kCompletion);
+      return AllOptimalRepairs(ctx, RepairSemantics::kCompletion);
   }
   return {};
 }
@@ -25,19 +26,19 @@ std::vector<DynamicBitset> RepairsFor(const ConflictGraph& cg,
 }  // namespace
 
 std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
-    const ConflictGraph& cg, const PriorityRelation& priority,
-    const ConjunctiveQuery& query, AnswerSemantics semantics) {
-  std::vector<DynamicBitset> repairs = RepairsFor(cg, priority, semantics);
+    const ProblemContext& ctx, const ConjunctiveQuery& query,
+    AnswerSemantics semantics) {
+  std::vector<DynamicBitset> repairs = RepairsFor(ctx, semantics);
   // Every preferred-repair semantics admits at least one optimal repair
   // (completion-optimal repairs exist, and they are global- and
   // Pareto-optimal); an empty instance has the empty repair.
   PREFREP_CHECK_MSG(!repairs.empty(),
                     "no repair under the requested semantics");
   std::vector<ConjunctiveQuery::AnswerTuple> intersection =
-      query.Evaluate(cg.instance(), repairs.front());
+      query.Evaluate(ctx.instance(), repairs.front());
   for (size_t i = 1; i < repairs.size() && !intersection.empty(); ++i) {
     std::vector<ConjunctiveQuery::AnswerTuple> next =
-        query.Evaluate(cg.instance(), repairs[i]);
+        query.Evaluate(ctx.instance(), repairs[i]);
     std::vector<ConjunctiveQuery::AnswerTuple> merged;
     std::set_intersection(intersection.begin(), intersection.end(),
                           next.begin(), next.end(),
@@ -47,27 +48,44 @@ std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
   return intersection;
 }
 
-bool CertainlyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
-                   const ConjunctiveQuery& query,
+bool CertainlyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
                    AnswerSemantics semantics) {
-  for (const DynamicBitset& repair :
-       RepairsFor(cg, priority, semantics)) {
-    if (!query.EvaluateBoolean(cg.instance(), repair)) {
+  for (const DynamicBitset& repair : RepairsFor(ctx, semantics)) {
+    if (!query.EvaluateBoolean(ctx.instance(), repair)) {
       return false;
     }
   }
   return true;
 }
 
-bool PossiblyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
-                  const ConjunctiveQuery& query, AnswerSemantics semantics) {
-  for (const DynamicBitset& repair :
-       RepairsFor(cg, priority, semantics)) {
-    if (query.EvaluateBoolean(cg.instance(), repair)) {
+bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
+                  AnswerSemantics semantics) {
+  for (const DynamicBitset& repair : RepairsFor(ctx, semantics)) {
+    if (query.EvaluateBoolean(ctx.instance(), repair)) {
       return true;
     }
   }
   return false;
+}
+
+std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
+    const ConflictGraph& cg, const PriorityRelation& priority,
+    const ConjunctiveQuery& query, AnswerSemantics semantics) {
+  ProblemContext ctx(cg, priority);
+  return ConsistentAnswers(ctx, query, semantics);
+}
+
+bool CertainlyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                   const ConjunctiveQuery& query,
+                   AnswerSemantics semantics) {
+  ProblemContext ctx(cg, priority);
+  return CertainlyTrue(ctx, query, semantics);
+}
+
+bool PossiblyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
+                  const ConjunctiveQuery& query, AnswerSemantics semantics) {
+  ProblemContext ctx(cg, priority);
+  return PossiblyTrue(ctx, query, semantics);
 }
 
 }  // namespace prefrep

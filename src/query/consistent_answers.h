@@ -15,6 +15,7 @@
 #ifndef PREFREP_QUERY_CONSISTENT_ANSWERS_H_
 #define PREFREP_QUERY_CONSISTENT_ANSWERS_H_
 
+#include "model/context.h"
 #include "priority/priority.h"
 #include "query/conjunctive_query.h"
 #include "repair/exhaustive.h"
@@ -43,6 +44,18 @@ bool CertainlyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
 /// True iff Q holds in *some* σ-optimal repair (possible answers).
 bool PossiblyTrue(const ConflictGraph& cg, const PriorityRelation& priority,
                   const ConjunctiveQuery& query, AnswerSemantics semantics);
+
+/// ProblemContext overloads: share one context (conflict graph, block
+/// decomposition, classifications) across repeated queries on the same
+/// prioritizing instance; optimal-repair enumeration goes through the
+/// per-block product of repair/block_solver.h.
+std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
+    const ProblemContext& ctx, const ConjunctiveQuery& query,
+    AnswerSemantics semantics);
+bool CertainlyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
+                   AnswerSemantics semantics);
+bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
+                  AnswerSemantics semantics);
 
 }  // namespace prefrep
 

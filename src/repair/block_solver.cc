@@ -1,0 +1,446 @@
+#include "repair/block_solver.h"
+
+#include "repair/ccp_constant_attr.h"
+#include "repair/ccp_primary_key.h"
+#include "repair/completion.h"
+#include "repair/global_one_fd.h"
+#include "repair/global_two_keys.h"
+#include "repair/pareto.h"
+#include "repair/subinstance_ops.h"
+
+namespace prefrep {
+
+namespace {
+
+// A maximality defect of J within the block: a block fact outside J with
+// no conflict in J (conflicts never leave a block, so testing against
+// the whole J is exact).  nullopt when J ∩ b is maximal.
+std::optional<CheckResult> FindBlockExtension(const ProblemContext& ctx,
+                                              const Block& b,
+                                              const DynamicBitset& j) {
+  const ConflictGraph& cg = ctx.conflict_graph();
+  for (FactId g : b.fact_list) {
+    if (j.test(g)) {
+      continue;
+    }
+    bool blocked = false;
+    for (FactId u : cg.neighbors(g)) {
+      if (j.test(u)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      continue;
+    }
+    DynamicBitset improvement = j;
+    improvement.set(g);
+    return CheckResult::NotOptimal(
+        std::move(improvement),
+        "J is not maximal: " + ctx.instance().FactToString(g) +
+            " can be added without conflict");
+  }
+  return std::nullopt;
+}
+
+class OneFdSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "GRepCheck1FD"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    const RelationClassification& rc = ctx.classification().relations[b.rel];
+    PREFREP_CHECK_MSG(rc.kind == TractableKind::kSingleFd,
+                      "block dispatched to GRepCheck1FD but its relation is "
+                      "not single-fd");
+    return CheckGlobalOptimalOneFd(ctx.conflict_graph(), ctx.priority(), b.rel,
+                                   rc.single_fd, j, &b.facts);
+  }
+};
+
+class TwoKeysSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "GRepCheck2Keys"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    const RelationClassification& rc = ctx.classification().relations[b.rel];
+    PREFREP_CHECK_MSG(rc.kind == TractableKind::kTwoKeys,
+                      "block dispatched to GRepCheck2Keys but its relation is "
+                      "not two-keys");
+    return CheckGlobalOptimalTwoKeys(ctx.conflict_graph(), ctx.priority(),
+                                     b.rel, rc.key1, rc.key2, j, &b.facts);
+  }
+};
+
+class ExhaustiveSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "exhaustive"; }
+  bool Polynomial() const override { return false; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    // A non-maximal J ∩ b is improved by a superset block-repair, so the
+    // enumeration needs no separate maximality check.
+    const ConflictGraph& cg = ctx.conflict_graph();
+    const PriorityRelation& pr = ctx.priority();
+    CheckResult result = CheckResult::Optimal();
+    ForEachRepairWithin(cg, b.facts, [&](const DynamicBitset& r) {
+      DynamicBitset candidate = (j - b.facts) | r;
+      if (IsGlobalImprovement(cg, pr, j, candidate)) {
+        result = CheckResult::NotOptimal(
+            std::move(candidate),
+            "an enumerated block-repair improves J on block " +
+                std::to_string(b.id));
+        return false;
+      }
+      return true;
+    });
+    return result;
+  }
+};
+
+class CcpPrimaryKeySolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "ccp primary-key"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    // The cycle criterion (Lemma 7.3) assumes J is a repair; restricted
+    // to a block it assumes J ∩ b is a block-repair.
+    if (std::optional<CheckResult> defect = FindBlockExtension(ctx, b, j)) {
+      return *std::move(defect);
+    }
+    Digraph graph = BuildCcpPrimaryKeyGraph(ctx.conflict_graph(),
+                                            ctx.priority(), j, &b.facts);
+    std::optional<std::vector<size_t>> cycle = graph.FindCycle();
+    if (!cycle.has_value()) {
+      return CheckResult::Optimal();
+    }
+    DynamicBitset improvement = j;
+    for (size_t node : *cycle) {
+      FactId f = static_cast<FactId>(node);
+      if (j.test(f)) {
+        improvement.reset(f);
+      } else {
+        improvement.set(f);
+      }
+    }
+    return CheckResult::NotOptimal(
+        std::move(improvement),
+        "cycle in G_{J, I\\J} within block " + std::to_string(b.id));
+  }
+};
+
+class CcpConstantAttrSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "ccp constant-attribute"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    // Under a constant-attribute assignment a relation with ≥ 2
+    // consistent partitions is one block whose block-repairs are exactly
+    // the partitions, so the scan is linear in their number (the
+    // whole-instance algorithm pays the product over relations).
+    const ConflictGraph& cg = ctx.conflict_graph();
+    const PriorityRelation& pr = ctx.priority();
+    if (std::optional<CheckResult> defect = FindBlockExtension(ctx, b, j)) {
+      return *std::move(defect);
+    }
+    const DynamicBitset in_block = j & b.facts;
+    for (const std::vector<FactId>& part :
+         ConsistentPartitions(ctx.instance(), b.rel)) {
+      DynamicBitset partition(cg.num_facts());
+      for (FactId f : part) {
+        partition.set(f);
+      }
+      if (partition == in_block) {
+        continue;
+      }
+      DynamicBitset candidate = (j - b.facts) | partition;
+      if (IsGlobalImprovement(cg, pr, j, candidate)) {
+        return CheckResult::NotOptimal(
+            std::move(candidate),
+            "a consistent partition improves J on block " +
+                std::to_string(b.id));
+      }
+    }
+    return CheckResult::Optimal();
+  }
+};
+
+class ParetoSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "ParetoCheck"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    return FindParetoImprovement(ctx.conflict_graph(), ctx.priority(), j,
+                                 &b.facts);
+  }
+};
+
+class CompletionSolver final : public BlockSolver {
+ public:
+  std::string_view Name() const override { return "CompletionCheck"; }
+  CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                         const DynamicBitset& j) const override {
+    return CheckCompletionOptimal(ctx.conflict_graph(), ctx.priority(), j,
+                                  &b.facts);
+  }
+};
+
+}  // namespace
+
+std::vector<DynamicBitset> BlockSolver::OptimalBlockRepairs(
+    const ProblemContext& ctx, const Block& b) const {
+  std::vector<DynamicBitset> out;
+  for (DynamicBitset& r : AllRepairsWithin(ctx.conflict_graph(), b.facts)) {
+    if (CheckBlock(ctx, b, r).optimal) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+uint64_t BlockSolver::CountBlock(const ProblemContext& ctx,
+                                 const Block& b) const {
+  uint64_t count = 0;
+  ForEachRepairWithin(ctx.conflict_graph(), b.facts,
+                      [&](const DynamicBitset& r) {
+                        if (CheckBlock(ctx, b, r).optimal) {
+                          ++count;
+                        }
+                        return true;
+                      });
+  return count;
+}
+
+DynamicBitset BlockSolver::ConstructBlock(const ProblemContext& ctx,
+                                          const Block& b) const {
+  // Block-restricted greedy completion (cf. GreedyCompletionRepair):
+  // repeatedly keep the lowest-id ≻-maximal remaining fact and drop its
+  // conflicts.  Deterministic; a completion-optimal block-repair is
+  // globally- and Pareto-optimal too.
+  const ConflictGraph& cg = ctx.conflict_graph();
+  const PriorityRelation& pr = ctx.priority();
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "greedy block construction relies on completion "
+                    "semantics, which require conflict-bounded priorities");
+  DynamicBitset remaining = b.facts;
+  DynamicBitset out(cg.num_facts());
+  while (remaining.any()) {
+    FactId pick = kInvalidFactId;
+    remaining.ForEach([&](size_t f) {
+      if (pick != kInvalidFactId) {
+        return;
+      }
+      for (FactId g : pr.DominatedBy(static_cast<FactId>(f))) {
+        if (remaining.test(g)) {
+          return;
+        }
+      }
+      pick = static_cast<FactId>(f);
+    });
+    PREFREP_CHECK_MSG(pick != kInvalidFactId,
+                      "acyclic priority must leave a maximal fact");
+    out.set(pick);
+    remaining.reset(pick);
+    for (FactId u : cg.neighbors(pick)) {
+      remaining.reset(u);
+    }
+  }
+  return out;
+}
+
+const BlockSolver& OneFdBlockSolver() {
+  static const OneFdSolver solver;
+  return solver;
+}
+
+const BlockSolver& TwoKeysBlockSolver() {
+  static const TwoKeysSolver solver;
+  return solver;
+}
+
+const BlockSolver& ExhaustiveBlockSolver() {
+  static const ExhaustiveSolver solver;
+  return solver;
+}
+
+const BlockSolver& CcpPrimaryKeyBlockSolver() {
+  static const CcpPrimaryKeySolver solver;
+  return solver;
+}
+
+const BlockSolver& CcpConstantAttrBlockSolver() {
+  static const CcpConstantAttrSolver solver;
+  return solver;
+}
+
+const BlockSolver& ParetoBlockSolver() {
+  static const ParetoSolver solver;
+  return solver;
+}
+
+const BlockSolver& CompletionBlockSolver() {
+  static const CompletionSolver solver;
+  return solver;
+}
+
+const BlockSolver& DispatchBlockSolver(const ProblemContext& ctx,
+                                       const Block& b, PriorityMode mode) {
+  if (mode == PriorityMode::kConflictOnly) {
+    switch (ctx.classification().relations[b.rel].kind) {
+      case TractableKind::kSingleFd:
+        return OneFdBlockSolver();
+      case TractableKind::kTwoKeys:
+        return TwoKeysBlockSolver();
+      case TractableKind::kHard:
+        return ExhaustiveBlockSolver();
+    }
+    return ExhaustiveBlockSolver();
+  }
+  const CcpSchemaClassification& ccp = ctx.ccp_classification();
+  if (ccp.primary_key_assignment) {
+    return CcpPrimaryKeyBlockSolver();
+  }
+  if (ccp.constant_attr_assignment) {
+    return CcpConstantAttrBlockSolver();
+  }
+  return ExhaustiveBlockSolver();
+}
+
+const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
+                                      const Block& b,
+                                      RepairSemantics semantics) {
+  switch (semantics) {
+    case RepairSemantics::kGlobal:
+      return DispatchBlockSolver(ctx, b,
+                                 ctx.priority().IsConflictBounded()
+                                     ? PriorityMode::kConflictOnly
+                                     : PriorityMode::kCrossConflict);
+    case RepairSemantics::kPareto:
+      return ParetoBlockSolver();
+    case RepairSemantics::kCompletion:
+      return CompletionBlockSolver();
+  }
+  return ExhaustiveBlockSolver();
+}
+
+namespace {
+
+// The shared combine loop: consistency, conflict-free facts, then the
+// conjunction of per-block checks.  `give_free_witness` distinguishes
+// the witness-producing semantics from the completion check (which,
+// like its whole-instance counterpart, reports no witnesses).
+template <typename SolverFor>
+CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
+                                     const DynamicBitset& j,
+                                     SolverFor&& solver_for,
+                                     size_t* failed_block,
+                                     bool give_free_witness) {
+  PREFREP_CHECK_MSG(ctx.priority_block_local(),
+                    "per-block optimality checking requires a block-local "
+                    "priority");
+  const ConflictGraph& cg = ctx.conflict_graph();
+  if (!IsConsistent(cg, j)) {
+    return CheckResult{false, std::nullopt};
+  }
+  const BlockDecomposition& blocks = ctx.blocks();
+  // A conflict-free fact belongs to every repair; no block check would
+  // notice its absence.
+  const DynamicBitset missing = blocks.free_facts() - j;
+  if (missing.any()) {
+    if (!give_free_witness) {
+      return CheckResult{false, std::nullopt};
+    }
+    FactId f = static_cast<FactId>(missing.FindFirst());
+    DynamicBitset improvement = j;
+    improvement.set(f);
+    return CheckResult::NotOptimal(
+        std::move(improvement),
+        "J is not maximal: " + ctx.instance().FactToString(f) +
+            " has no conflicts");
+  }
+  for (const Block& b : blocks.blocks()) {
+    CheckResult result = solver_for(b).CheckBlock(ctx, b, j);
+    if (!result.optimal) {
+      if (failed_block != nullptr) {
+        *failed_block = b.id;
+      }
+      return result;
+    }
+  }
+  return CheckResult::Optimal();
+}
+
+}  // namespace
+
+CheckResult CheckGlobalOptimalByBlocks(const ProblemContext& ctx,
+                                       const DynamicBitset& j,
+                                       PriorityMode mode,
+                                       size_t* failed_block) {
+  return CheckOptimalByBlocksImpl(
+      ctx, j,
+      [&](const Block& b) -> const BlockSolver& {
+        return DispatchBlockSolver(ctx, b, mode);
+      },
+      failed_block, /*give_free_witness=*/true);
+}
+
+CheckResult CheckParetoOptimalByBlocks(const ProblemContext& ctx,
+                                       const DynamicBitset& j) {
+  return CheckOptimalByBlocksImpl(
+      ctx, j,
+      [](const Block&) -> const BlockSolver& { return ParetoBlockSolver(); },
+      /*failed_block=*/nullptr, /*give_free_witness=*/true);
+}
+
+CheckResult CheckCompletionOptimalByBlocks(const ProblemContext& ctx,
+                                           const DynamicBitset& j) {
+  return CheckOptimalByBlocksImpl(
+      ctx, j,
+      [](const Block&) -> const BlockSolver& {
+        return CompletionBlockSolver();
+      },
+      /*failed_block=*/nullptr, /*give_free_witness=*/false);
+}
+
+std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
+                                             RepairSemantics semantics) {
+  if (!ctx.priority_block_local()) {
+    return AllOptimalRepairs(ctx.conflict_graph(), ctx.priority(), semantics);
+  }
+  std::vector<DynamicBitset> out{ctx.blocks().free_facts()};
+  for (const Block& b : ctx.blocks().blocks()) {
+    std::vector<DynamicBitset> optimal =
+        SolverForSemantics(ctx, b, semantics).OptimalBlockRepairs(ctx, b);
+    PREFREP_CHECK_MSG(!optimal.empty(),
+                      "every block admits an optimal block-repair");
+    std::vector<DynamicBitset> next;
+    next.reserve(out.size() * optimal.size());
+    for (const DynamicBitset& prefix : out) {
+      for (const DynamicBitset& choice : optimal) {
+        next.push_back(prefix | choice);
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+uint64_t CountOptimalRepairsByBlocks(const ProblemContext& ctx,
+                                     RepairSemantics semantics) {
+  PREFREP_CHECK_MSG(ctx.priority_block_local(),
+                    "per-block counting requires a block-local priority");
+  uint64_t count = 1;
+  for (const Block& b : ctx.blocks().blocks()) {
+    uint64_t block_count =
+        SolverForSemantics(ctx, b, semantics).CountBlock(ctx, b);
+    if (block_count == 0) {
+      return 0;
+    }
+    if (count > UINT64_MAX / block_count) {
+      return UINT64_MAX;  // saturate rather than overflow
+    }
+    count *= block_count;
+  }
+  return count;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,153 @@
+// Copyright (c) prefrep contributors.
+// BlockSolver — the per-block solving interface behind the unified
+// checker, counter and constructor.
+//
+// A conflict block (conflicts/blocks.h) is the natural unit of work:
+// when the priority is block-local, a repair J is σ-optimal iff J
+// contains every conflict-free fact and J ∩ b is a σ-optimal
+// block-repair of every block b (docs/algorithms.md, "Why blocks are
+// sound").  Each algorithm of the library — GRepCheck1FD, GRepCheck2Keys,
+// the Pareto and completion checks, the ccp primary-key and
+// constant-attribute algorithms, and the exhaustive baseline — is
+// therefore exposed here as a BlockSolver that answers questions about
+// one block, and free dispatcher functions classify once per
+// (relation, block) and combine the block answers: conjunction for
+// checking, saturating cross-product for counting, per-block union for
+// construction.
+//
+// The payoff is on the exponential paths: the exhaustive fallback costs
+// Σ_b 2^{|b|} instead of 2^n, so k independent hard gadgets cost k·2^c
+// rather than 2^{kc} (measured in bench/bench_hard_schemas.cc).
+
+#ifndef PREFREP_REPAIR_BLOCK_SOLVER_H_
+#define PREFREP_REPAIR_BLOCK_SOLVER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "model/context.h"
+#include "repair/exhaustive.h"
+
+namespace prefrep {
+
+/// A per-block preferred-repair algorithm.  Implementations are
+/// stateless singletons: per-relation parameters (the single FD, the two
+/// keys) are read from the context's classification at call time, so one
+/// instance serves every block.
+///
+/// All entry points require a block-local priority (the soundness
+/// precondition for per-block reasoning); the dispatchers below enforce
+/// it before reaching a solver.
+class BlockSolver {
+ public:
+  virtual ~BlockSolver() = default;
+
+  /// Short algorithm name for routing diagnostics, e.g. "GRepCheck1FD".
+  virtual std::string_view Name() const = 0;
+
+  /// Whether CheckBlock runs in time polynomial in the block size.
+  virtual bool Polynomial() const { return true; }
+
+  /// Decides whether J ∩ b is an optimal block-repair of block `b` (this
+  /// solver's optimality notion).  `j` is a whole-instance bitset and
+  /// must be consistent; facts outside the block are read-only context
+  /// (witnesses modify `j` inside the block only, so they remain valid
+  /// whole-instance improvements).
+  virtual CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
+                                 const DynamicBitset& j) const = 0;
+
+  /// Materializes the optimal block-repairs of `b` (full-universe
+  /// bitsets with only block facts set).  Default: filter the 2^{|b|}
+  /// block-repair enumeration through CheckBlock — for polynomial
+  /// solvers that is O(2^{|b|} · poly) instead of the O(4^{|b|})
+  /// pairwise filter.
+  virtual std::vector<DynamicBitset> OptimalBlockRepairs(
+      const ProblemContext& ctx, const Block& b) const;
+
+  /// Counts the optimal block-repairs.  Default: enumerate and count
+  /// without materializing.
+  virtual uint64_t CountBlock(const ProblemContext& ctx, const Block& b) const;
+
+  /// Constructs one optimal block-repair.  Default: block-restricted
+  /// greedy completion (a completion-optimal block-repair is globally-
+  /// and Pareto-optimal); requires a conflict-bounded priority.
+  virtual DynamicBitset ConstructBlock(const ProblemContext& ctx,
+                                       const Block& b) const;
+};
+
+/// GRepCheck1FD on one block of a kSingleFd relation (Theorem 3.1).
+const BlockSolver& OneFdBlockSolver();
+
+/// GRepCheck2Keys on one block of a kTwoKeys relation (Theorem 3.1).
+const BlockSolver& TwoKeysBlockSolver();
+
+/// The exact 2^{|block|} baseline; correct for every block and both
+/// priority modes.  Polynomial() is false.
+const BlockSolver& ExhaustiveBlockSolver();
+
+/// The ccp primary-key cycle check (Lemma 7.3) restricted to one block;
+/// for primary-key assignments under block-local ccp priorities.
+const BlockSolver& CcpPrimaryKeyBlockSolver();
+
+/// The ccp constant-attribute partition scan restricted to one block
+/// (= one relation with ≥ 2 consistent partitions); linear in the
+/// partition count instead of the ∏-partitions whole-instance scan.
+const BlockSolver& CcpConstantAttrBlockSolver();
+
+/// Pareto-optimality of one block restriction (PTIME, every schema).
+const BlockSolver& ParetoBlockSolver();
+
+/// Completion-optimality of one block restriction (PTIME, every schema;
+/// conflict-bounded priorities only).
+const BlockSolver& CompletionBlockSolver();
+
+/// The solver the dichotomy of `mode` selects for globally-optimal
+/// checking on `b`: Theorem 3.1 classifies b's relation
+/// (kConflictOnly), Theorem 7.1 classifies the whole schema
+/// (kCrossConflict); the hard sides get the exhaustive solver.
+const BlockSolver& DispatchBlockSolver(const ProblemContext& ctx,
+                                       const Block& b, PriorityMode mode);
+
+/// The per-block checker matching a repair semantics: the dispatched
+/// global solver for kGlobal, the Pareto/completion solver otherwise.
+const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
+                                      const Block& b,
+                                      RepairSemantics semantics);
+
+/// Whole-instance globally-optimal repair checking by per-block
+/// dispatch: consistency, then presence of every conflict-free fact
+/// (maximality no block check would see), then the conjunction of
+/// CheckBlock over all blocks.  Requires ctx.priority_block_local()
+/// (checked).  On failure inside a block, `*failed_block` (when
+/// non-null) receives its id; otherwise it is left untouched.
+CheckResult CheckGlobalOptimalByBlocks(const ProblemContext& ctx,
+                                       const DynamicBitset& j,
+                                       PriorityMode mode,
+                                       size_t* failed_block = nullptr);
+
+/// Pareto analogue of CheckGlobalOptimalByBlocks.
+CheckResult CheckParetoOptimalByBlocks(const ProblemContext& ctx,
+                                       const DynamicBitset& j);
+
+/// Completion analogue of CheckGlobalOptimalByBlocks (conflict-bounded
+/// priorities only, like completion semantics itself).
+CheckResult CheckCompletionOptimalByBlocks(const ProblemContext& ctx,
+                                           const DynamicBitset& j);
+
+/// Number of σ-optimal repairs as the product of per-block counts
+/// (conflict-free facts contribute a factor of one), saturating at
+/// UINT64_MAX.  Requires ctx.priority_block_local() (checked).
+uint64_t CountOptimalRepairsByBlocks(const ProblemContext& ctx,
+                                     RepairSemantics semantics);
+
+/// Materializes every σ-optimal repair as {conflict-free facts} × ∏
+/// per-block optimal block-repairs, filtering each block through the
+/// dispatched (polynomial where the dichotomy allows) solver.  Falls
+/// back to the whole-instance enumeration of exhaustive.h when the
+/// priority is not block-local.
+std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
+                                             RepairSemantics semantics);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_BLOCK_SOLVER_H_

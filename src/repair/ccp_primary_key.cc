@@ -6,10 +6,14 @@ namespace prefrep {
 
 Digraph BuildCcpPrimaryKeyGraph(const ConflictGraph& cg,
                                 const PriorityRelation& pr,
-                                const DynamicBitset& j) {
+                                const DynamicBitset& j,
+                                const DynamicBitset* universe) {
   size_t n = cg.num_facts();
   Digraph graph(n);
   for (FactId f = 0; f < n; ++f) {
+    if (universe != nullptr && !universe->test(f)) {
+      continue;
+    }
     if (j.test(f)) {
       // f ∈ J: conflict edges towards I \ J.
       for (FactId g : cg.neighbors(f)) {
@@ -20,7 +24,8 @@ Digraph BuildCcpPrimaryKeyGraph(const ConflictGraph& cg,
     } else {
       // f ∈ I \ J: priority edges towards the J-facts it improves.
       for (FactId target : pr.Dominates(f)) {
-        if (j.test(target)) {
+        if (j.test(target) &&
+            (universe == nullptr || universe->test(target))) {
           graph.AddEdge(f, target);
         }
       }

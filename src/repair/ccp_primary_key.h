@@ -22,10 +22,14 @@
 namespace prefrep {
 
 /// Builds G_{J, I\J} over fact ids (node i = fact i).  Exposed for tests
-/// (Example 7.2 / Figure 6).
+/// (Example 7.2 / Figure 6).  A non-null `universe` keeps only edges
+/// between facts of `universe`; when the priority is block-local the
+/// unrestricted graph is the disjoint union of the per-block graphs, so
+/// cycles can be hunted block by block.
 Digraph BuildCcpPrimaryKeyGraph(const ConflictGraph& cg,
                                 const PriorityRelation& pr,
-                                const DynamicBitset& j);
+                                const DynamicBitset& j,
+                                const DynamicBitset* universe = nullptr);
 
 /// Decides whether J is a globally-optimal repair of the ccp-instance
 /// (I, ≻) under a primary-key assignment ∆.  Arbitrary J is handled: an

@@ -1,45 +1,55 @@
 #include "repair/checker.h"
 
+#include "repair/block_solver.h"
 #include "repair/ccp_constant_attr.h"
 #include "repair/ccp_primary_key.h"
 #include "repair/completion.h"
 #include "repair/exhaustive.h"
-#include "repair/global_one_fd.h"
-#include "repair/global_two_keys.h"
 #include "repair/pareto.h"
 #include "repair/subinstance_ops.h"
 
 namespace prefrep {
 
+namespace {
+
+void ValidateForMode(const ProblemContext& ctx, const CheckerOptions& options) {
+  Status valid = ctx.priority().Validate(options.mode);
+  PREFREP_CHECK_MSG(valid.ok(),
+                    "priority relation invalid for the checker's mode");
+}
+
+}  // namespace
+
 RepairChecker::RepairChecker(const Instance& instance,
                              const PriorityRelation& priority,
                              CheckerOptions options)
-    : instance_(instance),
-      priority_(priority),
-      options_(options),
-      cg_(instance),
-      classification_(ClassifySchema(instance.schema())),
-      ccp_classification_(ClassifyCcpSchema(instance.schema())) {
-  Status valid = priority.Validate(options.mode);
-  PREFREP_CHECK_MSG(valid.ok(),
-                    "priority relation invalid for the checker's mode");
-  PREFREP_CHECK_MSG(&priority.instance() == &instance,
-                    "priority relation is over a different instance");
+    : owned_ctx_(std::make_unique<ProblemContext>(instance, priority)),
+      ctx_(owned_ctx_.get()),
+      options_(options) {
+  ValidateForMode(*ctx_, options_);
+  ctx_->Prime();
+}
+
+RepairChecker::RepairChecker(const ProblemContext& context,
+                             CheckerOptions options)
+    : ctx_(&context), options_(options) {
+  ValidateForMode(*ctx_, options_);
+  ctx_->Prime();
 }
 
 bool RepairChecker::SchemaIsTractable() const {
   return options_.mode == PriorityMode::kConflictOnly
-             ? classification_.tractable
-             : ccp_classification_.tractable();
+             ? ctx_->classification().tractable
+             : ctx_->ccp_classification().tractable();
 }
 
 bool RepairChecker::IsRepair(const DynamicBitset& j) const {
-  return prefrep::IsRepair(cg_, j);
+  return prefrep::IsRepair(ctx_->conflict_graph(), j);
 }
 
 Result<CheckOutcome> RepairChecker::CheckGloballyOptimal(
     const DynamicBitset& j) const {
-  PREFREP_CHECK_MSG(j.size() == instance_.num_facts(),
+  PREFREP_CHECK_MSG(j.size() == ctx_->instance().num_facts(),
                     "subinstance bitset size mismatch");
   return options_.mode == PriorityMode::kConflictOnly
              ? CheckConflictOnly(j)
@@ -48,67 +58,70 @@ Result<CheckOutcome> RepairChecker::CheckGloballyOptimal(
 
 Result<CheckOutcome> RepairChecker::CheckConflictOnly(
     const DynamicBitset& j) const {
+  const ConflictGraph& cg = ctx_->conflict_graph();
+  const Instance& instance = ctx_->instance();
+  const BlockDecomposition& blocks = ctx_->blocks();
   CheckOutcome outcome;
   outcome.result = CheckResult::Optimal();
   // An inconsistent J is no repair at all; reject before dispatch.
-  if (!IsConsistent(cg_, j)) {
+  if (!IsConsistent(cg, j)) {
     outcome.result = CheckResult{false, std::nullopt};
     outcome.route.push_back("rejected: J is inconsistent (not a repair)");
     return outcome;
   }
-  // Proposition 3.5: route relation by relation.
-  for (RelId rel = 0; rel < instance_.schema().num_relations(); ++rel) {
-    const RelationClassification& rc = classification_.relations[rel];
-    const std::string& name = instance_.schema().relation_name(rel);
-    CheckResult result;
+  // Conflict-free facts belong to every repair; no block-restricted
+  // check would notice their absence.
+  const DynamicBitset missing_free = blocks.free_facts() - j;
+  if (missing_free.any()) {
+    FactId f = static_cast<FactId>(missing_free.FindFirst());
+    DynamicBitset improvement = j;
+    improvement.set(f);
+    outcome.result = CheckResult::NotOptimal(
+        std::move(improvement),
+        "J is not maximal: " + instance.FactToString(f) +
+            " has no conflicts");
+    outcome.route.push_back(
+        "rejected: J misses a conflict-free fact (present in every repair)");
+    return outcome;
+  }
+  // Proposition 3.5 + block locality: route block by block, reported
+  // relation by relation.
+  for (RelId rel = 0; rel < instance.schema().num_relations(); ++rel) {
+    const RelationClassification& rc = ctx_->classification().relations[rel];
+    const std::string& name = instance.schema().relation_name(rel);
+    const std::vector<size_t>& rel_blocks = blocks.blocks_of_relation(rel);
+    const BlockSolver* solver = nullptr;
+    std::string route;
     switch (rc.kind) {
       case TractableKind::kSingleFd:
-        result = CheckGlobalOptimalOneFd(cg_, priority_, rel, rc.single_fd, j);
-        outcome.route.push_back(name + ": GRepCheck1FD (" +
-                                rc.single_fd.ToString() + ")");
+        solver = &OneFdBlockSolver();
+        route = name + ": GRepCheck1FD (" + rc.single_fd.ToString() + ")";
         break;
       case TractableKind::kTwoKeys:
-        result = CheckGlobalOptimalTwoKeys(cg_, priority_, rel, rc.key1,
-                                           rc.key2, j);
-        outcome.route.push_back(name + ": GRepCheck2Keys (" +
-                                rc.key1.ToString() + ", " +
-                                rc.key2.ToString() + ")");
+        solver = &TwoKeysBlockSolver();
+        route = name + ": GRepCheck2Keys (" + rc.key1.ToString() + ", " +
+                rc.key2.ToString() + ")";
         break;
-      case TractableKind::kHard: {
+      case TractableKind::kHard:
         if (!options_.allow_exponential) {
           return Status::FailedPrecondition(
               "relation '" + name +
               "' is on the coNP-complete side of Theorem 3.1 and the "
               "exponential fallback is disabled");
         }
-        outcome.route.push_back(name + ": exhaustive fallback");
-        // Maximality within the relation.
-        DynamicBitset universe(instance_.num_facts());
-        for (FactId f : instance_.facts_of(rel)) {
-          universe.set(f);
-        }
-        result = CheckResult::Optimal();
-        bool found = false;
-        ForEachRepairWithin(
-            cg_, universe, [&](const DynamicBitset& rel_repair) {
-              // Candidate: J outside this relation, rel_repair inside.
-              DynamicBitset candidate = (j - universe) | rel_repair;
-              if (IsGlobalImprovement(cg_, priority_, j, candidate)) {
-                result = CheckResult::NotOptimal(
-                    candidate, "an enumerated repair of relation '" + name +
-                                   "' improves J");
-                found = true;
-                return false;
-              }
-              return true;
-            });
-        (void)found;
+        solver = &ExhaustiveBlockSolver();
+        route = name + ": exhaustive fallback";
         break;
-      }
     }
-    if (!result.optimal) {
-      outcome.result = std::move(result);
-      return outcome;
+    route += " over " + std::to_string(rel_blocks.size()) + " block(s)";
+    outcome.route.push_back(std::move(route));
+    for (size_t bid : rel_blocks) {
+      CheckResult result = solver->CheckBlock(*ctx_, blocks.block(bid), j);
+      if (!result.optimal) {
+        outcome.route.back() += "; failed at block " + std::to_string(bid);
+        outcome.result = std::move(result);
+        return outcome;
+      }
     }
   }
   return outcome;
@@ -116,16 +129,42 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
 
 Result<CheckOutcome> RepairChecker::CheckCrossConflict(
     const DynamicBitset& j) const {
+  const ConflictGraph& cg = ctx_->conflict_graph();
+  const PriorityRelation& pr = ctx_->priority();
+  // A ccp priority may relate facts of different blocks (or conflict-free
+  // facts); per-block dispatch is sound only when it does not.
+  const bool block_local = ctx_->priority_block_local();
   CheckOutcome outcome;
-  if (ccp_classification_.primary_key_assignment) {
-    outcome.route.push_back("ccp primary-key algorithm (G_{J,I\\J})");
-    outcome.result = CheckGlobalOptimalCcpPrimaryKey(cg_, priority_, j);
+  auto run_by_blocks = [&](const std::string& algorithm) {
+    outcome.route.push_back(
+        algorithm + " over " + std::to_string(ctx_->blocks().num_blocks()) +
+        " block(s)");
+    size_t failed = BlockDecomposition::kNoBlock;
+    outcome.result = CheckGlobalOptimalByBlocks(
+        *ctx_, j, PriorityMode::kCrossConflict, &failed);
+    if (failed != BlockDecomposition::kNoBlock) {
+      outcome.route.back() += "; failed at block " + std::to_string(failed);
+    }
+  };
+  if (ctx_->ccp_classification().primary_key_assignment) {
+    if (block_local) {
+      run_by_blocks("ccp primary-key algorithm (G_{J,I\\J})");
+    } else {
+      outcome.route.push_back(
+          "ccp primary-key algorithm (G_{J,I\\J}) (cross-block priority; "
+          "whole instance)");
+      outcome.result = CheckGlobalOptimalCcpPrimaryKey(cg, pr, j);
+    }
     return outcome;
   }
-  if (ccp_classification_.constant_attr_assignment) {
-    outcome.route.push_back(
-        "ccp constant-attribute algorithm (partition enumeration)");
-    outcome.result = CheckGlobalOptimalCcpConstantAttr(cg_, priority_, j);
+  if (ctx_->ccp_classification().constant_attr_assignment) {
+    if (block_local) {
+      run_by_blocks("ccp constant-attribute algorithm (partition scan)");
+    } else {
+      outcome.route.push_back(
+          "ccp constant-attribute algorithm (partition enumeration)");
+      outcome.result = CheckGlobalOptimalCcpConstantAttr(cg, pr, j);
+    }
     return outcome;
   }
   if (!options_.allow_exponential) {
@@ -133,13 +172,21 @@ Result<CheckOutcome> RepairChecker::CheckCrossConflict(
         "schema is on the coNP-complete side of Theorem 7.1 and the "
         "exponential fallback is disabled");
   }
-  outcome.route.push_back("exhaustive fallback (whole instance)");
-  outcome.result = ExhaustiveCheckGlobalOptimal(cg_, priority_, j);
+  if (block_local) {
+    run_by_blocks("exhaustive fallback");
+  } else {
+    outcome.route.push_back("exhaustive fallback (whole instance)");
+    outcome.result = ExhaustiveCheckGlobalOptimal(cg, pr, j);
+  }
   return outcome;
 }
 
 CheckResult RepairChecker::CheckParetoOptimal(const DynamicBitset& j) const {
-  return prefrep::CheckParetoOptimal(cg_, priority_, j);
+  if (!ctx_->priority_block_local()) {
+    return prefrep::CheckParetoOptimal(ctx_->conflict_graph(),
+                                       ctx_->priority(), j);
+  }
+  return CheckParetoOptimalByBlocks(*ctx_, j);
 }
 
 CheckResult RepairChecker::CheckCompletionOptimal(
@@ -147,7 +194,7 @@ CheckResult RepairChecker::CheckCompletionOptimal(
   PREFREP_CHECK_MSG(options_.mode == PriorityMode::kConflictOnly,
                     "completion semantics are defined for conflict-bounded "
                     "priorities only");
-  return prefrep::CheckCompletionOptimal(cg_, priority_, j);
+  return CheckCompletionOptimalByBlocks(*ctx_, j);
 }
 
 }  // namespace prefrep

@@ -5,11 +5,16 @@
 // check to the matching polynomial algorithm, falling back to the exact
 // exponential baseline on the coNP-complete side.
 //
-// Ordinary mode additionally exploits Proposition 3.5: both conflicts
-// and (conflict-bounded) priorities are intra-relation, so J is
-// globally-optimal iff each restriction J|R is — the checker therefore
-// routes relation by relation, and a schema that mixes tractable and
-// hard relations only pays the exponential fallback on the hard ones.
+// Ordinary mode additionally exploits Proposition 3.5 and block
+// locality: both conflicts and (conflict-bounded) priorities stay
+// inside one conflict block, so J is globally-optimal iff every
+// conflict-free fact is present and each block restriction J|b is
+// optimal — the checker therefore routes block by block through the
+// BlockSolver layer (repair/block_solver.h), and a schema that mixes
+// tractable and hard relations only pays 2^{|block|} on the hard
+// relations' blocks instead of 2^n.  Cross-conflict mode does the same
+// whenever the priority happens to be block-local, and falls back to
+// the whole-instance algorithms when it is not.
 
 #ifndef PREFREP_REPAIR_CHECKER_H_
 #define PREFREP_REPAIR_CHECKER_H_
@@ -18,8 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "classify/ccp_dichotomy.h"
-#include "classify/dichotomy.h"
+#include "model/context.h"
 #include "repair/improvement.h"
 
 namespace prefrep {
@@ -38,25 +42,37 @@ struct CheckerOptions {
 struct CheckOutcome {
   CheckResult result;
   /// One entry per algorithm invocation, e.g.
-  /// "BookLoc: GRepCheck1FD ({1} -> {1, 2})".
+  /// "BookLoc: GRepCheck1FD ({1} -> {1, 2}) over 2 block(s)".
   std::vector<std::string> route;
 };
 
 /// A checker bound to one prioritizing instance.  Builds the conflict
-/// graph and the schema classifications once; individual checks are then
-/// as cheap as the dispatched algorithm.
+/// graph, the schema classifications and the block decomposition once
+/// (through a ProblemContext); individual checks are then as cheap as
+/// the dispatched algorithm.
 class RepairChecker {
  public:
   /// The priority must be validated for the mode in `options` (checked).
+  /// Builds and owns a fresh ProblemContext.
   RepairChecker(const Instance& instance, const PriorityRelation& priority,
                 CheckerOptions options = {});
 
-  const ConflictGraph& conflict_graph() const { return cg_; }
+  /// Borrows an existing context (must outlive the checker), sharing its
+  /// cached artifacts with other consumers of the same problem.
+  explicit RepairChecker(const ProblemContext& context,
+                         CheckerOptions options = {});
+
+  /// The shared problem state this checker dispatches from.
+  const ProblemContext& context() const { return *ctx_; }
+
+  const ConflictGraph& conflict_graph() const {
+    return ctx_->conflict_graph();
+  }
   const SchemaClassification& classification() const {
-    return classification_;
+    return ctx_->classification();
   }
   const CcpSchemaClassification& ccp_classification() const {
-    return ccp_classification_;
+    return ctx_->ccp_classification();
   }
 
   /// Whether every dispatched global check runs in polynomial time.
@@ -78,12 +94,9 @@ class RepairChecker {
   Result<CheckOutcome> CheckConflictOnly(const DynamicBitset& j) const;
   Result<CheckOutcome> CheckCrossConflict(const DynamicBitset& j) const;
 
-  const Instance& instance_;
-  const PriorityRelation& priority_;
+  std::unique_ptr<ProblemContext> owned_ctx_;
+  const ProblemContext* ctx_;
   CheckerOptions options_;
-  ConflictGraph cg_;
-  SchemaClassification classification_;
-  CcpSchemaClassification ccp_classification_;
 };
 
 }  // namespace prefrep

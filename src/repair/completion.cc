@@ -7,7 +7,8 @@ namespace prefrep {
 
 CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
                                    const PriorityRelation& pr,
-                                   const DynamicBitset& j) {
+                                   const DynamicBitset& j,
+                                   const DynamicBitset* universe) {
   PREFREP_CHECK_MSG(pr.IsConflictBounded(),
                     "completion semantics require conflict-bounded "
                     "priorities (§2.3)");
@@ -16,7 +17,11 @@ CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
   }
   size_t n = cg.num_facts();
   DynamicBitset remaining(n);
-  remaining.set_all();
+  if (universe != nullptr) {
+    remaining = *universe;  // dominators and conflicts never leave a block
+  } else {
+    remaining.set_all();
+  }
   DynamicBitset picked(n);
 
   // Greedy fixpoint over J-facts.  Picking a pickable fact never blocks
@@ -47,7 +52,8 @@ CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
       changed = true;
     }
   }
-  if (picked == j && remaining.none()) {
+  const DynamicBitset target = universe != nullptr ? (j & *universe) : j;
+  if (picked == target && remaining.none()) {
     return CheckResult::Optimal();
   }
   return CheckResult{false, std::nullopt};

@@ -35,9 +35,16 @@ namespace prefrep {
 /// Requires a conflict-bounded priority (§2.3); completion semantics for
 /// cross-conflict priorities are not defined by [SCM] and are rejected
 /// with a PREFREP_CHECK.
+///
+/// A non-null `universe` restricts the check to one conflict block:
+/// decides whether J ∩ universe is a completion-optimal repair of the
+/// block.  Sound because the greedy procedure's picks and deletions
+/// never leave a block (conflicts and conflict-bounded priorities are
+/// intra-block), so its possible outputs factor across blocks.
 CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
                                    const PriorityRelation& pr,
-                                   const DynamicBitset& j);
+                                   const DynamicBitset& j,
+                                   const DynamicBitset* universe = nullptr);
 
 /// Runs one (deterministic, seeded) execution of the greedy procedure,
 /// producing a completion-optimal repair.  Different seeds explore

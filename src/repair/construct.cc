@@ -6,18 +6,19 @@
 
 namespace prefrep {
 
-DynamicBitset ConstructGloballyOptimalRepair(
-    const ConflictGraph& cg, const PriorityRelation& pr,
-    const ConstructOptions& options) {
-  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
-                    "construction relies on completion semantics, which "
-                    "require conflict-bounded priorities (§2.3)");
-  Rng rng(options.seed);
+namespace {
+
+// One greedy pass over `universe` (the whole instance, or one block):
+// repeatedly keep a ≻-maximal remaining fact and drop its conflicts.
+// Conflict-bounded priorities keep both dominators and conflicts inside
+// the universe, so the pass never reads outside it.
+DynamicBitset GreedyWithin(const ConflictGraph& cg, const PriorityRelation& pr,
+                           const DynamicBitset& universe,
+                           const ConstructOptions& options, Rng& rng) {
   size_t n = cg.num_facts();
-  DynamicBitset remaining(n);
-  remaining.set_all();
+  DynamicBitset remaining = universe;
   DynamicBitset out(n);
-  size_t left = n;
+  size_t left = remaining.count();
   while (left > 0) {
     // The ≻-maximal remaining facts (acyclicity guarantees one exists).
     std::vector<FactId> candidates;
@@ -59,6 +60,35 @@ DynamicBitset ConstructGloballyOptimalRepair(
         --left;
       }
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+DynamicBitset ConstructGloballyOptimalRepair(
+    const ConflictGraph& cg, const PriorityRelation& pr,
+    const ConstructOptions& options) {
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "construction relies on completion semantics, which "
+                    "require conflict-bounded priorities (§2.3)");
+  Rng rng(options.seed);
+  DynamicBitset universe(cg.num_facts());
+  universe.set_all();
+  return GreedyWithin(cg, pr, universe, options, rng);
+}
+
+DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
+                                             const ConstructOptions& options) {
+  const ConflictGraph& cg = ctx.conflict_graph();
+  const PriorityRelation& pr = ctx.priority();
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "construction relies on completion semantics, which "
+                    "require conflict-bounded priorities (§2.3)");
+  Rng rng(options.seed);
+  DynamicBitset out = ctx.blocks().free_facts();
+  for (const Block& b : ctx.blocks().blocks()) {
+    out |= GreedyWithin(cg, pr, b.facts, options, rng);
   }
   return out;
 }

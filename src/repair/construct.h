@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "model/context.h"
 #include "repair/improvement.h"
 
 namespace prefrep {
@@ -46,6 +47,15 @@ struct ConstructOptions {
 DynamicBitset ConstructGloballyOptimalRepair(
     const ConflictGraph& cg, const PriorityRelation& pr,
     const ConstructOptions& options = {});
+
+/// Same, sharing the cached artifacts of an existing ProblemContext:
+/// the conflict-free facts are kept outright and the greedy runs block
+/// by block (greedy picks never cross a block, so for the deterministic
+/// tie-breaks the result coincides with the whole-instance greedy;
+/// kRandom draws per block and may sample a different — equally optimal
+/// — repair than the (cg, pr) overload for the same seed).
+DynamicBitset ConstructGloballyOptimalRepair(
+    const ProblemContext& ctx, const ConstructOptions& options = {});
 
 /// Enumerates distinct completion-optimal repairs by running the greedy
 /// under `attempts` different random tie-breaks, invoking `fn` for each

@@ -1,5 +1,6 @@
 #include "repair/counting.h"
 
+#include "repair/block_solver.h"
 #include "repair/completion.h"
 
 namespace prefrep {
@@ -7,17 +8,46 @@ namespace prefrep {
 uint64_t CountOptimalRepairs(const ConflictGraph& cg,
                              const PriorityRelation& pr,
                              RepairSemantics semantics) {
-  return AllOptimalRepairs(cg, pr, semantics).size();
+  ProblemContext ctx(cg, pr);
+  return CountOptimalRepairs(ctx, semantics);
+}
+
+uint64_t CountOptimalRepairs(const ProblemContext& ctx,
+                             RepairSemantics semantics) {
+  if (!ctx.priority_block_local()) {
+    return AllOptimalRepairs(ctx.conflict_graph(), ctx.priority(), semantics)
+        .size();
+  }
+  return CountOptimalRepairsByBlocks(ctx, semantics);
 }
 
 std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
     const ConflictGraph& cg, const PriorityRelation& pr) {
-  std::vector<DynamicBitset> optimal =
-      AllOptimalRepairs(cg, pr, RepairSemantics::kGlobal);
-  if (optimal.size() == 1) {
-    return optimal.front();
+  ProblemContext ctx(cg, pr);
+  return UniqueGloballyOptimalRepair(ctx);
+}
+
+std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
+    const ProblemContext& ctx) {
+  if (!ctx.priority_block_local()) {
+    std::vector<DynamicBitset> optimal = AllOptimalRepairs(
+        ctx.conflict_graph(), ctx.priority(), RepairSemantics::kGlobal);
+    if (optimal.size() == 1) {
+      return optimal.front();
+    }
+    return std::nullopt;
   }
-  return std::nullopt;
+  DynamicBitset out = ctx.blocks().free_facts();
+  for (const Block& b : ctx.blocks().blocks()) {
+    std::vector<DynamicBitset> optimal =
+        SolverForSemantics(ctx, b, RepairSemantics::kGlobal)
+            .OptimalBlockRepairs(ctx, b);
+    if (optimal.size() != 1) {
+      return std::nullopt;
+    }
+    out |= optimal.front();
+  }
+  return out;
 }
 
 bool IsPriorityTotalOnConflicts(const ConflictGraph& cg,

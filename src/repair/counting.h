@@ -15,20 +15,35 @@
 
 #include <optional>
 
+#include "model/context.h"
 #include "repair/exhaustive.h"
 
 namespace prefrep {
 
-/// Exact count of optimal repairs under the given semantics (by
-/// enumeration; quadratic in the number of repairs for global/Pareto).
+/// Exact count of optimal repairs under the given semantics.  When the
+/// priority is block-local the count is the saturating product of
+/// per-block counts — enumeration never leaves a block, so k
+/// independent blocks cost Σ 2^{|block|} instead of ∏; otherwise it
+/// falls back to whole-instance enumeration.
 uint64_t CountOptimalRepairs(const ConflictGraph& cg,
                              const PriorityRelation& pr,
                              RepairSemantics semantics);
 
+/// Same, sharing the cached artifacts of an existing context.
+uint64_t CountOptimalRepairs(const ProblemContext& ctx,
+                             RepairSemantics semantics);
+
 /// If exactly one globally-optimal repair exists, returns it; nullopt
-/// when there are several.  Exponential (enumeration).
+/// when there are several.  With a block-local priority the repair is
+/// unique iff every block has exactly one optimal block-repair, so the
+/// scan bails out at the first block with two and never materializes
+/// the cross-product.
 std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
     const ConflictGraph& cg, const PriorityRelation& pr);
+
+/// Same, sharing the cached artifacts of an existing context.
+std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
+    const ProblemContext& ctx);
 
 /// True iff ≻ orders every conflicting pair (a "total" priority in the
 /// sense of [SCM] completions).

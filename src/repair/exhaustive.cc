@@ -1,5 +1,6 @@
 #include "repair/exhaustive.h"
 
+#include "conflicts/blocks.h"
 #include "repair/completion.h"
 #include "repair/subinstance_ops.h"
 
@@ -113,6 +114,16 @@ std::vector<DynamicBitset> AllRepairs(const ConflictGraph& cg) {
   return out;
 }
 
+std::vector<DynamicBitset> AllRepairsWithin(const ConflictGraph& cg,
+                                            const DynamicBitset& universe) {
+  std::vector<DynamicBitset> out;
+  ForEachRepairWithin(cg, universe, [&](const DynamicBitset& repair) {
+    out.push_back(repair);
+    return true;
+  });
+  return out;
+}
+
 uint64_t CountRepairs(const ConflictGraph& cg) {
   uint64_t count = 0;
   ForEachRepair(cg, [&](const DynamicBitset&) {
@@ -170,10 +181,15 @@ CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
   return result;
 }
 
-std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
-                                             const PriorityRelation& pr,
-                                             RepairSemantics semantics) {
-  std::vector<DynamicBitset> repairs = AllRepairs(cg);
+namespace {
+
+// Keeps the entries of `repairs` that no other entry improves under the
+// given semantics.  `repairs` must be improvement-closed: all repairs of
+// the instance, or all block-repairs of the block `universe`.
+std::vector<DynamicBitset> FilterOptimal(
+    const ConflictGraph& cg, const PriorityRelation& pr,
+    const std::vector<DynamicBitset>& repairs, RepairSemantics semantics,
+    const DynamicBitset* universe) {
   std::vector<DynamicBitset> out;
   for (const DynamicBitset& j : repairs) {
     bool optimal = true;
@@ -195,12 +211,50 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
         }
         break;
       case RepairSemantics::kCompletion:
-        optimal = CheckCompletionOptimal(cg, pr, j).optimal;
+        optimal = CheckCompletionOptimal(cg, pr, j, universe).optimal;
         break;
     }
     if (optimal) {
       out.push_back(j);
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
+                                                const PriorityRelation& pr,
+                                                const DynamicBitset& universe,
+                                                RepairSemantics semantics) {
+  return FilterOptimal(cg, pr, AllRepairsWithin(cg, universe), semantics,
+                       &universe);
+}
+
+std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
+                                             const PriorityRelation& pr,
+                                             RepairSemantics semantics) {
+  BlockDecomposition blocks(cg);
+  if (!PriorityIsBlockLocal(blocks, pr)) {
+    // A cross-block priority couples blocks; fall back to the
+    // whole-instance baseline.
+    return FilterOptimal(cg, pr, AllRepairs(cg), semantics, nullptr);
+  }
+  // Optimal repairs factor: {free facts} × ∏_b optimal repairs of b.
+  std::vector<DynamicBitset> out{blocks.free_facts()};
+  for (const Block& block : blocks.blocks()) {
+    std::vector<DynamicBitset> optimal =
+        OptimalRepairsWithin(cg, pr, block.facts, semantics);
+    PREFREP_CHECK_MSG(!optimal.empty(),
+                      "every block admits an optimal block-repair");
+    std::vector<DynamicBitset> next;
+    next.reserve(out.size() * optimal.size());
+    for (const DynamicBitset& prefix : out) {
+      for (const DynamicBitset& choice : optimal) {
+        next.push_back(prefix | choice);
+      }
+    }
+    out = std::move(next);
   }
   return out;
 }

@@ -48,6 +48,13 @@ void ForEachRepairNoPivot(
 /// Materializes all repairs (use only on small instances).
 std::vector<DynamicBitset> AllRepairs(const ConflictGraph& cg);
 
+/// Materializes the maximal consistent subsets of `universe` (full-size
+/// bitsets with only universe facts set).  The per-block building brick:
+/// the repairs of I are exactly {free facts} ∪ one block-repair per
+/// block, so whole-instance work of 2^n factors into Σ 2^{|block|}.
+std::vector<DynamicBitset> AllRepairsWithin(const ConflictGraph& cg,
+                                            const DynamicBitset& universe);
+
 /// Counts the repairs without materializing them.
 uint64_t CountRepairs(const ConflictGraph& cg);
 
@@ -70,14 +77,29 @@ enum class RepairSemantics {
   kCompletion,
 };
 
-/// Materializes all repairs optimal under the given semantics (use only
-/// on small instances; quadratic in the number of repairs for kGlobal /
-/// kPareto).  Useful for counting preferred repairs — the paper's
-/// concluding remarks single out counting globally-optimal repairs as an
-/// open direction.
+/// Materializes all repairs optimal under the given semantics.  Useful
+/// for counting preferred repairs — the paper's concluding remarks
+/// single out counting globally-optimal repairs as an open direction.
+///
+/// When the priority is block-local (always, for conflict-bounded
+/// priorities) the optimal repairs factor as {free facts} × ∏ per-block
+/// optimal block-repairs, so enumeration and the quadratic optimality
+/// filter run per block; otherwise the whole-instance baseline is used.
+/// Output size is inherent (it *is* the answer), but the filtering cost
+/// drops from quadratic in ∏ counts to quadratic in max per-block count.
 std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
                                              const PriorityRelation& pr,
                                              RepairSemantics semantics);
+
+/// The block-repairs of `universe` (one conflict block) that are optimal
+/// *within the block* under the given semantics.  Never empty for a
+/// non-empty block (a completion-optimal block-repair always exists).
+/// Optimality within the block equals optimality of the whole repair
+/// restricted to the block whenever the priority is block-local.
+std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
+                                                const PriorityRelation& pr,
+                                                const DynamicBitset& universe,
+                                                RepairSemantics semantics);
 
 }  // namespace prefrep
 

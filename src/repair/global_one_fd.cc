@@ -28,15 +28,19 @@ DynamicBitset SwapBlocks(const Instance& instance, RelId rel, const FD& fd,
 
 CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
                                     const PriorityRelation& pr, RelId rel,
-                                    const FD& fd, const DynamicBitset& j) {
+                                    const FD& fd, const DynamicBitset& j,
+                                    const DynamicBitset* universe) {
   const Instance& instance = cg.instance();
   const std::vector<FactId>& rel_facts = instance.facts_of(rel);
+  auto in_universe = [universe](FactId f) {
+    return universe == nullptr || universe->test(f);
+  };
 
   // Reject a J that is not even a repair of I|rel.  Consistency: no two
   // J-facts of the relation may form a δ-conflict for `fd` (∆|rel ≡ {fd},
   // so this equals consistency w.r.t. ∆|rel).
   for (FactId f : rel_facts) {
-    if (!j.test(f)) {
+    if (!j.test(f) || !in_universe(f)) {
       continue;
     }
     for (FactId g : cg.neighbors(f)) {
@@ -47,7 +51,7 @@ CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
   }
   // Maximality: any addable fact yields a (superset) global improvement.
   for (FactId g : rel_facts) {
-    if (j.test(g)) {
+    if (j.test(g) || !in_universe(g)) {
       continue;
     }
     if (!cg.ConflictsWithSet(g, j)) {
@@ -63,7 +67,7 @@ CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
   // GRepCheck1FD (Figure 2): try every swap J[f↔g] over conflicting
   // f ∈ J, g ∈ I \ J.
   for (FactId f : rel_facts) {
-    if (!j.test(f)) {
+    if (!j.test(f) || !in_universe(f)) {
       continue;
     }
     for (FactId g : cg.neighbors(f)) {

@@ -31,9 +31,16 @@ DynamicBitset SwapBlocks(const Instance& instance, RelId rel, const FD& fd,
 ///
 /// Handles arbitrary J: an inconsistent or non-maximal J|rel is rejected
 /// (with a witness for the non-maximal case).
+///
+/// When `universe` is non-null the check is further restricted to the
+/// facts of `universe` (a conflict block of the relation): only pairs
+/// inside the universe are considered.  Sound because a swap J[f↔g] only
+/// touches facts of f's and g's conflict block (every fact agreeing with
+/// f or g on lhs∪rhs conflicts with the other endpoint).
 CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
                                     const PriorityRelation& pr, RelId rel,
-                                    const FD& fd, const DynamicBitset& j);
+                                    const FD& fd, const DynamicBitset& j,
+                                    const DynamicBitset* universe = nullptr);
 
 }  // namespace prefrep
 

@@ -90,17 +90,19 @@ bool KeyedImprovementGraph::HasEdge(const std::string& from_label,
   return false;
 }
 
-KeyedImprovementGraph BuildImprovementGraph(const Instance& instance,
-                                            const PriorityRelation& pr,
-                                            RelId rel, AttrSet first_key,
-                                            AttrSet second_key,
-                                            const DynamicBitset& j) {
+KeyedImprovementGraph BuildImprovementGraph(
+    const Instance& instance, const PriorityRelation& pr, RelId rel,
+    AttrSet first_key, AttrSet second_key, const DynamicBitset& j,
+    const DynamicBitset* universe) {
   KeyedImprovementGraph g;
   NodeTable nodes(&g, &instance);
+  auto in_universe = [universe](FactId f) {
+    return universe == nullptr || universe->test(f);
+  };
 
   // Forward edges: one per J-fact, f[first] → f[second].
   for (FactId f : instance.facts_of(rel)) {
-    if (!j.test(f)) {
+    if (!j.test(f) || !in_universe(f)) {
       continue;
     }
     const Fact& fact = instance.fact(f);
@@ -120,7 +122,7 @@ KeyedImprovementGraph BuildImprovementGraph(const Instance& instance,
   // Backward edges: f′ ∈ I \ J preferred over a J-fact f that shares the
   // second-key projection contributes f′[second] → f′[first].
   for (FactId f_prime : instance.facts_of(rel)) {
-    if (j.test(f_prime)) {
+    if (j.test(f_prime) || !in_universe(f_prime)) {
       continue;
     }
     const Fact& fp = instance.fact(f_prime);
@@ -177,12 +179,16 @@ DynamicBitset ImprovementFromCycle(const KeyedImprovementGraph& g,
 CheckResult CheckGlobalOptimalTwoKeys(const ConflictGraph& cg,
                                       const PriorityRelation& pr, RelId rel,
                                       AttrSet key1, AttrSet key2,
-                                      const DynamicBitset& j) {
+                                      const DynamicBitset& j,
+                                      const DynamicBitset* universe) {
   const Instance& instance = cg.instance();
+  auto in_universe = [universe](FactId f) {
+    return universe == nullptr || universe->test(f);
+  };
 
   // Reject inconsistent J (not a repair, hence not globally-optimal).
   for (FactId f : instance.facts_of(rel)) {
-    if (!j.test(f)) {
+    if (!j.test(f) || !in_universe(f)) {
       continue;
     }
     for (FactId g : cg.neighbors(f)) {
@@ -197,7 +203,7 @@ CheckResult CheckGlobalOptimalTwoKeys(const ConflictGraph& cg,
   // improvement through a fact of another relation is invisible to this
   // sub-problem and is handled by its own relation's check.
   for (FactId g : instance.facts_of(rel)) {
-    if (j.test(g)) {
+    if (j.test(g) || !in_universe(g)) {
       continue;
     }
     bool improves = true;
@@ -223,13 +229,13 @@ CheckResult CheckGlobalOptimalTwoKeys(const ConflictGraph& cg,
 
   // Step 2: cycles in G12_J and G21_J.
   KeyedImprovementGraph g12 =
-      BuildImprovementGraph(instance, pr, rel, key1, key2, j);
+      BuildImprovementGraph(instance, pr, rel, key1, key2, j, universe);
   if (auto cycle = g12.graph.FindCycle()) {
     return CheckResult::NotOptimal(ImprovementFromCycle(g12, *cycle, j),
                                    "cycle in G12_J");
   }
   KeyedImprovementGraph g21 =
-      BuildImprovementGraph(instance, pr, rel, key2, key1, j);
+      BuildImprovementGraph(instance, pr, rel, key2, key1, j, universe);
   if (auto cycle = g21.graph.FindCycle()) {
     return CheckResult::NotOptimal(ImprovementFromCycle(g21, *cycle, j),
                                    "cycle in G21_J");

@@ -60,21 +60,25 @@ struct KeyedImprovementGraph {
 
 /// Builds G^{first,second}_J for relation `rel`.  Requires J ∩ rel to be
 /// consistent with respect to both keys (so that projections of J-facts
-/// onto either key are unique).
-KeyedImprovementGraph BuildImprovementGraph(const Instance& instance,
-                                            const PriorityRelation& pr,
-                                            RelId rel, AttrSet first_key,
-                                            AttrSet second_key,
-                                            const DynamicBitset& j);
+/// onto either key are unique).  A non-null `universe` restricts the
+/// construction to the facts of one conflict block; since facts of
+/// different blocks never share a key projection, the unrestricted graph
+/// is the disjoint union of the per-block graphs.
+KeyedImprovementGraph BuildImprovementGraph(
+    const Instance& instance, const PriorityRelation& pr, RelId rel,
+    AttrSet first_key, AttrSet second_key, const DynamicBitset& j,
+    const DynamicBitset* universe = nullptr);
 
 /// GRepCheck2Keys restricted to relation `rel`: decides whether J ∩ rel
 /// is a globally-optimal repair of I ∩ rel where ∆|rel is equivalent to
 /// the two key constraints key1 → ⟦R⟧ and key2 → ⟦R⟧ (incomparable).
 /// Arbitrary J is handled (inconsistent or non-maximal J is rejected).
+/// A non-null `universe` restricts the check to one conflict block.
 CheckResult CheckGlobalOptimalTwoKeys(const ConflictGraph& cg,
                                       const PriorityRelation& pr, RelId rel,
                                       AttrSet key1, AttrSet key2,
-                                      const DynamicBitset& j);
+                                      const DynamicBitset& j,
+                                      const DynamicBitset* universe = nullptr);
 
 }  // namespace prefrep
 

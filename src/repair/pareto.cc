@@ -6,13 +6,14 @@ namespace prefrep {
 
 CheckResult FindParetoImprovement(const ConflictGraph& cg,
                                   const PriorityRelation& pr,
-                                  const DynamicBitset& j) {
+                                  const DynamicBitset& j,
+                                  const DynamicBitset* universe) {
   PREFREP_CHECK_MSG(IsConsistent(cg, j),
                     "FindParetoImprovement requires a consistent J");
   size_t n = cg.num_facts();
   const Instance& instance = cg.instance();
   for (FactId g = 0; g < n; ++g) {
-    if (j.test(g)) {
+    if (j.test(g) || (universe != nullptr && !universe->test(g))) {
       continue;
     }
     // g improves J iff g ≻ f for every f ∈ J conflicting with g.

@@ -21,9 +21,15 @@ namespace prefrep {
 ///
 /// The witness returned is (J \ C(g)) ∪ {g}, where g is the improving
 /// fact and C(g) the facts of J conflicting with g.
+///
+/// A non-null `universe` restricts the candidate improving facts g to
+/// one conflict block; a Pareto improvement through g only removes facts
+/// conflicting with g, so the whole-instance verdict is the conjunction
+/// of the per-block verdicts (plus presence of all conflict-free facts).
 CheckResult FindParetoImprovement(const ConflictGraph& cg,
                                   const PriorityRelation& pr,
-                                  const DynamicBitset& j);
+                                  const DynamicBitset& j,
+                                  const DynamicBitset* universe = nullptr);
 
 /// Pareto-optimal repair checking: true iff `j` is a Pareto-optimal
 /// repair of I, i.e. `j` is consistent and admits no Pareto improvement.
