@@ -50,6 +50,18 @@
   } while (0)
 #endif
 
+/// Compile-time audit gate.  A build configured with -DPREFREP_AUDIT=ON
+/// (the `audit` CMake preset) defines PREFREP_AUDIT, and every polynomial
+/// verdict, constructed repair and block decomposition is cross-validated
+/// against its definitional baseline at runtime (see repair/audit.h).
+/// The gate must be set globally (it is a project-wide compile
+/// definition), or inline audit wrappers would violate the ODR.
+#ifdef PREFREP_AUDIT
+#define PREFREP_AUDIT_ENABLED 1
+#else
+#define PREFREP_AUDIT_ENABLED 0
+#endif
+
 /// Disallows copy construction and copy assignment.
 #define PREFREP_DISALLOW_COPY(TypeName)      \
   TypeName(const TypeName&) = delete;        \

@@ -88,10 +88,12 @@ template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (success).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, see above.
+  Result(T value) : value_(std::move(value)) {}
 
   /// Implicit construction from a non-OK status (failure).
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): lets `return SomeError();` work.
+  Result(Status status) : status_(std::move(status)) {
     PREFREP_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
   }
 

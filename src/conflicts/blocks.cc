@@ -2,6 +2,75 @@
 
 namespace prefrep {
 
+#if PREFREP_AUDIT_ENABLED
+namespace {
+
+// PREFREP_AUDIT hook: asserts the decomposition is a true partition of
+// the fact universe refining the conflict graph's connected components.
+// Lives here rather than in repair/audit.h because the conflicts layer
+// sits below repair/ and must not include it.
+void AuditDecomposition(const ConflictGraph& cg,
+                        const std::vector<Block>& blocks,
+                        const DynamicBitset& free_facts,
+                        const std::vector<size_t>& block_of) {
+  size_t n = cg.num_facts();
+  // Partition: every fact is free xor belongs to exactly one block, and
+  // block membership agrees with the block_of index.
+  DynamicBitset covered = free_facts;
+  free_facts.ForEach([&](size_t f) {
+    PREFREP_CHECK_MSG(block_of[f] == BlockDecomposition::kNoBlock,
+                      "audit: a conflict-free fact is indexed into a block");
+    PREFREP_CHECK_MSG(cg.neighbors(static_cast<FactId>(f)).empty(),
+                      "audit: a fact with conflicts was marked free");
+  });
+  for (const Block& b : blocks) {
+    PREFREP_CHECK_MSG(b.facts.IsDisjointFrom(covered),
+                      "audit: blocks overlap each other or the free facts");
+    covered |= b.facts;
+    PREFREP_CHECK_MSG(b.size() >= 2,
+                      "audit: a block must hold at least two facts");
+    b.facts.ForEach([&](size_t f) {
+      PREFREP_CHECK_MSG(block_of[f] == b.id,
+                        "audit: block membership disagrees with block_of");
+      PREFREP_CHECK_MSG(cg.instance().fact(static_cast<FactId>(f)).rel ==
+                            b.rel,
+                        "audit: a block spans relations");
+    });
+    // Connectivity: a BFS inside the block reaches every block fact, so
+    // the block is one component, not a union of several.
+    DynamicBitset visited(n);
+    std::vector<FactId> queue{
+        static_cast<FactId>(b.facts.FindFirst())};
+    visited.set(queue.front());
+    while (!queue.empty()) {
+      FactId f = queue.back();
+      queue.pop_back();
+      for (FactId g : cg.neighbors(f)) {
+        if (b.facts.test(g) && !visited.test(g)) {
+          visited.set(g);
+          queue.push_back(g);
+        }
+      }
+    }
+    PREFREP_CHECK_MSG(visited == b.facts,
+                      "audit: a block is not a connected component");
+  }
+  PREFREP_CHECK_MSG(covered.count() == n,
+                    "audit: blocks plus free facts do not cover the "
+                    "instance");
+  // Refinement: no conflict edge leaves a block.
+  for (FactId f = 0; f < n; ++f) {
+    for (FactId g : cg.neighbors(f)) {
+      PREFREP_CHECK_MSG(block_of[f] == block_of[g] &&
+                            block_of[f] != BlockDecomposition::kNoBlock,
+                        "audit: a conflict edge crosses block boundaries");
+    }
+  }
+}
+
+}  // namespace
+#endif  // PREFREP_AUDIT_ENABLED
+
 BlockDecomposition::BlockDecomposition(const ConflictGraph& cg)
     : free_facts_(cg.num_facts()),
       block_of_(cg.num_facts(), kNoBlock),
@@ -47,6 +116,9 @@ BlockDecomposition::BlockDecomposition(const ConflictGraph& cg)
     by_relation_[block.rel].push_back(block.id);
     blocks_.push_back(std::move(block));
   }
+#if PREFREP_AUDIT_ENABLED
+  AuditDecomposition(cg, blocks_, free_facts_, block_of_);
+#endif
 }
 
 bool PriorityIsBlockLocal(const BlockDecomposition& blocks,

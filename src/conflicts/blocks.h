@@ -55,7 +55,7 @@ class BlockDecomposition {
   const std::vector<Block>& blocks() const { return blocks_; }
 
   const Block& block(size_t b) const {
-    PREFREP_CHECK(b < blocks_.size());
+    PREFREP_CHECK_MSG(b < blocks_.size(), "block id out of range");
     return blocks_[b];
   }
 
@@ -64,13 +64,13 @@ class BlockDecomposition {
 
   /// Block id of a fact, or kNoBlock if the fact is free.
   size_t block_of(FactId f) const {
-    PREFREP_CHECK(f < block_of_.size());
+    PREFREP_CHECK_MSG(f < block_of_.size(), "fact id out of range");
     return block_of_[f];
   }
 
   /// Ids of the blocks lying inside relation `rel`, ascending.
   const std::vector<size_t>& blocks_of_relation(RelId rel) const {
-    PREFREP_CHECK(rel < by_relation_.size());
+    PREFREP_CHECK_MSG(rel < by_relation_.size(), "relation id out of range");
     return by_relation_[rel];
   }
 

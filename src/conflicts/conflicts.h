@@ -54,7 +54,7 @@ class ConflictGraph {
 
   /// Facts conflicting with `f`, sorted ascending, no duplicates.
   const std::vector<FactId>& neighbors(FactId f) const {
-    PREFREP_CHECK(f < adjacency_.size());
+    PREFREP_CHECK_MSG(f < adjacency_.size(), "fact id out of range");
     return adjacency_[f];
   }
 

@@ -160,8 +160,13 @@ Result<PreferredRepairProblem> ParseProblemFile(const std::string& path) {
 }
 
 std::string ProblemToText(const PreferredRepairProblem& problem) {
-  const Instance& inst = *problem.instance;
-  const Schema& schema = inst.schema();
+  return ProblemToText(*problem.instance, problem.priority.get(), &problem.j);
+}
+
+std::string ProblemToText(const Instance& instance,
+                          const PriorityRelation* priority,
+                          const DynamicBitset* j) {
+  const Schema& schema = instance.schema();
   std::string out;
   for (RelId r = 0; r < schema.num_relations(); ++r) {
     out += "relation " + schema.relation_name(r) + " " +
@@ -170,29 +175,30 @@ std::string ProblemToText(const PreferredRepairProblem& problem) {
       out += "fd " + schema.relation_name(r) + ": " + fd.ToString() + "\n";
     }
   }
-  auto label_of = [&inst](FactId f) {
-    return inst.label(f).empty() ? "f" + std::to_string(f) : inst.label(f);
+  auto label_of = [&instance](FactId f) {
+    return instance.label(f).empty() ? "f" + std::to_string(f)
+                                     : instance.label(f);
   };
-  for (FactId f = 0; f < inst.num_facts(); ++f) {
-    const Fact& fact = inst.fact(f);
+  for (FactId f = 0; f < instance.num_facts(); ++f) {
+    const Fact& fact = instance.fact(f);
     out += "fact " + label_of(f) + " " +
            schema.relation_name(fact.rel) + "(";
     for (size_t i = 0; i < fact.values.size(); ++i) {
       if (i > 0) {
         out += ", ";
       }
-      out += inst.dict().Text(fact.values[i]);
+      out += instance.dict().Text(fact.values[i]);
     }
     out += ")\n";
   }
-  if (problem.priority != nullptr) {
-    for (const auto& [higher, lower] : problem.priority->edges()) {
+  if (priority != nullptr) {
+    for (const auto& [higher, lower] : priority->edges()) {
       out += "prefer " + label_of(higher) + " > " + label_of(lower) + "\n";
     }
   }
-  if (problem.j.any()) {
+  if (j != nullptr && j->any()) {
     out += "j";
-    problem.j.ForEach([&](size_t f) {
+    j->ForEach([&](size_t f) {
       out += " " + label_of(static_cast<FactId>(f));
     });
     out += "\n";

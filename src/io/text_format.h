@@ -40,6 +40,14 @@ Result<PreferredRepairProblem> ParseProblemFile(const std::string& path);
 /// as f<id> for unlabeled facts).
 std::string ProblemToText(const PreferredRepairProblem& problem);
 
+/// Serializes a raw (instance, priority, J) view — the form the audit
+/// layer (repair/audit.h) holds when an invariant trips — so failures
+/// can be replayed through ParseProblemText.  `priority` and `j` may be
+/// null to omit the corresponding sections.
+std::string ProblemToText(const Instance& instance,
+                          const PriorityRelation* priority,
+                          const DynamicBitset* j);
+
 }  // namespace prefrep
 
 #endif  // PREFREP_IO_TEXT_FORMAT_H_

@@ -1,3 +1,6 @@
+// The fixed hard schemas S1..S4 driving the lower-bound reductions of §5
+// and the ccp hardness side of Theorem 7.1 — see reductions/hard_schemas.h
+// for which reduction each schema anchors.
 #include "reductions/hard_schemas.h"
 
 namespace prefrep {

@@ -1,5 +1,6 @@
 #include "repair/block_solver.h"
 
+#include "repair/audit.h"
 #include "repair/ccp_constant_attr.h"
 #include "repair/ccp_primary_key.h"
 #include "repair/completion.h"
@@ -167,6 +168,9 @@ class CcpConstantAttrSolver final : public BlockSolver {
 class ParetoSolver final : public BlockSolver {
  public:
   std::string_view Name() const override { return "ParetoCheck"; }
+  RepairSemantics Semantics() const override {
+    return RepairSemantics::kPareto;
+  }
   CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
                          const DynamicBitset& j) const override {
     return FindParetoImprovement(ctx.conflict_graph(), ctx.priority(), j,
@@ -177,6 +181,9 @@ class ParetoSolver final : public BlockSolver {
 class CompletionSolver final : public BlockSolver {
  public:
   std::string_view Name() const override { return "CompletionCheck"; }
+  RepairSemantics Semantics() const override {
+    return RepairSemantics::kCompletion;
+  }
   CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
                          const DynamicBitset& j) const override {
     return CheckCompletionOptimal(ctx.conflict_graph(), ctx.priority(), j,
@@ -244,6 +251,8 @@ DynamicBitset BlockSolver::ConstructBlock(const ProblemContext& ctx,
       remaining.reset(u);
     }
   }
+  audit::CheckConstructedBlockRepair(cg, pr, b.facts, out,
+                                     "BlockSolver::ConstructBlock");
   return out;
 }
 
@@ -322,6 +331,20 @@ const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
   return ExhaustiveBlockSolver();
 }
 
+CheckResult AuditedCheckBlock(const BlockSolver& solver,
+                              const ProblemContext& ctx, const Block& b,
+                              const DynamicBitset& j) {
+  CheckResult result = solver.CheckBlock(ctx, b, j);
+  if (audit::Enabled() && audit::internal::ForcingWrongVerdict()) {
+    // Test-only fault injection: corrupt the verdict so the death test
+    // can prove the audit below actually fires.
+    result = result.optimal ? CheckResult{false, std::nullopt}
+                            : CheckResult::Optimal();
+  }
+  audit::CheckBlockVerdict(ctx, solver, b, j, result);
+  return result;
+}
+
 namespace {
 
 // The shared combine loop: consistency, conflict-free facts, then the
@@ -358,7 +381,7 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
             " has no conflicts");
   }
   for (const Block& b : blocks.blocks()) {
-    CheckResult result = solver_for(b).CheckBlock(ctx, b, j);
+    CheckResult result = AuditedCheckBlock(solver_for(b), ctx, b, j);
     if (!result.optimal) {
       if (failed_block != nullptr) {
         *failed_block = b.id;
@@ -408,8 +431,9 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
   }
   std::vector<DynamicBitset> out{ctx.blocks().free_facts()};
   for (const Block& b : ctx.blocks().blocks()) {
-    std::vector<DynamicBitset> optimal =
-        SolverForSemantics(ctx, b, semantics).OptimalBlockRepairs(ctx, b);
+    const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
+    std::vector<DynamicBitset> optimal = solver.OptimalBlockRepairs(ctx, b);
+    audit::CheckBlockRepairSet(ctx, solver, b, optimal);
     PREFREP_CHECK_MSG(!optimal.empty(),
                       "every block admits an optimal block-repair");
     std::vector<DynamicBitset> next;
@@ -430,8 +454,9 @@ uint64_t CountOptimalRepairsByBlocks(const ProblemContext& ctx,
                     "per-block counting requires a block-local priority");
   uint64_t count = 1;
   for (const Block& b : ctx.blocks().blocks()) {
-    uint64_t block_count =
-        SolverForSemantics(ctx, b, semantics).CountBlock(ctx, b);
+    const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
+    uint64_t block_count = solver.CountBlock(ctx, b);
+    audit::CheckBlockCount(ctx, solver, b, block_count);
     if (block_count == 0) {
       return 0;
     }

@@ -48,6 +48,10 @@ class BlockSolver {
   /// Whether CheckBlock runs in time polynomial in the block size.
   virtual bool Polynomial() const { return true; }
 
+  /// The optimality notion CheckBlock decides.  The audit layer
+  /// (repair/audit.h) picks its cross-validation baseline by this.
+  virtual RepairSemantics Semantics() const { return RepairSemantics::kGlobal; }
+
   /// Decides whether J ∩ b is an optimal block-repair of block `b` (this
   /// solver's optimality notion).  `j` is a whole-instance bitset and
   /// must be consistent; facts outside the block are read-only context
@@ -113,6 +117,14 @@ const BlockSolver& DispatchBlockSolver(const ProblemContext& ctx,
 const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
                                       const Block& b,
                                       RepairSemantics semantics);
+
+/// Runs solver.CheckBlock and, in PREFREP_AUDIT builds, cross-validates
+/// the verdict against its definitional baseline (repair/audit.h) — the
+/// route every dispatcher of this module and the unified checker take.
+/// In regular builds this is exactly solver.CheckBlock.
+CheckResult AuditedCheckBlock(const BlockSolver& solver,
+                              const ProblemContext& ctx, const Block& b,
+                              const DynamicBitset& j);
 
 /// Whole-instance globally-optimal repair checking by per-block
 /// dispatch: consistency, then presence of every conflict-free fact

@@ -1,3 +1,5 @@
+// Polynomial ccp algorithm for the constant-attribute tractable case of
+// Theorem 7.1 (§7.2.2): a single FD ∅ → B.
 #include "repair/ccp_constant_attr.h"
 
 #include <unordered_map>

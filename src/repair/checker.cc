@@ -1,5 +1,6 @@
 #include "repair/checker.h"
 
+#include "repair/audit.h"
 #include "repair/block_solver.h"
 #include "repair/ccp_constant_attr.h"
 #include "repair/ccp_primary_key.h"
@@ -116,7 +117,7 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
     route += " over " + std::to_string(rel_blocks.size()) + " block(s)";
     outcome.route.push_back(std::move(route));
     for (size_t bid : rel_blocks) {
-      CheckResult result = solver->CheckBlock(*ctx_, blocks.block(bid), j);
+      CheckResult result = AuditedCheckBlock(*solver, *ctx_, blocks.block(bid), j);
       if (!result.optimal) {
         outcome.route.back() += "; failed at block " + std::to_string(bid);
         outcome.result = std::move(result);
@@ -154,6 +155,8 @@ Result<CheckOutcome> RepairChecker::CheckCrossConflict(
           "ccp primary-key algorithm (G_{J,I\\J}) (cross-block priority; "
           "whole instance)");
       outcome.result = CheckGlobalOptimalCcpPrimaryKey(cg, pr, j);
+      audit::CheckGlobalVerdict(cg, pr, j, outcome.result,
+                                "ccp primary-key algorithm");
     }
     return outcome;
   }
@@ -164,6 +167,8 @@ Result<CheckOutcome> RepairChecker::CheckCrossConflict(
       outcome.route.push_back(
           "ccp constant-attribute algorithm (partition enumeration)");
       outcome.result = CheckGlobalOptimalCcpConstantAttr(cg, pr, j);
+      audit::CheckGlobalVerdict(cg, pr, j, outcome.result,
+                                "ccp constant-attribute algorithm");
     }
     return outcome;
   }

@@ -1,6 +1,7 @@
 #include "repair/completion.h"
 
 #include "base/random.h"
+#include "repair/audit.h"
 #include "repair/subinstance_ops.h"
 
 namespace prefrep {
@@ -53,10 +54,11 @@ CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
     }
   }
   const DynamicBitset target = universe != nullptr ? (j & *universe) : j;
-  if (picked == target && remaining.none()) {
-    return CheckResult::Optimal();
-  }
-  return CheckResult{false, std::nullopt};
+  CheckResult result = picked == target && remaining.none()
+                           ? CheckResult::Optimal()
+                           : CheckResult{false, std::nullopt};
+  audit::CheckCompletionVerdict(cg, pr, j, universe, result);
+  return result;
 }
 
 DynamicBitset GreedyCompletionRepair(const ConflictGraph& cg,
@@ -92,6 +94,7 @@ DynamicBitset GreedyCompletionRepair(const ConflictGraph& cg,
       }
     }
   }
+  audit::CheckConstructedRepair(cg, pr, out, "GreedyCompletionRepair");
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/random.h"
+#include "repair/audit.h"
 
 namespace prefrep {
 
@@ -75,7 +76,10 @@ DynamicBitset ConstructGloballyOptimalRepair(
   Rng rng(options.seed);
   DynamicBitset universe(cg.num_facts());
   universe.set_all();
-  return GreedyWithin(cg, pr, universe, options, rng);
+  DynamicBitset out = GreedyWithin(cg, pr, universe, options, rng);
+  audit::CheckConstructedRepair(cg, pr, out,
+                                "ConstructGloballyOptimalRepair");
+  return out;
 }
 
 DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
@@ -90,6 +94,8 @@ DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
   for (const Block& b : ctx.blocks().blocks()) {
     out |= GreedyWithin(cg, pr, b.facts, options, rng);
   }
+  audit::CheckConstructedRepair(
+      cg, pr, out, "ConstructGloballyOptimalRepair (per-block)");
   return out;
 }
 

@@ -1,3 +1,6 @@
+// Exponential baselines that apply Definition 2.4 literally — repair
+// enumeration plus improvement search.  Correct for every schema; used
+// beyond Theorem 3.1's tractable cases and by the PREFREP_AUDIT checks.
 #include "repair/exhaustive.h"
 
 #include "conflicts/blocks.h"

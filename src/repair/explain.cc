@@ -1,3 +1,5 @@
+// Renders the improvement structure of Definition 2.4 as a human-readable
+// explanation of why a candidate repair is not optimal.
 #include "repair/explain.h"
 
 #include "repair/subinstance_ops.h"

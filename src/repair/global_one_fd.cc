@@ -1,3 +1,5 @@
+// Polynomial g-repair checking for single-FD relations — the first
+// tractable case of Theorem 3.1, via the block-swap argument of Lemma 4.2.
 #include "repair/global_one_fd.h"
 
 #include "conflicts/conflicts.h"
@@ -10,7 +12,8 @@ DynamicBitset SwapBlocks(const Instance& instance, RelId rel, const FD& fd,
   PREFREP_CHECK_MSG(j.test(f), "SwapBlocks requires f ∈ J");
   const Fact& ff = instance.fact(f);
   const Fact& gg = instance.fact(g);
-  PREFREP_CHECK(ff.rel == rel && gg.rel == rel);
+  PREFREP_CHECK_MSG(ff.rel == rel && gg.rel == rel,
+                    "SwapBlocks requires f, g to lie in the swapped relation");
   PREFREP_CHECK_MSG(IsDeltaConflict(ff, gg, fd),
                     "SwapBlocks requires f, g to form a δ-conflict");
   AttrSet ab = fd.lhs | fd.rhs;

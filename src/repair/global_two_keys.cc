@@ -161,7 +161,8 @@ DynamicBitset ImprovementFromCycle(const KeyedImprovementGraph& g,
     size_t v = cycle[(i + 1) % k];
     if (g.is_left[u]) {
       // Forward edge u → v: remove the J-fact of this left node.
-      PREFREP_CHECK(g.left_fact[u] != kInvalidFactId);
+      PREFREP_CHECK_MSG(g.left_fact[u] != kInvalidFactId,
+                        "a left node on a cycle must carry its J-fact");
       out.reset(g.left_fact[u]);
     } else {
       // Backward edge u → v: add its witness fact.

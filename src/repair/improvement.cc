@@ -1,3 +1,4 @@
+// Global and Pareto improvement predicates, Definition 2.4 verbatim.
 #include "repair/improvement.h"
 
 #include "repair/subinstance_ops.h"

@@ -1,5 +1,8 @@
+// Pareto-optimal repair checking (§2.4, §3): polynomial for every schema,
+// by searching for a Pareto improvement set directly.
 #include "repair/pareto.h"
 
+#include "repair/audit.h"
 #include "repair/subinstance_ops.h"
 
 namespace prefrep {
@@ -34,10 +37,12 @@ CheckResult FindParetoImprovement(const ConflictGraph& cg,
       }
     }
     improvement.set(g);
-    return CheckResult::NotOptimal(
+    CheckResult result = CheckResult::NotOptimal(
         std::move(improvement),
         "fact " + instance.FactToString(g) +
             " is preferred over every fact of J it conflicts with");
+    audit::CheckParetoWitness(cg, pr, j, result);
+    return result;
   }
   return CheckResult::Optimal();
 }

@@ -1,3 +1,5 @@
+// Consistency and maximality primitives over subinstances (§2.2, §2.4):
+// the building blocks every checker and constructor shares.
 #include "repair/subinstance_ops.h"
 
 #include <unordered_map>

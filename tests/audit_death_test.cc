@@ -1,0 +1,51 @@
+// Proves the PREFREP_AUDIT layer actually catches wrong answers: with
+// audit::internal::ForceWrongVerdictForTesting the block solver's verdict
+// is deliberately flipped before the audit sees it, and the audit must
+// abort the process.  Without this test the audit hooks could silently
+// rot into no-ops.  The tests skip themselves in non-audit builds, where
+// the hooks compile away (see src/repair/audit.h).
+
+#include <gtest/gtest.h>
+
+#include "gen/running_example.h"
+#include "repair/audit.h"
+#include "repair/checker.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+TEST(AuditDeathTest, ForcedWrongVerdictIsCaught) {
+  if (!audit::Enabled()) {
+    GTEST_SKIP() << "PREFREP_AUDIT is off; audit hooks compile to no-ops";
+  }
+  PreferredRepairProblem p = RunningExampleProblem();
+  RepairChecker checker(*p.instance, *p.priority);
+  // J1 is a repair (Figure 3), so the check reaches the per-block solvers
+  // instead of the early "not even a repair" rejections, and the flipped
+  // block verdict must collide with the audit's exhaustive baseline.
+  DynamicBitset j1 = RunningExampleJ(*p.instance, 1);
+  EXPECT_DEATH(
+      {
+        audit::internal::ForceWrongVerdictForTesting(true);
+        (void)checker.CheckGloballyOptimal(j1);
+      },
+      "audit");
+  audit::internal::ForceWrongVerdictForTesting(false);
+}
+
+TEST(AuditDeathTest, UnforcedVerdictPassesTheAudit) {
+  if (!audit::Enabled()) {
+    GTEST_SKIP() << "PREFREP_AUDIT is off; audit hooks compile to no-ops";
+  }
+  // Control: the same call with no fault injection must survive the
+  // audit, so the death above is attributable to the flipped verdict.
+  PreferredRepairProblem p = RunningExampleProblem();
+  RepairChecker checker(*p.instance, *p.priority);
+  Result<CheckOutcome> outcome =
+      checker.CheckGloballyOptimal(RunningExampleJ(*p.instance, 1));
+  ASSERT_TRUE(outcome.ok());
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -168,5 +168,111 @@ TEST(StringUtilTest, Format) {
   EXPECT_EQ(StrFormat("%zu", size_t{42}), "42");
 }
 
+TEST(BitsetTest, EmptyUniverse) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.FindFirst(), 0u);  // "not found" == size()
+  EXPECT_TRUE(b.ToVector().empty());
+  b.set_all();  // must be a no-op, not an overflow into a phantom word
+  EXPECT_EQ(b.count(), 0u);
+  size_t visited = 0;
+  b.ForEach([&](size_t) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(b, DynamicBitset(0));
+}
+
+TEST(BitsetTest, WordBoundarySizes) {
+  // Sizes straddling the 64-bit word boundary: the tail word is partial
+  // (63), exactly full (64), and barely spilled (65).  set_all() must not
+  // set ghost bits past size(), and count()/FindFirst() must agree.
+  for (size_t n : {63u, 64u, 65u}) {
+    DynamicBitset b(n);
+    b.set_all();
+    EXPECT_EQ(b.count(), n) << "size " << n;
+    EXPECT_TRUE(b.test(n - 1)) << "size " << n;
+    EXPECT_EQ(b.ToVector().back(), n - 1) << "size " << n;
+
+    DynamicBitset last(n);
+    last.set(n - 1);
+    EXPECT_EQ(last.FindFirst(), n - 1) << "size " << n;
+    EXPECT_EQ(last.count(), 1u) << "size " << n;
+    EXPECT_TRUE(last.IsSubsetOf(b)) << "size " << n;
+    b -= last;
+    EXPECT_EQ(b.count(), n - 1) << "size " << n;
+    EXPECT_TRUE(b.IsDisjointFrom(last)) << "size " << n;
+  }
+}
+
+TEST(BitsetTest, IterationAfterClear) {
+  DynamicBitset b(100);
+  b.set(1);
+  b.set(64);
+  b.set(99);
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.FindFirst(), 100u);
+  size_t visited = 0;
+  b.ForEach([&](size_t) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  // The bitset must stay fully usable after clear().
+  b.set(64);
+  EXPECT_EQ(b.FindFirst(), 64u);
+  EXPECT_EQ(b.ToVector(), (std::vector<size_t>{64}));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+// Helpers exercising the propagation macros the parsers are built on.
+Status FailWhenNegative(int x) {
+  if (x < 0) {
+    return Status::OutOfRange("negative");
+  }
+  return Status::OK();
+}
+
+Status PropagateNotOk(int x) {
+  PREFREP_RETURN_NOT_OK(FailWhenNegative(x));
+  return Status::OK();
+}
+
+Result<int> DoubleIfFound(Result<int> r) {
+  int value = 0;
+  PREFREP_ASSIGN_OR_RETURN(value, std::move(r));
+  return value * 2;
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(PropagateNotOk(5).ok());
+  Status st = PropagateNotOk(-1);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(st.message(), "negative");
+}
+
+TEST(StatusTest, AssignOrReturnPropagates) {
+  Result<int> good = DoubleIfFound(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = DoubleIfFound(Status::NotFound("no fact"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.status().message(), "no fact");
+}
+
 }  // namespace
 }  // namespace prefrep

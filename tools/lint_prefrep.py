@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Domain lint for prefrep — project-specific checks the generic tools
+(clang-tidy, clang-format) cannot express.  Registered as the `lint`
+CTest; run from the repository root:
+
+    python3 tools/lint_prefrep.py [--verbose]
+
+Checks
+------
+1. include-guard   Every header uses the canonical guard
+                   PREFREP_<DIR>_<FILE>_H_ (path upper-cased, `src/`
+                   stripped), with a matching #define and a trailing
+                   `#endif  // <GUARD>` comment.
+2. raw-assert      No raw assert()/abort() outside src/base/macros.h —
+                   invariants go through PREFREP_CHECK / PREFREP_CHECK_MSG /
+                   PREFREP_DCHECK so they fire (fatally, with location) in
+                   every build type.
+3. citation        Every algorithm file under src/repair, src/classify and
+                   src/reductions carries a paper citation (theorem, lemma,
+                   proposition, definition, section symbol, or [SCM]),
+                   keeping the code auditable against the source paper.
+4. nolint          Every NOLINT marker names the suppressed check(s) and
+                   carries a justification — either `: reason` after the
+                   check list or a comment line directly above.  Blanket
+                   `// NOLINT` is rejected; NOLINTBEGIN must be matched by
+                   NOLINTEND in the same file.
+
+Exit status 0 when clean; 1 with one `path:line: message` per finding
+otherwise.  The script is stdlib-only by design (it must run in CI and in
+the bare build container).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+HEADER_DIRS = ("src", "tests", "bench")
+CITATION_DIRS = ("src/repair", "src/classify", "src/reductions")
+
+# Matches theorem/lemma/… references ("Theorem 3.1", "§2.3", "Lemma 7.3")
+# and the paper tags used throughout the tree ("[SCM]", "arXiv:1603.01820").
+CITATION_RE = re.compile(
+    r"(Theorem|Lemma|Proposition|Corollary|Definition|Section|§)\s*\d"
+    r"|\[SCM|\[Staworko|arXiv:\d"
+)
+
+RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_:.])(assert|abort)\s*\(")
+RAW_ASSERT_EXEMPT = {Path("src/base/macros.h")}
+
+NOLINT_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
+NOLINT_WITH_CHECKS_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN)?\(([^)]+)\)")
+NOLINT_REASON_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN)?\([^)]+\):\s*\S.*")
+COMMENT_LINE_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so code-pattern checks don't fire inside prose."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    return "PREFREP_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, rel: Path, line: int, check: str, message: str) -> None:
+        self.findings.append(f"{rel}:{line}: [{check}] {message}")
+
+    # -- check 1: include guards ------------------------------------------
+    def check_include_guard(self, rel: Path, lines: list[str]) -> None:
+        guard = expected_guard(rel)
+        ifndef_idx = None
+        for idx, line in enumerate(lines):
+            if line.startswith("#ifndef"):
+                ifndef_idx = idx
+                break
+            if line.startswith("#") and not line.startswith("#!"):
+                break
+        if ifndef_idx is None or lines[ifndef_idx].split() != ["#ifndef", guard]:
+            got = (
+                lines[ifndef_idx].split()[1]
+                if ifndef_idx is not None and len(lines[ifndef_idx].split()) > 1
+                else "<missing>"
+            )
+            self.report(rel, (ifndef_idx or 0) + 1, "include-guard",
+                        f"expected '#ifndef {guard}', got '{got}'")
+            return
+        if (ifndef_idx + 1 >= len(lines)
+                or lines[ifndef_idx + 1].split() != ["#define", guard]):
+            self.report(rel, ifndef_idx + 2, "include-guard",
+                        f"'#ifndef {guard}' not followed by '#define {guard}'")
+        tail = next((l for l in reversed(lines) if l.strip()), "")
+        if tail.strip() != f"#endif  // {guard}":
+            self.report(rel, len(lines), "include-guard",
+                        f"file must end with '#endif  // {guard}'")
+
+    # -- check 2: raw assert/abort ----------------------------------------
+    def check_raw_assert(self, rel: Path, code_lines: list[str]) -> None:
+        if rel in RAW_ASSERT_EXEMPT:
+            return
+        for idx, line in enumerate(code_lines, start=1):
+            m = RAW_ASSERT_RE.search(line)
+            if m:
+                self.report(
+                    rel, idx, "raw-assert",
+                    f"raw {m.group(1)}() — use PREFREP_CHECK / "
+                    "PREFREP_CHECK_MSG / PREFREP_DCHECK (src/base/macros.h)")
+
+    # -- check 3: paper citations -----------------------------------------
+    def check_citation(self, rel: Path, text: str) -> None:
+        if not CITATION_RE.search(text):
+            self.report(
+                rel, 1, "citation",
+                "algorithm file lacks a paper citation comment "
+                "(Theorem/Lemma/Proposition/Definition/§ or [SCM])")
+
+    # -- check 4: NOLINT discipline ---------------------------------------
+    def check_nolint(self, rel: Path, lines: list[str]) -> None:
+        begins = ends = 0
+        for idx, line in enumerate(lines, start=1):
+            for m in NOLINT_RE.finditer(line):
+                kind = m.group(1) or ""
+                if kind == "END":
+                    ends += 1
+                    continue
+                if kind == "BEGIN":
+                    begins += 1
+                with_checks = NOLINT_WITH_CHECKS_RE.match(line[m.start():])
+                if not with_checks or not with_checks.group(2).strip():
+                    self.report(
+                        rel, idx, "nolint",
+                        "blanket NOLINT — name the suppressed check(s), "
+                        "e.g. NOLINT(bugprone-foo)")
+                    continue
+                has_inline_reason = NOLINT_REASON_RE.match(line[m.start():])
+                prev = lines[idx - 2] if idx >= 2 else ""
+                has_comment_above = bool(COMMENT_LINE_RE.match(prev))
+                if not has_inline_reason and not has_comment_above:
+                    self.report(
+                        rel, idx, "nolint",
+                        "NOLINT needs a justification — append ': reason' "
+                        "or put an explanatory comment on the line above")
+        if begins != ends:
+            self.report(rel, len(lines), "nolint",
+                        f"{begins} NOLINTBEGIN but {ends} NOLINTEND")
+
+    # -- driver ------------------------------------------------------------
+    def run(self) -> int:
+        files = []
+        for d in SOURCE_DIRS:
+            files += sorted((REPO_ROOT / d).rglob("*.h"))
+            files += sorted((REPO_ROOT / d).rglob("*.cc"))
+            files += sorted((REPO_ROOT / d).rglob("*.cpp"))
+        for path in files:
+            rel = path.relative_to(REPO_ROOT)
+            text = path.read_text(encoding="utf-8")
+            lines = text.split("\n")
+            code_lines = strip_comments_and_strings(text).split("\n")
+            if rel.suffix == ".h" and rel.parts[0] in HEADER_DIRS:
+                self.check_include_guard(rel, lines)
+            self.check_raw_assert(rel, code_lines)
+            if any(str(rel).startswith(d + "/") for d in CITATION_DIRS):
+                self.check_citation(rel, text)
+            self.check_nolint(rel, lines)
+        return len(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the number of files scanned")
+    args = parser.parse_args()
+    linter = Linter()
+    scanned = linter.run()
+    for finding in linter.findings:
+        print(finding)
+    if args.verbose or not linter.findings:
+        status = "clean" if not linter.findings else "dirty"
+        print(f"lint_prefrep: scanned {scanned} files, "
+              f"{len(linter.findings)} finding(s), {status}")
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
