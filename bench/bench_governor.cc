@@ -1,0 +1,125 @@
+// B11 — what bounded-effort solving costs and buys (docs/robustness.md).
+// Three questions: (1) how expensive is the ungoverned Checkpoint()
+// fast path that now sits inside every enumeration node, (2) what does
+// an armed-but-ample governor add to a real exhaustive check, and
+// (3) does a deadline actually bound the wall-clock of a check that
+// would otherwise exhaust a 2^{|block|} space (Theorem 3.1's hard
+// side).  (1) and (2) must be noise-level — that is the contract that
+// lets the governor live on the default paths.
+
+#include <benchmark/benchmark.h>
+
+#include "base/governor.h"
+#include "bench_util.h"
+#include "gen/hard_workloads.h"
+#include "model/context.h"
+#include "repair/checker.h"
+#include "repair/exhaustive.h"
+
+namespace prefrep {
+namespace {
+
+// The branch every enumeration node pays when no governor is armed.
+void BM_Checkpoint_Unarmed(benchmark::State& state) {
+  ResourceGovernor& g = ResourceGovernor::Unlimited();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Checkpoint());
+  }
+}
+BENCHMARK(BM_Checkpoint_Unarmed);
+
+// The slow path with a node budget that never fires within the run.
+void BM_Checkpoint_Armed(benchmark::State& state) {
+  ResourceBudget budget;
+  budget.max_nodes = ~uint64_t{0} >> 1;
+  ResourceGovernor g(budget);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Checkpoint());
+  }
+}
+BENCHMARK(BM_Checkpoint_Armed);
+
+// Exact check on the single-block clustered S1 workload (one block of
+// 3*cliques facts, (s-1)^(c-1)*(s-1+c) repairs), ungoverned: the
+// baseline the governed variants are compared against.
+void BM_ClusteredCheck_Ungoverned(benchmark::State& state) {
+  PreferredRepairProblem p =
+      MakeHardClusteredWorkload(static_cast<size_t>(state.range(0)), 3);
+  ConflictGraph cg(*p.instance);
+  for (auto _ : state) {
+    CheckResult r = ExhaustiveCheckGlobalOptimal(cg, *p.priority, p.j);
+    benchmark::DoNotOptimize(r.optimal);
+  }
+  state.counters["repairs"] = static_cast<double>(CountRepairs(cg));
+}
+BENCHMARK(BM_ClusteredCheck_Ungoverned)->DenseRange(8, 14, 2);
+
+// Same check with an armed governor whose budget is far too large to
+// fire: measures the real checkpoint overhead in the enumeration loop
+// (deadline polling included, every kDeadlineCheckInterval nodes).
+void BM_ClusteredCheck_GovernedAmple(benchmark::State& state) {
+  PreferredRepairProblem p =
+      MakeHardClusteredWorkload(static_cast<size_t>(state.range(0)), 3);
+  ConflictGraph cg(*p.instance);
+  for (auto _ : state) {
+    ResourceBudget budget;
+    budget.max_nodes = ~uint64_t{0} >> 1;
+    budget.deadline_ms = 3'600'000;
+    ResourceGovernor g(budget);
+    CheckResult r = ExhaustiveCheckGlobalOptimal(cg, *p.priority, p.j, g);
+    benchmark::DoNotOptimize(r.optimal);
+  }
+}
+BENCHMARK(BM_ClusteredCheck_GovernedAmple)->DenseRange(8, 14, 2);
+
+// The payoff: a deadline bounds the check regardless of block size.
+// 20 cliques = a 60-fact block with ~11.5M repairs (seconds to minutes
+// ungoverned); the governed run returns "unknown" in ~deadline_ms.
+void BM_ClusteredCheck_Deadline(benchmark::State& state) {
+  PreferredRepairProblem p = MakeHardClusteredWorkload(20, 3);
+  ProblemContext ctx(*p.instance, *p.priority);
+  int64_t deadline_ms = state.range(0);
+  uint64_t unknowns = 0;
+  for (auto _ : state) {
+    ResourceBudget budget;
+    budget.deadline_ms = deadline_ms;
+    ResourceGovernor g(budget);
+    CheckResult r = ExhaustiveCheckGlobalOptimal(
+        ctx.conflict_graph(), *p.priority, p.j, g);
+    unknowns += r.known() ? 0 : 1;
+    benchmark::DoNotOptimize(r.optimal);
+  }
+  state.counters["unknown"] = static_cast<double>(unknowns);
+}
+BENCHMARK(BM_ClusteredCheck_Deadline)->Arg(1)->Arg(5)->Arg(25);
+
+// Tractable-path sanity: the polynomial checker with a governed
+// context.  GRepCheck1FD never checkpoints (it is polynomial), so a
+// governed context must cost the same as an ungoverned one here.
+void RunOneFdChecker(benchmark::State& state, bool governed) {
+  PreferredRepairProblem p = bench::SizedProblem(
+      bench::OneFdSchema(), state.range(0), JPolicy::kRandomRepair);
+  ProblemContext ctx(*p.instance, *p.priority);
+  ResourceBudget budget;
+  budget.max_nodes = ~uint64_t{0} >> 1;
+  ResourceGovernor g(budget);
+  if (governed) {
+    ctx.set_governor(&g);
+  }
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    auto outcome = checker.CheckGloballyOptimal(p.j);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+}
+void BM_OneFdChecker_Ungoverned(benchmark::State& state) {
+  RunOneFdChecker(state, false);
+}
+void BM_OneFdChecker_Governed(benchmark::State& state) {
+  RunOneFdChecker(state, true);
+}
+BENCHMARK(BM_OneFdChecker_Ungoverned)->Arg(1024);
+BENCHMARK(BM_OneFdChecker_Governed)->Arg(1024);
+
+}  // namespace
+}  // namespace prefrep

@@ -12,8 +12,13 @@
 //                                         consistent answers of a CQ
 //   prefrepctl dump <file>                parse and pretty-print back
 //
+// Budget options (check / enumerate / answers): --deadline-ms N,
+// --max-nodes N, --max-block N install a ResourceGovernor; exponential
+// work past the budget degrades to "unknown" with a per-block
+// degradation summary instead of running forever (docs/robustness.md).
+//
 // Exit codes: 0 = success ("yes" answers), 1 = "no" answer, 2 = usage,
-// 3 = input error.
+// 3 = input error, 4 = unknown (resource budget exhausted).
 
 #include <cmath>
 #include <cstdio>
@@ -45,7 +50,10 @@ int Usage() {
       "all|global|pareto|completion]\n"
       "  stats <file>          conflict/block structure + fallback cost\n"
       "  dot <file>            Graphviz of conflicts + priorities + J\n"
-      "  dump <file>\n");
+      "  dump <file>\n"
+      "budget options (check/enumerate/answers):\n"
+      "  --deadline-ms N  --max-nodes N  --max-block N\n"
+      "  degrade to \"unknown\" (exit 4) instead of running forever\n");
   return 2;
 }
 
@@ -70,8 +78,19 @@ int CmdClassify(const PreferredRepairProblem& p) {
   return 0;
 }
 
+void PrintDegradation(const ResourceGovernor& governor,
+                      const DegradationReport& degradation) {
+  if (!governor.degraded() && !degradation.Degraded()) {
+    return;
+  }
+  std::printf("budget: %s\n", governor.CauseString().c_str());
+  if (degradation.blocks_total > 0) {
+    std::printf("%s\n", degradation.ToString().c_str());
+  }
+}
+
 int CmdCheck(const PreferredRepairProblem& p, bool ccp,
-             const std::string& semantics) {
+             const std::string& semantics, const ResourceBudget& budget) {
   CheckerOptions opts;
   opts.mode = ccp ? PriorityMode::kCrossConflict : PriorityMode::kConflictOnly;
   Status valid = p.priority->Validate(opts.mode);
@@ -80,7 +99,12 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
                  valid.ToString().c_str());
     return 3;
   }
-  RepairChecker checker(*p.instance, *p.priority, opts);
+  ResourceGovernor governor(budget);
+  ProblemContext ctx(*p.instance, *p.priority);
+  if (!budget.Unlimited()) {
+    ctx.set_governor(&governor);
+  }
+  RepairChecker checker(ctx, opts);
   std::printf("J = %s\n", p.instance->SubinstanceToString(p.j).c_str());
   bool optimal = false;
   if (semantics == "pareto") {
@@ -99,8 +123,15 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
     for (const std::string& step : outcome->route) {
       std::printf("route: %s\n", step.c_str());
     }
+    if (!outcome->result.known()) {
+      std::printf("globally-optimal repair: unknown (%s)\n",
+                  outcome->result.unknown_reason.c_str());
+      PrintDegradation(governor, outcome->degradation);
+      return 4;
+    }
     optimal = outcome->result.optimal;
     std::printf("globally-optimal repair: %s\n", optimal ? "yes" : "no");
+    PrintDegradation(governor, outcome->degradation);
     std::printf("%s", ExplainOutcome(checker.conflict_graph(), *p.priority,
                                      p.j, outcome->result)
                           .c_str());
@@ -109,11 +140,22 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
 }
 
 int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
-                 size_t limit) {
+                 size_t limit, const ResourceBudget& budget) {
   ConflictGraph cg(*p.instance);
+  ResourceGovernor governor(budget);
   if (optimal_only) {
+    ProblemContext ctx(cg, *p.priority);
+    if (!budget.Unlimited()) {
+      ctx.set_governor(&governor);
+    }
     std::vector<DynamicBitset> optimal =
-        AllOptimalRepairs(cg, *p.priority, RepairSemantics::kGlobal);
+        AllOptimalRepairs(ctx, RepairSemantics::kGlobal);
+    if (optimal.empty()) {
+      // Every instance has an optimal repair; empty means abandoned.
+      std::printf("enumeration abandoned: %s\n",
+                  governor.CauseString().c_str());
+      return 4;
+    }
     std::printf("%zu globally-optimal repair(s)\n", optimal.size());
     size_t shown = 0;
     for (const DynamicBitset& r : optimal) {
@@ -130,7 +172,7 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
   }
   size_t shown = 0;
   uint64_t total = 0;
-  ForEachRepair(cg, [&](const DynamicBitset& r) {
+  ForEachRepair(cg, governor, [&](const DynamicBitset& r) {
     ++total;
     if (shown < limit) {
       std::printf("  %s\n", p.instance->SubinstanceToString(r).c_str());
@@ -138,13 +180,19 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
     }
     return true;
   });
+  if (governor.exhausted()) {
+    std::printf("%llu repair(s) seen, then %s\n",
+                static_cast<unsigned long long>(total),
+                governor.CauseString().c_str());
+    return 4;
+  }
   std::printf("%llu repair(s) in total\n",
               static_cast<unsigned long long>(total));
   return 0;
 }
 
 int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
-               const std::string& semantics) {
+               const std::string& semantics, const ResourceBudget& budget) {
   Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(query_text);
   if (!query.ok()) {
     std::fprintf(stderr, "bad query: %s\n",
@@ -160,12 +208,29 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
     sem = AnswerSemantics::kCompletion;
   }
   ConflictGraph cg(*p.instance);
-  if (query->IsBoolean()) {
-    bool certain = CertainlyTrue(cg, *p.priority, *query, sem);
-    std::printf("certainly true: %s\n", certain ? "yes" : "no");
-    return certain ? 0 : 1;
+  ResourceGovernor governor(budget);
+  ProblemContext ctx(cg, *p.priority);
+  if (!budget.Unlimited()) {
+    ctx.set_governor(&governor);
   }
-  auto answers = ConsistentAnswers(cg, *p.priority, *query, sem);
+  if (query->IsBoolean()) {
+    Trilean certain = CertainlyTrueBounded(ctx, *query, sem);
+    std::printf("certainly true: %s\n",
+                certain == Trilean::kTrue
+                    ? "yes"
+                    : certain == Trilean::kFalse ? "no" : "unknown");
+    if (certain == Trilean::kUnknown) {
+      std::printf("budget: %s\n", governor.CauseString().c_str());
+      return 4;
+    }
+    return certain == Trilean::kTrue ? 0 : 1;
+  }
+  auto bounded = ConsistentAnswersBounded(ctx, *query, sem);
+  if (!bounded.ok()) {
+    std::printf("answers unknown: %s\n", bounded.status().ToString().c_str());
+    return 4;
+  }
+  const auto& answers = *bounded;
   std::printf("%zu consistent answer(s):\n", answers.size());
   for (const auto& tuple : answers) {
     std::printf("  (");
@@ -195,6 +260,7 @@ int main(int argc, char** argv) {
   bool optimal_only = false;
   size_t limit = 20;
   std::string semantics = "global";
+  ResourceBudget budget;
   const char* query_text = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ccp") == 0) {
@@ -205,6 +271,12 @@ int main(int argc, char** argv) {
       limit = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--semantics") == 0 && i + 1 < argc) {
       semantics = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      budget.deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      budget.max_nodes = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-block") == 0 && i + 1 < argc) {
+      budget.max_block = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (query_text == nullptr) {
       query_text = argv[i];
     } else {
@@ -216,16 +288,16 @@ int main(int argc, char** argv) {
     return CmdClassify(*problem);
   }
   if (command == "check") {
-    return CmdCheck(*problem, ccp, semantics);
+    return CmdCheck(*problem, ccp, semantics, budget);
   }
   if (command == "enumerate") {
-    return CmdEnumerate(*problem, optimal_only, limit);
+    return CmdEnumerate(*problem, optimal_only, limit, budget);
   }
   if (command == "answers") {
     if (query_text == nullptr) {
       return Usage();
     }
-    return CmdAnswers(*problem, query_text, semantics);
+    return CmdAnswers(*problem, query_text, semantics, budget);
   }
   if (command == "stats") {
     ConflictGraph cg(*problem->instance);

@@ -1,0 +1,145 @@
+#include "base/governor.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace prefrep {
+
+const char* TrileanName(Trilean value) {
+  switch (value) {
+    case Trilean::kFalse:
+      return "false";
+    case Trilean::kTrue:
+      return "true";
+    case Trilean::kUnknown:
+      return "unknown";
+  }
+  return "invalid";
+}
+
+uint64_t SaturatingMulU64(uint64_t a, uint64_t b, bool* saturated) {
+  if (a != 0 && b > std::numeric_limits<uint64_t>::max() / a) {
+    if (saturated != nullptr) {
+      *saturated = true;
+    }
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceBudget& budget)
+    : budget_(budget), armed_(!budget.Unlimited()) {
+  if (budget_.deadline_ms > 0) {
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ResourceGovernor& ResourceGovernor::Unlimited() {
+  // Shared across every call that installs no governor; the unarmed
+  // Checkpoint() fast path never writes, so sharing is safe.
+  static ResourceGovernor* const kUnlimited = new ResourceGovernor();
+  return *kUnlimited;
+}
+
+bool ResourceGovernor::CheckpointSlow() {
+  if (exhausted()) {
+    return false;  // sticky: nested enumerations unwind without re-arming
+  }
+  ++nodes_;
+  if (fault_at_ != 0 && nodes_ >= fault_at_) {
+    Exhaust(ExhaustCause::kFaultInjection);
+    return false;
+  }
+  if (budget_.max_nodes != 0 && nodes_ > budget_.max_nodes) {
+    Exhaust(ExhaustCause::kNodeBudget);
+    return false;
+  }
+  if (budget_.deadline_ms > 0 && nodes_ % kDeadlineCheckInterval == 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    if (elapsed.count() >= budget_.deadline_ms) {
+      Exhaust(ExhaustCause::kDeadline);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResourceGovernor::AdmitBlock(size_t block_facts) {
+  if (block_facts > kMaxExhaustiveBlockFacts) {
+    // The hard cap binds even for the shared unlimited governor, but
+    // that one must stay write-free (it is shared across threads), so
+    // only caller-owned governors record the refusal.
+    if (this != &Unlimited()) {
+      ++blocks_refused_;
+    }
+    return false;
+  }
+  if (!armed_) {
+    return true;
+  }
+  if (exhausted()) {
+    return false;
+  }
+  if (budget_.max_block != 0 && block_facts > budget_.max_block) {
+    ++blocks_refused_;
+    return false;
+  }
+  return true;
+}
+
+std::string ResourceGovernor::CauseString() const {
+  switch (cause_) {
+    case ExhaustCause::kNone:
+      break;
+    case ExhaustCause::kDeadline:
+      return "deadline of " + std::to_string(budget_.deadline_ms) +
+             " ms exceeded after " + std::to_string(nodes_) + " nodes";
+    case ExhaustCause::kNodeBudget:
+      return "node budget of " + std::to_string(budget_.max_nodes) +
+             " exhausted";
+    case ExhaustCause::kFaultInjection:
+      return "fault injected at checkpoint " + std::to_string(nodes_);
+  }
+  if (blocks_refused_ > 0) {
+    return std::to_string(blocks_refused_) +
+           " block(s) refused by block-size limit";
+  }
+  return "within budget";
+}
+
+Status ResourceGovernor::ToStatus() const {
+  if (!degraded()) {
+    return Status::OK();
+  }
+  if (cause_ == ExhaustCause::kDeadline) {
+    return Status::DeadlineExceeded(CauseString());
+  }
+  return Status::ResourceExhausted(CauseString());
+}
+
+void ResourceGovernor::ForceExhaustAtCheckpointForTesting(uint64_t nth) {
+  PREFREP_CHECK_MSG(this != &Unlimited(),
+                    "fault injection on the shared unlimited governor");
+  fault_at_ = nth;
+  armed_ = nth != 0 || !budget_.Unlimited();
+}
+
+std::string DegradationReport::ToString() const {
+  std::string out = "blocks: " + std::to_string(blocks_exact) + "/" +
+                    std::to_string(blocks_total) + " solved exactly, " +
+                    std::to_string(blocks_abandoned) +
+                    " abandoned; nodes spent: " + std::to_string(nodes_spent);
+  if (!cause.empty()) {
+    out += "; cause: " + cause;
+  }
+  for (const BlockDegradation& b : abandoned) {
+    out += "\n  block #" + std::to_string(b.block_id) + " (" +
+           std::to_string(b.block_size) + " facts, " + std::to_string(b.nodes) +
+           " nodes): " + b.reason;
+  }
+  return out;
+}
+
+}  // namespace prefrep

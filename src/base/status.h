@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnimplemented,     ///< feature intentionally not provided
   kInternal,          ///< invariant violation surfaced as a recoverable error
   kParseError,        ///< text-format syntax error
+  kDeadlineExceeded,  ///< wall-clock budget ran out before an answer
+  kResourceExhausted,  ///< work budget (nodes, block size) ran out
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -64,6 +66,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,4 +74,45 @@ PreferredRepairProblem MakeHardChoiceWorkload(int index, size_t groups,
   return problem;
 }
 
+PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
+                                                 size_t clique_size) {
+  PREFREP_CHECK_MSG(cliques >= 2 && clique_size >= 3,
+                    "the clustered workload needs at least two cliques of "
+                    "at least three facts to have a spine and a J");
+  PreferredRepairProblem problem(HardSchema(1));
+  Instance& inst = *problem.instance;
+  const std::string relation = inst.schema().relation_name(0);
+  // Member j of clique q: attribute 1 is per-clique, attribute 2 is one
+  // global constant, attribute 3 is the global spine constant for j = 0
+  // and unique otherwise.  So 12→3 conflicts members within a clique,
+  // 23→1 conflicts the member-0 spine across cliques, and no other FD
+  // ever fires (13→2 needs equal attributes 1 and 3 — inside a clique
+  // attribute 3 differs, across cliques attribute 1 does).
+  for (size_t q = 0; q < cliques; ++q) {
+    for (size_t j = 0; j < clique_size; ++j) {
+      std::string attr3 =
+          j == 0 ? std::string("spine") : StrFormat("c%zu_%zu", q, j);
+      inst.MustAddFact(relation, {StrFormat("k%zu", q), "m", attr3},
+                       StrFormat("q%zu:f%zu", q, j));
+    }
+  }
+  problem.InitPriority();
+  for (size_t q = 0; q < cliques; ++q) {
+    for (size_t j = 0; j < clique_size; ++j) {
+      if (j == 1) {
+        continue;
+      }
+      PREFREP_CHECK(problem.priority
+                        ->AddByLabels(StrFormat("q%zu:f1", q),
+                                      StrFormat("q%zu:f%zu", q, j))
+                        .ok());
+    }
+  }
+  problem.j = inst.EmptySubinstance();
+  for (size_t q = 0; q < cliques; ++q) {
+    problem.j.set(inst.FindLabel(StrFormat("q%zu:f1", q)));
+  }
+  return problem;
+}
+
 }  // namespace prefrep

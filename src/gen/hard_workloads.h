@@ -30,6 +30,31 @@ enum class HardJ {
 PreferredRepairProblem MakeHardChoiceWorkload(int index, size_t groups,
                                               HardJ j_choice);
 
+/// Builds a *single-block* workload on hard schema S1 ({12→3, 13→2,
+/// 23→1}): `cliques` conflict cliques of `clique_size` facts each
+/// (members of a clique share attributes 1 and 2 and differ on 3, so
+/// 12→3 makes them pairwise conflicting), stitched into one block by a
+/// spine — member 0 of every clique additionally shares attributes 2
+/// and 3 globally, so 23→1 makes the member-0s pairwise conflicting
+/// across cliques.
+///
+/// Unlike MakeHardChoiceWorkload, whose gadgets decompose into 2-fact
+/// blocks, the whole instance here is ONE block of
+/// cliques × clique_size facts with
+///     (s-1)^(c-1) · (s-1+c)   repairs   (s = clique_size, c = cliques)
+/// — e.g. 13 cliques of 3 give a 39-fact block with 61440 repairs.
+/// This is the shape that exercises the resource governor: the block
+/// passes the 63-fact admission limit, but exhaustively scanning it is
+/// real work that a deadline or node budget interrupts mid-block.
+///
+/// Priority (block-local): member 1 of each clique dominates every
+/// other member of its clique.  `problem.j` is the set of all member-1
+/// facts, which is a globally-optimal (and Pareto-optimal) repair —
+/// nothing dominates a member 1 — so exact checking must exhaust the
+/// block.  Facts are labeled "q<i>:f<j>".
+PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
+                                                 size_t clique_size);
+
 }  // namespace prefrep
 
 #endif  // PREFREP_GEN_HARD_WORKLOADS_H_

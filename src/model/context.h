@@ -21,6 +21,7 @@
 
 #include <memory>
 
+#include "base/governor.h"
 #include "classify/ccp_dichotomy.h"
 #include "classify/dichotomy.h"
 #include "conflicts/blocks.h"
@@ -67,10 +68,23 @@ class ProblemContext {
   /// Eagerly builds every artifact (for sharing across threads).
   void Prime() const;
 
+  /// The resource governor for calls made through this context.  The
+  /// shared unlimited governor when none was installed, so callers can
+  /// always checkpoint unconditionally.
+  ResourceGovernor& governor() const {
+    return governor_ != nullptr ? *governor_ : ResourceGovernor::Unlimited();
+  }
+
+  /// Installs a per-call budget (`nullptr` restores unlimited solving).
+  /// The governor must outlive every solving call made through this
+  /// context; it is not owned.
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
  private:
   const Instance* instance_;
   const PriorityRelation* priority_;
   const ConflictGraph* external_graph_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
   mutable std::unique_ptr<ConflictGraph> graph_;
   mutable std::unique_ptr<SchemaClassification> classification_;
   mutable std::unique_ptr<CcpSchemaClassification> ccp_classification_;

@@ -8,19 +8,63 @@ namespace prefrep {
 
 namespace {
 
-std::vector<DynamicBitset> RepairsFor(const ProblemContext& ctx,
-                                      AnswerSemantics semantics) {
+// The σ-repair set to intersect over, or nullopt when the governed
+// enumeration was abandoned by the budget.  An abandoned optimal-repair
+// product contains no complete repairs, so there is no usable partial
+// result; kAllRepairs streams real repairs and is handled separately by
+// the Trilean entry points, which can still refute/confirm early.
+std::optional<std::vector<DynamicBitset>> RepairsForBounded(
+    const ProblemContext& ctx, AnswerSemantics semantics) {
+  ResourceGovernor& governor = ctx.governor();
+  if (semantics == AnswerSemantics::kAllRepairs) {
+    std::vector<DynamicBitset> out;
+    ForEachRepair(ctx.conflict_graph(), governor,
+                  [&](const DynamicBitset& r) {
+                    out.push_back(r);
+                    return true;
+                  });
+    if (governor.exhausted()) {
+      return std::nullopt;
+    }
+    return out;
+  }
+  RepairSemantics rs = RepairSemantics::kGlobal;
   switch (semantics) {
     case AnswerSemantics::kAllRepairs:
-      return AllRepairs(ctx.conflict_graph());
+      break;
     case AnswerSemantics::kGlobal:
-      return AllOptimalRepairs(ctx, RepairSemantics::kGlobal);
+      rs = RepairSemantics::kGlobal;
+      break;
     case AnswerSemantics::kPareto:
-      return AllOptimalRepairs(ctx, RepairSemantics::kPareto);
+      rs = RepairSemantics::kPareto;
+      break;
     case AnswerSemantics::kCompletion:
-      return AllOptimalRepairs(ctx, RepairSemantics::kCompletion);
+      rs = RepairSemantics::kCompletion;
+      break;
   }
-  return {};
+  std::vector<DynamicBitset> out = AllOptimalRepairs(ctx, rs);
+  if (out.empty()) {
+    // AllOptimalRepairs returns empty exactly when abandoned (even an
+    // empty instance yields the one empty repair).
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<DynamicBitset> RepairsFor(const ProblemContext& ctx,
+                                      AnswerSemantics semantics) {
+  std::optional<std::vector<DynamicBitset>> repairs =
+      RepairsForBounded(ctx, semantics);
+  // Every preferred-repair semantics admits at least one optimal repair
+  // (completion-optimal repairs exist, and they are global- and
+  // Pareto-optimal); an empty instance has the empty repair.  So a
+  // missing repair set means the resource budget fired — a bool/vector
+  // API cannot degrade, so governed callers must use the Bounded
+  // variants.
+  PREFREP_CHECK_MSG(repairs.has_value(),
+                    "repair enumeration abandoned by the resource budget — "
+                    "use the *Bounded consistent-answer APIs");
+  return *std::move(repairs);
 }
 
 }  // namespace
@@ -29,16 +73,36 @@ std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
     const ProblemContext& ctx, const ConjunctiveQuery& query,
     AnswerSemantics semantics) {
   std::vector<DynamicBitset> repairs = RepairsFor(ctx, semantics);
-  // Every preferred-repair semantics admits at least one optimal repair
-  // (completion-optimal repairs exist, and they are global- and
-  // Pareto-optimal); an empty instance has the empty repair.
-  PREFREP_CHECK_MSG(!repairs.empty(),
-                    "no repair under the requested semantics");
   std::vector<ConjunctiveQuery::AnswerTuple> intersection =
       query.Evaluate(ctx.instance(), repairs.front());
   for (size_t i = 1; i < repairs.size() && !intersection.empty(); ++i) {
     std::vector<ConjunctiveQuery::AnswerTuple> next =
         query.Evaluate(ctx.instance(), repairs[i]);
+    std::vector<ConjunctiveQuery::AnswerTuple> merged;
+    std::set_intersection(intersection.begin(), intersection.end(),
+                          next.begin(), next.end(),
+                          std::back_inserter(merged));
+    intersection = std::move(merged);
+  }
+  return intersection;
+}
+
+Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
+    const ProblemContext& ctx, const ConjunctiveQuery& query,
+    AnswerSemantics semantics) {
+  std::optional<std::vector<DynamicBitset>> repairs =
+      RepairsForBounded(ctx, semantics);
+  if (!repairs.has_value()) {
+    Status status = ctx.governor().ToStatus();
+    return status.ok() ? Status::ResourceExhausted(
+                             "repair enumeration abandoned (oversized block)")
+                       : status;
+  }
+  std::vector<ConjunctiveQuery::AnswerTuple> intersection =
+      query.Evaluate(ctx.instance(), repairs->front());
+  for (size_t i = 1; i < repairs->size() && !intersection.empty(); ++i) {
+    std::vector<ConjunctiveQuery::AnswerTuple> next =
+        query.Evaluate(ctx.instance(), (*repairs)[i]);
     std::vector<ConjunctiveQuery::AnswerTuple> merged;
     std::set_intersection(intersection.begin(), intersection.end(),
                           next.begin(), next.end(),
@@ -66,6 +130,72 @@ bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
     }
   }
   return false;
+}
+
+Trilean CertainlyTrueBounded(const ProblemContext& ctx,
+                             const ConjunctiveQuery& query,
+                             AnswerSemantics semantics) {
+  if (semantics == AnswerSemantics::kAllRepairs) {
+    // Stream: each enumerated repair is complete, so one that falsifies
+    // Q is a definite refutation even if the budget fires later.
+    ResourceGovernor& governor = ctx.governor();
+    bool refuted = false;
+    ForEachRepair(ctx.conflict_graph(), governor,
+                  [&](const DynamicBitset& repair) {
+                    if (!query.EvaluateBoolean(ctx.instance(), repair)) {
+                      refuted = true;
+                      return false;
+                    }
+                    return true;
+                  });
+    if (refuted) {
+      return Trilean::kFalse;
+    }
+    return governor.exhausted() ? Trilean::kUnknown : Trilean::kTrue;
+  }
+  std::optional<std::vector<DynamicBitset>> repairs =
+      RepairsForBounded(ctx, semantics);
+  if (!repairs.has_value()) {
+    return Trilean::kUnknown;
+  }
+  for (const DynamicBitset& repair : *repairs) {
+    if (!query.EvaluateBoolean(ctx.instance(), repair)) {
+      return Trilean::kFalse;
+    }
+  }
+  return Trilean::kTrue;
+}
+
+Trilean PossiblyTrueBounded(const ProblemContext& ctx,
+                            const ConjunctiveQuery& query,
+                            AnswerSemantics semantics) {
+  if (semantics == AnswerSemantics::kAllRepairs) {
+    ResourceGovernor& governor = ctx.governor();
+    bool confirmed = false;
+    ForEachRepair(ctx.conflict_graph(), governor,
+                  [&](const DynamicBitset& repair) {
+                    if (query.EvaluateBoolean(ctx.instance(), repair)) {
+                      confirmed = true;
+                      return false;
+                    }
+                    return true;
+                  });
+    if (confirmed) {
+      return Trilean::kTrue;
+    }
+    return governor.exhausted() ? Trilean::kUnknown : Trilean::kFalse;
+  }
+  std::optional<std::vector<DynamicBitset>> repairs =
+      RepairsForBounded(ctx, semantics);
+  if (!repairs.has_value()) {
+    return Trilean::kUnknown;
+  }
+  for (const DynamicBitset& repair : *repairs) {
+    if (query.EvaluateBoolean(ctx.instance(), repair)) {
+      return Trilean::kTrue;
+    }
+  }
+  return Trilean::kFalse;
 }
 
 std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(

@@ -57,6 +57,26 @@ bool CertainlyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
 bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
                   AnswerSemantics semantics);
 
+/// Budget-aware variants for governed contexts (ctx.governor()).  The
+/// plain overloads above are CHECK-fatal if the budget fires mid-query —
+/// a bool cannot say "unknown" — so governed callers use these instead.
+///
+/// Degradation contract: under the optimal-repair semantics an
+/// abandoned enumeration yields kUnknown / kResourceExhausted outright,
+/// because a partial per-block product contains no complete repairs to
+/// even falsify with.  Under kAllRepairs every enumerated repair is
+/// complete, so a definite refutation (CertainlyTrue → kFalse) or
+/// confirmation (PossiblyTrue → kTrue) found before exhaustion stands.
+Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
+    const ProblemContext& ctx, const ConjunctiveQuery& query,
+    AnswerSemantics semantics);
+Trilean CertainlyTrueBounded(const ProblemContext& ctx,
+                             const ConjunctiveQuery& query,
+                             AnswerSemantics semantics);
+Trilean PossiblyTrueBounded(const ProblemContext& ctx,
+                            const ConjunctiveQuery& query,
+                            AnswerSemantics semantics);
+
 }  // namespace prefrep
 
 #endif  // PREFREP_QUERY_CONSISTENT_ANSWERS_H_

@@ -111,6 +111,16 @@ void BlockVerdictImpl(const ProblemContext& ctx, const BlockSolver& solver,
                       const CheckResult& result) {
   const ConflictGraph& cg = ctx.conflict_graph();
   const PriorityRelation& pr = ctx.priority();
+  if (!result.known()) {
+    // A budget-degraded verdict asserts nothing — except that it must
+    // not leak a torn witness from the cancelled enumeration.
+    if (result.witness.has_value()) {
+      Fail(cg.instance(), &pr, &j,
+           BlockTag(solver, b) +
+               " returned an unknown verdict that carries a witness");
+    }
+    return;
+  }
   if (!result.optimal && result.witness.has_value()) {
     const DynamicBitset& w = result.witness->improvement;
     bool valid = true;
@@ -133,9 +143,14 @@ void BlockVerdictImpl(const ProblemContext& ctx, const BlockSolver& solver,
   if (!solver.Polynomial() || b.size() > kMaxVerdictBlock) {
     return;
   }
+  // The baselines run on an ungoverned twin of the context: an audit
+  // cross-check must stay exact (and must not consume the caller's
+  // budget) even when the audited call itself is being cancelled.
+  ProblemContext ungoverned(cg, pr);
   switch (solver.Semantics()) {
     case RepairSemantics::kGlobal: {
-      CheckResult baseline = ExhaustiveBlockSolver().CheckBlock(ctx, b, j);
+      CheckResult baseline =
+          ExhaustiveBlockSolver().CheckBlock(ungoverned, b, j);
       if (baseline.optimal != result.optimal) {
         Fail(cg.instance(), &pr, &j,
              BlockTag(solver, b) + " said " +
@@ -159,7 +174,8 @@ void BlockVerdictImpl(const ProblemContext& ctx, const BlockSolver& solver,
       // optimal [SCM]: a positive completion verdict on a block whose
       // restriction is globally improvable is certainly wrong.
       if (result.optimal) {
-        CheckResult global = ExhaustiveBlockSolver().CheckBlock(ctx, b, j);
+        CheckResult global =
+            ExhaustiveBlockSolver().CheckBlock(ungoverned, b, j);
         if (!global.optimal) {
           Fail(cg.instance(), &pr, &j,
                BlockTag(solver, b) +
@@ -222,6 +238,14 @@ void BlockRepairSetImpl(const ProblemContext& ctx, const BlockSolver& solver,
 void GlobalVerdictImpl(const ConflictGraph& cg, const PriorityRelation& pr,
                        const DynamicBitset& j, const CheckResult& result,
                        const char* algorithm) {
+  if (!result.known()) {
+    if (result.witness.has_value()) {
+      Fail(cg.instance(), &pr, &j,
+           std::string(algorithm) +
+               " returned an unknown verdict that carries a witness");
+    }
+    return;
+  }
   if (!result.optimal && result.witness.has_value() &&
       !IsGlobalImprovement(cg, pr, j, result.witness->improvement)) {
     Fail(cg.instance(), &pr, &j,

@@ -82,8 +82,14 @@ class ExhaustiveSolver final : public BlockSolver {
     // enumeration needs no separate maximality check.
     const ConflictGraph& cg = ctx.conflict_graph();
     const PriorityRelation& pr = ctx.priority();
+    ResourceGovernor& governor = ctx.governor();
+    if (!governor.AdmitBlock(b.size())) {
+      return CheckResult::Unknown(
+          "block #" + std::to_string(b.id) + " (" + std::to_string(b.size()) +
+          " facts) exceeds the admissible size for exhaustive solving");
+    }
     CheckResult result = CheckResult::Optimal();
-    ForEachRepairWithin(cg, b.facts, [&](const DynamicBitset& r) {
+    ForEachRepairWithin(cg, b.facts, governor, [&](const DynamicBitset& r) {
       DynamicBitset candidate = (j - b.facts) | r;
       if (IsGlobalImprovement(cg, pr, j, candidate)) {
         result = CheckResult::NotOptimal(
@@ -94,6 +100,11 @@ class ExhaustiveSolver final : public BlockSolver {
       }
       return true;
     });
+    // A found improvement is definite even when the budget then fired;
+    // an incomplete scan that found nothing proves nothing.
+    if (result.optimal && governor.exhausted()) {
+      return CheckResult::Unknown(governor.CauseString());
+    }
     return result;
   }
 };
@@ -195,26 +206,42 @@ class CompletionSolver final : public BlockSolver {
 
 std::vector<DynamicBitset> BlockSolver::OptimalBlockRepairs(
     const ProblemContext& ctx, const Block& b) const {
+  ResourceGovernor& governor = ctx.governor();
+  if (!governor.AdmitBlock(b.size())) {
+    return {};  // refused up front (see header: empty means "abandoned")
+  }
   std::vector<DynamicBitset> out;
-  for (DynamicBitset& r : AllRepairsWithin(ctx.conflict_graph(), b.facts)) {
-    if (CheckBlock(ctx, b, r).optimal) {
-      out.push_back(std::move(r));
-    }
+  ForEachRepairWithin(ctx.conflict_graph(), b.facts, governor,
+                      [&](const DynamicBitset& r) {
+                        CheckResult result = CheckBlock(ctx, b, r);
+                        if (result.known() && result.optimal) {
+                          out.push_back(r);
+                        }
+                        return true;
+                      });
+  if (governor.exhausted()) {
+    return {};  // partial set: unusable for cross-products (see header)
   }
   return out;
 }
 
 uint64_t BlockSolver::CountBlock(const ProblemContext& ctx,
                                  const Block& b) const {
+  ResourceGovernor& governor = ctx.governor();
+  if (!governor.AdmitBlock(b.size())) {
+    // 0 is unambiguous "abandoned": a real block always counts ≥ 1.
+    return 0;
+  }
   uint64_t count = 0;
-  ForEachRepairWithin(ctx.conflict_graph(), b.facts,
+  ForEachRepairWithin(ctx.conflict_graph(), b.facts, governor,
                       [&](const DynamicBitset& r) {
-                        if (CheckBlock(ctx, b, r).optimal) {
+                        CheckResult result = CheckBlock(ctx, b, r);
+                        if (result.known() && result.optimal) {
                           ++count;
                         }
                         return true;
                       });
-  return count;
+  return count;  // a lower bound when governor.exhausted()
 }
 
 DynamicBitset BlockSolver::ConstructBlock(const ProblemContext& ctx,
@@ -335,10 +362,12 @@ CheckResult AuditedCheckBlock(const BlockSolver& solver,
                               const ProblemContext& ctx, const Block& b,
                               const DynamicBitset& j) {
   CheckResult result = solver.CheckBlock(ctx, b, j);
-  if (audit::Enabled() && audit::internal::ForcingWrongVerdict()) {
+  if (audit::Enabled() && audit::internal::ForcingWrongVerdict() &&
+      result.known()) {
     // Test-only fault injection: corrupt the verdict so the death test
-    // can prove the audit below actually fires.
-    result = result.optimal ? CheckResult{false, std::nullopt}
+    // can prove the audit below actually fires.  An unknown verdict is
+    // left alone — there is nothing to flip and the audit skips it.
+    result = result.optimal ? CheckResult::NotOptimalNoWitness()
                             : CheckResult::Optimal();
   }
   audit::CheckBlockVerdict(ctx, solver, b, j, result);
@@ -356,13 +385,14 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
                                      const DynamicBitset& j,
                                      SolverFor&& solver_for,
                                      size_t* failed_block,
-                                     bool give_free_witness) {
+                                     bool give_free_witness,
+                                     DegradationReport* degradation = nullptr) {
   PREFREP_CHECK_MSG(ctx.priority_block_local(),
                     "per-block optimality checking requires a block-local "
                     "priority");
   const ConflictGraph& cg = ctx.conflict_graph();
   if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};
+    return CheckResult::NotOptimalNoWitness();
   }
   const BlockDecomposition& blocks = ctx.blocks();
   // A conflict-free fact belongs to every repair; no block check would
@@ -370,7 +400,7 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
   const DynamicBitset missing = blocks.free_facts() - j;
   if (missing.any()) {
     if (!give_free_witness) {
-      return CheckResult{false, std::nullopt};
+      return CheckResult::NotOptimalNoWitness();
     }
     FactId f = static_cast<FactId>(missing.FindFirst());
     DynamicBitset improvement = j;
@@ -380,14 +410,51 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
         "J is not maximal: " + ctx.instance().FactToString(f) +
             " has no conflicts");
   }
+  // Per-block conjunction with graceful degradation: a definite kNo
+  // refutes J outright (even once the budget is exhausted — the witness
+  // was found before or by a polynomial solver); an unknown block is
+  // recorded and skipped, so every tractable block is still answered
+  // exactly; any surviving unknown makes the conjunction unknown.
+  ResourceGovernor& governor = ctx.governor();
+  size_t exact = 0;
+  std::string first_unknown_reason;
+  std::vector<BlockDegradation> abandoned;
+  const auto fill_report = [&]() {
+    if (degradation == nullptr) {
+      return;
+    }
+    degradation->blocks_total = blocks.blocks().size();
+    degradation->blocks_exact = exact;
+    degradation->blocks_abandoned = abandoned.size();
+    degradation->nodes_spent = governor.nodes_spent();
+    degradation->cause =
+        governor.degraded() ? governor.CauseString() : std::string();
+    degradation->abandoned = std::move(abandoned);
+  };
   for (const Block& b : blocks.blocks()) {
+    const uint64_t nodes_before = governor.nodes_spent();
     CheckResult result = AuditedCheckBlock(solver_for(b), ctx, b, j);
+    if (!result.known()) {
+      abandoned.push_back(BlockDegradation{
+          b.id, b.size(), governor.nodes_spent() - nodes_before,
+          result.unknown_reason});
+      if (first_unknown_reason.empty()) {
+        first_unknown_reason = result.unknown_reason;
+      }
+      continue;
+    }
     if (!result.optimal) {
       if (failed_block != nullptr) {
         *failed_block = b.id;
       }
+      fill_report();
       return result;
     }
+    ++exact;
+  }
+  fill_report();
+  if (!first_unknown_reason.empty()) {
+    return CheckResult::Unknown(std::move(first_unknown_reason));
   }
   return CheckResult::Optimal();
 }
@@ -397,13 +464,14 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
 CheckResult CheckGlobalOptimalByBlocks(const ProblemContext& ctx,
                                        const DynamicBitset& j,
                                        PriorityMode mode,
-                                       size_t* failed_block) {
+                                       size_t* failed_block,
+                                       DegradationReport* degradation) {
   return CheckOptimalByBlocksImpl(
       ctx, j,
       [&](const Block& b) -> const BlockSolver& {
         return DispatchBlockSolver(ctx, b, mode);
       },
-      failed_block, /*give_free_witness=*/true);
+      failed_block, /*give_free_witness=*/true, degradation);
 }
 
 CheckResult CheckParetoOptimalByBlocks(const ProblemContext& ctx,
@@ -429,13 +497,23 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
   if (!ctx.priority_block_local()) {
     return AllOptimalRepairs(ctx.conflict_graph(), ctx.priority(), semantics);
   }
+  ResourceGovernor& governor = ctx.governor();
   std::vector<DynamicBitset> out{ctx.blocks().free_facts()};
   for (const Block& b : ctx.blocks().blocks()) {
     const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
     std::vector<DynamicBitset> optimal = solver.OptimalBlockRepairs(ctx, b);
+    if (optimal.empty()) {
+      // Abandoned (budget fired or block refused): a partial
+      // cross-product is not a set of repairs, so return nothing.  The
+      // CHECK keeps the ungoverned invariant honest — an empty set
+      // without degradation would be an algorithmic bug, not a budget.
+      PREFREP_CHECK_MSG(
+          governor.degraded() ||
+              b.size() > ResourceGovernor::kMaxExhaustiveBlockFacts,
+          "every block admits an optimal block-repair");
+      return {};
+    }
     audit::CheckBlockRepairSet(ctx, solver, b, optimal);
-    PREFREP_CHECK_MSG(!optimal.empty(),
-                      "every block admits an optimal block-repair");
     std::vector<DynamicBitset> next;
     next.reserve(out.size() * optimal.size());
     for (const DynamicBitset& prefix : out) {
@@ -450,22 +528,48 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
 
 uint64_t CountOptimalRepairsByBlocks(const ProblemContext& ctx,
                                      RepairSemantics semantics) {
+  return CountOptimalRepairsByBlocksBounded(ctx, semantics).lower_bound;
+}
+
+BoundedCount CountOptimalRepairsByBlocksBounded(const ProblemContext& ctx,
+                                                RepairSemantics semantics) {
   PREFREP_CHECK_MSG(ctx.priority_block_local(),
                     "per-block counting requires a block-local priority");
-  uint64_t count = 1;
+  ResourceGovernor& governor = ctx.governor();
+  BoundedCount out;
   for (const Block& b : ctx.blocks().blocks()) {
     const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
+    const bool was_exhausted = governor.exhausted();
     uint64_t block_count = solver.CountBlock(ctx, b);
-    audit::CheckBlockCount(ctx, solver, b, block_count);
-    if (block_count == 0) {
-      return 0;
+    // A cut-short block keeps what it verified, floored at one (every
+    // block has ≥ 1 optimal block-repair); 0 from an uncut block would
+    // be an algorithmic bug and still goes through the audit below.
+    const bool block_unknown =
+        (!was_exhausted && governor.exhausted()) ||
+        (block_count == 0 &&
+         (governor.degraded() ||
+          b.size() > ResourceGovernor::kMaxExhaustiveBlockFacts));
+    if (block_unknown) {
+      out.exact = false;
+      ++out.unknown_blocks;
+      block_count = block_count == 0 ? 1 : block_count;
+    } else {
+      audit::CheckBlockCount(ctx, solver, b, block_count);
+      if (block_count == 0) {
+        // An uncut zero annihilates the product exactly.
+        out.lower_bound = 0;
+        return out;
+      }
     }
-    if (count > UINT64_MAX / block_count) {
-      return UINT64_MAX;  // saturate rather than overflow
+    bool saturated = false;
+    out.lower_bound = SaturatingMulU64(out.lower_bound, block_count,
+                                       &saturated);
+    if (saturated) {
+      out.saturated = true;
+      out.exact = false;
     }
-    count *= block_count;
   }
-  return count;
+  return out;
 }
 
 }  // namespace prefrep

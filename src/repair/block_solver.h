@@ -64,12 +64,16 @@ class BlockSolver {
   /// bitsets with only block facts set).  Default: filter the 2^{|b|}
   /// block-repair enumeration through CheckBlock — for polynomial
   /// solvers that is O(2^{|b|} · poly) instead of the O(4^{|b|})
-  /// pairwise filter.
+  /// pairwise filter.  The enumeration checkpoints on ctx.governor();
+  /// when the budget fires the result is empty (a real block always has
+  /// ≥ 1 optimal block-repair, so empty unambiguously means "abandoned").
   virtual std::vector<DynamicBitset> OptimalBlockRepairs(
       const ProblemContext& ctx, const Block& b) const;
 
   /// Counts the optimal block-repairs.  Default: enumerate and count
-  /// without materializing.
+  /// without materializing, checkpointing on ctx.governor(); when the
+  /// budget fires mid-count the returned value is a lower bound (check
+  /// ctx.governor().exhausted(), or use CountOptimalRepairsBounded).
   virtual uint64_t CountBlock(const ProblemContext& ctx, const Block& b) const;
 
   /// Constructs one optimal block-repair.  Default: block-restricted
@@ -132,12 +136,20 @@ CheckResult AuditedCheckBlock(const BlockSolver& solver,
 /// CheckBlock over all blocks.  Requires ctx.priority_block_local()
 /// (checked).  On failure inside a block, `*failed_block` (when
 /// non-null) receives its id; otherwise it is left untouched.
-CheckResult CheckGlobalOptimalByBlocks(const ProblemContext& ctx,
-                                       const DynamicBitset& j,
-                                       PriorityMode mode,
-                                       size_t* failed_block = nullptr);
+///
+/// Under a governed context the conjunction degrades per block: a
+/// definite "not optimal" returns immediately (sound even after
+/// exhaustion), abandoned blocks are recorded in `*degradation` (when
+/// non-null) and skipped, and if any block stayed unknown while no block
+/// refuted J the overall verdict is kUnknown.  Tractable blocks are
+/// still answered exactly even after the budget fires — their solvers
+/// run in polynomial time and do not checkpoint.
+CheckResult CheckGlobalOptimalByBlocks(
+    const ProblemContext& ctx, const DynamicBitset& j, PriorityMode mode,
+    size_t* failed_block = nullptr, DegradationReport* degradation = nullptr);
 
-/// Pareto analogue of CheckGlobalOptimalByBlocks.
+/// Pareto analogue of CheckGlobalOptimalByBlocks (polynomial per block,
+/// so never degraded).
 CheckResult CheckParetoOptimalByBlocks(const ProblemContext& ctx,
                                        const DynamicBitset& j);
 
@@ -146,17 +158,48 @@ CheckResult CheckParetoOptimalByBlocks(const ProblemContext& ctx,
 CheckResult CheckCompletionOptimalByBlocks(const ProblemContext& ctx,
                                            const DynamicBitset& j);
 
+/// A repair count that knows whether it is exact.  When a budget fires
+/// the per-block product keeps a *verified lower bound*: every block —
+/// counted or abandoned — has at least one optimal block-repair, so an
+/// abandoned block contributes the exact count it accumulated before
+/// abandonment, floored at one.
+struct BoundedCount {
+  uint64_t lower_bound = 1;
+  /// True iff `lower_bound` is the exact count.
+  bool exact = true;
+  /// Blocks whose count was cut short by the budget.
+  size_t unknown_blocks = 0;
+  /// True when the product overflowed uint64 (lower_bound is then
+  /// UINT64_MAX, still a valid lower bound).
+  bool saturated = false;
+};
+
 /// Number of σ-optimal repairs as the product of per-block counts
 /// (conflict-free facts contribute a factor of one), saturating at
 /// UINT64_MAX.  Requires ctx.priority_block_local() (checked).
+/// Degrades to a lower bound under an exhausted governor — callers that
+/// need to distinguish should use CountOptimalRepairsBounded.
 uint64_t CountOptimalRepairsByBlocks(const ProblemContext& ctx,
                                      RepairSemantics semantics);
+
+/// Bounded-effort variant: same product, but reports whether the count
+/// is exact, how many blocks were abandoned, and whether the product
+/// saturated.  Requires ctx.priority_block_local() (checked).
+BoundedCount CountOptimalRepairsByBlocksBounded(const ProblemContext& ctx,
+                                                RepairSemantics semantics);
 
 /// Materializes every σ-optimal repair as {conflict-free facts} × ∏
 /// per-block optimal block-repairs, filtering each block through the
 /// dispatched (polynomial where the dichotomy allows) solver.  Falls
 /// back to the whole-instance enumeration of exhaustive.h when the
 /// priority is not block-local.
+///
+/// Returns EMPTY iff the computation was abandoned: a block was refused
+/// (larger than the admissible cap) or the governor's budget fired.  A
+/// partial cross-product is never returned — its entries would not be
+/// complete repairs.  Every instance has ≥ 1 optimal repair, so an
+/// empty result unambiguously means "unknown", and
+/// ctx.governor().ToStatus() says why.
 std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
                                              RepairSemantics semantics);
 

@@ -88,7 +88,7 @@ CheckResult CheckGlobalOptimalCcpConstantAttr(const ConflictGraph& cg,
                                        "J is not maximal");
       }
     }
-    return CheckResult{false, std::nullopt};
+    return CheckResult::NotOptimalNoWitness();
   }
   // If a global improvement exists, its maximal extension is also a global
   // improvement (J′ ⊆ J″ keeps J″\J ⊇ J′\J while shrinking J\J″), so it

@@ -39,7 +39,7 @@ CheckResult CheckGlobalOptimalCcpPrimaryKey(const ConflictGraph& cg,
                                             const DynamicBitset& j) {
   const Instance& instance = cg.instance();
   if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};  // not a repair
+    return CheckResult::NotOptimalNoWitness();  // not a repair
   }
   if (std::optional<FactId> extension = FindExtension(cg, j)) {
     DynamicBitset improvement = j;

@@ -19,6 +19,19 @@ void ValidateForMode(const ProblemContext& ctx, const CheckerOptions& options) {
                     "priority relation invalid for the checker's mode");
 }
 
+// Completes a degradation report whose `abandoned` list was filled
+// during the block loop.
+void FillDegradation(const ProblemContext& ctx, size_t blocks_exact,
+                     DegradationReport* report) {
+  ResourceGovernor& governor = ctx.governor();
+  report->blocks_total = ctx.blocks().num_blocks();
+  report->blocks_exact = blocks_exact;
+  report->blocks_abandoned = report->abandoned.size();
+  report->nodes_spent = governor.nodes_spent();
+  report->cause =
+      governor.degraded() ? governor.CauseString() : std::string();
+}
+
 }  // namespace
 
 RepairChecker::RepairChecker(const Instance& instance,
@@ -28,12 +41,18 @@ RepairChecker::RepairChecker(const Instance& instance,
       ctx_(owned_ctx_.get()),
       options_(options) {
   ValidateForMode(*ctx_, options_);
+  if (options_.governor != nullptr) {
+    owned_ctx_->set_governor(options_.governor);
+  }
   ctx_->Prime();
 }
 
 RepairChecker::RepairChecker(const ProblemContext& context,
                              CheckerOptions options)
     : ctx_(&context), options_(options) {
+  PREFREP_CHECK_MSG(options_.governor == nullptr,
+                    "a borrowed context is shared state: install the "
+                    "governor on the context, not in CheckerOptions");
   ValidateForMode(*ctx_, options_);
   ctx_->Prime();
 }
@@ -66,7 +85,7 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
   outcome.result = CheckResult::Optimal();
   // An inconsistent J is no repair at all; reject before dispatch.
   if (!IsConsistent(cg, j)) {
-    outcome.result = CheckResult{false, std::nullopt};
+    outcome.result = CheckResult::NotOptimalNoWitness();
     outcome.route.push_back("rejected: J is inconsistent (not a repair)");
     return outcome;
   }
@@ -86,7 +105,12 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
     return outcome;
   }
   // Proposition 3.5 + block locality: route block by block, reported
-  // relation by relation.
+  // relation by relation.  Under a governed context the loop keeps
+  // going past abandoned blocks — a later (tractable or cheap) block
+  // may still refute J — and reports kUnknown only when no block did.
+  ResourceGovernor& governor = ctx_->governor();
+  size_t blocks_exact = 0;
+  std::string first_unknown_reason;
   for (RelId rel = 0; rel < instance.schema().num_relations(); ++rel) {
     const RelationClassification& rc = ctx_->classification().relations[rel];
     const std::string& name = instance.schema().relation_name(rel);
@@ -117,13 +141,32 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
     route += " over " + std::to_string(rel_blocks.size()) + " block(s)";
     outcome.route.push_back(std::move(route));
     for (size_t bid : rel_blocks) {
-      CheckResult result = AuditedCheckBlock(*solver, *ctx_, blocks.block(bid), j);
+      const Block& b = blocks.block(bid);
+      const uint64_t nodes_before = governor.nodes_spent();
+      CheckResult result = AuditedCheckBlock(*solver, *ctx_, b, j);
+      if (!result.known()) {
+        outcome.route.back() +=
+            "; abandoned block " + std::to_string(bid) + " (budget)";
+        outcome.degradation.abandoned.push_back(BlockDegradation{
+            bid, b.size(), governor.nodes_spent() - nodes_before,
+            result.unknown_reason});
+        if (first_unknown_reason.empty()) {
+          first_unknown_reason = std::move(result.unknown_reason);
+        }
+        continue;
+      }
       if (!result.optimal) {
         outcome.route.back() += "; failed at block " + std::to_string(bid);
         outcome.result = std::move(result);
+        FillDegradation(*ctx_, blocks_exact, &outcome.degradation);
         return outcome;
       }
+      ++blocks_exact;
     }
+  }
+  FillDegradation(*ctx_, blocks_exact, &outcome.degradation);
+  if (!first_unknown_reason.empty()) {
+    outcome.result = CheckResult::Unknown(std::move(first_unknown_reason));
   }
   return outcome;
 }
@@ -142,9 +185,16 @@ Result<CheckOutcome> RepairChecker::CheckCrossConflict(
         " block(s)");
     size_t failed = BlockDecomposition::kNoBlock;
     outcome.result = CheckGlobalOptimalByBlocks(
-        *ctx_, j, PriorityMode::kCrossConflict, &failed);
+        *ctx_, j, PriorityMode::kCrossConflict, &failed,
+        &outcome.degradation);
     if (failed != BlockDecomposition::kNoBlock) {
       outcome.route.back() += "; failed at block " + std::to_string(failed);
+    }
+    if (outcome.degradation.Degraded()) {
+      outcome.route.back() +=
+          "; abandoned " +
+          std::to_string(outcome.degradation.blocks_abandoned) +
+          " block(s) (budget)";
     }
   };
   if (ctx_->ccp_classification().primary_key_assignment) {
@@ -181,7 +231,21 @@ Result<CheckOutcome> RepairChecker::CheckCrossConflict(
     run_by_blocks("exhaustive fallback");
   } else {
     outcome.route.push_back("exhaustive fallback (whole instance)");
-    outcome.result = ExhaustiveCheckGlobalOptimal(cg, pr, j);
+    ResourceGovernor& governor = ctx_->governor();
+    const uint64_t nodes_before = governor.nodes_spent();
+    outcome.result = ExhaustiveCheckGlobalOptimal(cg, pr, j, governor);
+    if (!outcome.result.known()) {
+      outcome.route.back() += "; abandoned (budget)";
+      // The whole instance was one unit of work; report it as one
+      // abandoned "block" spanning every fact.
+      outcome.degradation.blocks_total = 1;
+      outcome.degradation.blocks_abandoned = 1;
+      outcome.degradation.nodes_spent = governor.nodes_spent();
+      outcome.degradation.cause = governor.CauseString();
+      outcome.degradation.abandoned.push_back(BlockDegradation{
+          0, cg.num_facts(), governor.nodes_spent() - nodes_before,
+          outcome.result.unknown_reason});
+    }
   }
   return outcome;
 }

@@ -36,6 +36,14 @@ struct CheckerOptions {
   /// schemas.  When false, checks on hard schemas fail with
   /// FailedPrecondition instead of potentially running forever.
   bool allow_exponential = true;
+  /// Per-call resource budget for the exponential fallbacks (not
+  /// owned; must outlive the checker).  Installed on the checker's own
+  /// ProblemContext; when borrowing a context, install the governor on
+  /// that context instead (the checker refuses to overwrite shared
+  /// state behind other consumers' backs).  With a governor the checks
+  /// may return a kUnknown verdict instead of running forever — see
+  /// docs/robustness.md.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Outcome of a dispatched check: the answer plus the route taken.
@@ -44,6 +52,9 @@ struct CheckOutcome {
   /// One entry per algorithm invocation, e.g.
   /// "BookLoc: GRepCheck1FD ({1} -> {1, 2}) over 2 block(s)".
   std::vector<std::string> route;
+  /// What the budget allowed: which blocks were solved exactly vs
+  /// abandoned.  Degraded() is false whenever no budget fired.
+  DegradationReport degradation;
 };
 
 /// A checker bound to one prioritizing instance.  Builds the conflict

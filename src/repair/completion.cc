@@ -14,7 +14,7 @@ CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
                     "completion semantics require conflict-bounded "
                     "priorities (§2.3)");
   if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};
+    return CheckResult::NotOptimalNoWitness();
   }
   size_t n = cg.num_facts();
   DynamicBitset remaining(n);
@@ -56,7 +56,7 @@ CheckResult CheckCompletionOptimal(const ConflictGraph& cg,
   const DynamicBitset target = universe != nullptr ? (j & *universe) : j;
   CheckResult result = picked == target && remaining.none()
                            ? CheckResult::Optimal()
-                           : CheckResult{false, std::nullopt};
+                           : CheckResult::NotOptimalNoWitness();
   audit::CheckCompletionVerdict(cg, pr, j, universe, result);
   return result;
 }

@@ -1,5 +1,6 @@
 #include "repair/construct.h"
 
+#include <optional>
 #include <unordered_set>
 
 #include "base/random.h"
@@ -12,15 +13,23 @@ namespace {
 // One greedy pass over `universe` (the whole instance, or one block):
 // repeatedly keep a ≻-maximal remaining fact and drop its conflicts.
 // Conflict-bounded priorities keep both dominators and conflicts inside
-// the universe, so the pass never reads outside it.
-DynamicBitset GreedyWithin(const ConflictGraph& cg, const PriorityRelation& pr,
-                           const DynamicBitset& universe,
-                           const ConstructOptions& options, Rng& rng) {
+// the universe, so the pass never reads outside it.  Checkpoints on
+// `governor` once per pick; nullopt when the budget fires (the partial
+// bitset is discarded — it would not be a maximal repair).
+std::optional<DynamicBitset> GreedyWithin(const ConflictGraph& cg,
+                                          const PriorityRelation& pr,
+                                          const DynamicBitset& universe,
+                                          const ConstructOptions& options,
+                                          Rng& rng,
+                                          ResourceGovernor& governor) {
   size_t n = cg.num_facts();
   DynamicBitset remaining = universe;
   DynamicBitset out(n);
   size_t left = remaining.count();
   while (left > 0) {
+    if (!governor.Checkpoint()) {
+      return std::nullopt;
+    }
     // The ≻-maximal remaining facts (acyclicity guarantees one exists).
     std::vector<FactId> candidates;
     remaining.ForEach([&](size_t f) {
@@ -76,7 +85,8 @@ DynamicBitset ConstructGloballyOptimalRepair(
   Rng rng(options.seed);
   DynamicBitset universe(cg.num_facts());
   universe.set_all();
-  DynamicBitset out = GreedyWithin(cg, pr, universe, options, rng);
+  DynamicBitset out = *GreedyWithin(cg, pr, universe, options, rng,
+                                    ResourceGovernor::Unlimited());
   audit::CheckConstructedRepair(cg, pr, out,
                                 "ConstructGloballyOptimalRepair");
   return out;
@@ -92,10 +102,37 @@ DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
   Rng rng(options.seed);
   DynamicBitset out = ctx.blocks().free_facts();
   for (const Block& b : ctx.blocks().blocks()) {
-    out |= GreedyWithin(cg, pr, b.facts, options, rng);
+    out |= *GreedyWithin(cg, pr, b.facts, options, rng,
+                         ResourceGovernor::Unlimited());
   }
   audit::CheckConstructedRepair(
       cg, pr, out, "ConstructGloballyOptimalRepair (per-block)");
+  return out;
+}
+
+Result<DynamicBitset> TryConstructGloballyOptimalRepair(
+    const ProblemContext& ctx, const ConstructOptions& options) {
+  const ConflictGraph& cg = ctx.conflict_graph();
+  const PriorityRelation& pr = ctx.priority();
+  PREFREP_CHECK_MSG(pr.IsConflictBounded(),
+                    "construction relies on completion semantics, which "
+                    "require conflict-bounded priorities (§2.3)");
+  ResourceGovernor& governor = ctx.governor();
+  Rng rng(options.seed);
+  DynamicBitset out = ctx.blocks().free_facts();
+  for (const Block& b : ctx.blocks().blocks()) {
+    std::optional<DynamicBitset> block_repair =
+        GreedyWithin(cg, pr, b.facts, options, rng, governor);
+    if (!block_repair.has_value()) {
+      Status status = governor.ToStatus();
+      PREFREP_CHECK_MSG(!status.ok(),
+                        "greedy pass aborted without an exhausted governor");
+      return status;
+    }
+    out |= *block_repair;
+  }
+  audit::CheckConstructedRepair(
+      cg, pr, out, "TryConstructGloballyOptimalRepair (per-block)");
   return out;
 }
 

@@ -57,6 +57,16 @@ DynamicBitset ConstructGloballyOptimalRepair(
 DynamicBitset ConstructGloballyOptimalRepair(
     const ProblemContext& ctx, const ConstructOptions& options = {});
 
+/// Budget-aware construction: like the ProblemContext overload, but
+/// checkpoints on ctx.governor() once per greedy pick and returns
+/// kDeadlineExceeded/kResourceExhausted instead of a repair when the
+/// budget fires mid-pass.  Construction is polynomial (O(n²)), so this
+/// only matters for huge instances or very tight budgets shared with
+/// preceding exponential work; a cancelled pass never returns a torn
+/// (partially built, non-maximal) bitset.
+Result<DynamicBitset> TryConstructGloballyOptimalRepair(
+    const ProblemContext& ctx, const ConstructOptions& options = {});
+
 /// Enumerates distinct completion-optimal repairs by running the greedy
 /// under `attempts` different random tie-breaks, invoking `fn` for each
 /// distinct result; stops early when `fn` returns false.  A sampling

@@ -14,11 +14,29 @@ uint64_t CountOptimalRepairs(const ConflictGraph& cg,
 
 uint64_t CountOptimalRepairs(const ProblemContext& ctx,
                              RepairSemantics semantics) {
-  if (!ctx.priority_block_local()) {
-    return AllOptimalRepairs(ctx.conflict_graph(), ctx.priority(), semantics)
-        .size();
+  return CountOptimalRepairsBounded(ctx, semantics).lower_bound;
+}
+
+BoundedCount CountOptimalRepairsBounded(const ProblemContext& ctx,
+                                        RepairSemantics semantics) {
+  if (ctx.priority_block_local()) {
+    return CountOptimalRepairsByBlocksBounded(ctx, semantics);
   }
-  return CountOptimalRepairsByBlocks(ctx, semantics);
+  // Cross-block priority: the count does not factor, so the governed
+  // whole-instance enumeration is the only route.  When the budget
+  // fires the instance counts as one big unknown "block", and the
+  // lower bound falls back to the one optimal repair every instance has.
+  const ConflictGraph& cg = ctx.conflict_graph();
+  ResourceGovernor& governor = ctx.governor();
+  DynamicBitset universe(cg.num_facts());
+  universe.set_all();
+  std::vector<DynamicBitset> optimal = OptimalRepairsWithin(
+      cg, ctx.priority(), universe, semantics, governor);
+  if (governor.exhausted()) {
+    return BoundedCount{1, /*exact=*/false, /*unknown_blocks=*/1,
+                        /*saturated=*/false};
+  }
+  return BoundedCount{optimal.size(), true, 0, false};
 }
 
 std::optional<DynamicBitset> UniqueGloballyOptimalRepair(

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "model/context.h"
+#include "repair/block_solver.h"
 #include "repair/exhaustive.h"
 
 namespace prefrep {
@@ -29,9 +30,18 @@ uint64_t CountOptimalRepairs(const ConflictGraph& cg,
                              const PriorityRelation& pr,
                              RepairSemantics semantics);
 
-/// Same, sharing the cached artifacts of an existing context.
+/// Same, sharing the cached artifacts of an existing context.  Under a
+/// governed context this degrades to a verified lower bound when the
+/// budget fires; use CountOptimalRepairsBounded to know whether it did.
 uint64_t CountOptimalRepairs(const ProblemContext& ctx,
                              RepairSemantics semantics);
+
+/// Budget-aware counting: reports whether the count is exact, how many
+/// blocks the budget cut short (each still contributes its verified
+/// partial count, floored at one — every block has an optimal
+/// block-repair), and whether the per-block product saturated uint64.
+BoundedCount CountOptimalRepairsBounded(const ProblemContext& ctx,
+                                        RepairSemantics semantics);
 
 /// If exactly one globally-optimal repair exists, returns it; nullopt
 /// when there are several.  With a block-local priority the repair is
@@ -41,7 +51,9 @@ uint64_t CountOptimalRepairs(const ProblemContext& ctx,
 std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
     const ConflictGraph& cg, const PriorityRelation& pr);
 
-/// Same, sharing the cached artifacts of an existing context.
+/// Same, sharing the cached artifacts of an existing context.  Under a
+/// governed context a nullopt may also mean the budget fired before
+/// uniqueness was decided — check ctx.governor().degraded() afterwards.
 std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
     const ProblemContext& ctx);
 

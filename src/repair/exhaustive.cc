@@ -17,8 +17,13 @@ class RepairEnumerator {
  public:
   RepairEnumerator(const ConflictGraph& cg,
                    const std::function<bool(const DynamicBitset&)>& fn,
-                   bool use_pivot = true)
-      : fn_(fn), n_(cg.num_facts()), use_pivot_(use_pivot) {
+                   bool use_pivot = true,
+                   ResourceGovernor* governor = nullptr)
+      : fn_(fn),
+        n_(cg.num_facts()),
+        use_pivot_(use_pivot),
+        governor_(governor != nullptr ? governor
+                                      : &ResourceGovernor::Unlimited()) {
     // Complement adjacency (minus self-loops): compatible(v) = facts that
     // do not conflict with v.
     compatible_.reserve(n_);
@@ -41,6 +46,12 @@ class RepairEnumerator {
  private:
   // Returns false to abort the whole enumeration.
   bool Recurse(DynamicBitset& r, DynamicBitset p, DynamicBitset x) {
+    // Cooperative budget checkpoint, once per search-tree node.  The
+    // abort path is identical to an fn() abort: the in-place `r` is
+    // unwound by the callers' r.reset(v), so no torn state survives.
+    if (!governor_->Checkpoint()) {
+      return false;
+    }
     if (p.none() && x.none()) {
       return fn_(r);
     }
@@ -82,6 +93,7 @@ class RepairEnumerator {
   const std::function<bool(const DynamicBitset&)>& fn_;
   size_t n_;
   bool use_pivot_;
+  ResourceGovernor* governor_;
   std::vector<DynamicBitset> compatible_;
 };
 
@@ -102,10 +114,24 @@ void ForEachRepairNoPivot(
   RepairEnumerator(cg, fn, /*use_pivot=*/false).Run(universe);
 }
 
+void ForEachRepair(const ConflictGraph& cg, ResourceGovernor& governor,
+                   const std::function<bool(const DynamicBitset&)>& fn) {
+  DynamicBitset universe(cg.num_facts());
+  universe.set_all();
+  RepairEnumerator(cg, fn, /*use_pivot=*/true, &governor).Run(universe);
+}
+
 void ForEachRepairWithin(
     const ConflictGraph& cg, const DynamicBitset& universe,
     const std::function<bool(const DynamicBitset&)>& fn) {
   RepairEnumerator(cg, fn).Run(universe);
+}
+
+void ForEachRepairWithin(
+    const ConflictGraph& cg, const DynamicBitset& universe,
+    ResourceGovernor& governor,
+    const std::function<bool(const DynamicBitset&)>& fn) {
+  RepairEnumerator(cg, fn, /*use_pivot=*/true, &governor).Run(universe);
 }
 
 std::vector<DynamicBitset> AllRepairs(const ConflictGraph& cg) {
@@ -136,11 +162,17 @@ uint64_t CountRepairs(const ConflictGraph& cg) {
   return count;
 }
 
-CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
-                                         const PriorityRelation& pr,
-                                         const DynamicBitset& j) {
+namespace {
+
+// Shared scan for both semantics.  A found improvement is returned as a
+// definite kNo regardless of the budget; a scan cut short by the budget
+// downgrades the provisional kYes to kUnknown — never a false positive.
+CheckResult ExhaustiveCheckImpl(const ConflictGraph& cg,
+                                const PriorityRelation& pr,
+                                const DynamicBitset& j,
+                                ResourceGovernor& governor, bool pareto) {
   if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};
+    return CheckResult::NotOptimalNoWitness();
   }
   if (std::optional<FactId> ext = FindExtension(cg, j)) {
     DynamicBitset improvement = j;
@@ -149,52 +181,69 @@ CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
                                    "J is not maximal");
   }
   CheckResult result = CheckResult::Optimal();
-  ForEachRepair(cg, [&](const DynamicBitset& candidate) {
-    if (IsGlobalImprovement(cg, pr, j, candidate)) {
-      result = CheckResult::NotOptimal(candidate,
-                                       "an enumerated repair improves J");
+  ForEachRepair(cg, governor, [&](const DynamicBitset& candidate) {
+    const bool improves = pareto ? IsParetoImprovement(cg, pr, j, candidate)
+                                 : IsGlobalImprovement(cg, pr, j, candidate);
+    if (improves) {
+      result = CheckResult::NotOptimal(
+          candidate, pareto ? "an enumerated repair Pareto-improves J"
+                            : "an enumerated repair improves J");
       return false;
     }
     return true;
   });
+  if (result.optimal && governor.exhausted()) {
+    return CheckResult::Unknown(governor.CauseString());
+  }
   return result;
+}
+
+}  // namespace
+
+CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j) {
+  return ExhaustiveCheckImpl(cg, pr, j, ResourceGovernor::Unlimited(),
+                             /*pareto=*/false);
+}
+
+CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j,
+                                         ResourceGovernor& governor) {
+  return ExhaustiveCheckImpl(cg, pr, j, governor, /*pareto=*/false);
 }
 
 CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
                                          const PriorityRelation& pr,
                                          const DynamicBitset& j) {
-  if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};
-  }
-  if (std::optional<FactId> ext = FindExtension(cg, j)) {
-    DynamicBitset improvement = j;
-    improvement.set(*ext);
-    return CheckResult::NotOptimal(std::move(improvement),
-                                   "J is not maximal");
-  }
-  CheckResult result = CheckResult::Optimal();
-  ForEachRepair(cg, [&](const DynamicBitset& candidate) {
-    if (IsParetoImprovement(cg, pr, j, candidate)) {
-      result = CheckResult::NotOptimal(
-          candidate, "an enumerated repair Pareto-improves J");
-      return false;
-    }
-    return true;
-  });
-  return result;
+  return ExhaustiveCheckImpl(cg, pr, j, ResourceGovernor::Unlimited(),
+                             /*pareto=*/true);
+}
+
+CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j,
+                                         ResourceGovernor& governor) {
+  return ExhaustiveCheckImpl(cg, pr, j, governor, /*pareto=*/true);
 }
 
 namespace {
 
 // Keeps the entries of `repairs` that no other entry improves under the
 // given semantics.  `repairs` must be improvement-closed: all repairs of
-// the instance, or all block-repairs of the block `universe`.
+// the instance, or all block-repairs of the block `universe`.  The
+// quadratic scan checkpoints on `governor`; when it fires the returned
+// vector is partial and the caller must discard it.
 std::vector<DynamicBitset> FilterOptimal(
     const ConflictGraph& cg, const PriorityRelation& pr,
     const std::vector<DynamicBitset>& repairs, RepairSemantics semantics,
-    const DynamicBitset* universe) {
+    const DynamicBitset* universe, ResourceGovernor& governor) {
   std::vector<DynamicBitset> out;
   for (const DynamicBitset& j : repairs) {
+    if (!governor.Checkpoint()) {
+      return out;
+    }
     bool optimal = true;
     switch (semantics) {
       case RepairSemantics::kGlobal:
@@ -231,7 +280,24 @@ std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
                                                 const DynamicBitset& universe,
                                                 RepairSemantics semantics) {
   return FilterOptimal(cg, pr, AllRepairsWithin(cg, universe), semantics,
-                       &universe);
+                       &universe, ResourceGovernor::Unlimited());
+}
+
+std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
+                                                const PriorityRelation& pr,
+                                                const DynamicBitset& universe,
+                                                RepairSemantics semantics,
+                                                ResourceGovernor& governor) {
+  std::vector<DynamicBitset> repairs;
+  ForEachRepairWithin(cg, universe, governor,
+                      [&](const DynamicBitset& repair) {
+                        repairs.push_back(repair);
+                        return true;
+                      });
+  if (governor.exhausted()) {
+    return {};  // incomplete repair set: filtering it would be unsound
+  }
+  return FilterOptimal(cg, pr, repairs, semantics, &universe, governor);
 }
 
 std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
@@ -241,7 +307,8 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ConflictGraph& cg,
   if (!PriorityIsBlockLocal(blocks, pr)) {
     // A cross-block priority couples blocks; fall back to the
     // whole-instance baseline.
-    return FilterOptimal(cg, pr, AllRepairs(cg), semantics, nullptr);
+    return FilterOptimal(cg, pr, AllRepairs(cg), semantics, nullptr,
+                         ResourceGovernor::Unlimited());
   }
   // Optimal repairs factor: {free facts} × ∏_b optimal repairs of b.
   std::vector<DynamicBitset> out{blocks.free_facts()};

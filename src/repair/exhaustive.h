@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/governor.h"
 #include "repair/improvement.h"
 
 namespace prefrep {
@@ -30,12 +31,25 @@ namespace prefrep {
 void ForEachRepair(const ConflictGraph& cg,
                    const std::function<bool(const DynamicBitset&)>& fn);
 
+/// Budget-governed variant: one `governor.Checkpoint()` per search-tree
+/// node.  When the budget runs out the enumeration unwinds immediately
+/// (check `governor.exhausted()` afterwards — the enumeration is then
+/// incomplete and callers must not treat it as exhaustive).
+void ForEachRepair(const ConflictGraph& cg, ResourceGovernor& governor,
+                   const std::function<bool(const DynamicBitset&)>& fn);
+
 /// Same, restricted to the facts of `universe`: enumerates the maximal
 /// consistent subsets of `universe` (used for the per-relation fallback
 /// of the unified checker, where one relation is hard but the others are
 /// tractable).
 void ForEachRepairWithin(const ConflictGraph& cg,
                          const DynamicBitset& universe,
+                         const std::function<bool(const DynamicBitset&)>& fn);
+
+/// Budget-governed variant of ForEachRepairWithin (see above).
+void ForEachRepairWithin(const ConflictGraph& cg,
+                         const DynamicBitset& universe,
+                         ResourceGovernor& governor,
                          const std::function<bool(const DynamicBitset&)>& fn);
 
 /// Ablation variant of ForEachRepair: Bron–Kerbosch *without* pivoting.
@@ -64,11 +78,25 @@ CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
                                          const PriorityRelation& pr,
                                          const DynamicBitset& j);
 
+/// Budget-governed variant.  A found improvement is definite (kNo) even
+/// if the budget later runs out; when the budget fires before the scan
+/// certifies optimality the verdict is kUnknown, never a false kYes.
+CheckResult ExhaustiveCheckGlobalOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j,
+                                         ResourceGovernor& governor);
+
 /// Exact Pareto-optimal repair checking by repair enumeration (used to
 /// cross-validate the polynomial Pareto check).
 CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
                                          const PriorityRelation& pr,
                                          const DynamicBitset& j);
+
+/// Budget-governed variant (same contract as the global one).
+CheckResult ExhaustiveCheckParetoOptimal(const ConflictGraph& cg,
+                                         const PriorityRelation& pr,
+                                         const DynamicBitset& j,
+                                         ResourceGovernor& governor);
 
 /// The three preferred-repair semantics of [SCM] (§2.4).
 enum class RepairSemantics {
@@ -100,6 +128,17 @@ std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
                                                 const PriorityRelation& pr,
                                                 const DynamicBitset& universe,
                                                 RepairSemantics semantics);
+
+/// Budget-governed variant: both the block-repair enumeration and the
+/// quadratic optimality filter checkpoint on `governor`.  When
+/// `governor.exhausted()` afterwards the returned vector is partial and
+/// MUST be discarded (a subset of the optimal block-repairs is not a
+/// usable under-approximation for cross-products).
+std::vector<DynamicBitset> OptimalRepairsWithin(const ConflictGraph& cg,
+                                                const PriorityRelation& pr,
+                                                const DynamicBitset& universe,
+                                                RepairSemantics semantics,
+                                                ResourceGovernor& governor);
 
 }  // namespace prefrep
 

@@ -48,7 +48,7 @@ CheckResult CheckGlobalOptimalOneFd(const ConflictGraph& cg,
     }
     for (FactId g : cg.neighbors(f)) {
       if (g > f && j.test(g)) {
-        return CheckResult{false, std::nullopt};  // J inconsistent: no repair
+        return CheckResult::NotOptimalNoWitness();  // J inconsistent: no repair
       }
     }
   }

@@ -194,7 +194,7 @@ CheckResult CheckGlobalOptimalTwoKeys(const ConflictGraph& cg,
     }
     for (FactId g : cg.neighbors(f)) {
       if (g > f && j.test(g)) {
-        return CheckResult{false, std::nullopt};
+        return CheckResult::NotOptimalNoWitness();
       }
     }
   }

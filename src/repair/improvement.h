@@ -14,6 +14,7 @@
 #ifndef PREFREP_REPAIR_IMPROVEMENT_H_
 #define PREFREP_REPAIR_IMPROVEMENT_H_
 
+#include <optional>
 #include <string>
 
 #include "base/dynamic_bitset.h"
@@ -40,19 +41,46 @@ struct ImprovementWitness {
   std::string explanation;
 };
 
-/// Outcome of a preferred-repair check.  `optimal` answers the decision
-/// problem; when false and the algorithm produces witnesses, `witness`
-/// holds an improving subinstance.
+/// Outcome of a preferred-repair check.  `verdict` answers the decision
+/// problem three-valuedly: kYes / kNo are definite; kUnknown means a
+/// resource budget (see base/governor.h) ran out before the answer was
+/// certified, with `unknown_reason` saying what fired.  `optimal`
+/// mirrors `verdict == kYes` for the (dominant) callers that never run
+/// under a budget; such callers must hold `known()` before trusting it.
+/// When the verdict is kNo and the algorithm produces witnesses,
+/// `witness` holds an improving subinstance; an unknown result never
+/// carries a witness — cancellation must not leak a torn one.
 struct CheckResult {
+  enum class Verdict { kYes, kNo, kUnknown };
+
   bool optimal = false;
   std::optional<ImprovementWitness> witness;
+  Verdict verdict = Verdict::kNo;
+  std::string unknown_reason;
 
-  static CheckResult Optimal() { return CheckResult{true, std::nullopt}; }
+  bool known() const { return verdict != Verdict::kUnknown; }
+
+  static CheckResult Optimal() {
+    return CheckResult{true, std::nullopt, Verdict::kYes, {}};
+  }
   static CheckResult NotOptimal(DynamicBitset improvement,
                                 std::string explanation) {
-    return CheckResult{
-        false, ImprovementWitness{std::move(improvement),
-                                  std::move(explanation)}};
+    return CheckResult{false,
+                       ImprovementWitness{std::move(improvement),
+                                          std::move(explanation)},
+                       Verdict::kNo,
+                       {}};
+  }
+  /// A definite "not optimal" from an algorithm that decides without
+  /// exhibiting an improvement.
+  static CheckResult NotOptimalNoWitness() {
+    return CheckResult{false, std::nullopt, Verdict::kNo, {}};
+  }
+  /// Budget ran out: neither optimality nor an improvement was
+  /// certified.  `reason` should come from ResourceGovernor::CauseString.
+  static CheckResult Unknown(std::string reason) {
+    return CheckResult{false, std::nullopt, Verdict::kUnknown,
+                       std::move(reason)};
   }
 };
 

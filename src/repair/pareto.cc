@@ -51,7 +51,7 @@ CheckResult CheckParetoOptimal(const ConflictGraph& cg,
                                const PriorityRelation& pr,
                                const DynamicBitset& j) {
   if (!IsConsistent(cg, j)) {
-    return CheckResult{false, std::nullopt};  // not even a repair
+    return CheckResult::NotOptimalNoWitness();  // not even a repair
   }
   CheckResult improvement = FindParetoImprovement(cg, pr, j);
   if (!improvement.optimal) {

@@ -24,6 +24,15 @@ Checks
                    check list or a comment line directly above.  Blanket
                    `// NOLINT` is rejected; NOLINTBEGIN must be matched by
                    NOLINTEND in the same file.
+5. unbounded-shift Files under src/repair that build `1 << n`-style
+                   subset bounds must either cooperate with the resource
+                   governor (call Checkpoint()/AdmitBlock() somewhere in
+                   the file) or justify the shift with a NOLINT on or
+                   above the line.  A shift by a runtime variable with
+                   neither is an ungoverned exponential loop waiting to
+                   happen — and UB outright once n reaches 64 (the
+                   governor's kMaxExhaustiveBlockFacts cap exists for
+                   exactly this).
 
 Exit status 0 when clean; 1 with one `path:line: message` per finding
 otherwise.  The script is stdlib-only by design (it must run in CI and in
@@ -52,6 +61,12 @@ CITATION_RE = re.compile(
 
 RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_:.])(assert|abort)\s*\(")
 RAW_ASSERT_EXEMPT = {Path("src/base/macros.h")}
+
+# `1 << var` (any integer-suffix spelling) — the shape of an unbounded
+# subset-space bound.  Shifts by literals are fine (bounded by construction).
+UNBOUNDED_SHIFT_RE = re.compile(r"\b1(?:[uU][lL]{0,2}|[lL]{1,2}[uU]?)?\s*<<\s*[A-Za-z_]")
+SHIFT_DIRS = ("src/repair",)
+GOVERNED_RE = re.compile(r"\b(?:Checkpoint|AdmitBlock)\s*\(")
 
 NOLINT_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
 NOLINT_WITH_CHECKS_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN)?\(([^)]+)\)")
@@ -183,6 +198,25 @@ class Linter:
             self.report(rel, len(lines), "nolint",
                         f"{begins} NOLINTBEGIN but {ends} NOLINTEND")
 
+    # -- check 5: ungoverned subset-space shifts ---------------------------
+    def check_unbounded_shift(self, rel: Path, lines: list[str],
+                              code_lines: list[str]) -> None:
+        if GOVERNED_RE.search("\n".join(code_lines)):
+            return  # the file cooperates with the resource governor
+        for idx, line in enumerate(code_lines, start=1):
+            if not UNBOUNDED_SHIFT_RE.search(line):
+                continue
+            raw = lines[idx - 1]
+            prev = lines[idx - 2] if idx >= 2 else ""
+            if "NOLINT" in raw or "NOLINT" in prev:
+                continue  # justification discipline enforced by check 4
+            self.report(
+                rel, idx, "unbounded-shift",
+                "`1 << n` subset bound in a file with no governor "
+                "checkpoint — call ctx.governor().Checkpoint()/AdmitBlock() "
+                "in the enumeration (see src/base/governor.h), or justify "
+                "with a NOLINT(prefrep-unbounded-shift): reason")
+
     # -- driver ------------------------------------------------------------
     def run(self) -> int:
         files = []
@@ -200,6 +234,8 @@ class Linter:
             self.check_raw_assert(rel, code_lines)
             if any(str(rel).startswith(d + "/") for d in CITATION_DIRS):
                 self.check_citation(rel, text)
+            if any(str(rel).startswith(d + "/") for d in SHIFT_DIRS):
+                self.check_unbounded_shift(rel, lines, code_lines)
             self.check_nolint(rel, lines)
         return len(files)
 
