@@ -1,0 +1,97 @@
+// B12 — parallel per-block solving: exact globally-optimal checking and
+// counting on MakeHardShardedWorkload (k equally expensive exponential
+// blocks) at 1, 2, 4 and 8 solver threads.  Blocks are independent
+// units of work, so the ideal shape is serial ≈ shards × t_block and
+// parallel ≈ ceil(shards / threads) × t_block + merge — while the
+// deterministic merge (repair/parallel_solver.h) keeps every output
+// byte-identical to threads = 1, as tests/parallel_diff_test.cc
+// verifies.  Run on a single-core machine this measures the scheduling
+// overhead instead (see EXPERIMENTS.md, B12, hardware note).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/hard_workloads.h"
+#include "model/context.h"
+#include "repair/checker.h"
+#include "repair/counting.h"
+
+namespace prefrep {
+namespace {
+
+constexpr size_t kShards = 8;
+
+// arg0 = solver threads, arg1 = cliques per shard (3 facts each): the
+// per-block repair space is 2^(cliques-1) · (cliques + 2), so each
+// extra clique roughly doubles per-block work at a fixed shard count.
+void BM_ParallelCheckSharded(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardShardedWorkload(
+      kShards, static_cast<size_t>(state.range(1)), 3);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(static_cast<size_t>(state.range(0)));
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["blocks"] = static_cast<double>(kShards);
+}
+BENCHMARK(BM_ParallelCheckSharded)
+    ->ArgsProduct({{1, 2, 4, 8}, {8, 10, 12}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelCountSharded(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardShardedWorkload(
+      kShards, static_cast<size_t>(state.range(1)), 3);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    BoundedCount count =
+        CountOptimalRepairsBounded(ctx, RepairSemantics::kGlobal);
+    benchmark::DoNotOptimize(count.lower_bound);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelCountSharded)
+    ->ArgsProduct({{1, 2, 4, 8}, {8, 10}})
+    ->Unit(benchmark::kMillisecond);
+
+// The degenerate shapes the scheduler must not regress: one big block
+// (no parallelism available) and many tiny blocks (pool overhead must
+// stay negligible against the per-block dispatch).
+void BM_ParallelSingleBlock(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardClusteredWorkload(
+      static_cast<size_t>(state.range(1)), 3);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(static_cast<size_t>(state.range(0)));
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelSingleBlock)
+    ->ArgsProduct({{1, 8}, {12}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelManyTinyBlocks(benchmark::State& state) {
+  // 256 two-fact gadget blocks, each solved in microseconds.
+  PreferredRepairProblem problem =
+      MakeHardChoiceWorkload(1, 256, HardJ::kAllPreferred);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(static_cast<size_t>(state.range(0)));
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelManyTinyBlocks)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefrep

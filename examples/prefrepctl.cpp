@@ -17,6 +17,10 @@
 // work past the budget degrades to "unknown" with a per-block
 // degradation summary instead of running forever (docs/robustness.md).
 //
+// --threads N sets the per-block solver parallelism (0 = hardware
+// concurrency, 1 = exact serial execution); results are identical at
+// every value (docs/parallelism.md).
+//
 // Exit codes: 0 = success ("yes" answers), 1 = "no" answer, 2 = usage,
 // 3 = input error, 4 = unknown (resource budget exhausted).
 
@@ -53,7 +57,9 @@ int Usage() {
       "  dump <file>\n"
       "budget options (check/enumerate/answers):\n"
       "  --deadline-ms N  --max-nodes N  --max-block N\n"
-      "  degrade to \"unknown\" (exit 4) instead of running forever\n");
+      "  degrade to \"unknown\" (exit 4) instead of running forever\n"
+      "  --threads N      per-block solver threads (0 = hardware, 1 = "
+      "serial)\n");
   return 2;
 }
 
@@ -90,7 +96,8 @@ void PrintDegradation(const ResourceGovernor& governor,
 }
 
 int CmdCheck(const PreferredRepairProblem& p, bool ccp,
-             const std::string& semantics, const ResourceBudget& budget) {
+             const std::string& semantics, const ResourceBudget& budget,
+             size_t threads) {
   CheckerOptions opts;
   opts.mode = ccp ? PriorityMode::kCrossConflict : PriorityMode::kConflictOnly;
   Status valid = p.priority->Validate(opts.mode);
@@ -101,6 +108,7 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
   }
   ResourceGovernor governor(budget);
   ProblemContext ctx(*p.instance, *p.priority);
+  ctx.set_parallelism(threads);
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
@@ -140,11 +148,13 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
 }
 
 int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
-                 size_t limit, const ResourceBudget& budget) {
+                 size_t limit, const ResourceBudget& budget,
+                 size_t threads) {
   ConflictGraph cg(*p.instance);
   ResourceGovernor governor(budget);
   if (optimal_only) {
     ProblemContext ctx(cg, *p.priority);
+    ctx.set_parallelism(threads);
     if (!budget.Unlimited()) {
       ctx.set_governor(&governor);
     }
@@ -192,7 +202,8 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
 }
 
 int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
-               const std::string& semantics, const ResourceBudget& budget) {
+               const std::string& semantics, const ResourceBudget& budget,
+               size_t threads) {
   Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(query_text);
   if (!query.ok()) {
     std::fprintf(stderr, "bad query: %s\n",
@@ -210,6 +221,7 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
   ConflictGraph cg(*p.instance);
   ResourceGovernor governor(budget);
   ProblemContext ctx(cg, *p.priority);
+  ctx.set_parallelism(threads);
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
@@ -261,6 +273,7 @@ int main(int argc, char** argv) {
   size_t limit = 20;
   std::string semantics = "global";
   ResourceBudget budget;
+  size_t threads = 0;  // 0 = hardware concurrency (the context default)
   const char* query_text = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ccp") == 0) {
@@ -277,6 +290,8 @@ int main(int argc, char** argv) {
       budget.max_nodes = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--max-block") == 0 && i + 1 < argc) {
       budget.max_block = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (query_text == nullptr) {
       query_text = argv[i];
     } else {
@@ -288,16 +303,16 @@ int main(int argc, char** argv) {
     return CmdClassify(*problem);
   }
   if (command == "check") {
-    return CmdCheck(*problem, ccp, semantics, budget);
+    return CmdCheck(*problem, ccp, semantics, budget, threads);
   }
   if (command == "enumerate") {
-    return CmdEnumerate(*problem, optimal_only, limit, budget);
+    return CmdEnumerate(*problem, optimal_only, limit, budget, threads);
   }
   if (command == "answers") {
     if (query_text == nullptr) {
       return Usage();
     }
-    return CmdAnswers(*problem, query_text, semantics, budget);
+    return CmdAnswers(*problem, query_text, semantics, budget, threads);
   }
   if (command == "stats") {
     ConflictGraph cg(*problem->instance);

@@ -35,6 +35,14 @@ ResourceGovernor::ResourceGovernor(const ResourceBudget& budget)
   }
 }
 
+ResourceGovernor::ResourceGovernor(const ResourceBudget& budget,
+                                   std::chrono::steady_clock::time_point start)
+    : budget_(budget), armed_(!budget.Unlimited()) {
+  if (budget_.deadline_ms > 0) {
+    start_ = start;
+  }
+}
+
 ResourceGovernor& ResourceGovernor::Unlimited() {
   // Shared across every call that installs no governor; the unarmed
   // Checkpoint() fast path never writes, so sharing is safe.
@@ -46,16 +54,21 @@ bool ResourceGovernor::CheckpointSlow() {
   if (exhausted()) {
     return false;  // sticky: nested enumerations unwind without re-arming
   }
-  ++nodes_;
-  if (fault_at_ != 0 && nodes_ >= fault_at_) {
+  if (cancel_bound_ != nullptr &&
+      cancel_position_ >= cancel_bound_->load(std::memory_order_relaxed)) {
+    Exhaust(ExhaustCause::kCancelled);
+    return false;
+  }
+  const uint64_t n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (fault_at_ != 0 && n >= fault_at_) {
     Exhaust(ExhaustCause::kFaultInjection);
     return false;
   }
-  if (budget_.max_nodes != 0 && nodes_ > budget_.max_nodes) {
+  if (budget_.max_nodes != 0 && n > budget_.max_nodes) {
     Exhaust(ExhaustCause::kNodeBudget);
     return false;
   }
-  if (budget_.deadline_ms > 0 && nodes_ % kDeadlineCheckInterval == 0) {
+  if (budget_.deadline_ms > 0 && n % kDeadlineCheckInterval == 0) {
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start_);
     if (elapsed.count() >= budget_.deadline_ms) {
@@ -72,7 +85,7 @@ bool ResourceGovernor::AdmitBlock(size_t block_facts) {
     // that one must stay write-free (it is shared across threads), so
     // only caller-owned governors record the refusal.
     if (this != &Unlimited()) {
-      ++blocks_refused_;
+      blocks_refused_.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
   }
@@ -83,27 +96,29 @@ bool ResourceGovernor::AdmitBlock(size_t block_facts) {
     return false;
   }
   if (budget_.max_block != 0 && block_facts > budget_.max_block) {
-    ++blocks_refused_;
+    blocks_refused_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
 }
 
 std::string ResourceGovernor::CauseString() const {
-  switch (cause_) {
+  switch (cause()) {
     case ExhaustCause::kNone:
       break;
     case ExhaustCause::kDeadline:
       return "deadline of " + std::to_string(budget_.deadline_ms) +
-             " ms exceeded after " + std::to_string(nodes_) + " nodes";
+             " ms exceeded after " + std::to_string(nodes_spent()) + " nodes";
     case ExhaustCause::kNodeBudget:
       return "node budget of " + std::to_string(budget_.max_nodes) +
              " exhausted";
     case ExhaustCause::kFaultInjection:
-      return "fault injected at checkpoint " + std::to_string(nodes_);
+      return "fault injected at checkpoint " + std::to_string(nodes_spent());
+    case ExhaustCause::kCancelled:
+      return "cancelled: superseded by another block's result";
   }
-  if (blocks_refused_ > 0) {
-    return std::to_string(blocks_refused_) +
+  if (blocks_refused() > 0) {
+    return std::to_string(blocks_refused()) +
            " block(s) refused by block-size limit";
   }
   return "within budget";
@@ -113,7 +128,7 @@ Status ResourceGovernor::ToStatus() const {
   if (!degraded()) {
     return Status::OK();
   }
-  if (cause_ == ExhaustCause::kDeadline) {
+  if (cause() == ExhaustCause::kDeadline) {
     return Status::DeadlineExceeded(CauseString());
   }
   return Status::ResourceExhausted(CauseString());
@@ -123,7 +138,39 @@ void ResourceGovernor::ForceExhaustAtCheckpointForTesting(uint64_t nth) {
   PREFREP_CHECK_MSG(this != &Unlimited(),
                     "fault injection on the shared unlimited governor");
   fault_at_ = nth;
-  armed_ = nth != 0 || !budget_.Unlimited();
+  armed_ = nth != 0 || !budget_.Unlimited() || cancel_bound_ != nullptr;
+}
+
+void ResourceGovernor::ArmCancellation(
+    const std::atomic<uint64_t>* cancel_bound, uint64_t position) {
+  PREFREP_CHECK_MSG(this != &Unlimited(),
+                    "cancellation on the shared unlimited governor");
+  cancel_bound_ = cancel_bound;
+  cancel_position_ = position;
+  armed_ = true;
+}
+
+uint64_t ResourceGovernor::NodeFiringIndex() const {
+  uint64_t firing = 0;
+  if (fault_at_ != 0) {
+    firing = fault_at_;
+  }
+  if (budget_.max_nodes != 0 &&
+      (firing == 0 || budget_.max_nodes + 1 < firing)) {
+    firing = budget_.max_nodes + 1;
+  }
+  return firing;
+}
+
+void ResourceGovernor::CommitReplayNodes(uint64_t n) {
+  if (!armed_ || n == 0) {
+    return;
+  }
+  PREFREP_CHECK_MSG(NodeFiringIndex() == 0 ||
+                        nodes_spent() + n < NodeFiringIndex(),
+                    "replayed node batch would cross the firing index — the "
+                    "parallel merge must rerun such blocks instead");
+  nodes_.fetch_add(n, std::memory_order_relaxed);
 }
 
 std::string DegradationReport::ToString() const {

@@ -16,12 +16,18 @@
 //
 // The governor is single-call state: create one per solving call (or
 // per request), install it on the ProblemContext, and read the
-// degradation report afterwards.  It is not synchronized — share one
-// governor across threads only if you accept approximate node counts.
+// degradation report afterwards.  Its counters are atomic, so sharing
+// one governor across threads is memory-safe; node counts under truly
+// concurrent checkpointing are then approximate.  The parallel solver
+// (repair/parallel_solver.h) avoids even that: workers run against
+// private governors and the merge replays their consumption onto the
+// shared one in serial block order, which is what keeps parallel
+// verdicts byte-identical to serial ones.
 
 #ifndef PREFREP_BASE_GOVERNOR_H_
 #define PREFREP_BASE_GOVERNOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -48,6 +54,8 @@ enum class ExhaustCause {
   kDeadline,        ///< wall-clock deadline passed
   kNodeBudget,      ///< explored-node budget spent
   kFaultInjection,  ///< test-only forced exhaustion (N-th checkpoint)
+  kCancelled,       ///< a parallel worker was superseded (its block's
+                    ///< result cannot affect the merged answer anymore)
 };
 
 /// A per-call resource budget.  Zero in any field means "unlimited" for
@@ -103,6 +111,14 @@ class ResourceGovernor {
 
   explicit ResourceGovernor(const ResourceBudget& budget);
 
+  /// Worker-local governor for parallel solving: same budget semantics,
+  /// but the deadline is measured from `start` (the anchor of the
+  /// governor whose budget a worker enforces a share of) instead of
+  /// from construction, so every worker and the serial replay agree on
+  /// when the deadline fires.
+  ResourceGovernor(const ResourceBudget& budget,
+                   std::chrono::steady_clock::time_point start);
+
   PREFREP_DISALLOW_COPY(ResourceGovernor);
 
   /// The shared no-op governor used when none is installed.  Its fast
@@ -131,21 +147,28 @@ class ResourceGovernor {
   /// other blocks from being solved.
   bool AdmitBlock(size_t block_facts);
 
-  /// True once the deadline, node budget, or injected fault fired.
-  bool exhausted() const { return cause_ != ExhaustCause::kNone; }
+  /// True once the deadline, node budget, injected fault, or a
+  /// cancellation fired.
+  bool exhausted() const { return cause() != ExhaustCause::kNone; }
 
   /// True when any budget enforcement happened: exhaustion or at least
   /// one refused block.  A degraded call's "unknown" parts are real.
-  bool degraded() const { return exhausted() || blocks_refused_ > 0; }
+  bool degraded() const { return exhausted() || blocks_refused() > 0; }
 
-  ExhaustCause cause() const { return cause_; }
+  ExhaustCause cause() const {
+    return cause_.load(std::memory_order_relaxed);
+  }
 
   /// Checkpoints passed so far (0 on the unarmed fast path, which does
   /// not count).
-  uint64_t nodes_spent() const { return nodes_; }
+  uint64_t nodes_spent() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
 
   /// Number of blocks AdmitBlock refused.
-  uint64_t blocks_refused() const { return blocks_refused_; }
+  uint64_t blocks_refused() const {
+    return blocks_refused_.load(std::memory_order_relaxed);
+  }
 
   /// Human-readable description of what fired ("deadline of 50 ms
   /// exceeded after 12345 nodes", ...).  "within budget" when nothing
@@ -163,16 +186,57 @@ class ResourceGovernor {
   /// enumeration state.  0 disables.  Never call this on Unlimited().
   void ForceExhaustAtCheckpointForTesting(uint64_t nth);
 
+  // ---- Parallel-solving support (repair/parallel_solver.h) ----------
+  //
+  // The three hooks below exist for the deterministic parallel merge
+  // and are of no use to ordinary callers.
+
+  /// Arms cooperative cancellation on a worker-local governor: once
+  /// `*cancel_bound` drops to `position` or below, the next
+  /// Checkpoint() fires with ExhaustCause::kCancelled and the worker
+  /// unwinds exactly like any other budget exhaustion.  `cancel_bound`
+  /// must outlive the governor.  Never call this on Unlimited().
+  void ArmCancellation(const std::atomic<uint64_t>* cancel_bound,
+                       uint64_t position);
+
+  /// The node index at which the node-space budget fires, i.e. the
+  /// smallest global checkpoint index that does NOT succeed: the
+  /// injected fault fires at `fault_at`, the node budget at
+  /// `max_nodes + 1`.  0 when no node-space dimension is armed (the
+  /// deadline is wall-clock, not node-space).  This is the constant the
+  /// parallel merge replays worker node counts against.
+  uint64_t NodeFiringIndex() const;
+
+  /// Serial-order replay: account `n` checkpoints that a worker already
+  /// performed (against its private governor) as if they had happened
+  /// here, without re-running them.  The caller guarantees
+  /// `nodes_spent() + n < NodeFiringIndex()` (or no node-space limit is
+  /// armed), so the batch cannot fire.  No-op when unarmed, keeping the
+  /// shared Unlimited() governor write-free.
+  void CommitReplayNodes(uint64_t n);
+
+  /// The deadline anchor (set iff deadline_ms > 0); workers pass it to
+  /// the anchored constructor so all shares of one budget agree.
+  std::chrono::steady_clock::time_point start() const { return start_; }
+
  private:
   bool CheckpointSlow();
-  void Exhaust(ExhaustCause cause) { cause_ = cause; }
+  void Exhaust(ExhaustCause cause) {
+    // First cause wins; a racing second exhaustion keeps the original
+    // diagnosis (both still return false from their checkpoint).
+    ExhaustCause expected = ExhaustCause::kNone;
+    cause_.compare_exchange_strong(expected, cause,
+                                   std::memory_order_relaxed);
+  }
 
   ResourceBudget budget_;
   bool armed_ = false;
-  ExhaustCause cause_ = ExhaustCause::kNone;
-  uint64_t nodes_ = 0;
-  uint64_t blocks_refused_ = 0;
+  std::atomic<ExhaustCause> cause_{ExhaustCause::kNone};
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<uint64_t> blocks_refused_{0};
   uint64_t fault_at_ = 0;
+  const std::atomic<uint64_t>* cancel_bound_ = nullptr;
+  uint64_t cancel_position_ = 0;
   std::chrono::steady_clock::time_point start_{};
 };
 

@@ -1,0 +1,93 @@
+#include "base/thread_pool.h"
+
+namespace prefrep {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  WorkerQueue& queue = *queues_[submit_cursor_];
+  submit_cursor_ = (submit_cursor_ + 1) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  {
+    // Publish under wake_mutex_ so a worker between its predicate check
+    // and its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    unclaimed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::ClaimTask(size_t worker) {
+  // Own deque first (front), then steal from siblings (back): the owner
+  // and a thief meet at opposite ends, so they contend only when one
+  // task is left.
+  {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(worker + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;  // unstarted tasks are discarded by contract
+    }
+    if (std::function<void()> task = ClaimTask(worker)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             unclaimed_.load(std::memory_order_relaxed) > 0;
+    });
+  }
+}
+
+}  // namespace prefrep

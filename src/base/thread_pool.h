@@ -1,0 +1,95 @@
+// Copyright (c) prefrep contributors.
+// ThreadPool — the work-stealing worker pool behind parallel per-block
+// solving (repair/parallel_solver.h).
+//
+// This is deliberately the only place in the library that touches raw
+// std::thread (tools/lint_prefrep.py enforces it): every concurrent
+// computation goes through a pool, so cancellation, budget enforcement
+// and shutdown have one owner.  The pool itself knows nothing about
+// repairs — it runs opaque tasks:
+//
+//   * Submit() places a task on a per-worker deque, round-robin, so a
+//     caller that submits its tasks largest-cost-first (the parallel
+//     solver sorts blocks by size, the cost model behind the block-size
+//     histogram of conflicts/stats.h) spreads the heavy tasks across
+//     workers up front.
+//   * Idle workers first drain their own deque front-to-back, then
+//     steal from the back of a sibling's deque, so load imbalance fixes
+//     itself without a central queue bottleneck.
+//   * The destructor DISCARDS tasks that have not started, finishes the
+//     ones that have, and joins every worker.  Callers that must see a
+//     task's result therefore wait for the task's own completion
+//     signal, not for the pool; callers that abandon a session simply
+//     destroy the pool and rely on cooperative cancellation
+//     (ResourceGovernor::ArmCancellation) to unwind in-flight work.
+//
+// Tasks must not throw (the library reports failure through Status and
+// three-valued results, never exceptions).
+
+#ifndef PREFREP_BASE_THREAD_POOL_H_
+#define PREFREP_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/macros.h"
+
+namespace prefrep {
+
+/// A fixed-size work-stealing pool.  Submission is single-producer (the
+/// session that owns the pool); execution is multi-consumer.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Discards unstarted tasks, finishes running ones, joins workers.
+  ~ThreadPool();
+
+  PREFREP_DISALLOW_COPY(ThreadPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The parallelism the hardware advertises, floored at one (the
+  /// standard permits hardware_concurrency() == 0 when unknown).
+  static size_t HardwareConcurrency();
+
+  /// Enqueues one task.  Tasks may run in any order and on any worker;
+  /// completion is signalled by the task itself.  Must be called from
+  /// the owning thread only.
+  void Submit(std::function<void()> task);
+
+ private:
+  // One deque per worker, each with its own lock: the owner pops from
+  // the front, thieves steal from the back, so they contend only when
+  // the deque is nearly empty.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker);
+  std::function<void()> ClaimTask(size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  // Tasks submitted but not yet claimed by a worker; lets idle workers
+  // sleep instead of spinning over empty deques.
+  std::atomic<size_t> unclaimed_{0};
+  std::atomic<bool> stop_{false};
+  size_t submit_cursor_ = 0;
+  // Declared last so the loops observe fully-constructed state.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_THREAD_POOL_H_

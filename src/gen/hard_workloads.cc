@@ -115,4 +115,52 @@ PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
   return problem;
 }
 
+PreferredRepairProblem MakeHardShardedWorkload(size_t shards, size_t cliques,
+                                               size_t clique_size) {
+  PREFREP_CHECK_MSG(shards >= 1, "need at least one shard");
+  PREFREP_CHECK_MSG(cliques >= 2 && clique_size >= 3,
+                    "each shard needs at least two cliques of at least "
+                    "three facts (see MakeHardClusteredWorkload)");
+  PreferredRepairProblem problem(HardSchema(1));
+  Instance& inst = *problem.instance;
+  const std::string relation = inst.schema().relation_name(0);
+  // Same fact shapes as MakeHardClusteredWorkload, but every constant
+  // carries the shard index: attribute 2 (the within-shard glue) is
+  // "m<s>", so no FD of S1 can relate facts of different shards and
+  // each shard is one conflict block.
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t q = 0; q < cliques; ++q) {
+      for (size_t j = 0; j < clique_size; ++j) {
+        std::string attr3 = j == 0 ? StrFormat("spine%zu", s)
+                                   : StrFormat("c%zu_%zu_%zu", s, q, j);
+        inst.MustAddFact(relation,
+                         {StrFormat("k%zu_%zu", s, q), StrFormat("m%zu", s),
+                          attr3},
+                         StrFormat("s%zu:q%zu:f%zu", s, q, j));
+      }
+    }
+  }
+  problem.InitPriority();
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t q = 0; q < cliques; ++q) {
+      for (size_t j = 0; j < clique_size; ++j) {
+        if (j == 1) {
+          continue;
+        }
+        PREFREP_CHECK(problem.priority
+                          ->AddByLabels(StrFormat("s%zu:q%zu:f1", s, q),
+                                        StrFormat("s%zu:q%zu:f%zu", s, q, j))
+                          .ok());
+      }
+    }
+  }
+  problem.j = inst.EmptySubinstance();
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t q = 0; q < cliques; ++q) {
+      problem.j.set(inst.FindLabel(StrFormat("s%zu:q%zu:f1", s, q)));
+    }
+  }
+  return problem;
+}
+
 }  // namespace prefrep

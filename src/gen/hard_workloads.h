@@ -55,6 +55,19 @@ PreferredRepairProblem MakeHardChoiceWorkload(int index, size_t groups,
 PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
                                                  size_t clique_size);
 
+/// `shards` independent copies of MakeHardClusteredWorkload(cliques,
+/// clique_size), each on its own constants so no FD ever fires across
+/// copies: the instance decomposes into exactly `shards` equally
+/// expensive exponential blocks.  This is the shape the parallel
+/// per-block solver (repair/parallel_solver.h) is built for — the
+/// serial exact check costs shards × t_block, the parallel one
+/// max-block t_block plus merge, with identical verdicts — and the
+/// workload bench/bench_parallel.cc measures scaling on.  J is the
+/// per-shard optimal J (all member-1 facts), so exact checking must
+/// exhaust every block.  Facts are labeled "s<s>:q<q>:f<j>".
+PreferredRepairProblem MakeHardShardedWorkload(size_t shards, size_t cliques,
+                                               size_t clique_size);
+
 }  // namespace prefrep
 
 #endif  // PREFREP_GEN_HARD_WORKLOADS_H_

@@ -1,10 +1,14 @@
 #include "model/context.h"
 
+#include "base/thread_pool.h"
+
 namespace prefrep {
 
 ProblemContext::ProblemContext(const Instance& instance,
                                const PriorityRelation& priority)
-    : instance_(&instance), priority_(&priority) {
+    : instance_(&instance),
+      priority_(&priority),
+      parallelism_(ThreadPool::HardwareConcurrency()) {
   PREFREP_CHECK_MSG(&priority.instance() == &instance,
                     "priority relation is over a different instance");
 }
@@ -13,9 +17,37 @@ ProblemContext::ProblemContext(const ConflictGraph& graph,
                                const PriorityRelation& priority)
     : instance_(&graph.instance()),
       priority_(&priority),
-      external_graph_(&graph) {
+      external_graph_(&graph),
+      parallelism_(ThreadPool::HardwareConcurrency()) {
   PREFREP_CHECK_MSG(&priority.instance() == &graph.instance(),
                     "priority relation is over a different instance");
+}
+
+ProblemContext::ProblemContext(WorkerViewTag, const ProblemContext& parent,
+                               ResourceGovernor* governor)
+    : instance_(parent.instance_),
+      priority_(parent.priority_),
+      external_graph_(&parent.conflict_graph()),
+      external_classification_(&parent.classification()),
+      external_ccp_classification_(&parent.ccp_classification()),
+      external_blocks_(&parent.blocks()),
+      external_priority_block_local_(
+          parent.external_priority_block_local_ != nullptr
+              ? parent.external_priority_block_local_
+              : parent.priority_block_local_.get()),
+      governor_(governor),
+      // A worker never fans out again: nested parallelism would
+      // oversubscribe the pool and break the serial-order replay.
+      parallelism_(1) {}
+
+void ProblemContext::set_parallelism(size_t parallelism) {
+  parallelism_ =
+      parallelism == 0 ? ThreadPool::HardwareConcurrency() : parallelism;
+}
+
+ProblemContext ProblemContext::WorkerView(ResourceGovernor* governor) const {
+  Prime();
+  return ProblemContext(WorkerViewTag{}, *this, governor);
 }
 
 const ConflictGraph& ProblemContext::conflict_graph() const {
@@ -29,6 +61,9 @@ const ConflictGraph& ProblemContext::conflict_graph() const {
 }
 
 const SchemaClassification& ProblemContext::classification() const {
+  if (external_classification_ != nullptr) {
+    return *external_classification_;
+  }
   if (classification_ == nullptr) {
     classification_ =
         std::make_unique<SchemaClassification>(ClassifySchema(
@@ -38,6 +73,9 @@ const SchemaClassification& ProblemContext::classification() const {
 }
 
 const CcpSchemaClassification& ProblemContext::ccp_classification() const {
+  if (external_ccp_classification_ != nullptr) {
+    return *external_ccp_classification_;
+  }
   if (ccp_classification_ == nullptr) {
     ccp_classification_ = std::make_unique<CcpSchemaClassification>(
         ClassifyCcpSchema(instance_->schema()));
@@ -46,6 +84,9 @@ const CcpSchemaClassification& ProblemContext::ccp_classification() const {
 }
 
 const BlockDecomposition& ProblemContext::blocks() const {
+  if (external_blocks_ != nullptr) {
+    return *external_blocks_;
+  }
   if (blocks_ == nullptr) {
     blocks_ = std::make_unique<BlockDecomposition>(conflict_graph());
   }
@@ -53,6 +94,9 @@ const BlockDecomposition& ProblemContext::blocks() const {
 }
 
 bool ProblemContext::priority_block_local() const {
+  if (external_priority_block_local_ != nullptr) {
+    return *external_priority_block_local_;
+  }
   if (priority_block_local_ == nullptr) {
     priority_block_local_ =
         std::make_unique<bool>(PriorityIsBlockLocal(blocks(), *priority_));

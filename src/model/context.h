@@ -14,7 +14,10 @@
 // classify/: it may include their headers, never the other way around.
 //
 // Lazy construction is not synchronized; share a context across threads
-// only after touching the artifacts you need (or calling Prime()).
+// only after touching the artifacts you need (or calling Prime()).  The
+// parallel dispatchers do exactly that: they Prime() the parent context
+// and hand each worker a WorkerView(), which reads the shared artifacts
+// and carries the worker's private governor.
 
 #ifndef PREFREP_MODEL_CONTEXT_H_
 #define PREFREP_MODEL_CONTEXT_H_
@@ -80,11 +83,36 @@ class ProblemContext {
   /// context; it is not owned.
   void set_governor(ResourceGovernor* governor) { governor_ = governor; }
 
+  /// Number of worker threads per-block dispatchers may use.  Defaults
+  /// to the hardware concurrency; 1 selects the exact serial code path
+  /// (the parallel path is byte-identical for verdicts, counts and
+  /// degradation reports — see docs/parallelism.md — but 1 skips the
+  /// machinery entirely).
+  size_t parallelism() const { return parallelism_; }
+
+  /// Sets the worker count; 0 restores the hardware default.
+  void set_parallelism(size_t parallelism);
+
+  /// A shallow view for one parallel worker: shares this context's
+  /// artifacts (priming them now if needed) but reads budgets from
+  /// `governor` and never parallelizes further.  The parent context and
+  /// `governor` must outlive the view.
+  ProblemContext WorkerView(ResourceGovernor* governor) const;
+
  private:
+  struct WorkerViewTag {};
+  ProblemContext(WorkerViewTag, const ProblemContext& parent,
+                 ResourceGovernor* governor);
+
   const Instance* instance_;
   const PriorityRelation* priority_;
   const ConflictGraph* external_graph_ = nullptr;
+  const SchemaClassification* external_classification_ = nullptr;
+  const CcpSchemaClassification* external_ccp_classification_ = nullptr;
+  const BlockDecomposition* external_blocks_ = nullptr;
+  const bool* external_priority_block_local_ = nullptr;
   ResourceGovernor* governor_ = nullptr;
+  size_t parallelism_;
   mutable std::unique_ptr<ConflictGraph> graph_;
   mutable std::unique_ptr<SchemaClassification> classification_;
   mutable std::unique_ptr<CcpSchemaClassification> ccp_classification_;

@@ -8,6 +8,7 @@
 #include "repair/audit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -23,14 +24,18 @@ namespace audit {
 namespace internal {
 
 namespace {
-bool g_force_wrong_verdict = false;
+// Atomic: parallel workers consult the flag mid-solve while a test
+// thread may be toggling it.
+std::atomic<bool> g_force_wrong_verdict{false};
 }  // namespace
 
 void ForceWrongVerdictForTesting(bool enabled) {
-  g_force_wrong_verdict = enabled;
+  g_force_wrong_verdict.store(enabled, std::memory_order_relaxed);
 }
 
-bool ForcingWrongVerdict() { return g_force_wrong_verdict; }
+bool ForcingWrongVerdict() {
+  return g_force_wrong_verdict.load(std::memory_order_relaxed);
+}
 
 #if PREFREP_AUDIT_ENABLED
 

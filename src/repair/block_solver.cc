@@ -1,6 +1,7 @@
 #include "repair/block_solver.h"
 
 #include "repair/audit.h"
+#include "repair/parallel_solver.h"
 #include "repair/ccp_constant_attr.h"
 #include "repair/ccp_primary_key.h"
 #include "repair/completion.h"
@@ -201,6 +202,16 @@ class CompletionSolver final : public BlockSolver {
                                   &b.facts);
   }
 };
+
+// The identity order: every per-block dispatcher below walks
+// BlockDecomposition::blocks() front to back.
+std::vector<size_t> AllBlocksInOrder(const BlockDecomposition& blocks) {
+  std::vector<size_t> order(blocks.num_blocks());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  return order;
+}
 
 }  // namespace
 
@@ -431,9 +442,20 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
         governor.degraded() ? governor.CauseString() : std::string();
     degradation->abandoned = std::move(abandoned);
   };
+  // The session speculates every block on the worker pool (when the
+  // context allows parallelism) and hands back per-block results that
+  // are byte-identical to running AuditedCheckBlock serially right
+  // here, including the governor's accounting; see parallel_solver.h.
+  ParallelBlockSession<CheckResult> session(
+      ctx, AllBlocksInOrder(blocks),
+      [&](const ProblemContext& cx, const Block& bb) {
+        return AuditedCheckBlock(solver_for(bb), cx, bb, j);
+      },
+      [](const CheckResult& r) { return r.known(); },
+      [](const CheckResult& r) { return r.known() && !r.optimal; });
   for (const Block& b : blocks.blocks()) {
     const uint64_t nodes_before = governor.nodes_spent();
-    CheckResult result = AuditedCheckBlock(solver_for(b), ctx, b, j);
+    CheckResult result = session.Next(b);
     if (!result.known()) {
       abandoned.push_back(BlockDegradation{
           b.id, b.size(), governor.nodes_spent() - nodes_before,
@@ -499,9 +521,19 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
   }
   ResourceGovernor& governor = ctx.governor();
   std::vector<DynamicBitset> out{ctx.blocks().free_facts()};
+  // Per-block repair sets are enumeration order within one block, so a
+  // worker's set is bitwise the serial one; the session only has to
+  // merge them in block order (parallel_solver.h).
+  ParallelBlockSession<std::vector<DynamicBitset>> session(
+      ctx, AllBlocksInOrder(ctx.blocks()),
+      [&](const ProblemContext& cx, const Block& bb) {
+        return SolverForSemantics(ctx, bb, semantics)
+            .OptimalBlockRepairs(cx, bb);
+      },
+      [](const std::vector<DynamicBitset>& v) { return !v.empty(); });
   for (const Block& b : ctx.blocks().blocks()) {
     const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
-    std::vector<DynamicBitset> optimal = solver.OptimalBlockRepairs(ctx, b);
+    std::vector<DynamicBitset> optimal = session.Next(b);
     if (optimal.empty()) {
       // Abandoned (budget fired or block refused): a partial
       // cross-product is not a set of repairs, so return nothing.  The
@@ -537,10 +569,19 @@ BoundedCount CountOptimalRepairsByBlocksBounded(const ProblemContext& ctx,
                     "per-block counting requires a block-local priority");
   ResourceGovernor& governor = ctx.governor();
   BoundedCount out;
+  // A zero payload is never adopted (it means refused, cut short at
+  // zero, or — audited below — a genuine algorithmic zero), so the
+  // rerun leaves the authoritative record on the shared governor.
+  ParallelBlockSession<uint64_t> session(
+      ctx, AllBlocksInOrder(ctx.blocks()),
+      [&](const ProblemContext& cx, const Block& bb) {
+        return SolverForSemantics(ctx, bb, semantics).CountBlock(cx, bb);
+      },
+      [](const uint64_t& count) { return count > 0; });
   for (const Block& b : ctx.blocks().blocks()) {
     const BlockSolver& solver = SolverForSemantics(ctx, b, semantics);
     const bool was_exhausted = governor.exhausted();
-    uint64_t block_count = solver.CountBlock(ctx, b);
+    uint64_t block_count = session.Next(b);
     // A cut-short block keeps what it verified, floored at one (every
     // block has ≥ 1 optimal block-repair); 0 from an uncut block would
     // be an algorithmic bug and still goes through the audit below.

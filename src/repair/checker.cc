@@ -2,6 +2,7 @@
 
 #include "repair/audit.h"
 #include "repair/block_solver.h"
+#include "repair/parallel_solver.h"
 #include "repair/ccp_constant_attr.h"
 #include "repair/ccp_primary_key.h"
 #include "repair/completion.h"
@@ -111,19 +112,41 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
   ResourceGovernor& governor = ctx_->governor();
   size_t blocks_exact = 0;
   std::string first_unknown_reason;
+  // The serial iteration order is relation-grouped (it matches the
+  // route lines); the parallel session merges in exactly that order.
+  // Blocks of a relation the loop below will refuse (hard relation with
+  // the exponential fallback disabled) are never reached serially, so
+  // they are excluded from the session too.
+  std::vector<size_t> session_order;
+  for (RelId rel = 0; rel < instance.schema().num_relations(); ++rel) {
+    if (ctx_->classification().relations[rel].kind == TractableKind::kHard &&
+        !options_.allow_exponential) {
+      break;
+    }
+    const std::vector<size_t>& rel_blocks = blocks.blocks_of_relation(rel);
+    session_order.insert(session_order.end(), rel_blocks.begin(),
+                         rel_blocks.end());
+  }
+  ParallelBlockSession<CheckResult> session(
+      *ctx_, std::move(session_order),
+      [&](const ProblemContext& cx, const Block& b) {
+        return AuditedCheckBlock(
+            DispatchBlockSolver(cx, b, PriorityMode::kConflictOnly), cx, b, j);
+      },
+      [](const CheckResult& r) { return r.known(); },
+      [](const CheckResult& r) { return r.known() && !r.optimal; });
   for (RelId rel = 0; rel < instance.schema().num_relations(); ++rel) {
     const RelationClassification& rc = ctx_->classification().relations[rel];
     const std::string& name = instance.schema().relation_name(rel);
     const std::vector<size_t>& rel_blocks = blocks.blocks_of_relation(rel);
-    const BlockSolver* solver = nullptr;
+    // The per-block solver itself is picked by the session's dispatch
+    // (identical to this classification); the switch builds the route.
     std::string route;
     switch (rc.kind) {
       case TractableKind::kSingleFd:
-        solver = &OneFdBlockSolver();
         route = name + ": GRepCheck1FD (" + rc.single_fd.ToString() + ")";
         break;
       case TractableKind::kTwoKeys:
-        solver = &TwoKeysBlockSolver();
         route = name + ": GRepCheck2Keys (" + rc.key1.ToString() + ", " +
                 rc.key2.ToString() + ")";
         break;
@@ -134,7 +157,6 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
               "' is on the coNP-complete side of Theorem 3.1 and the "
               "exponential fallback is disabled");
         }
-        solver = &ExhaustiveBlockSolver();
         route = name + ": exhaustive fallback";
         break;
     }
@@ -143,7 +165,7 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
     for (size_t bid : rel_blocks) {
       const Block& b = blocks.block(bid);
       const uint64_t nodes_before = governor.nodes_spent();
-      CheckResult result = AuditedCheckBlock(*solver, *ctx_, b, j);
+      CheckResult result = session.Next(b);
       if (!result.known()) {
         outcome.route.back() +=
             "; abandoned block " + std::to_string(bid) + " (budget)";

@@ -5,10 +5,19 @@
 
 #include "base/random.h"
 #include "repair/audit.h"
+#include "repair/parallel_solver.h"
 
 namespace prefrep {
 
 namespace {
+
+// Per-block tie-break stream: kRandom draws must not depend on how
+// many blocks ran before this one (or on which thread ran it), so each
+// block derives its own deterministic stream from (seed, block id).
+// Rng expands seeds through splitmix64, so the xor-mix is enough.
+Rng BlockRng(const ConstructOptions& options, size_t block_id) {
+  return Rng(options.seed ^ ((block_id + 1) * 0x9e3779b97f4a7c15ULL));
+}
 
 // One greedy pass over `universe` (the whole instance, or one block):
 // repeatedly keep a ≻-maximal remaining fact and drop its conflicts.
@@ -99,11 +108,25 @@ DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
   PREFREP_CHECK_MSG(pr.IsConflictBounded(),
                     "construction relies on completion semantics, which "
                     "require conflict-bounded priorities (§2.3)");
-  Rng rng(options.seed);
   DynamicBitset out = ctx.blocks().free_facts();
+  std::vector<size_t> order(ctx.blocks().num_blocks());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  // Ungoverned by contract (like the (cg, pr) overload), so the greedy
+  // pass runs against the unlimited governor even inside workers; every
+  // block's pass is deterministic, so worker payloads are always
+  // adopted as-is.
+  ParallelBlockSession<DynamicBitset> session(
+      ctx, std::move(order),
+      [&](const ProblemContext&, const Block& bb) {
+        Rng rng = BlockRng(options, bb.id);
+        return *GreedyWithin(cg, pr, bb.facts, options, rng,
+                             ResourceGovernor::Unlimited());
+      },
+      [](const DynamicBitset&) { return true; });
   for (const Block& b : ctx.blocks().blocks()) {
-    out |= *GreedyWithin(cg, pr, b.facts, options, rng,
-                         ResourceGovernor::Unlimited());
+    out |= session.Next(b);
   }
   audit::CheckConstructedRepair(
       cg, pr, out, "ConstructGloballyOptimalRepair (per-block)");
@@ -118,11 +141,20 @@ Result<DynamicBitset> TryConstructGloballyOptimalRepair(
                     "construction relies on completion semantics, which "
                     "require conflict-bounded priorities (§2.3)");
   ResourceGovernor& governor = ctx.governor();
-  Rng rng(options.seed);
   DynamicBitset out = ctx.blocks().free_facts();
+  std::vector<size_t> order(ctx.blocks().num_blocks());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  ParallelBlockSession<std::optional<DynamicBitset>> session(
+      ctx, std::move(order),
+      [&](const ProblemContext& cx, const Block& bb) {
+        Rng rng = BlockRng(options, bb.id);
+        return GreedyWithin(cg, pr, bb.facts, options, rng, cx.governor());
+      },
+      [](const std::optional<DynamicBitset>& r) { return r.has_value(); });
   for (const Block& b : ctx.blocks().blocks()) {
-    std::optional<DynamicBitset> block_repair =
-        GreedyWithin(cg, pr, b.facts, options, rng, governor);
+    std::optional<DynamicBitset> block_repair = session.Next(b);
     if (!block_repair.has_value()) {
       Status status = governor.ToStatus();
       PREFREP_CHECK_MSG(!status.ok(),

@@ -50,10 +50,12 @@ DynamicBitset ConstructGloballyOptimalRepair(
 
 /// Same, sharing the cached artifacts of an existing ProblemContext:
 /// the conflict-free facts are kept outright and the greedy runs block
-/// by block (greedy picks never cross a block, so for the deterministic
-/// tie-breaks the result coincides with the whole-instance greedy;
-/// kRandom draws per block and may sample a different — equally optimal
-/// — repair than the (cg, pr) overload for the same seed).
+/// by block — in parallel when ctx.parallelism() allows (greedy picks
+/// never cross a block, so for the deterministic tie-breaks the result
+/// coincides with the whole-instance greedy; kRandom derives each
+/// block's draw stream from (seed, block id), so it may sample a
+/// different — equally optimal — repair than the (cg, pr) overload for
+/// the same seed, but is itself deterministic at every thread count).
 DynamicBitset ConstructGloballyOptimalRepair(
     const ProblemContext& ctx, const ConstructOptions& options = {});
 

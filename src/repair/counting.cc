@@ -2,6 +2,7 @@
 
 #include "repair/block_solver.h"
 #include "repair/completion.h"
+#include "repair/parallel_solver.h"
 
 namespace prefrep {
 
@@ -56,10 +57,19 @@ std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
     return std::nullopt;
   }
   DynamicBitset out = ctx.blocks().free_facts();
+  std::vector<size_t> order(ctx.blocks().num_blocks());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  ParallelBlockSession<std::vector<DynamicBitset>> session(
+      ctx, std::move(order),
+      [&](const ProblemContext& cx, const Block& bb) {
+        return SolverForSemantics(ctx, bb, RepairSemantics::kGlobal)
+            .OptimalBlockRepairs(cx, bb);
+      },
+      [](const std::vector<DynamicBitset>& v) { return !v.empty(); });
   for (const Block& b : ctx.blocks().blocks()) {
-    std::vector<DynamicBitset> optimal =
-        SolverForSemantics(ctx, b, RepairSemantics::kGlobal)
-            .OptimalBlockRepairs(ctx, b);
+    std::vector<DynamicBitset> optimal = session.Next(b);
     if (optimal.size() != 1) {
       return std::nullopt;
     }

@@ -1,0 +1,33 @@
+// Scheduling helpers for ParallelBlockSession.  Sound because blocks
+// are mutually independent (Proposition 3.5): any per-block execution
+// order yields the same verdicts, so the pool is free to reorder.
+
+#include "repair/parallel_solver.h"
+
+#include <algorithm>
+
+namespace prefrep {
+namespace parallel_internal {
+
+std::vector<size_t> LargestFirstSchedule(const BlockDecomposition& blocks,
+                                         const std::vector<size_t>& order) {
+  std::vector<size_t> positions(order.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = i;
+  }
+  std::stable_sort(positions.begin(), positions.end(),
+                   [&](size_t a, size_t b) {
+                     return blocks.block(order[a]).size() >
+                            blocks.block(order[b]).size();
+                   });
+  return positions;
+}
+
+size_t SessionThreads(const ProblemContext& ctx, size_t num_blocks) {
+  // More workers than blocks would idle from the start; a single block
+  // (or a serial knob) has nothing to overlap.
+  return std::min(ctx.parallelism(), num_blocks);
+}
+
+}  // namespace parallel_internal
+}  // namespace prefrep

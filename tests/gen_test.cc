@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "gen/hard_workloads.h"
 #include "gen/random_instance.h"
+#include "model/context.h"
+#include "repair/checker.h"
 #include "reductions/hard_schemas.h"
 #include "repair/subinstance_ops.h"
 
@@ -106,6 +109,30 @@ TEST(GeneratorTest, PriorityDensityControlsEdges) {
   EXPECT_EQ(p0.priority->num_edges(), 0u);
   ConflictGraph cg(*p1.instance);
   EXPECT_EQ(p1.priority->num_edges(), cg.num_edges());
+}
+
+TEST(ShardedWorkloadTest, DecomposesIntoOneBlockPerShard) {
+  for (size_t shards : {size_t{1}, size_t{3}, size_t{8}}) {
+    PreferredRepairProblem p = MakeHardShardedWorkload(shards, 4, 3);
+    ProblemContext ctx(*p.instance, *p.priority);
+    EXPECT_EQ(ctx.blocks().num_blocks(), shards);
+    for (const Block& b : ctx.blocks().blocks()) {
+      EXPECT_EQ(b.size(), 4u * 3u);
+    }
+    EXPECT_FALSE(ctx.blocks().free_facts().any());
+  }
+}
+
+TEST(ShardedWorkloadTest, JIsGloballyOptimalAtEveryThreadCount) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(4, 3, 3);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ProblemContext ctx(*p.instance, *p.priority);
+    ctx.set_parallelism(threads);
+    RepairChecker checker(ctx);
+    auto outcome = checker.CheckGloballyOptimal(p.j);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->result.optimal) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -33,6 +33,16 @@ Checks
                    happen — and UB outright once n reaches 64 (the
                    governor's kMaxExhaustiveBlockFacts cap exists for
                    exactly this).
+6. raw-thread      No raw std::thread/std::jthread/std::async outside
+                   src/base/thread_pool.* — ad-hoc threads bypass the
+                   work-stealing pool and the deterministic merge
+                   discipline of repair/parallel_solver.h, and TSAN CI
+                   only vouches for the one audited concurrency
+                   primitive.
+7. tsan-suppress   Every suppression in tools/tsan_suppressions.txt must
+                   be directly preceded by a `#` comment justifying it —
+                   an unexplained suppression silently un-verifies the
+                   parallel solver.
 
 Exit status 0 when clean; 1 with one `path:line: message` per finding
 otherwise.  The script is stdlib-only by design (it must run in CI and in
@@ -67,6 +77,15 @@ RAW_ASSERT_EXEMPT = {Path("src/base/macros.h")}
 UNBOUNDED_SHIFT_RE = re.compile(r"\b1(?:[uU][lL]{0,2}|[lL]{1,2}[uU]?)?\s*<<\s*[A-Za-z_]")
 SHIFT_DIRS = ("src/repair",)
 GOVERNED_RE = re.compile(r"\b(?:Checkpoint|AdmitBlock)\s*\(")
+
+# Raw threading primitives; the only audited home is base/thread_pool.
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread|async)\b")
+RAW_THREAD_EXEMPT = {
+    Path("src/base/thread_pool.h"),
+    Path("src/base/thread_pool.cc"),
+}
+
+TSAN_SUPPRESSIONS = Path("tools/tsan_suppressions.txt")
 
 NOLINT_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
 NOLINT_WITH_CHECKS_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN)?\(([^)]+)\)")
@@ -217,6 +236,37 @@ class Linter:
                 "in the enumeration (see src/base/governor.h), or justify "
                 "with a NOLINT(prefrep-unbounded-shift): reason")
 
+    # -- check 6: raw threading primitives ---------------------------------
+    def check_raw_thread(self, rel: Path, code_lines: list[str]) -> None:
+        if rel in RAW_THREAD_EXEMPT:
+            return
+        for idx, line in enumerate(code_lines, start=1):
+            m = RAW_THREAD_RE.search(line)
+            if m:
+                self.report(
+                    rel, idx, "raw-thread",
+                    f"raw std::{m.group(1)} — spawn work through "
+                    "base/thread_pool.h (or repair/parallel_solver.h), the "
+                    "audited concurrency primitives")
+
+    # -- check 7: TSAN suppression discipline ------------------------------
+    def check_tsan_suppressions(self) -> None:
+        path = REPO_ROOT / TSAN_SUPPRESSIONS
+        if not path.exists():
+            return
+        lines = path.read_text(encoding="utf-8").split("\n")
+        for idx, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            prev = lines[idx - 2].strip() if idx >= 2 else ""
+            if not prev.startswith("#"):
+                self.report(
+                    TSAN_SUPPRESSIONS, idx, "tsan-suppress",
+                    f"suppression '{stripped}' lacks a justification — put "
+                    "a '# why this race report is benign/false-positive' "
+                    "comment on the line directly above")
+
     # -- driver ------------------------------------------------------------
     def run(self) -> int:
         files = []
@@ -237,6 +287,8 @@ class Linter:
             if any(str(rel).startswith(d + "/") for d in SHIFT_DIRS):
                 self.check_unbounded_shift(rel, lines, code_lines)
             self.check_nolint(rel, lines)
+            self.check_raw_thread(rel, code_lines)
+        self.check_tsan_suppressions()
         return len(files)
 
 
