@@ -1,0 +1,128 @@
+// B14 — the block-solve cache (cache/block_cache.h) A/B: exact
+// globally-optimal checking on MakeHardShardedWorkload with k identical
+// hard blocks (the cache's target shape — one exhaustive solve, k−1
+// replays) versus the same workload with `distinct_blocks` (every block
+// canonically unique — pure fingerprint/lookup overhead, same repair
+// space and cost otherwise).  Threads are pinned to 1, so the ratio is
+// a clean serial A/B of the memoization itself; the parallel
+// interaction is bench_parallel's and tests/metamorphic_test.cc's job.
+//
+// The cache is cleared every iteration: each measurement includes the
+// one cold solve plus k−1 hits, which is the cache's steady-state cost
+// on a fresh problem (a warm rerun would measure k hits and flatter the
+// ratio).  Expected on identical shards: ≈ k× at k ≥ 32 blocks of this
+// size (EXPERIMENTS.md, B14).  Expected on distinct shards: within
+// noise of cache-off.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/block_cache.h"
+#include "gen/hard_workloads.h"
+#include "model/context.h"
+#include "repair/checker.h"
+#include "repair/counting.h"
+
+namespace prefrep {
+namespace {
+
+constexpr size_t kCliques = 4;
+constexpr size_t kCliqueSize = 4;
+
+// arg0 = shards (identical hard blocks of kCliques × kCliqueSize
+// facts), arg1 = 1 to install the cache.
+void BM_CacheCheckIdenticalBlocks(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardShardedWorkload(
+      static_cast<size_t>(state.range(0)), kCliques, kCliqueSize);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(1);
+  BlockSolveCache cache;
+  if (state.range(1) != 0) {
+    ctx.set_block_cache(&cache);
+  }
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    cache.Clear();
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  BlockCacheStats stats = cache.stats();
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_CacheCheckIdenticalBlocks)
+    ->ArgsProduct({{8, 32, 64}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Same shape, but every shard is canonically distinct: the cache can
+// only miss, so cache-on measures the fingerprint + lookup + store
+// overhead against the identical exhaustive work.
+void BM_CacheCheckDistinctBlocks(benchmark::State& state) {
+  PreferredRepairProblem problem =
+      MakeHardShardedWorkload(static_cast<size_t>(state.range(0)), kCliques,
+                              kCliqueSize, /*distinct_blocks=*/true);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(1);
+  BlockSolveCache cache;
+  if (state.range(1) != 0) {
+    ctx.set_block_cache(&cache);
+  }
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    cache.Clear();
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  BlockCacheStats stats = cache.stats();
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_CacheCheckDistinctBlocks)
+    ->ArgsProduct({{32}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Counting replays the per-block repair count instead of re-enumerating
+// the block's 2^c subsets — the largest constant-factor win.
+void BM_CacheCountIdenticalBlocks(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardShardedWorkload(
+      static_cast<size_t>(state.range(0)), kCliques, kCliqueSize);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(1);
+  BlockSolveCache cache;
+  if (state.range(1) != 0) {
+    ctx.set_block_cache(&cache);
+  }
+  for (auto _ : state) {
+    cache.Clear();
+    BoundedCount count =
+        CountOptimalRepairsBounded(ctx, RepairSemantics::kGlobal);
+    benchmark::DoNotOptimize(count.lower_bound);
+  }
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CacheCountIdenticalBlocks)
+    ->ArgsProduct({{32}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// The warm steady state: the table already holds every fingerprint (no
+// Clear between iterations), as in a long-lived service re-checking
+// instances built from a fixed gadget library.
+void BM_CacheCheckWarm(benchmark::State& state) {
+  PreferredRepairProblem problem = MakeHardShardedWorkload(
+      static_cast<size_t>(state.range(0)), kCliques, kCliqueSize);
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(1);
+  BlockSolveCache cache;
+  ctx.set_block_cache(&cache);
+  RepairChecker checker(ctx);
+  for (auto _ : state) {
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CacheCheckWarm)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefrep

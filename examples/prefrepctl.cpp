@@ -21,14 +21,21 @@
 // concurrency, 1 = exact serial execution); results are identical at
 // every value (docs/parallelism.md).
 //
+// --cache[=entries] installs a block-solve cache (docs/caching.md):
+// isomorphic conflict blocks are solved once and replayed, with a
+// traffic summary printed after the run.  Results are identical with
+// and without it.
+//
 // Exit codes: 0 = success ("yes" answers), 1 = "no" answer, 2 = usage,
 // 3 = input error, 4 = unknown (resource budget exhausted).
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "cache/block_cache.h"
 #include "classify/ccp_dichotomy.h"
 #include "classify/dichotomy.h"
 #include "io/dot_export.h"
@@ -59,7 +66,9 @@ int Usage() {
       "  --deadline-ms N  --max-nodes N  --max-block N\n"
       "  degrade to \"unknown\" (exit 4) instead of running forever\n"
       "  --threads N      per-block solver threads (0 = hardware, 1 = "
-      "serial)\n");
+      "serial)\n"
+      "  --cache[=N]      memoize per-block solves (N = capacity in "
+      "entries)\n");
   return 2;
 }
 
@@ -84,6 +93,20 @@ int CmdClassify(const PreferredRepairProblem& p) {
   return 0;
 }
 
+void PrintCacheStats(const BlockSolveCache* cache) {
+  if (cache == nullptr) {
+    return;
+  }
+  BlockCacheStats s = cache->stats();
+  std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
+              "%llu eviction(s), %zu entries, ~%zu bytes\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.stores),
+              static_cast<unsigned long long>(s.evictions), s.entries,
+              s.bytes);
+}
+
 void PrintDegradation(const ResourceGovernor& governor,
                       const DegradationReport& degradation) {
   if (!governor.degraded() && !degradation.Degraded()) {
@@ -97,7 +120,7 @@ void PrintDegradation(const ResourceGovernor& governor,
 
 int CmdCheck(const PreferredRepairProblem& p, bool ccp,
              const std::string& semantics, const ResourceBudget& budget,
-             size_t threads) {
+             size_t threads, BlockSolveCache* cache) {
   CheckerOptions opts;
   opts.mode = ccp ? PriorityMode::kCrossConflict : PriorityMode::kConflictOnly;
   Status valid = p.priority->Validate(opts.mode);
@@ -109,6 +132,7 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
   ResourceGovernor governor(budget);
   ProblemContext ctx(*p.instance, *p.priority);
   ctx.set_parallelism(threads);
+  ctx.set_block_cache(cache);
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
@@ -135,11 +159,13 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
       std::printf("globally-optimal repair: unknown (%s)\n",
                   outcome->result.unknown_reason.c_str());
       PrintDegradation(governor, outcome->degradation);
+      PrintCacheStats(cache);
       return 4;
     }
     optimal = outcome->result.optimal;
     std::printf("globally-optimal repair: %s\n", optimal ? "yes" : "no");
     PrintDegradation(governor, outcome->degradation);
+    PrintCacheStats(cache);
     std::printf("%s", ExplainOutcome(checker.conflict_graph(), *p.priority,
                                      p.j, outcome->result)
                           .c_str());
@@ -149,12 +175,13 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
 
 int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
                  size_t limit, const ResourceBudget& budget,
-                 size_t threads) {
+                 size_t threads, BlockSolveCache* cache) {
   ConflictGraph cg(*p.instance);
   ResourceGovernor governor(budget);
   if (optimal_only) {
     ProblemContext ctx(cg, *p.priority);
     ctx.set_parallelism(threads);
+    ctx.set_block_cache(cache);
     if (!budget.Unlimited()) {
       ctx.set_governor(&governor);
     }
@@ -164,6 +191,7 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
       // Every instance has an optimal repair; empty means abandoned.
       std::printf("enumeration abandoned: %s\n",
                   governor.CauseString().c_str());
+      PrintCacheStats(cache);
       return 4;
     }
     std::printf("%zu globally-optimal repair(s)\n", optimal.size());
@@ -178,6 +206,7 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
     if (auto unique = UniqueGloballyOptimalRepair(cg, *p.priority)) {
       std::printf("the cleaning is unambiguous (unique optimal repair)\n");
     }
+    PrintCacheStats(cache);
     return 0;
   }
   size_t shown = 0;
@@ -203,7 +232,7 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
 
 int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
                const std::string& semantics, const ResourceBudget& budget,
-               size_t threads) {
+               size_t threads, BlockSolveCache* cache) {
   Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(query_text);
   if (!query.ok()) {
     std::fprintf(stderr, "bad query: %s\n",
@@ -222,6 +251,7 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
   ResourceGovernor governor(budget);
   ProblemContext ctx(cg, *p.priority);
   ctx.set_parallelism(threads);
+  ctx.set_block_cache(cache);
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
@@ -231,6 +261,7 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
                 certain == Trilean::kTrue
                     ? "yes"
                     : certain == Trilean::kFalse ? "no" : "unknown");
+    PrintCacheStats(cache);
     if (certain == Trilean::kUnknown) {
       std::printf("budget: %s\n", governor.CauseString().c_str());
       return 4;
@@ -240,6 +271,7 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
   auto bounded = ConsistentAnswersBounded(ctx, *query, sem);
   if (!bounded.ok()) {
     std::printf("answers unknown: %s\n", bounded.status().ToString().c_str());
+    PrintCacheStats(cache);
     return 4;
   }
   const auto& answers = *bounded;
@@ -251,6 +283,7 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
     }
     std::printf(")\n");
   }
+  PrintCacheStats(cache);
   return 0;
 }
 
@@ -274,10 +307,16 @@ int main(int argc, char** argv) {
   std::string semantics = "global";
   ResourceBudget budget;
   size_t threads = 0;  // 0 = hardware concurrency (the context default)
+  std::unique_ptr<BlockSolveCache> cache;
   const char* query_text = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ccp") == 0) {
       ccp = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache = std::make_unique<BlockSolveCache>();
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache = std::make_unique<BlockSolveCache>(
+          static_cast<size_t>(std::atoll(argv[i] + 8)));
     } else if (std::strcmp(argv[i], "--optimal-only") == 0) {
       optimal_only = true;
     } else if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
@@ -303,16 +342,18 @@ int main(int argc, char** argv) {
     return CmdClassify(*problem);
   }
   if (command == "check") {
-    return CmdCheck(*problem, ccp, semantics, budget, threads);
+    return CmdCheck(*problem, ccp, semantics, budget, threads, cache.get());
   }
   if (command == "enumerate") {
-    return CmdEnumerate(*problem, optimal_only, limit, budget, threads);
+    return CmdEnumerate(*problem, optimal_only, limit, budget, threads,
+                        cache.get());
   }
   if (command == "answers") {
     if (query_text == nullptr) {
       return Usage();
     }
-    return CmdAnswers(*problem, query_text, semantics, budget, threads);
+    return CmdAnswers(*problem, query_text, semantics, budget, threads,
+                      cache.get());
   }
   if (command == "stats") {
     ConflictGraph cg(*problem->instance);

@@ -102,6 +102,25 @@ bool ResourceGovernor::AdmitBlock(size_t block_facts) {
   return true;
 }
 
+bool ResourceGovernor::WouldAdmitBlock(size_t block_facts) const {
+  // Mirror of AdmitBlock without the refusal accounting.  Kept in sync
+  // by tests/governor_test.cc; any divergence would let a cache hit be
+  // served where a fresh solve would have recorded a refusal.
+  if (block_facts > kMaxExhaustiveBlockFacts) {
+    return false;
+  }
+  if (!armed_) {
+    return true;
+  }
+  if (exhausted()) {
+    return false;
+  }
+  if (budget_.max_block != 0 && block_facts > budget_.max_block) {
+    return false;
+  }
+  return true;
+}
+
 std::string ResourceGovernor::CauseString() const {
   switch (cause()) {
     case ExhaustCause::kNone:
@@ -180,6 +199,10 @@ std::string DegradationReport::ToString() const {
                     " abandoned; nodes spent: " + std::to_string(nodes_spent);
   if (!cause.empty()) {
     out += "; cause: " + cause;
+  }
+  if (cache_hits + cache_misses > 0) {
+    out += "; cache: " + std::to_string(cache_hits) + " hit(s), " +
+           std::to_string(cache_misses) + " miss(es)";
   }
   for (const BlockDegradation& b : abandoned) {
     out += "\n  block #" + std::to_string(b.block_id) + " (" +

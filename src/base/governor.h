@@ -147,6 +147,13 @@ class ResourceGovernor {
   /// other blocks from being solved.
   bool AdmitBlock(size_t block_facts);
 
+  /// Pure query: would AdmitBlock(block_facts) currently return true?
+  /// Records nothing.  The block-solve cache (cache/block_cache.h) uses
+  /// it to decide whether serving a memoized result preserves the
+  /// refusal accounting a fresh solve would have produced; ordinary
+  /// solvers must keep calling AdmitBlock so refusals are recorded.
+  bool WouldAdmitBlock(size_t block_facts) const;
+
   /// True once the deadline, node budget, injected fault, or a
   /// cancellation fired.
   bool exhausted() const { return cause() != ExhaustCause::kNone; }
@@ -262,6 +269,13 @@ struct DegradationReport {
   /// Overall exhaustion cause description; empty when only per-block
   /// admission refusals degraded the call.
   std::string cause;
+  /// Block-solve cache traffic during this call (zero when no cache is
+  /// installed).  NOT part of the byte-identical cache-on/off contract:
+  /// these counters necessarily differ between cached and uncached runs
+  /// and depend on worker timing (racing workers can both miss the same
+  /// fingerprint); everything else in the report stays identical.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   /// One entry per abandoned block.
   std::vector<BlockDegradation> abandoned;
 

@@ -1,0 +1,189 @@
+#include "cache/block_fingerprint.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "base/macros.h"
+#include "classify/dichotomy.h"
+#include "model/instance.h"
+
+namespace prefrep {
+namespace {
+
+// Section tags for domain separation inside one fingerprint.
+constexpr uint64_t kTagRelation = 0xa11a'0001;
+constexpr uint64_t kTagFacts = 0xa11a'0002;
+constexpr uint64_t kTagConflicts = 0xa11a'0003;
+constexpr uint64_t kTagPriority = 0xa11a'0004;
+
+constexpr uint64_t kDomainBlock = 0x626c'6f63'6b66'7001ULL;   // "blockfp"
+constexpr uint64_t kDomainSubset = 0x7375'6273'6574'6401ULL;  // "subsetd"
+
+constexpr uint64_t kHiSeed = 0x9368'5f8a'6d1c'3b47ULL;
+constexpr uint64_t kLoSeed = 0x27d4'eb2f'1656'67c5ULL;
+
+}  // namespace
+
+FingerprintAccumulator::FingerprintAccumulator(uint64_t domain)
+    : hi_(HashMix64(domain ^ kHiSeed)), lo_(HashMix64(domain ^ kLoSeed)) {}
+
+FingerprintAccumulator::FingerprintAccumulator(const BlockFingerprint& base,
+                                               uint64_t domain)
+    : hi_(HashMix64(base.hi ^ domain ^ kHiSeed)),
+      lo_(HashMix64(base.lo ^ domain ^ kLoSeed)) {}
+
+BlockFingerprint FingerprintAccumulator::Finish() const {
+  BlockFingerprint fp;
+  fp.hi = HashMix64(hi_ ^ (length_ * 0xff51'afd7'ed55'8ccdULL));
+  fp.lo = HashMix64(lo_ + length_);
+  return fp;
+}
+
+// fingerprint-field-guard: Block=4 PriorityRelation=5
+//
+// The lint check `fingerprint-guard` (tools/lint_prefrep.py) counts the
+// data members of struct Block (conflicts/blocks.h) and class
+// PriorityRelation (priority/priority.h) and fails when the counts
+// above go stale.  If it fired: decide whether the new field changes
+// block identity (absorb it below, or show it is derived — id and
+// fact_list are coordinates the canonical relabeling exists to erase,
+// facts is fact_list as a bitset, rel is covered by the classification
+// and value sections; instance_/edge_set_/dominates_/dominated_by_ are
+// derived views of edges_), then update the counts.
+BlockFingerprint ComputeBlockFingerprint(const ProblemContext& ctx,
+                                         const Block& b) {
+  const Instance& instance = ctx.instance();
+  const ConflictGraph& cg = ctx.conflict_graph();
+  const PriorityRelation& priority = ctx.priority();
+  const size_t n = b.fact_list.size();
+  PREFREP_CHECK_MSG(n >= 2, "fingerprinting a non-block");
+
+  FingerprintAccumulator acc(kDomainBlock);
+
+  // Relation shape + Theorem 3.1 classification.  The classification
+  // masks pin down everything the tractable solvers read of the FD set;
+  // the conflict-edge section pins down everything the exhaustive and
+  // greedy paths read of it.
+  const RelationClassification& rc = ctx.classification().relations[b.rel];
+  acc.Absorb(kTagRelation);
+  acc.Absorb(instance.fact(b.fact_list.front()).values.size());
+  acc.Absorb(static_cast<uint64_t>(rc.kind));
+  acc.Absorb(rc.single_fd.lhs.mask());
+  acc.Absorb(rc.single_fd.rhs.mask());
+  acc.Absorb(rc.key1.mask());
+  acc.Absorb(rc.key2.mask());
+
+  // Facts as canonical value tuples: local order is ascending fact id
+  // (fact_list order), values renamed first-occurrence-first.  Two
+  // blocks agreeing here have the same equality structure over their
+  // tuples, which is all that FD-based conflict/violation reasoning
+  // observes.  The rename table is a flat first-seen vector (a few
+  // dozen values per block): a linear scan beats a hash map at this
+  // size and keeps the all-miss overhead down (bench_cache, distinct).
+  acc.Absorb(kTagFacts);
+  acc.Absorb(n);
+  std::vector<ValueId> first_seen;
+  first_seen.reserve(n * 4);
+  for (FactId f : b.fact_list) {
+    const Fact& fact = instance.fact(f);
+    for (ValueId v : fact.values) {
+      size_t canonical = 0;
+      while (canonical < first_seen.size() && first_seen[canonical] != v) {
+        ++canonical;
+      }
+      if (canonical == first_seen.size()) {
+        first_seen.push_back(v);
+      }
+      acc.Absorb(canonical);
+    }
+  }
+
+  // Local index of a block fact: fact_list is ascending, so a binary
+  // search replaces a hash map (fact ids are dense but block facts need
+  // not be contiguous).  SIZE_MAX for facts outside the block.
+  const auto local = [&b](FactId g) -> size_t {
+    auto it = std::lower_bound(b.fact_list.begin(), b.fact_list.end(), g);
+    if (it == b.fact_list.end() || *it != g) {
+      return SIZE_MAX;
+    }
+    return static_cast<size_t>(it - b.fact_list.begin());
+  };
+
+  // Conflict edges as local pairs (i, j), i < j.  fact_list and every
+  // neighbor list are ascending, so the emission order is canonical
+  // without sorting.
+  acc.Absorb(kTagConflicts);
+  for (size_t i = 0; i < n; ++i) {
+    for (FactId g : cg.neighbors(b.fact_list[i])) {
+      const size_t j = local(g);
+      if (j == SIZE_MAX || j <= i) {
+        continue;  // neighbor outside the block (impossible) or j <= i
+      }
+      acc.Absorb(i);
+      acc.Absorb(j);
+    }
+  }
+
+  // Block-local priority edges as local pairs (higher, lower).
+  // Dominates() lists are in insertion order — not canonical — so the
+  // pairs are sorted before absorption.
+  acc.Absorb(kTagPriority);
+  std::vector<std::pair<uint64_t, uint64_t>> priority_edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (FactId g : priority.Dominates(b.fact_list[i])) {
+      const size_t j = local(g);
+      PREFREP_CHECK_MSG(j != SIZE_MAX,
+                        "block fingerprint requires a block-local priority "
+                        "(an edge leaves the block)");
+      priority_edges.emplace_back(i, j);
+    }
+  }
+  std::sort(priority_edges.begin(), priority_edges.end());
+  for (const auto& [hi, lo] : priority_edges) {
+    acc.Absorb(hi);
+    acc.Absorb(lo);
+  }
+
+  return acc.Finish();
+}
+
+BlockFingerprint DeriveOpKey(const BlockFingerprint& base, BlockCacheOp op,
+                             uint64_t salt_a, uint64_t salt_b) {
+  FingerprintAccumulator acc(base, 0x6f70'6b65'7964'6501ULL);  // "opkeyd"
+  acc.Absorb(static_cast<uint64_t>(op));
+  acc.Absorb(salt_a);
+  acc.Absorb(salt_b);
+  return acc.Finish();
+}
+
+uint64_t CanonicalSubsetDigest(const Block& b, const DynamicBitset& sub) {
+  FingerprintAccumulator acc(kDomainSubset);
+  for (size_t i = 0; i < b.fact_list.size(); ++i) {
+    if (sub.test(b.fact_list[i])) {
+      acc.Absorb(i);
+    }
+  }
+  return acc.Finish().lo;
+}
+
+DynamicBitset UncanonicalizeSubset(const Block& b, const DynamicBitset& local,
+                                   size_t num_facts) {
+  PREFREP_CHECK_MSG(local.size() == b.fact_list.size(),
+                    "cached block payload has the wrong block size");
+  DynamicBitset global(num_facts);
+  local.ForEach([&](size_t i) { global.set(b.fact_list[i]); });
+  return global;
+}
+
+DynamicBitset CanonicalizeSubset(const Block& b, const DynamicBitset& global) {
+  DynamicBitset local(b.fact_list.size());
+  for (size_t i = 0; i < b.fact_list.size(); ++i) {
+    if (global.test(b.fact_list[i])) {
+      local.set(i);
+    }
+  }
+  return local;
+}
+
+}  // namespace prefrep

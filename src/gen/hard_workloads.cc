@@ -116,7 +116,8 @@ PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
 }
 
 PreferredRepairProblem MakeHardShardedWorkload(size_t shards, size_t cliques,
-                                               size_t clique_size) {
+                                               size_t clique_size,
+                                               bool distinct_blocks) {
   PREFREP_CHECK_MSG(shards >= 1, "need at least one shard");
   PREFREP_CHECK_MSG(cliques >= 2 && clique_size >= 3,
                     "each shard needs at least two cliques of at least "
@@ -146,6 +147,17 @@ PreferredRepairProblem MakeHardShardedWorkload(size_t shards, size_t cliques,
       for (size_t j = 0; j < clique_size; ++j) {
         if (j == 1) {
           continue;
+        }
+        if (distinct_blocks) {
+          // Droppable-edge position within the shard; shard s keeps the
+          // edge iff the matching bit of s is clear.  Shards below
+          // 2^(cliques·(clique_size−1)) (capped at 64 bits) thus get
+          // pairwise-distinct priority edge sets — see the header for
+          // why every variant keeps the same optimal J and cost.
+          const size_t p = q * (clique_size - 1) + (j == 0 ? 0 : j - 1);
+          if ((s >> (p % 64)) & 1) {
+            continue;
+          }
         }
         PREFREP_CHECK(problem.priority
                           ->AddByLabels(StrFormat("s%zu:q%zu:f1", s, q),

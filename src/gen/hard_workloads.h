@@ -65,8 +65,23 @@ PreferredRepairProblem MakeHardClusteredWorkload(size_t cliques,
 /// workload bench/bench_parallel.cc measures scaling on.  J is the
 /// per-shard optimal J (all member-1 facts), so exact checking must
 /// exhaust every block.  Facts are labeled "s<s>:q<q>:f<j>".
+///
+/// With `distinct_blocks` false (the default) every shard is a
+/// constant-renamed copy of the same block — the best case for the
+/// block-solve cache (cache/block_cache.h), whose canonical
+/// fingerprints collapse all shards onto one entry.  With it true,
+/// shard s drops the priority edge f1 → f_j of clique q whenever bit
+/// (p mod 64) of s is set, where p = q·(clique_size−1) + (j == 0 ? 0
+/// : j−1) numbers the droppable edges; distinct shard indices below
+/// 2^min(64, cliques·(clique_size−1)) thus carry pairwise-distinct
+/// priority edge sets — same conflict graph, same repair space, same
+/// optimal J (dropping edges never creates a domination over a
+/// member-1 fact), same exhaustive cost, but no two blocks share a
+/// canonical fingerprint.  That is the cache's worst case, which
+/// bench/bench_cache.cc uses as the A/B control.
 PreferredRepairProblem MakeHardShardedWorkload(size_t shards, size_t cliques,
-                                               size_t clique_size);
+                                               size_t clique_size,
+                                               bool distinct_blocks = false);
 
 }  // namespace prefrep
 

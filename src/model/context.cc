@@ -36,6 +36,10 @@ ProblemContext::ProblemContext(WorkerViewTag, const ProblemContext& parent,
               ? parent.external_priority_block_local_
               : parent.priority_block_local_.get()),
       governor_(governor),
+      // Workers share the parent's cache: one worker's solve becomes
+      // every sibling's hit, and the merge keeps outputs byte-identical
+      // either way.
+      block_cache_(parent.block_cache_),
       // A worker never fans out again: nested parallelism would
       // oversubscribe the pool and break the serial-order replay.
       parallelism_(1) {}

@@ -33,6 +33,8 @@
 
 namespace prefrep {
 
+class BlockSolveCache;  // cache/block_cache.h (which sits above model/)
+
 /// Shared lazily-cached artifacts of one prioritizing instance.
 class ProblemContext {
  public:
@@ -83,6 +85,18 @@ class ProblemContext {
   /// context; it is not owned.
   void set_governor(ResourceGovernor* governor) { governor_ = governor; }
 
+  /// The block-solve cache, or nullptr when memoization is off (the
+  /// default).  Per-block routines probe it through the cache-aware
+  /// wrappers in repair/block_solver.h; everything stays correct (and
+  /// byte-identical) with no cache installed.
+  BlockSolveCache* block_cache() const { return block_cache_; }
+
+  /// Installs a block-solve cache (`nullptr` disables memoization).
+  /// Not owned; must outlive every solving call made through this
+  /// context.  Worker views inherit the parent's cache, so parallel
+  /// workers share one table.
+  void set_block_cache(BlockSolveCache* cache) { block_cache_ = cache; }
+
   /// Number of worker threads per-block dispatchers may use.  Defaults
   /// to the hardware concurrency; 1 selects the exact serial code path
   /// (the parallel path is byte-identical for verdicts, counts and
@@ -112,6 +126,7 @@ class ProblemContext {
   const BlockDecomposition* external_blocks_ = nullptr;
   const bool* external_priority_block_local_ = nullptr;
   ResourceGovernor* governor_ = nullptr;
+  BlockSolveCache* block_cache_ = nullptr;
   size_t parallelism_;
   mutable std::unique_ptr<ConflictGraph> graph_;
   mutable std::unique_ptr<SchemaClassification> classification_;

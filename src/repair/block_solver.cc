@@ -1,5 +1,6 @@
 #include "repair/block_solver.h"
 
+#include "cache/block_cache.h"
 #include "repair/audit.h"
 #include "repair/parallel_solver.h"
 #include "repair/ccp_constant_attr.h"
@@ -113,6 +114,10 @@ class ExhaustiveSolver final : public BlockSolver {
 class CcpPrimaryKeySolver final : public BlockSolver {
  public:
   std::string_view Name() const override { return "ccp primary-key"; }
+  // Conservative: BuildCcpPrimaryKeyGraph consumes the whole priority
+  // relation, whose cross-conflict edges the block fingerprint does not
+  // canonicalize (it requires block-local priorities).
+  bool BlockDetermined() const override { return false; }
   CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
                          const DynamicBitset& j) const override {
     // The cycle criterion (Lemma 7.3) assumes J is a repair; restricted
@@ -144,6 +149,9 @@ class CcpPrimaryKeySolver final : public BlockSolver {
 class CcpConstantAttrSolver final : public BlockSolver {
  public:
   std::string_view Name() const override { return "ccp constant-attribute"; }
+  // Reads ConsistentPartitions of the whole relation — state outside
+  // the block the fingerprint cannot vouch for.
+  bool BlockDetermined() const override { return false; }
   CheckResult CheckBlock(const ProblemContext& ctx, const Block& b,
                          const DynamicBitset& j) const override {
     // Under a constant-attribute assignment a relation with ≥ 2
@@ -369,10 +377,210 @@ const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
   return ExhaustiveBlockSolver();
 }
 
+namespace {
+
+// ---- Block-solve cache plumbing (cache/block_cache.h) ----------------
+//
+// Every helper below upholds the two cache invariants spelled out in
+// docs/caching.md:
+//
+//  * Store only complete results.  Nothing produced by an exhausted
+//    governor, no kUnknown verdict, no abandoned (empty / zero)
+//    payload ever enters the table — which is why a stored entry is
+//    automatically "computed under a sufficient budget" for any caller
+//    whose own remaining headroom passes MayServe.
+//  * Serve only when a fresh solve would have completed too.  The
+//    caller's governor must still admit the block (WouldAdmitBlock, so
+//    refusal accounting is reproduced by an actual refused solve), and
+//    replaying the entry's node cost must not reach the node firing
+//    index — otherwise the fresh solve would have fired mid-block and
+//    the hit is refused so exactly that happens.
+
+uint64_t SolverSalt(const BlockSolver& solver) {
+  const std::string_view name = solver.Name();
+  return HashRange(name.begin(), name.end());
+}
+
+// In audit builds, re-solves a served hit from scratch (fresh unlimited
+// governor, no cache) and dies on any divergence — the safety net for
+// fingerprint collisions and canonicalization bugs.
+template <typename Fresh>
+void AuditCacheHit(const ProblemContext& ctx, Fresh&& fresh_matches) {
+  if (!audit::Enabled()) {
+    return;
+  }
+  ProblemContext fresh = ctx.WorkerView(&ResourceGovernor::Unlimited());
+  fresh.set_block_cache(nullptr);
+  PREFREP_CHECK_MSG(fresh_matches(fresh),
+                    "block-solve cache hit diverges from a fresh solve "
+                    "(fingerprint collision or canonicalization bug)");
+}
+
+// CheckBlock through the cache.  Only the exhaustive solver is
+// memoized: it is the non-polynomial path, and its witnesses
+// ("an enumerated block-repair improves J on block #i") re-render
+// byte-identically from the canonical payload — the tractable solvers'
+// messages embed fact labels, which a fingerprint deliberately forgets.
+CheckResult CacheAwareCheckBlock(const BlockSolver& solver,
+                                 const ProblemContext& ctx, const Block& b,
+                                 const DynamicBitset& j) {
+  BlockSolveCache* cache = ctx.block_cache();
+  if (cache == nullptr || &solver != &ExhaustiveBlockSolver() ||
+      !ctx.priority_block_local()) {
+    return solver.CheckBlock(ctx, b, j);
+  }
+  ResourceGovernor& governor = ctx.governor();
+  if (!governor.WouldAdmitBlock(b.size())) {
+    return solver.CheckBlock(ctx, b, j);  // records the refusal
+  }
+  const BlockFingerprint key =
+      DeriveOpKey(ComputeBlockFingerprint(ctx, b), BlockCacheOp::kVerdict,
+                  SolverSalt(solver), CanonicalSubsetDigest(b, j));
+  if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
+      entry.has_value() && MayServeCachedEntry(governor, *entry)) {
+    cache->NoteHit();
+    ReplayServedNodes(governor, *entry);
+    CheckResult served;
+    if (entry->optimal) {
+      served = CheckResult::Optimal();
+    } else {
+      // Rehydrate the witness in this block's coordinates: same
+      // enumeration index, same facts under the canonical isomorphism,
+      // same message — byte-identical to the fresh solve.
+      DynamicBitset candidate =
+          (j - b.facts) |
+          UncanonicalizeSubset(b, entry->witness_local, j.size());
+      served = CheckResult::NotOptimal(
+          std::move(candidate),
+          "an enumerated block-repair improves J on block " +
+              std::to_string(b.id));
+    }
+    AuditCacheHit(ctx, [&](const ProblemContext& fresh) {
+      CheckResult expect = solver.CheckBlock(fresh, b, j);
+      if (!expect.known() || expect.optimal != served.optimal) {
+        return false;
+      }
+      if (expect.optimal) {
+        return true;
+      }
+      return expect.witness.has_value() && served.witness.has_value() &&
+             expect.witness->improvement == served.witness->improvement &&
+             expect.witness->explanation == served.witness->explanation;
+    });
+    return served;
+  }
+  cache->NoteMiss();
+  const uint64_t nodes_before = governor.nodes_spent();
+  CheckResult result = solver.CheckBlock(ctx, b, j);
+  if (!result.known() || governor.exhausted()) {
+    return result;  // incomplete: never cached
+  }
+  BlockSolveCache::Entry entry;
+  entry.optimal = result.optimal;
+  if (!result.optimal) {
+    if (!result.witness.has_value()) {
+      return result;  // witnessless refutation: nothing replayable
+    }
+    entry.witness_local = CanonicalizeSubset(b, result.witness->improvement);
+  }
+  entry.nodes = governor.nodes_spent() - nodes_before;
+  entry.nodes_valid = !governor.unlimited();
+  cache->Store(key, std::move(entry));
+  return result;
+}
+
+}  // namespace
+
+std::vector<DynamicBitset> CachedOptimalBlockRepairs(const BlockSolver& solver,
+                                                     const ProblemContext& ctx,
+                                                     const Block& b) {
+  BlockSolveCache* cache = ctx.block_cache();
+  if (cache == nullptr || !solver.BlockDetermined() ||
+      !ctx.priority_block_local()) {
+    return solver.OptimalBlockRepairs(ctx, b);
+  }
+  ResourceGovernor& governor = ctx.governor();
+  if (!governor.WouldAdmitBlock(b.size())) {
+    return solver.OptimalBlockRepairs(ctx, b);  // records the refusal
+  }
+  const BlockFingerprint key =
+      DeriveOpKey(ComputeBlockFingerprint(ctx, b), BlockCacheOp::kOptimalSet,
+                  SolverSalt(solver));
+  if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
+      entry.has_value() && MayServeCachedEntry(governor, *entry)) {
+    cache->NoteHit();
+    ReplayServedNodes(governor, *entry);
+    std::vector<DynamicBitset> out;
+    out.reserve(entry->repairs_local.size());
+    for (const DynamicBitset& local : entry->repairs_local) {
+      out.push_back(UncanonicalizeSubset(b, local, b.facts.size()));
+    }
+    AuditCacheHit(ctx, [&](const ProblemContext& fresh) {
+      return solver.OptimalBlockRepairs(fresh, b) == out;
+    });
+    return out;
+  }
+  cache->NoteMiss();
+  const uint64_t nodes_before = governor.nodes_spent();
+  std::vector<DynamicBitset> out = solver.OptimalBlockRepairs(ctx, b);
+  if (out.empty() || governor.exhausted()) {
+    return out;  // empty means abandoned (see header): never cached
+  }
+  BlockSolveCache::Entry entry;
+  entry.repairs_local.reserve(out.size());
+  for (const DynamicBitset& r : out) {
+    entry.repairs_local.push_back(CanonicalizeSubset(b, r));
+  }
+  entry.nodes = governor.nodes_spent() - nodes_before;
+  entry.nodes_valid = !governor.unlimited();
+  cache->Store(key, std::move(entry));
+  return out;
+}
+
+uint64_t CachedCountBlock(const BlockSolver& solver, const ProblemContext& ctx,
+                          const Block& b) {
+  BlockSolveCache* cache = ctx.block_cache();
+  if (cache == nullptr || !solver.BlockDetermined() ||
+      !ctx.priority_block_local()) {
+    return solver.CountBlock(ctx, b);
+  }
+  ResourceGovernor& governor = ctx.governor();
+  if (!governor.WouldAdmitBlock(b.size())) {
+    return solver.CountBlock(ctx, b);  // records the refusal
+  }
+  const BlockFingerprint key = DeriveOpKey(ComputeBlockFingerprint(ctx, b),
+                                           BlockCacheOp::kCount,
+                                           SolverSalt(solver));
+  if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
+      entry.has_value() && MayServeCachedEntry(governor, *entry)) {
+    cache->NoteHit();
+    ReplayServedNodes(governor, *entry);
+    const uint64_t count = entry->count;
+    AuditCacheHit(ctx, [&](const ProblemContext& fresh) {
+      return solver.CountBlock(fresh, b) == count;
+    });
+    return count;
+  }
+  cache->NoteMiss();
+  const uint64_t nodes_before = governor.nodes_spent();
+  const uint64_t count = solver.CountBlock(ctx, b);
+  if (count == 0 || governor.exhausted()) {
+    // 0 is the "abandoned" sentinel and an exhausted count is a lower
+    // bound; neither is a complete result.
+    return count;
+  }
+  BlockSolveCache::Entry entry;
+  entry.count = count;
+  entry.nodes = governor.nodes_spent() - nodes_before;
+  entry.nodes_valid = !governor.unlimited();
+  cache->Store(key, std::move(entry));
+  return count;
+}
+
 CheckResult AuditedCheckBlock(const BlockSolver& solver,
                               const ProblemContext& ctx, const Block& b,
                               const DynamicBitset& j) {
-  CheckResult result = solver.CheckBlock(ctx, b, j);
+  CheckResult result = CacheAwareCheckBlock(solver, ctx, b, j);
   if (audit::Enabled() && audit::internal::ForcingWrongVerdict() &&
       result.known()) {
     // Test-only fault injection: corrupt the verdict so the death test
@@ -430,6 +638,9 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
   size_t exact = 0;
   std::string first_unknown_reason;
   std::vector<BlockDegradation> abandoned;
+  BlockSolveCache* const cache = ctx.block_cache();
+  const BlockCacheStats cache_before =
+      cache != nullptr ? cache->stats() : BlockCacheStats{};
   const auto fill_report = [&]() {
     if (degradation == nullptr) {
       return;
@@ -440,6 +651,14 @@ CheckResult CheckOptimalByBlocksImpl(const ProblemContext& ctx,
     degradation->nodes_spent = governor.nodes_spent();
     degradation->cause =
         governor.degraded() ? governor.CauseString() : std::string();
+    if (cache != nullptr) {
+      // Per-call delta of the shared counters; approximate when other
+      // sessions hit the same cache concurrently (and excluded from the
+      // byte-identical cache-on/off contract either way).
+      const BlockCacheStats now = cache->stats();
+      degradation->cache_hits = now.hits - cache_before.hits;
+      degradation->cache_misses = now.misses - cache_before.misses;
+    }
     degradation->abandoned = std::move(abandoned);
   };
   // The session speculates every block on the worker pool (when the
@@ -527,8 +746,8 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
   ParallelBlockSession<std::vector<DynamicBitset>> session(
       ctx, AllBlocksInOrder(ctx.blocks()),
       [&](const ProblemContext& cx, const Block& bb) {
-        return SolverForSemantics(ctx, bb, semantics)
-            .OptimalBlockRepairs(cx, bb);
+        return CachedOptimalBlockRepairs(SolverForSemantics(ctx, bb, semantics),
+                                         cx, bb);
       },
       [](const std::vector<DynamicBitset>& v) { return !v.empty(); });
   for (const Block& b : ctx.blocks().blocks()) {
@@ -575,7 +794,7 @@ BoundedCount CountOptimalRepairsByBlocksBounded(const ProblemContext& ctx,
   ParallelBlockSession<uint64_t> session(
       ctx, AllBlocksInOrder(ctx.blocks()),
       [&](const ProblemContext& cx, const Block& bb) {
-        return SolverForSemantics(ctx, bb, semantics).CountBlock(cx, bb);
+        return CachedCountBlock(SolverForSemantics(ctx, bb, semantics), cx, bb);
       },
       [](const uint64_t& count) { return count > 0; });
   for (const Block& b : ctx.blocks().blocks()) {

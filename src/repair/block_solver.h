@@ -52,6 +52,14 @@ class BlockSolver {
   /// (repair/audit.h) picks its cross-validation baseline by this.
   virtual RepairSemantics Semantics() const { return RepairSemantics::kGlobal; }
 
+  /// Whether this solver's block answers depend only on the block itself
+  /// (its facts' values, conflicts and priority edges) — the
+  /// precondition for memoizing them under a canonical block fingerprint
+  /// (cache/block_fingerprint.h).  The ccp solvers return false: their
+  /// criteria read relation-wide state (consistent partitions, the
+  /// cross-conflict graph) that the fingerprint does not canonicalize.
+  virtual bool BlockDetermined() const { return true; }
+
   /// Decides whether J ∩ b is an optimal block-repair of block `b` (this
   /// solver's optimality notion).  `j` is a whole-instance bitset and
   /// must be consistent; facts outside the block are read-only context
@@ -129,6 +137,25 @@ const BlockSolver& SolverForSemantics(const ProblemContext& ctx,
 CheckResult AuditedCheckBlock(const BlockSolver& solver,
                               const ProblemContext& ctx, const Block& b,
                               const DynamicBitset& j);
+
+/// solver.OptimalBlockRepairs through the block-solve cache: with a
+/// cache installed (ctx.block_cache()), a block whose fingerprint was
+/// solved before replays the stored set through the canonical
+/// relabeling instead of re-enumerating; the stored node cost is
+/// committed to ctx.governor() so the accounting matches a fresh solve.
+/// Behaves exactly like the plain call when no cache is installed, when
+/// the solver is not BlockDetermined(), or when serving would not be
+/// governor-correct (see docs/caching.md).  Abandoned (empty) results
+/// are never cached.
+std::vector<DynamicBitset> CachedOptimalBlockRepairs(const BlockSolver& solver,
+                                                     const ProblemContext& ctx,
+                                                     const Block& b);
+
+/// solver.CountBlock through the block-solve cache (same contract as
+/// CachedOptimalBlockRepairs; lower bounds from exhausted counts are
+/// never cached).
+uint64_t CachedCountBlock(const BlockSolver& solver, const ProblemContext& ctx,
+                          const Block& b);
 
 /// Whole-instance globally-optimal repair checking by per-block
 /// dispatch: consistency, then presence of every conflict-free fact

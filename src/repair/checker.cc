@@ -1,5 +1,6 @@
 #include "repair/checker.h"
 
+#include "cache/block_cache.h"
 #include "repair/audit.h"
 #include "repair/block_solver.h"
 #include "repair/parallel_solver.h"
@@ -21,8 +22,12 @@ void ValidateForMode(const ProblemContext& ctx, const CheckerOptions& options) {
 }
 
 // Completes a degradation report whose `abandoned` list was filled
-// during the block loop.
+// during the block loop.  `cache_before` is the caller's snapshot of
+// the block-solve cache counters at call start, so the report carries
+// this call's traffic (approximate under concurrent sessions, and
+// excluded from the byte-identical cache-on/off contract).
 void FillDegradation(const ProblemContext& ctx, size_t blocks_exact,
+                     const BlockCacheStats& cache_before,
                      DegradationReport* report) {
   ResourceGovernor& governor = ctx.governor();
   report->blocks_total = ctx.blocks().num_blocks();
@@ -31,6 +36,11 @@ void FillDegradation(const ProblemContext& ctx, size_t blocks_exact,
   report->nodes_spent = governor.nodes_spent();
   report->cause =
       governor.degraded() ? governor.CauseString() : std::string();
+  if (const BlockSolveCache* cache = ctx.block_cache()) {
+    const BlockCacheStats now = cache->stats();
+    report->cache_hits = now.hits - cache_before.hits;
+    report->cache_misses = now.misses - cache_before.misses;
+  }
 }
 
 }  // namespace
@@ -112,6 +122,9 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
   ResourceGovernor& governor = ctx_->governor();
   size_t blocks_exact = 0;
   std::string first_unknown_reason;
+  const BlockCacheStats cache_before = ctx_->block_cache() != nullptr
+                                           ? ctx_->block_cache()->stats()
+                                           : BlockCacheStats{};
   // The serial iteration order is relation-grouped (it matches the
   // route lines); the parallel session merges in exactly that order.
   // Blocks of a relation the loop below will refuse (hard relation with
@@ -180,13 +193,13 @@ Result<CheckOutcome> RepairChecker::CheckConflictOnly(
       if (!result.optimal) {
         outcome.route.back() += "; failed at block " + std::to_string(bid);
         outcome.result = std::move(result);
-        FillDegradation(*ctx_, blocks_exact, &outcome.degradation);
+        FillDegradation(*ctx_, blocks_exact, cache_before, &outcome.degradation);
         return outcome;
       }
       ++blocks_exact;
     }
   }
-  FillDegradation(*ctx_, blocks_exact, &outcome.degradation);
+  FillDegradation(*ctx_, blocks_exact, cache_before, &outcome.degradation);
   if (!first_unknown_reason.empty()) {
     outcome.result = CheckResult::Unknown(std::move(first_unknown_reason));
   }

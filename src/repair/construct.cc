@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "base/random.h"
+#include "cache/block_cache.h"
 #include "repair/audit.h"
 #include "repair/parallel_solver.h"
 
@@ -83,6 +84,66 @@ std::optional<DynamicBitset> GreedyWithin(const ConflictGraph& cg,
   return out;
 }
 
+// GreedyWithin on one block through the block-solve cache.  The greedy
+// output is a function of the block's canonical structure, the
+// tie-break rule, and — for kRandom — the block's derived tie-break
+// stream seed (BlockRng), so exactly those salt the key: two identical
+// blocks share a kFirstFact/kMostDominating entry but keep separate
+// kRandom entries, because their streams genuinely differ.  Partial
+// (budget-aborted) passes are never cached; the serve rule is the
+// shared MayServeCachedEntry (no admission step to mirror — the greedy
+// pass has no AdmitBlock).
+std::optional<DynamicBitset> CachedGreedyBlock(const ProblemContext& cx,
+                                               const Block& bb,
+                                               const ConstructOptions& options,
+                                               ResourceGovernor& governor) {
+  const ConflictGraph& cg = cx.conflict_graph();
+  const PriorityRelation& pr = cx.priority();
+  const auto fresh_greedy = [&](ResourceGovernor& gov) {
+    Rng rng = BlockRng(options, bb.id);
+    return GreedyWithin(cg, pr, bb.facts, options, rng, gov);
+  };
+  BlockSolveCache* cache = cx.block_cache();
+  if (cache == nullptr || !cx.priority_block_local()) {
+    return fresh_greedy(governor);
+  }
+  const uint64_t stream_salt =
+      options.tie_break == TieBreak::kRandom
+          ? options.seed ^ ((bb.id + 1) * 0x9e3779b97f4a7c15ULL)
+          : 0;
+  const BlockFingerprint key = DeriveOpKey(
+      ComputeBlockFingerprint(cx, bb), BlockCacheOp::kConstruct,
+      static_cast<uint64_t>(options.tie_break), stream_salt);
+  if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
+      entry.has_value() && MayServeCachedEntry(governor, *entry)) {
+    cache->NoteHit();
+    ReplayServedNodes(governor, *entry);
+    DynamicBitset out =
+        UncanonicalizeSubset(bb, entry->repair_local, cg.num_facts());
+    if (audit::Enabled()) {
+      std::optional<DynamicBitset> expect =
+          fresh_greedy(ResourceGovernor::Unlimited());
+      PREFREP_CHECK_MSG(expect.has_value() && *expect == out,
+                        "block-solve cache hit diverges from a fresh greedy "
+                        "pass (fingerprint collision or canonicalization "
+                        "bug)");
+    }
+    return out;
+  }
+  cache->NoteMiss();
+  const uint64_t nodes_before = governor.nodes_spent();
+  std::optional<DynamicBitset> out = fresh_greedy(governor);
+  if (!out.has_value() || governor.exhausted()) {
+    return out;  // aborted pass: never cached
+  }
+  BlockSolveCache::Entry entry;
+  entry.repair_local = CanonicalizeSubset(bb, *out);
+  entry.nodes = governor.nodes_spent() - nodes_before;
+  entry.nodes_valid = !governor.unlimited();
+  cache->Store(key, std::move(entry));
+  return out;
+}
+
 }  // namespace
 
 DynamicBitset ConstructGloballyOptimalRepair(
@@ -119,10 +180,9 @@ DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
   // adopted as-is.
   ParallelBlockSession<DynamicBitset> session(
       ctx, std::move(order),
-      [&](const ProblemContext&, const Block& bb) {
-        Rng rng = BlockRng(options, bb.id);
-        return *GreedyWithin(cg, pr, bb.facts, options, rng,
-                             ResourceGovernor::Unlimited());
+      [&](const ProblemContext& cx, const Block& bb) {
+        return *CachedGreedyBlock(cx, bb, options,
+                                  ResourceGovernor::Unlimited());
       },
       [](const DynamicBitset&) { return true; });
   for (const Block& b : ctx.blocks().blocks()) {
@@ -149,8 +209,7 @@ Result<DynamicBitset> TryConstructGloballyOptimalRepair(
   ParallelBlockSession<std::optional<DynamicBitset>> session(
       ctx, std::move(order),
       [&](const ProblemContext& cx, const Block& bb) {
-        Rng rng = BlockRng(options, bb.id);
-        return GreedyWithin(cg, pr, bb.facts, options, rng, cx.governor());
+        return CachedGreedyBlock(cx, bb, options, cx.governor());
       },
       [](const std::optional<DynamicBitset>& r) { return r.has_value(); });
   for (const Block& b : ctx.blocks().blocks()) {

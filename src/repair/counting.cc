@@ -64,8 +64,8 @@ std::optional<DynamicBitset> UniqueGloballyOptimalRepair(
   ParallelBlockSession<std::vector<DynamicBitset>> session(
       ctx, std::move(order),
       [&](const ProblemContext& cx, const Block& bb) {
-        return SolverForSemantics(ctx, bb, RepairSemantics::kGlobal)
-            .OptimalBlockRepairs(cx, bb);
+        return CachedOptimalBlockRepairs(
+            SolverForSemantics(ctx, bb, RepairSemantics::kGlobal), cx, bb);
       },
       [](const std::vector<DynamicBitset>& v) { return !v.empty(); });
   for (const Block& b : ctx.blocks().blocks()) {

@@ -13,47 +13,80 @@ namespace {
 
 // Bron–Kerbosch with pivoting over the *complement* of the conflict
 // graph: maximal cliques there are exactly the repairs.
+//
+// The search runs entirely in *universe-local* coordinates: Run()
+// relabels the universe's members to dense indices 0..c-1 (ascending
+// fact id) and builds c-bit complement-adjacency rows, so every inner
+// set operation — the P/X intersections, the pivot scores, the
+// candidate scans — is a word-wise AND over ⌈c/64⌉ words instead of
+// ⌈n/64⌉.  For per-block callers (c = block size ≪ n = instance size,
+// the dominant shape after the per-block decomposition) this cuts both
+// the O(n²) row construction per enumerator and the per-node memory
+// traffic; bench_enumeration/bench_parallel quantify it (EXPERIMENTS.md).
+//
+// The relabeling is order-preserving (ascending local == ascending
+// global), the pivot is chosen over universe-restricted sets the old
+// global rows restricted identically, and fn still receives the
+// full-universe bitset (maintained incrementally alongside the local
+// R), so the enumeration order, the per-node checkpoint count, and
+// every emitted repair are bit-for-bit what the global-coordinate
+// version produced — which is what keeps governed degradation and the
+// parallel replay byte-identical.
 class RepairEnumerator {
  public:
   RepairEnumerator(const ConflictGraph& cg,
                    const std::function<bool(const DynamicBitset&)>& fn,
                    bool use_pivot = true,
                    ResourceGovernor* governor = nullptr)
-      : fn_(fn),
+      : cg_(cg),
+        fn_(fn),
         n_(cg.num_facts()),
         use_pivot_(use_pivot),
         governor_(governor != nullptr ? governor
-                                      : &ResourceGovernor::Unlimited()) {
-    // Complement adjacency (minus self-loops): compatible(v) = facts that
-    // do not conflict with v.
-    compatible_.reserve(n_);
-    for (FactId v = 0; v < n_; ++v) {
-      DynamicBitset row(n_);
+                                      : &ResourceGovernor::Unlimited()) {}
+
+  bool Run(const DynamicBitset& universe) {
+    members_.clear();
+    members_.reserve(universe.count());
+    universe.ForEach(
+        [&](size_t v) { members_.push_back(static_cast<FactId>(v)); });
+    const size_t c = members_.size();
+    std::vector<size_t> local(n_, SIZE_MAX);
+    for (size_t i = 0; i < c; ++i) {
+      local[members_[i]] = i;
+    }
+    // Complement adjacency (minus self-loops), universe-restricted:
+    // compatible(i) = members that do not conflict with member i.
+    compatible_.clear();
+    compatible_.reserve(c);
+    for (size_t i = 0; i < c; ++i) {
+      DynamicBitset row(c);
       row.set_all();
-      row.reset(v);
-      for (FactId u : cg.neighbors(v)) {
-        row.reset(u);
+      row.reset(i);
+      for (FactId u : cg_.neighbors(members_[i])) {
+        if (local[u] != SIZE_MAX) {
+          row.reset(local[u]);
+        }
       }
       compatible_.push_back(std::move(row));
     }
-  }
-
-  bool Run(const DynamicBitset& universe) {
-    DynamicBitset r(n_), x(n_);
-    return Recurse(r, universe, x);
+    r_global_ = DynamicBitset(n_);
+    DynamicBitset p(c), x(c);
+    p.set_all();
+    return Recurse(p, x);
   }
 
  private:
   // Returns false to abort the whole enumeration.
-  bool Recurse(DynamicBitset& r, DynamicBitset p, DynamicBitset x) {
+  bool Recurse(DynamicBitset p, DynamicBitset x) {
     // Cooperative budget checkpoint, once per search-tree node.  The
-    // abort path is identical to an fn() abort: the in-place `r` is
-    // unwound by the callers' r.reset(v), so no torn state survives.
+    // abort path is identical to an fn() abort: the in-place r_global_
+    // is unwound by the callers' reset, so no torn state survives.
     if (!governor_->Checkpoint()) {
       return false;
     }
     if (p.none() && x.none()) {
-      return fn_(r);
+      return fn_(r_global_);
     }
     // Pivot: the vertex of P ∪ X with the most compatible facts in P
     // minimizes the branching P \ compatible(pivot).
@@ -79,22 +112,25 @@ class RepairEnumerator {
       if (!keep_going) {
         return;
       }
-      r.set(v);
-      if (!Recurse(r, p & compatible_[v], x & compatible_[v])) {
+      r_global_.set(members_[v]);
+      if (!Recurse(p & compatible_[v], x & compatible_[v])) {
         keep_going = false;
       }
-      r.reset(v);
+      r_global_.reset(members_[v]);
       p.reset(v);
       x.set(v);
     });
     return keep_going;
   }
 
+  const ConflictGraph& cg_;
   const std::function<bool(const DynamicBitset&)>& fn_;
   size_t n_;
   bool use_pivot_;
   ResourceGovernor* governor_;
+  std::vector<FactId> members_;
   std::vector<DynamicBitset> compatible_;
+  DynamicBitset r_global_;
 };
 
 }  // namespace

@@ -1,0 +1,274 @@
+// Tests for the block-solve cache (cache/): canonical fingerprint
+// invariance and distinctness, subset (un)canonicalization, per-op key
+// derivation, LRU eviction and the store-upgrade policy, the
+// governor-correct serve rule, and the end-to-end hit behaviour on a
+// sharded hard workload.
+
+#include <gtest/gtest.h>
+
+#include "cache/block_cache.h"
+#include "cache/block_fingerprint.h"
+#include "gen/hard_workloads.h"
+#include "model/context.h"
+#include "repair/checker.h"
+
+namespace prefrep {
+namespace {
+
+// ---- Fingerprints ---------------------------------------------------
+
+// The default sharded workload stamps out constant-renamed copies of
+// one block at shifted fact ids: the canonical fingerprint must erase
+// both the renaming and the shift.
+TEST(BlockFingerprintTest, InvariantUnderRenamingAndFactIdShift) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(3, 3, 3);
+  ProblemContext ctx(*p.instance, *p.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), 3u);
+  const Block& b0 = ctx.blocks().blocks()[0];
+  const Block& b2 = ctx.blocks().blocks()[2];
+  EXPECT_NE(b0.fact_list.front(), b2.fact_list.front());
+  EXPECT_EQ(ComputeBlockFingerprint(ctx, b0),
+            ComputeBlockFingerprint(ctx, b2));
+}
+
+TEST(BlockFingerprintTest, DistinguishesPriorityStructure) {
+  PreferredRepairProblem p =
+      MakeHardShardedWorkload(3, 3, 3, /*distinct_blocks=*/true);
+  ProblemContext ctx(*p.instance, *p.priority);
+  const Block& b0 = ctx.blocks().blocks()[0];
+  const Block& b1 = ctx.blocks().blocks()[1];
+  EXPECT_NE(ComputeBlockFingerprint(ctx, b0),
+            ComputeBlockFingerprint(ctx, b1));
+}
+
+TEST(BlockFingerprintTest, SubsetDigestFollowsTheIsomorphism) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(2, 3, 3);
+  ProblemContext ctx(*p.instance, *p.priority);
+  const Block& b0 = ctx.blocks().blocks()[0];
+  const Block& b1 = ctx.blocks().blocks()[1];
+  // J (all member-1 facts) restricted to each block picks corresponding
+  // members, so the canonical digests agree across the renaming...
+  EXPECT_EQ(CanonicalSubsetDigest(b0, p.j), CanonicalSubsetDigest(b1, p.j));
+  // ...while a different local subset digests differently.
+  DynamicBitset other = p.j;
+  other.reset(b0.fact_list.front() + 1);
+  other.set(b0.fact_list.front());
+  EXPECT_NE(CanonicalSubsetDigest(b0, other),
+            CanonicalSubsetDigest(b0, p.j));
+}
+
+TEST(BlockFingerprintTest, SubsetCanonicalizationRoundTrips) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(2, 3, 3);
+  ProblemContext ctx(*p.instance, *p.priority);
+  const Block& b1 = ctx.blocks().blocks()[1];
+  DynamicBitset local = CanonicalizeSubset(b1, p.j);
+  EXPECT_EQ(local.size(), b1.size());
+  EXPECT_EQ(local.count(), (p.j & b1.facts).count());
+  DynamicBitset back =
+      UncanonicalizeSubset(b1, local, ctx.instance().num_facts());
+  EXPECT_EQ(back, p.j & b1.facts);
+}
+
+TEST(BlockFingerprintTest, OpKeysAreDistinctPerOpAndSalt) {
+  BlockFingerprint base{0x1234, 0x5678};
+  BlockFingerprint verdict = DeriveOpKey(base, BlockCacheOp::kVerdict, 7, 9);
+  EXPECT_NE(verdict, DeriveOpKey(base, BlockCacheOp::kCount, 7, 9));
+  EXPECT_NE(verdict, DeriveOpKey(base, BlockCacheOp::kVerdict, 8, 9));
+  EXPECT_NE(verdict, DeriveOpKey(base, BlockCacheOp::kVerdict, 7, 10));
+  EXPECT_EQ(verdict, DeriveOpKey(base, BlockCacheOp::kVerdict, 7, 9));
+}
+
+// ---- The cache table ------------------------------------------------
+
+BlockSolveCache::Entry CountedEntry(uint64_t count, uint64_t nodes) {
+  BlockSolveCache::Entry e;
+  e.count = count;
+  e.nodes = nodes;
+  e.nodes_valid = true;
+  return e;
+}
+
+// Keys with hi = 0 all land in shard 0, making per-shard LRU behaviour
+// observable through the public interface.
+BlockFingerprint ShardZeroKey(uint64_t lo) { return BlockFingerprint{0, lo}; }
+
+TEST(BlockSolveCacheTest, EvictsLeastRecentlyUsedWithinAShard) {
+  // capacity 32 → 2 entries per shard.
+  BlockSolveCache cache(/*capacity=*/32);
+  cache.Store(ShardZeroKey(1), CountedEntry(11, 0));
+  cache.Store(ShardZeroKey(2), CountedEntry(22, 0));
+  ASSERT_TRUE(cache.Lookup(ShardZeroKey(1)).has_value());  // refresh key 1
+  cache.Store(ShardZeroKey(3), CountedEntry(33, 0));       // evicts key 2
+  EXPECT_TRUE(cache.Lookup(ShardZeroKey(1)).has_value());
+  EXPECT_FALSE(cache.Lookup(ShardZeroKey(2)).has_value());
+  EXPECT_TRUE(cache.Lookup(ShardZeroKey(3)).has_value());
+  BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.stores, 3u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(BlockSolveCacheTest, FirstStoreWinsExceptForNodeCountUpgrades) {
+  BlockSolveCache cache;
+  BlockSolveCache::Entry uncounted;
+  uncounted.count = 5;
+  uncounted.nodes_valid = false;
+  cache.Store(ShardZeroKey(1), uncounted);
+  // A counted solve of the same key upgrades the entry...
+  cache.Store(ShardZeroKey(1), CountedEntry(5, 40));
+  std::optional<BlockSolveCache::Entry> got = cache.Lookup(ShardZeroKey(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->nodes_valid);
+  EXPECT_EQ(got->nodes, 40u);
+  // ...but an uncounted (or repeated) store never downgrades it.
+  cache.Store(ShardZeroKey(1), uncounted);
+  cache.Store(ShardZeroKey(1), CountedEntry(5, 99));
+  got = cache.Lookup(ShardZeroKey(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->nodes_valid);
+  EXPECT_EQ(got->nodes, 40u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(BlockSolveCacheTest, ClearDropsEntriesButKeepsCounters) {
+  BlockSolveCache cache;
+  cache.Store(ShardZeroKey(1), CountedEntry(1, 0));
+  cache.NoteHit();
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(ShardZeroKey(1)).has_value());
+  BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+// ---- The serve rule -------------------------------------------------
+
+TEST(ServeRuleTest, UnlimitedGovernorAlwaysServes) {
+  BlockSolveCache::Entry uncounted;
+  uncounted.nodes_valid = false;
+  EXPECT_TRUE(MayServeCachedEntry(ResourceGovernor::Unlimited(), uncounted));
+  ReplayServedNodes(ResourceGovernor::Unlimited(), uncounted);  // no-op
+}
+
+TEST(ServeRuleTest, ExhaustedGovernorNeverServes) {
+  ResourceBudget budget;
+  budget.max_nodes = 1;
+  ResourceGovernor gov(budget);
+  EXPECT_TRUE(gov.Checkpoint());
+  EXPECT_FALSE(gov.Checkpoint());  // node budget fires
+  ASSERT_TRUE(gov.exhausted());
+  EXPECT_FALSE(MayServeCachedEntry(gov, CountedEntry(1, 0)));
+}
+
+TEST(ServeRuleTest, CancellationOnlyWorkersServeUncountedEntries) {
+  // A worker of an ungoverned parallel session: armed for cancellation,
+  // no node-space budget.  Its node counter is never merged back, so
+  // even uncounted entries are servable.
+  std::atomic<uint64_t> bound{1000};
+  ResourceGovernor gov{ResourceBudget{}};
+  gov.ArmCancellation(&bound, /*position=*/1);
+  ASSERT_FALSE(gov.unlimited());
+  ASSERT_EQ(gov.NodeFiringIndex(), 0u);
+  BlockSolveCache::Entry uncounted;
+  uncounted.nodes_valid = false;
+  EXPECT_TRUE(MayServeCachedEntry(gov, uncounted));
+}
+
+TEST(ServeRuleTest, NodeCountingGovernorRefusesUncountedEntries) {
+  ResourceBudget budget;
+  budget.max_nodes = 100;
+  ResourceGovernor gov(budget);
+  BlockSolveCache::Entry uncounted;
+  uncounted.nodes_valid = false;
+  EXPECT_FALSE(MayServeCachedEntry(gov, uncounted));
+}
+
+TEST(ServeRuleTest, ReplayMustStayBelowTheFiringIndex) {
+  ResourceBudget budget;
+  budget.max_nodes = 10;  // firing index 11
+  ResourceGovernor gov(budget);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(gov.Checkpoint());
+  }
+  // 5 spent + 5 replayed = 10 < 11: the fresh solve would have
+  // completed, so the hit is served and committed.
+  BlockSolveCache::Entry five = CountedEntry(0, 5);
+  ASSERT_TRUE(MayServeCachedEntry(gov, five));
+  ReplayServedNodes(gov, five);
+  EXPECT_EQ(gov.nodes_spent(), 10u);
+  EXPECT_FALSE(gov.exhausted());
+  // 10 spent + 1 replayed = 11 ≥ 11: the fresh solve would have fired
+  // mid-block — the hit is refused so the budget fires identically.
+  EXPECT_FALSE(MayServeCachedEntry(gov, CountedEntry(0, 1)));
+}
+
+TEST(ServeRuleTest, WouldAdmitBlockMirrorsAdmitBlockWithoutRecording) {
+  ResourceBudget budget;
+  budget.max_block = 8;
+  ResourceGovernor gov(budget);
+  EXPECT_TRUE(gov.WouldAdmitBlock(8));
+  EXPECT_FALSE(gov.WouldAdmitBlock(9));
+  EXPECT_FALSE(
+      gov.WouldAdmitBlock(ResourceGovernor::kMaxExhaustiveBlockFacts + 1));
+  EXPECT_EQ(gov.blocks_refused(), 0u);  // pure query: nothing recorded
+  EXPECT_FALSE(gov.AdmitBlock(9));
+  EXPECT_EQ(gov.blocks_refused(), 1u);
+  // The unarmed governor admits everything under the hard cap.
+  EXPECT_TRUE(ResourceGovernor::Unlimited().WouldAdmitBlock(
+      ResourceGovernor::kMaxExhaustiveBlockFacts));
+}
+
+// ---- End to end -----------------------------------------------------
+
+TEST(CacheEndToEndTest, IdenticalShardsHitAfterTheFirstSolve) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(4, 3, 3);
+
+  ProblemContext plain_ctx(*p.instance, *p.priority);
+  RepairChecker plain(plain_ctx);
+  auto expected = plain.CheckGloballyOptimal(p.j);
+  ASSERT_TRUE(expected.ok());
+
+  BlockSolveCache cache;
+  ProblemContext ctx(*p.instance, *p.priority);
+  ctx.set_block_cache(&cache);
+  RepairChecker checker(ctx);
+  auto outcome = checker.CheckGloballyOptimal(p.j);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.optimal, expected->result.optimal);
+
+  // One shard pays the exhaustive solve; the other three replay it.
+  BlockCacheStats first = cache.stats();
+  EXPECT_EQ(first.misses, 1u);
+  EXPECT_EQ(first.hits, 3u);
+  EXPECT_EQ(first.stores, 1u);
+
+  // A warm rerun hits on every shard.
+  auto again = checker.CheckGloballyOptimal(p.j);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->result.optimal, expected->result.optimal);
+  BlockCacheStats second = cache.stats();
+  EXPECT_EQ(second.misses, first.misses);
+  EXPECT_EQ(second.hits, first.hits + 4);
+}
+
+TEST(CacheEndToEndTest, DistinctShardsAllMiss) {
+  PreferredRepairProblem p =
+      MakeHardShardedWorkload(4, 3, 3, /*distinct_blocks=*/true);
+  BlockSolveCache cache;
+  ProblemContext ctx(*p.instance, *p.priority);
+  ctx.set_block_cache(&cache);
+  RepairChecker checker(ctx);
+  auto outcome = checker.CheckGloballyOptimal(p.j);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->result.optimal);
+  BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.stores, 4u);
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/block_fingerprint.h"
 #include "gen/hard_workloads.h"
 #include "gen/random_instance.h"
 #include "model/context.h"
@@ -121,6 +122,52 @@ TEST(ShardedWorkloadTest, DecomposesIntoOneBlockPerShard) {
     }
     EXPECT_FALSE(ctx.blocks().free_facts().any());
   }
+}
+
+TEST(ShardedWorkloadTest, DefaultShardsShareOneCanonicalFingerprint) {
+  PreferredRepairProblem p = MakeHardShardedWorkload(8, 4, 4);
+  ProblemContext ctx(*p.instance, *p.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), 8u);
+  const BlockFingerprint first =
+      ComputeBlockFingerprint(ctx, ctx.blocks().blocks().front());
+  for (const Block& b : ctx.blocks().blocks()) {
+    EXPECT_EQ(ComputeBlockFingerprint(ctx, b), first)
+        << "shard block #" << b.id
+        << " should be a constant-renamed copy of shard 0";
+  }
+}
+
+TEST(ShardedWorkloadTest, DistinctBlocksKnobMakesFingerprintsPairwiseDistinct) {
+  PreferredRepairProblem p =
+      MakeHardShardedWorkload(8, 4, 4, /*distinct_blocks=*/true);
+  ProblemContext ctx(*p.instance, *p.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), 8u);
+  std::vector<BlockFingerprint> fps;
+  for (const Block& b : ctx.blocks().blocks()) {
+    fps.push_back(ComputeBlockFingerprint(ctx, b));
+  }
+  for (size_t a = 0; a < fps.size(); ++a) {
+    for (size_t b = a + 1; b < fps.size(); ++b) {
+      EXPECT_NE(fps[a], fps[b]) << "shards " << a << " and " << b
+                                << " should differ in priority structure";
+    }
+  }
+}
+
+TEST(ShardedWorkloadTest, DistinctBlocksKeepsJOptimalAndShapeIdentical) {
+  PreferredRepairProblem same = MakeHardShardedWorkload(4, 3, 3);
+  PreferredRepairProblem distinct =
+      MakeHardShardedWorkload(4, 3, 3, /*distinct_blocks=*/true);
+  // Same facts, same conflict structure, same J — only priority edges
+  // are dropped, so the repair space (and the exhaustive cost) match.
+  EXPECT_EQ(same.instance->num_facts(), distinct.instance->num_facts());
+  EXPECT_EQ(same.j, distinct.j);
+  EXPECT_LT(distinct.priority->num_edges(), same.priority->num_edges());
+  ProblemContext ctx(*distinct.instance, *distinct.priority);
+  RepairChecker checker(ctx);
+  auto outcome = checker.CheckGloballyOptimal(distinct.j);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->result.optimal);
 }
 
 TEST(ShardedWorkloadTest, JIsGloballyOptimalAtEveryThreadCount) {

@@ -25,8 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/block_cache.h"
+#include "gen/hard_workloads.h"
 #include "gen/random_instance.h"
 #include "repair/checker.h"
+#include "repair/construct.h"
 #include "repair/counting.h"
 #include "test_util.h"
 
@@ -275,6 +278,186 @@ TEST_P(MetamorphicTest, BlockPermutationInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
                          ::testing::Range<uint64_t>(1, 31));
+
+// ---- Cache-on/off differential --------------------------------------
+//
+// The block-solve cache (cache/block_cache.h) promises byte-identical
+// outputs: installing it must change wall-clock time and nothing else.
+// These tests run the full solving stack cache-off, cache-on-cold and
+// cache-on-warm (a rerun against the already-populated table) over the
+// same problems at threads = 1/2/8, ungoverned and under node-space
+// budgets, and compare every output — verdicts, witness bitsets,
+// explanations, routes, counts, enumerated repair vectors in their raw
+// order, constructed repairs, and the degradation report rendered as a
+// string — for exact equality.  Only the report's cache traffic
+// counters are zeroed before comparing: they are the one field
+// documented to differ (see DegradationReport).
+//
+// Deadline budgets are deliberately absent: a deadline fires on wall
+// clock, which the cache exists to change, so deadline-governed runs
+// are not part of the byte-identical contract (node budgets are).
+
+std::string BitsetString(const DynamicBitset& b) {
+  std::string out;
+  b.ForEach([&](size_t f) { out += std::to_string(f) + ","; });
+  return out;
+}
+
+/// Every output of one pass over the solving stack, stringified where
+/// that makes mismatches readable.  Compared with plain ==.
+struct DifferentialRecord {
+  std::string check;
+  std::vector<std::string> route;
+  std::string degradation;  // cache counters zeroed
+  uint64_t count = 0;
+  bool count_exact = false;
+  size_t count_unknown_blocks = 0;
+  std::vector<DynamicBitset> optimal_repairs;  // raw enumeration order
+  std::string constructed;
+
+  bool operator==(const DifferentialRecord& other) const {
+    return check == other.check && route == other.route &&
+           degradation == other.degradation && count == other.count &&
+           count_exact == other.count_exact &&
+           count_unknown_blocks == other.count_unknown_blocks &&
+           optimal_repairs == other.optimal_repairs &&
+           constructed == other.constructed;
+  }
+};
+
+std::string RenderDegradation(DegradationReport report) {
+  report.cache_hits = 0;
+  report.cache_misses = 0;
+  return report.ToString();
+}
+
+/// One pass over the stack: exact global check, bounded count,
+/// (ungoverned only) full enumeration, greedy construction.  `budget`
+/// null means ungoverned; a fresh governor is built per call so runs
+/// never share exhaustion state.
+DifferentialRecord RunStack(const PreferredRepairProblem& problem,
+                            size_t threads, BlockSolveCache* cache,
+                            const ResourceBudget* budget) {
+  DifferentialRecord rec;
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(threads);
+  ctx.set_block_cache(cache);
+  ResourceGovernor governor(budget != nullptr ? *budget : ResourceBudget{});
+  if (budget != nullptr) {
+    ctx.set_governor(&governor);
+  }
+  RepairChecker checker(ctx);
+  auto outcome = checker.CheckGloballyOptimal(problem.j);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  if (outcome.ok()) {
+    rec.check = std::to_string(static_cast<int>(outcome->result.verdict)) +
+                "|" + outcome->result.unknown_reason;
+    if (outcome->result.witness.has_value()) {
+      rec.check += "|" + BitsetString(outcome->result.witness->improvement) +
+                   "|" + outcome->result.witness->explanation;
+    }
+    rec.route = outcome->route;
+    rec.degradation = RenderDegradation(outcome->degradation);
+  }
+  {
+    // Counting consumes budget too: give it its own governor so the
+    // check's consumption does not bleed into the count (and vice
+    // versa), keeping each comparison self-contained.
+    ProblemContext count_ctx(*problem.instance, *problem.priority);
+    count_ctx.set_parallelism(threads);
+    count_ctx.set_block_cache(cache);
+    ResourceGovernor count_governor(budget != nullptr ? *budget
+                                                      : ResourceBudget{});
+    if (budget != nullptr) {
+      count_ctx.set_governor(&count_governor);
+    }
+    BoundedCount count =
+        CountOptimalRepairsBounded(count_ctx, RepairSemantics::kGlobal);
+    rec.count = count.lower_bound;
+    rec.count_exact = count.exact;
+    rec.count_unknown_blocks = count.unknown_blocks;
+  }
+  if (budget == nullptr) {
+    rec.optimal_repairs = AllOptimalRepairs(ctx, RepairSemantics::kGlobal);
+  }
+  if (problem.priority->IsConflictBounded()) {
+    ConstructOptions options;
+    options.tie_break = TieBreak::kRandom;
+    options.seed = 0x5eedULL;
+    ProblemContext construct_ctx(*problem.instance, *problem.priority);
+    construct_ctx.set_parallelism(threads);
+    construct_ctx.set_block_cache(cache);
+    ResourceGovernor construct_governor(budget != nullptr ? *budget
+                                                          : ResourceBudget{});
+    if (budget != nullptr) {
+      construct_ctx.set_governor(&construct_governor);
+    }
+    Result<DynamicBitset> repair =
+        TryConstructGloballyOptimalRepair(construct_ctx, options);
+    rec.constructed = repair.ok() ? BitsetString(*repair)
+                                  : repair.status().ToString();
+  }
+  return rec;
+}
+
+void ExpectCacheTransparent(const PreferredRepairProblem& problem,
+                            const ResourceBudget* budget,
+                            const std::string& what) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const std::string where = what + ", threads=" + std::to_string(threads);
+    DifferentialRecord off = RunStack(problem, threads, nullptr, budget);
+    BlockSolveCache cache;
+    DifferentialRecord cold = RunStack(problem, threads, &cache, budget);
+    DifferentialRecord warm = RunStack(problem, threads, &cache, budget);
+    EXPECT_TRUE(off == cold) << "cold cache diverges: " << where;
+    EXPECT_TRUE(off == warm) << "warm cache diverges: " << where;
+  }
+}
+
+class CacheDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheDifferentialTest, RandomProblemsAreCacheTransparent) {
+  PreferredRepairProblem problem = RandomProblem(GetParam());
+  ExpectCacheTransparent(problem, nullptr,
+                         "seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(CacheDifferentialTest, GovernedRunsAreCacheTransparent) {
+  // Node-space budgets picked to fire mid-solve on some seeds and not
+  // others, covering served hits, refused hits at the firing boundary,
+  // and degraded runs where nothing may be stored.
+  PreferredRepairProblem problem = RandomProblem(GetParam());
+  ResourceBudget nodes;
+  nodes.max_nodes = 8 + (GetParam() % 5) * 37;
+  ExpectCacheTransparent(problem, &nodes,
+                         "nodes=" + std::to_string(nodes.max_nodes) +
+                             " seed=" + std::to_string(GetParam()));
+  ResourceBudget block_cap;
+  block_cap.max_block = 2 + GetParam() % 4;
+  ExpectCacheTransparent(problem, &block_cap,
+                         "max_block=" + std::to_string(block_cap.max_block) +
+                             " seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(CacheDifferentialTest, ShardedHardWorkloadsAreCacheTransparent) {
+  // The cache's target shape: identical hard shards (every block after
+  // the first is a pure hit) and the distinct variant (every block
+  // misses), ungoverned and with a budget that abandons later shards.
+  for (bool distinct : {false, true}) {
+    PreferredRepairProblem problem =
+        MakeHardShardedWorkload(2 + GetParam() % 3, 3, 3, distinct);
+    const std::string what = std::string("sharded distinct=") +
+                             (distinct ? "1" : "0") +
+                             " seed=" + std::to_string(GetParam());
+    ExpectCacheTransparent(problem, nullptr, what);
+    ResourceBudget nodes;
+    nodes.max_nodes = 40 + (GetParam() % 7) * 61;
+    ExpectCacheTransparent(problem, &nodes, what + " governed");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace prefrep

@@ -43,6 +43,19 @@ Checks
                    be directly preceded by a `#` comment justifying it —
                    an unexplained suppression silently un-verifies the
                    parallel solver.
+8. fingerprint-guard
+                   The canonical block fingerprint
+                   (src/cache/block_fingerprint.cc) must account for
+                   every field of struct Block (src/conflicts/blocks.h)
+                   and every data member of PriorityRelation
+                   (src/priority/priority.h) — a field added to either
+                   without updating the fingerprint silently aliases
+                   structurally different blocks.  The check counts the
+                   data members of both types and requires a matching
+                   `// fingerprint-field-guard: Block=N PriorityRelation=M`
+                   comment in the fingerprint source, so any new field
+                   forces a human decision (absorb it, or document why
+                   it is derived) before the count is bumped.
 
 Exit status 0 when clean; 1 with one `path:line: message` per finding
 otherwise.  The script is stdlib-only by design (it must run in CI and in
@@ -86,6 +99,13 @@ RAW_THREAD_EXEMPT = {
 }
 
 TSAN_SUPPRESSIONS = Path("tools/tsan_suppressions.txt")
+
+# Fingerprint input sources and the guard comment that must track them.
+BLOCK_HEADER = Path("src/conflicts/blocks.h")
+PRIORITY_HEADER = Path("src/priority/priority.h")
+FINGERPRINT_SOURCE = Path("src/cache/block_fingerprint.cc")
+FINGERPRINT_GUARD_RE = re.compile(
+    r"fingerprint-field-guard:\s*Block=(\d+)\s+PriorityRelation=(\d+)")
 
 NOLINT_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
 NOLINT_WITH_CHECKS_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN)?\(([^)]+)\)")
@@ -267,6 +287,94 @@ class Linter:
                     "a '# why this race report is benign/false-positive' "
                     "comment on the line directly above")
 
+    # -- check 8: fingerprint input field counts ---------------------------
+    def count_block_fields(self) -> int | None:
+        """Counts the data members of struct Block in conflicts/blocks.h."""
+        path = REPO_ROOT / BLOCK_HEADER
+        if not path.exists():
+            self.report(BLOCK_HEADER, 1, "fingerprint-guard", "file missing")
+            return None
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        m = re.search(r"struct Block \{(.*?)\n\};", code, re.DOTALL)
+        if m is None:
+            self.report(BLOCK_HEADER, 1, "fingerprint-guard",
+                        "could not locate 'struct Block { ... };'")
+            return None
+        count = 0
+        for line in m.group(1).split("\n"):
+            stripped = line.strip()
+            # A data member is a one-line declaration: ends with ';', is
+            # not a function (no parentheses), not a using/static alias.
+            if (stripped.endswith(";") and "(" not in stripped
+                    and not stripped.startswith(("using ", "static ", "#"))):
+                count += 1
+        return count
+
+    def count_priority_fields(self) -> int | None:
+        """Counts the data members of PriorityRelation (its private
+        section; declarations may span lines, so split on ';' and look
+        for the trailing member name — the style guide's trailing
+        underscore marks every data member)."""
+        path = REPO_ROOT / PRIORITY_HEADER
+        if not path.exists():
+            self.report(PRIORITY_HEADER, 1, "fingerprint-guard",
+                        "file missing")
+            return None
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        m = re.search(
+            r"class PriorityRelation .*?\n private:\n(.*?)\n\};",
+            code, re.DOTALL)
+        if m is None:
+            self.report(PRIORITY_HEADER, 1, "fingerprint-guard",
+                        "could not locate PriorityRelation's private section")
+            return None
+        count = 0
+        for decl in m.group(1).split(";"):
+            tokens = decl.split()
+            if tokens and tokens[-1].endswith("_"):
+                count += 1
+        return count
+
+    def check_fingerprint_guard(self) -> None:
+        path = REPO_ROOT / FINGERPRINT_SOURCE
+        if not path.exists():
+            self.report(FINGERPRINT_SOURCE, 1, "fingerprint-guard",
+                        "file missing — the fingerprint is the cache's "
+                        "soundness boundary and must exist alongside "
+                        "conflicts/blocks.h and priority/priority.h")
+            return
+        blocks = self.count_block_fields()
+        priority = self.count_priority_fields()
+        if blocks is None or priority is None:
+            return
+        text = path.read_text(encoding="utf-8")
+        m = FINGERPRINT_GUARD_RE.search(text)
+        line = next((i for i, l in enumerate(text.split("\n"), start=1)
+                     if "fingerprint-field-guard" in l), 1)
+        if m is None:
+            self.report(
+                FINGERPRINT_SOURCE, 1, "fingerprint-guard",
+                "missing '// fingerprint-field-guard: Block=N "
+                "PriorityRelation=M' comment pinning the field counts "
+                f"(currently Block={blocks} PriorityRelation={priority})")
+            return
+        claimed_block, claimed_priority = int(m.group(1)), int(m.group(2))
+        if claimed_block != blocks:
+            self.report(
+                FINGERPRINT_SOURCE, line, "fingerprint-guard",
+                f"struct Block has {blocks} field(s) but the guard claims "
+                f"{claimed_block} — a field was added or removed; decide "
+                "whether ComputeBlockFingerprint must absorb it (or why it "
+                "is derived), then update the guard comment")
+        if claimed_priority != priority:
+            self.report(
+                FINGERPRINT_SOURCE, line, "fingerprint-guard",
+                f"PriorityRelation has {priority} data member(s) but the "
+                f"guard claims {claimed_priority} — a member was added or "
+                "removed; decide whether ComputeBlockFingerprint must "
+                "absorb it (or why it is derived), then update the guard "
+                "comment")
+
     # -- driver ------------------------------------------------------------
     def run(self) -> int:
         files = []
@@ -289,6 +397,7 @@ class Linter:
             self.check_nolint(rel, lines)
             self.check_raw_thread(rel, code_lines)
         self.check_tsan_suppressions()
+        self.check_fingerprint_guard()
         return len(files)
 
 
