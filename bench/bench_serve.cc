@@ -1,0 +1,173 @@
+// B15 — the resident serving layer (serve/session.h) versus per-request
+// rebuilding.  The serving claim: after one edit, answering a query
+// costs one block re-solve (plus cache replays), not a from-scratch
+// ConflictGraph + BlockDecomposition + full solve.  Three measurements:
+//
+//   BM_ServeIncremental  — steady state: one edit (a fact toggles out
+//                          and back in across iterations) then one
+//                          `check global` on a resident session.
+//   BM_ServeRebuild      — the one-shot baseline answering the same
+//                          query: fresh ProblemContext + checker per
+//                          request, as prefrepctl did before sessions.
+//   BM_ServeEditLatency  — pure edit cost (delete + revival), no query.
+//   BM_ServeScriptReplay — op throughput over a generated Zipf edit
+//                          script (gen/edit_script.h).
+//
+// Threads are pinned to 1 so the ratio isolates the incremental
+// maintenance; bench_parallel owns the dispatch scaling story.
+// tools/bench_to_json.py turns the Incremental/Rebuild pair into the
+// BENCH_serve.json speedup figure (EXPERIMENTS.md, B15).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/edit_script.h"
+#include "gen/hard_workloads.h"
+#include "io/ops_format.h"
+#include "model/context.h"
+#include "repair/checker.h"
+#include "serve/session.h"
+
+namespace prefrep {
+namespace {
+
+// The steady-state instance: `shards` identical 16-fact hard-schema S1
+// blocks (4 cliques x 4 facts, the same shape bench_cache measures), so
+// answering `check global` from scratch must exhaust every block while
+// the resident session re-solves only what an edit dirtied.  Tiny
+// blocks would hide the gap — their exhaustive solve costs less than
+// the per-request fixed overhead either way.
+constexpr size_t kCliques = 4;
+constexpr size_t kCliqueSize = 4;
+
+PreferredRepairProblem ServeProblem(size_t shards) {
+  return MakeHardShardedWorkload(shards, kCliques, kCliqueSize);
+}
+
+// The toggled fact: a non-J, non-spine member of shard 0's first
+// clique (see MakeHardShardedWorkload's label/constant scheme).
+constexpr const char* kToggleDelete = "delete s0:q0:f2";
+constexpr const char* kToggleInsert = "insert s0:q0:f2 R1(k0_0, m0, c0_0_2)";
+
+SessionOp MustParse(const std::string& line) {
+  Result<SessionOp> op = ParseSessionOp(line);
+  if (!op.ok()) {
+    PREFREP_FATAL(op.status().ToString().c_str());
+  }
+  return *op;
+}
+
+// arg0 = shards (blocks), arg1 = 1 to install the block-solve cache.
+// Each iteration: one edit (delete or revive fact s0f3, alternating)
+// and one `check global` — the serving steady state of one edit per
+// query.  Only shard 0's block is ever dirtied; the other shards'
+// solved state replays.
+void BM_ServeIncremental(benchmark::State& state) {
+  PreferredRepairProblem problem =
+      ServeProblem(static_cast<size_t>(state.range(0)));
+  SessionOptions options;
+  options.threads = 1;
+  options.cache_capacity = state.range(1) != 0 ? 4096 : 0;
+  auto session = SessionContext::Create(problem, options);
+  PREFREP_CHECK(session.ok());
+  const SessionOp del = MustParse(kToggleDelete);
+  const SessionOp ins = MustParse(kToggleInsert);
+  const SessionOp check = MustParse("check global");
+  PREFREP_CHECK((*session)->Execute(check).ok());  // warm the view
+  bool dead = false;
+  for (auto _ : state) {
+    Result<std::string> edit = (*session)->Execute(dead ? ins : del);
+    dead = !dead;
+    Result<std::string> reply = (*session)->Execute(check);
+    benchmark::DoNotOptimize(edit.ok() && reply.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ServeIncremental)
+    ->ArgsProduct({{64, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The same `check global` answered the one-shot way: every request
+// pays conflict detection, block decomposition, classification and a
+// full per-block solve.
+void BM_ServeRebuild(benchmark::State& state) {
+  PreferredRepairProblem problem =
+      ServeProblem(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ProblemContext ctx(*problem.instance, *problem.priority);
+    ctx.set_parallelism(1);
+    RepairChecker checker(ctx);
+    auto outcome = checker.CheckGloballyOptimal(problem.j);
+    benchmark::DoNotOptimize(outcome.ok() && outcome->result.optimal);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ServeRebuild)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+// Pure edit cost: tombstone + revival round trip, view left dirty (no
+// query forces materialization).
+void BM_ServeEditLatency(benchmark::State& state) {
+  PreferredRepairProblem problem =
+      ServeProblem(static_cast<size_t>(state.range(0)));
+  SessionOptions options;
+  options.threads = 1;
+  auto session = SessionContext::Create(problem, options);
+  PREFREP_CHECK(session.ok());
+  const SessionOp del = MustParse(kToggleDelete);
+  const SessionOp ins = MustParse(kToggleInsert);
+  for (auto _ : state) {
+    Result<std::string> dead = (*session)->Execute(del);
+    Result<std::string> live = (*session)->Execute(ins);
+    benchmark::DoNotOptimize(dead.ok() && live.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ServeEditLatency)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// Whole-script throughput: a Zipf-skewed edit/query mix replayed
+// against a fresh session per iteration (construction excluded).  The
+// session runs governed: the Zipf hot shard keeps absorbing inserts,
+// so an unbudgeted exact query eventually goes exponential on the
+// grown block — a resident service caps per-request effort for
+// exactly this reason (docs/serving.md), and the cap is what makes
+// "ops/sec" a steady-state number rather than a race against 2^n.
+void BM_ServeScriptReplay(benchmark::State& state) {
+  EditScriptOptions opts;
+  opts.shards = 32;
+  opts.facts_per_shard = 4;
+  opts.num_ops = static_cast<size_t>(state.range(0));
+  EditScriptWorkload workload = MakeEditScriptWorkload(opts);
+  std::vector<SessionOp> ops;
+  ops.reserve(workload.ops.size());
+  for (const std::string& line : workload.ops) {
+    ops.push_back(MustParse(line));
+  }
+  SessionOptions options;
+  options.threads = 1;
+  options.cache_capacity = 4096;
+  options.budget.max_nodes = 20000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = SessionContext::Create(workload.problem, options);
+    PREFREP_CHECK(session.ok());
+    state.ResumeTiming();
+    for (const SessionOp& op : ops) {
+      benchmark::DoNotOptimize((*session)->Execute(op).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_ServeScriptReplay)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefrep

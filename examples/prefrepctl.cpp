@@ -10,12 +10,22 @@
 //                                         list repairs / optimal repairs
 //   prefrepctl answers <file> "<query>" [--semantics ...]
 //                                         consistent answers of a CQ
+//   prefrepctl session <file> <script.ops>
+//                                         run a session-ops batch script
+//                                         (insert/delete/prefer edits +
+//                                         queries; see docs/serving.md)
 //   prefrepctl dump <file>                parse and pretty-print back
 //
-// Budget options (check / enumerate / answers): --deadline-ms N,
-// --max-nodes N, --max-block N install a ResourceGovernor; exponential
-// work past the budget degrades to "unknown" with a per-block
-// degradation summary instead of running forever (docs/robustness.md).
+// Every solving subcommand routes through one resident SessionContext
+// (src/serve/session.h): the conflict graph, classifications and block
+// decomposition are built once per process and shared — the same
+// artifacts a long-lived prefrepd server keeps warm across edits.
+//
+// Budget options (check / enumerate / answers / session): --deadline-ms
+// N, --max-nodes N, --max-block N install a ResourceGovernor;
+// exponential work past the budget degrades to "unknown" with a
+// per-block degradation summary instead of running forever
+// (docs/robustness.md).
 //
 // --threads N sets the per-block solver parallelism (0 = hardware
 // concurrency, 1 = exact serial execution); results are identical at
@@ -32,19 +42,23 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "cache/block_cache.h"
 #include "classify/ccp_dichotomy.h"
 #include "classify/dichotomy.h"
 #include "io/dot_export.h"
+#include "io/ops_format.h"
 #include "io/text_format.h"
 #include "query/consistent_answers.h"
 #include "repair/checker.h"
 #include "conflicts/stats.h"
 #include "repair/counting.h"
 #include "repair/explain.h"
+#include "serve/session.h"
 
 using namespace prefrep;
 
@@ -59,10 +73,11 @@ int Usage() {
       "  enumerate <file> [--optimal-only] [--limit N]\n"
       "  answers <file> \"Q(x) :- R(x, y)\" [--semantics "
       "all|global|pareto|completion]\n"
+      "  session <file> <script.ops>  run session ops (edits + queries)\n"
       "  stats <file>          conflict/block structure + fallback cost\n"
       "  dot <file>            Graphviz of conflicts + priorities + J\n"
       "  dump <file>\n"
-      "budget options (check/enumerate/answers):\n"
+      "budget options (check/enumerate/answers/session):\n"
       "  --deadline-ms N  --max-nodes N  --max-block N\n"
       "  degrade to \"unknown\" (exit 4) instead of running forever\n"
       "  --threads N      per-block solver threads (0 = hardware, 1 = "
@@ -118,9 +133,9 @@ void PrintDegradation(const ResourceGovernor& governor,
   }
 }
 
-int CmdCheck(const PreferredRepairProblem& p, bool ccp,
-             const std::string& semantics, const ResourceBudget& budget,
-             size_t threads, BlockSolveCache* cache) {
+int CmdCheck(const PreferredRepairProblem& p, SessionContext& session,
+             bool ccp, const std::string& semantics,
+             const ResourceBudget& budget) {
   CheckerOptions opts;
   opts.mode = ccp ? PriorityMode::kCrossConflict : PriorityMode::kConflictOnly;
   Status valid = p.priority->Validate(opts.mode);
@@ -130,9 +145,7 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
     return 3;
   }
   ResourceGovernor governor(budget);
-  ProblemContext ctx(*p.instance, *p.priority);
-  ctx.set_parallelism(threads);
-  ctx.set_block_cache(cache);
+  ProblemContext& ctx = session.context();
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
@@ -148,6 +161,7 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
   } else {
     auto outcome = checker.CheckGloballyOptimal(p.j);
     if (!outcome.ok()) {
+      ctx.set_governor(nullptr);
       std::fprintf(stderr, "error: %s\n",
                    outcome.status().ToString().c_str());
       return 3;
@@ -159,39 +173,40 @@ int CmdCheck(const PreferredRepairProblem& p, bool ccp,
       std::printf("globally-optimal repair: unknown (%s)\n",
                   outcome->result.unknown_reason.c_str());
       PrintDegradation(governor, outcome->degradation);
-      PrintCacheStats(cache);
+      PrintCacheStats(session.cache());
+      ctx.set_governor(nullptr);
       return 4;
     }
     optimal = outcome->result.optimal;
     std::printf("globally-optimal repair: %s\n", optimal ? "yes" : "no");
     PrintDegradation(governor, outcome->degradation);
-    PrintCacheStats(cache);
-    std::printf("%s", ExplainOutcome(checker.conflict_graph(), *p.priority,
+    PrintCacheStats(session.cache());
+    std::printf("%s", ExplainOutcome(ctx.conflict_graph(), session.priority(),
                                      p.j, outcome->result)
                           .c_str());
   }
+  ctx.set_governor(nullptr);
   return optimal ? 0 : 1;
 }
 
-int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
-                 size_t limit, const ResourceBudget& budget,
-                 size_t threads, BlockSolveCache* cache) {
-  ConflictGraph cg(*p.instance);
+int CmdEnumerate(const PreferredRepairProblem& p, SessionContext& session,
+                 bool optimal_only, size_t limit,
+                 const ResourceBudget& budget) {
+  ProblemContext& ctx = session.context();
+  const ConflictGraph& cg = ctx.conflict_graph();
   ResourceGovernor governor(budget);
   if (optimal_only) {
-    ProblemContext ctx(cg, *p.priority);
-    ctx.set_parallelism(threads);
-    ctx.set_block_cache(cache);
     if (!budget.Unlimited()) {
       ctx.set_governor(&governor);
     }
     std::vector<DynamicBitset> optimal =
         AllOptimalRepairs(ctx, RepairSemantics::kGlobal);
+    ctx.set_governor(nullptr);
     if (optimal.empty()) {
       // Every instance has an optimal repair; empty means abandoned.
       std::printf("enumeration abandoned: %s\n",
                   governor.CauseString().c_str());
-      PrintCacheStats(cache);
+      PrintCacheStats(session.cache());
       return 4;
     }
     std::printf("%zu globally-optimal repair(s)\n", optimal.size());
@@ -203,10 +218,10 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
       }
       std::printf("  %s\n", p.instance->SubinstanceToString(r).c_str());
     }
-    if (auto unique = UniqueGloballyOptimalRepair(cg, *p.priority)) {
+    if (auto unique = UniqueGloballyOptimalRepair(cg, session.priority())) {
       std::printf("the cleaning is unambiguous (unique optimal repair)\n");
     }
-    PrintCacheStats(cache);
+    PrintCacheStats(session.cache());
     return 0;
   }
   size_t shown = 0;
@@ -230,9 +245,9 @@ int CmdEnumerate(const PreferredRepairProblem& p, bool optimal_only,
   return 0;
 }
 
-int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
-               const std::string& semantics, const ResourceBudget& budget,
-               size_t threads, BlockSolveCache* cache) {
+int CmdAnswers(const PreferredRepairProblem& p, SessionContext& session,
+               const char* query_text, const std::string& semantics,
+               const ResourceBudget& budget) {
   Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(query_text);
   if (!query.ok()) {
     std::fprintf(stderr, "bad query: %s\n",
@@ -247,21 +262,20 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
   } else if (semantics == "completion") {
     sem = AnswerSemantics::kCompletion;
   }
-  ConflictGraph cg(*p.instance);
+  (void)p;
   ResourceGovernor governor(budget);
-  ProblemContext ctx(cg, *p.priority);
-  ctx.set_parallelism(threads);
-  ctx.set_block_cache(cache);
+  ProblemContext& ctx = session.context();
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
   if (query->IsBoolean()) {
     Trilean certain = CertainlyTrueBounded(ctx, *query, sem);
+    ctx.set_governor(nullptr);
     std::printf("certainly true: %s\n",
                 certain == Trilean::kTrue
                     ? "yes"
                     : certain == Trilean::kFalse ? "no" : "unknown");
-    PrintCacheStats(cache);
+    PrintCacheStats(session.cache());
     if (certain == Trilean::kUnknown) {
       std::printf("budget: %s\n", governor.CauseString().c_str());
       return 4;
@@ -269,9 +283,10 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
     return certain == Trilean::kTrue ? 0 : 1;
   }
   auto bounded = ConsistentAnswersBounded(ctx, *query, sem);
+  ctx.set_governor(nullptr);
   if (!bounded.ok()) {
     std::printf("answers unknown: %s\n", bounded.status().ToString().c_str());
-    PrintCacheStats(cache);
+    PrintCacheStats(session.cache());
     return 4;
   }
   const auto& answers = *bounded;
@@ -283,7 +298,32 @@ int CmdAnswers(const PreferredRepairProblem& p, const char* query_text,
     }
     std::printf(")\n");
   }
-  PrintCacheStats(cache);
+  PrintCacheStats(session.cache());
+  return 0;
+}
+
+int CmdSession(SessionContext& session, const char* script_path) {
+  std::ifstream in(script_path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "error: cannot open script '%s'\n", script_path);
+    return 3;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<std::vector<SessionOp>> ops = ParseSessionScript(buffer.str());
+  if (!ops.ok()) {
+    std::fprintf(stderr, "error: %s\n", ops.status().ToString().c_str());
+    return 3;
+  }
+  for (const SessionOp& op : *ops) {
+    Result<std::string> reply = session.Execute(op);
+    if (reply.ok()) {
+      std::printf("%s\n\n", reply->c_str());
+    } else {
+      std::printf("error: %s\n\n", reply.status().message().c_str());
+    }
+  }
+  PrintCacheStats(session.cache());
   return 0;
 }
 
@@ -307,16 +347,15 @@ int main(int argc, char** argv) {
   std::string semantics = "global";
   ResourceBudget budget;
   size_t threads = 0;  // 0 = hardware concurrency (the context default)
-  std::unique_ptr<BlockSolveCache> cache;
+  size_t cache_capacity = 0;
   const char* query_text = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ccp") == 0) {
       ccp = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
-      cache = std::make_unique<BlockSolveCache>();
+      cache_capacity = BlockSolveCache::kDefaultCapacity;
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
-      cache = std::make_unique<BlockSolveCache>(
-          static_cast<size_t>(std::atoll(argv[i] + 8)));
+      cache_capacity = static_cast<size_t>(std::atoll(argv[i] + 8));
     } else if (std::strcmp(argv[i], "--optimal-only") == 0) {
       optimal_only = true;
     } else if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
@@ -338,25 +377,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The stateless commands work straight off the parsed problem (and
+  // must keep working on priorities no session would accept).
   if (command == "classify") {
     return CmdClassify(*problem);
   }
+  if (command == "dump") {
+    std::printf("%s", ProblemToText(*problem).c_str());
+    return 0;
+  }
+
+  // Everything else runs through one resident session: conflict graph,
+  // classifications and blocks built once, shared by every call.
+  SessionOptions session_options;
+  session_options.threads = threads;
+  session_options.cache_capacity = cache_capacity;
+  if (command == "session") {
+    session_options.budget = budget;
+  }
+  Result<std::unique_ptr<SessionContext>> session =
+      SessionContext::Create(*problem, session_options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "invalid priority: %s\n",
+                 session.status().ToString().c_str());
+    return 3;
+  }
+
   if (command == "check") {
-    return CmdCheck(*problem, ccp, semantics, budget, threads, cache.get());
+    return CmdCheck(*problem, **session, ccp, semantics, budget);
   }
   if (command == "enumerate") {
-    return CmdEnumerate(*problem, optimal_only, limit, budget, threads,
-                        cache.get());
+    return CmdEnumerate(*problem, **session, optimal_only, limit, budget);
   }
   if (command == "answers") {
     if (query_text == nullptr) {
       return Usage();
     }
-    return CmdAnswers(*problem, query_text, semantics, budget, threads,
-                      cache.get());
+    return CmdAnswers(*problem, **session, query_text, semantics, budget);
+  }
+  if (command == "session") {
+    if (query_text == nullptr) {
+      return Usage();
+    }
+    return CmdSession(**session, query_text);
   }
   if (command == "stats") {
-    ConflictGraph cg(*problem->instance);
+    const ConflictGraph& cg = (*session)->context().conflict_graph();
     ConflictStats stats = ComputeConflictStats(cg);
     std::printf("%s\n", stats.ToString().c_str());
     // Predicted cost of the per-block exponential fallback (Σ 2^size
@@ -373,14 +439,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "dot") {
-    ConflictGraph cg(*problem->instance);
+    const ConflictGraph& cg = (*session)->context().conflict_graph();
     std::printf("%s",
-                ConflictGraphToDot(cg, *problem->priority, problem->j)
+                ConflictGraphToDot(cg, (*session)->priority(), problem->j)
                     .c_str());
-    return 0;
-  }
-  if (command == "dump") {
-    std::printf("%s", ProblemToText(*problem).c_str());
     return 0;
   }
   return Usage();

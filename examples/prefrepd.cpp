@@ -1,0 +1,141 @@
+// prefrepd — a resident preferred-repair server over one problem file.
+//
+// Loads a problem in the text format of src/io/text_format.h, builds a
+// long-lived SessionContext (src/serve/session.h), and then executes
+// session ops (src/io/ops_format.h) one per line:
+//
+//   prefrepd <file> [options]             # ops from stdin (REPL / pipe)
+//   prefrepd <file> --script <ops-file>   # ops from a batch script
+//
+// Each op's reply is printed to stdout, followed by a blank line so
+// multi-line replies (witnesses, degradation summaries, answer lists)
+// stay framed.  An op error prints "error: <message>" and the loop
+// continues — a serving process does not die on one bad request.
+//
+// Options:
+//   --threads N       per-block solver threads (0 = hardware, 1 = serial)
+//   --cache[=N]       block-solve cache (N = capacity in entries)
+//   --deadline-ms N / --max-nodes N / --max-block N
+//                     initial per-request budget (see the budget op)
+//
+// Exit codes: 0 = served, 2 = usage, 3 = input error.
+//
+// The edit → query → edit loop is where the serve layer earns its keep:
+// every edit patches the conflict graph and block decomposition in
+// place and invalidates only the touched blocks' cache entries, so a
+// query after an edit re-solves the edited block and replays everything
+// else (bench/bench_serve.cc measures the gap against per-request
+// rebuilding).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "io/ops_format.h"
+#include "io/text_format.h"
+#include "serve/session.h"
+
+using namespace prefrep;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: prefrepd <file> [--script <ops-file>] [--threads N] "
+      "[--cache[=N]]\n"
+      "                [--deadline-ms N] [--max-nodes N] [--max-block N]\n"
+      "ops (one per line, '#' comments): insert, delete, prefer, jset, "
+      "jadd, jdel,\n"
+      "  budget, check, count, construct, cqa, stats  (see "
+      "docs/serving.md)\n");
+  return 2;
+}
+
+// Executes one raw input line against the session; returns the reply
+// (or the error text).  Blank/comment lines yield an empty reply.
+std::string ServeLine(SessionContext& session, const std::string& raw) {
+  std::string line = raw;
+  const size_t hash = line.find('#');
+  if (hash != std::string::npos) {
+    line.resize(hash);
+  }
+  const size_t start = line.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) {
+    return "";
+  }
+  Result<SessionOp> op = ParseSessionOp(line);
+  if (!op.ok()) {
+    return "error: " + op.status().message();
+  }
+  Result<std::string> reply = session.Execute(*op);
+  if (!reply.ok()) {
+    return "error: " + reply.status().message();
+  }
+  return *reply;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const char* problem_path = argv[1];
+  const char* script_path = nullptr;
+  SessionOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
+      script_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      options.cache_capacity = BlockSolveCache::kDefaultCapacity;
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      options.cache_capacity = static_cast<size_t>(std::atoll(argv[i] + 8));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.budget.deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      options.budget.max_nodes = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-block") == 0 && i + 1 < argc) {
+      options.budget.max_block = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+  Result<PreferredRepairProblem> problem = ParseProblemFile(problem_path);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
+    return 3;
+  }
+  Result<std::unique_ptr<SessionContext>> session =
+      SessionContext::Create(*problem, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().ToString().c_str());
+    return 3;
+  }
+
+  std::istream* in = &std::cin;
+  std::ifstream script;
+  if (script_path != nullptr) {
+    script.open(script_path);
+    if (!script.is_open()) {
+      std::fprintf(stderr, "error: cannot open script '%s'\n", script_path);
+      return 3;
+    }
+    in = &script;
+  }
+  std::string line;
+  while (std::getline(*in, line)) {
+    const std::string reply = ServeLine(**session, line);
+    if (!reply.empty()) {
+      std::printf("%s\n\n", reply.c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

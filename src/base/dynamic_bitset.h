@@ -31,6 +31,15 @@ class DynamicBitset {
   /// Number of elements in the universe (not the number of set bits).
   size_t size() const { return size_; }
 
+  /// Grows the universe to `size` elements (new bits clear).  Shrinking
+  /// is rejected: fact ids are stable, so a universe never loses
+  /// elements — the serve layer tombstones facts instead.
+  void Resize(size_t size) {
+    PREFREP_CHECK_MSG(size >= size_, "DynamicBitset cannot shrink");
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
+  }
+
   /// Tests bit `i`.
   bool test(size_t i) const {
     PREFREP_DCHECK(i < size_);

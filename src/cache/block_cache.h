@@ -109,6 +109,28 @@ class BlockSolveCache {
   /// wins, keeping racing stores idempotent.
   void Store(const BlockFingerprint& key, Entry entry);
 
+  /// Like Store(key, entry), and additionally records `key` as derived
+  /// from the base (pre-salt) block fingerprint `base`, so the serve
+  /// layer can drop a retired block's entries with EraseDerivedFrom.
+  /// At most kMaxDerivedPerBase keys are recorded per base (verdict
+  /// keys are salted by the candidate J, so a base can derive
+  /// unboundedly many); overflowing keys simply stay until evicted —
+  /// fingerprint keying already guarantees an edited block can never
+  /// *hit* a stale entry, so targeted erasure is purely a memory/
+  /// hygiene optimization and may be incomplete.
+  void Store(const BlockFingerprint& base, const BlockFingerprint& key,
+             Entry entry);
+
+  /// Removes `key` if present; true when an entry was dropped.
+  bool Erase(const BlockFingerprint& key);
+
+  /// Drops every entry recorded as derived from `base`, plus the
+  /// derivation record; returns how many entries were removed.  Entries
+  /// already evicted are skipped silently.
+  size_t EraseDerivedFrom(const BlockFingerprint& base);
+
+  static constexpr size_t kMaxDerivedPerBase = 64;
+
   void NoteHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
   void NoteMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -139,6 +161,15 @@ class BlockSolveCache {
   const size_t capacity_;
   const size_t shard_capacity_;
   Shard shards_[kNumShards];
+  // base fingerprint → derived keys stored under it.  Global (not
+  // per-shard): DeriveOpKey rehashes, so one base's keys land in
+  // different shards.  Guarded by its own mutex; always acquired
+  // without any shard lock held (and vice versa), so no lock-order
+  // cycle is possible.
+  std::mutex derived_mu_;
+  std::unordered_map<BlockFingerprint, std::vector<BlockFingerprint>,
+                     BlockFingerprintHash>
+      derived_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> stores_{0};

@@ -1,0 +1,42 @@
+#include "cache/invalidation.h"
+
+namespace prefrep {
+
+void BlockInvalidationIndex::Install(FactId block_key,
+                                     const BlockFingerprint& fp) {
+  auto [it, inserted] = by_key_.try_emplace(block_key, fp);
+  if (!inserted) {
+    PREFREP_CHECK_MSG(it->second == fp,
+                      "a block key must be retired before it is "
+                      "re-installed with a different fingerprint");
+    return;
+  }
+  ++refcount_[fp];
+}
+
+void BlockInvalidationIndex::Retire(FactId block_key,
+                                    BlockSolveCache* cache) {
+  auto it = by_key_.find(block_key);
+  if (it == by_key_.end()) {
+    return;
+  }
+  const BlockFingerprint fp = it->second;
+  by_key_.erase(it);
+  auto rc = refcount_.find(fp);
+  PREFREP_CHECK_MSG(rc != refcount_.end() && rc->second > 0,
+                    "invalidation refcount out of sync");
+  if (--rc->second > 0) {
+    return;  // an isomorphic twin still serves from these entries
+  }
+  refcount_.erase(rc);
+  if (cache != nullptr) {
+    entries_erased_ += cache->EraseDerivedFrom(fp);
+  }
+}
+
+void BlockInvalidationIndex::Clear() {
+  by_key_.clear();
+  refcount_.clear();
+}
+
+}  // namespace prefrep

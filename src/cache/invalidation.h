@@ -1,0 +1,63 @@
+// Copyright (c) prefrep contributors.
+// Targeted BlockSolveCache invalidation for resident sessions
+// (src/serve).  Fingerprint keying already makes the cache *correct*
+// under edits for free — an edited block hashes to a new base
+// fingerprint, so it can never hit a stale entry.  What it does not do
+// is reclaim the dead entries, and a long-lived session editing hot
+// blocks would slowly fill its cache with garbage that only LRU
+// pressure evicts.
+//
+// This index closes that gap.  The session registers each resident
+// block's base fingerprint under a stable key (the serve layer uses the
+// block's smallest fact id); when an edit retires a block, the index
+// drops the entries derived from its base — unless another resident
+// block still carries the same fingerprint (sharded workloads repeat
+// isomorphic gadgets, and their entries are exactly the ones worth
+// keeping).  Erasure is refcounted for that reason and is always an
+// optimization, never a correctness requirement.
+
+#ifndef PREFREP_CACHE_INVALIDATION_H_
+#define PREFREP_CACHE_INVALIDATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/block_cache.h"
+#include "cache/block_fingerprint.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// Refcounted base-fingerprint registry for one session's resident
+/// blocks.  Not thread-safe: the session serializes edits.
+class BlockInvalidationIndex {
+ public:
+  /// Declares that the resident block keyed by `block_key` now carries
+  /// base fingerprint `fp`.  A key may be re-installed after Retire
+  /// (block content changed: new fingerprint, same smallest fact).
+  void Install(FactId block_key, const BlockFingerprint& fp);
+
+  /// Declares that the block keyed by `block_key` was retired (deleted,
+  /// merged away, split, or otherwise edited).  Decrefs its recorded
+  /// fingerprint; when no other resident block shares it, erases the
+  /// cache entries derived from it (when `cache` is non-null).  No-op
+  /// for unknown keys.
+  void Retire(FactId block_key, BlockSolveCache* cache);
+
+  void Clear();
+
+  size_t num_blocks() const { return by_key_.size(); }
+
+  /// Lifetime total of cache entries reclaimed through Retire.
+  uint64_t entries_erased() const { return entries_erased_; }
+
+ private:
+  std::unordered_map<FactId, BlockFingerprint> by_key_;
+  std::unordered_map<BlockFingerprint, size_t, BlockFingerprintHash>
+      refcount_;
+  uint64_t entries_erased_ = 0;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CACHE_INVALIDATION_H_

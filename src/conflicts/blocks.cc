@@ -121,6 +121,44 @@ BlockDecomposition::BlockDecomposition(const ConflictGraph& cg)
 #endif
 }
 
+BlockDecomposition::BlockDecomposition(std::vector<Block> blocks,
+                                       DynamicBitset free_facts,
+                                       std::vector<size_t> block_of,
+                                       size_t num_relations)
+    : blocks_(std::move(blocks)),
+      free_facts_(std::move(free_facts)),
+      block_of_(std::move(block_of)),
+      by_relation_(num_relations) {
+  for (const Block& b : blocks_) {
+    PREFREP_CHECK_MSG(b.id == static_cast<size_t>(&b - blocks_.data()),
+                      "from-parts blocks must be numbered positionally");
+    PREFREP_CHECK_MSG(b.rel < num_relations, "block relation out of range");
+    largest_block_ = std::max(largest_block_, b.fact_list.size());
+    by_relation_[b.rel].push_back(b.id);
+  }
+#if PREFREP_AUDIT_ENABLED
+  // The partition/connectivity audit of the graph constructor needs the
+  // conflict graph and a fully covered universe; here the session is
+  // responsible (its PREFREP_AUDIT hook compares the whole incremental
+  // state against a from-scratch rebuild).  Check the cheap local
+  // invariants only.
+  free_facts_.ForEach([&](size_t f) {
+    PREFREP_CHECK_MSG(block_of_[f] == kNoBlock,
+                      "audit: a free fact is indexed into a block");
+  });
+  for (const Block& b : blocks_) {
+    PREFREP_CHECK_MSG(b.size() >= 2,
+                      "audit: a block must hold at least two facts");
+    PREFREP_CHECK_MSG(b.facts.count() == b.fact_list.size(),
+                      "audit: block bitset and fact list disagree");
+    for (FactId f : b.fact_list) {
+      PREFREP_CHECK_MSG(b.facts.test(f) && block_of_[f] == b.id,
+                        "audit: block membership disagrees with block_of");
+    }
+  }
+#endif
+}
+
 bool PriorityIsBlockLocal(const BlockDecomposition& blocks,
                           const PriorityRelation& priority) {
   for (const auto& [higher, lower] : priority.edges()) {

@@ -51,6 +51,19 @@ class BlockDecomposition {
   /// Builds the decomposition in O(facts + conflicts).
   explicit BlockDecomposition(const ConflictGraph& cg);
 
+  /// Assembles a decomposition from parts computed elsewhere: the serve
+  /// layer (src/serve/session.cc) maintains blocks incrementally under
+  /// edits and re-materializes this view instead of rebuilding from the
+  /// graph.  `blocks` must be numbered positionally (blocks[i].id == i,
+  /// which the canonical numbering-by-smallest-fact-id ordering gives)
+  /// with ascending fact lists matching the bitsets; `block_of` maps
+  /// every fact to its block id, kNoBlock otherwise.  Unlike the graph
+  /// constructor, full cover of the id universe is NOT assumed: ids that
+  /// are neither free nor in a block are tombstoned (deleted) facts the
+  /// session excludes from the live universe.
+  BlockDecomposition(std::vector<Block> blocks, DynamicBitset free_facts,
+                     std::vector<size_t> block_of, size_t num_relations);
+
   size_t num_blocks() const { return blocks_.size(); }
   const std::vector<Block>& blocks() const { return blocks_; }
 

@@ -136,6 +136,45 @@ ConflictGraph::ConflictGraph(const Instance& instance)
   }
 }
 
+void ConflictGraph::ResizeUniverse(size_t num_facts) {
+  PREFREP_CHECK_MSG(num_facts >= adjacency_.size(),
+                    "the conflict-graph universe cannot shrink");
+  adjacency_.resize(num_facts);
+}
+
+void ConflictGraph::AddConflictEdges(FactId f,
+                                     const std::vector<FactId>& neighbors) {
+  PREFREP_CHECK_MSG(f < adjacency_.size(), "fact id out of range");
+  for (FactId g : neighbors) {
+    PREFREP_CHECK_MSG(g < adjacency_.size() && g != f,
+                      "bad conflict neighbor");
+    std::vector<FactId>& adj_f = adjacency_[f];
+    auto pos_f = std::lower_bound(adj_f.begin(), adj_f.end(), g);
+    PREFREP_CHECK_MSG(pos_f == adj_f.end() || *pos_f != g,
+                      "conflict edge inserted twice");
+    adj_f.insert(pos_f, g);
+    std::vector<FactId>& adj_g = adjacency_[g];
+    adj_g.insert(std::lower_bound(adj_g.begin(), adj_g.end(), f), f);
+    std::pair<FactId, FactId> edge{std::min(f, g), std::max(f, g)};
+    edges_.insert(std::lower_bound(edges_.begin(), edges_.end(), edge),
+                  edge);
+  }
+}
+
+void ConflictGraph::RemoveIncidentEdges(FactId f) {
+  PREFREP_CHECK_MSG(f < adjacency_.size(), "fact id out of range");
+  for (FactId g : adjacency_[f]) {
+    std::vector<FactId>& adj_g = adjacency_[g];
+    adj_g.erase(std::remove(adj_g.begin(), adj_g.end(), f), adj_g.end());
+  }
+  adjacency_[f].clear();
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [f](const std::pair<FactId, FactId>& e) {
+                                return e.first == f || e.second == f;
+                              }),
+               edges_.end());
+}
+
 DynamicBitset ConflictGraph::NeighborSet(FactId f) const {
   DynamicBitset out(adjacency_.size());
   for (FactId g : neighbors(f)) {

@@ -72,6 +72,24 @@ class ConflictGraph {
   /// Facts of `sub` that conflict with `f`.
   std::vector<FactId> ConflictsInSet(FactId f, const DynamicBitset& sub) const;
 
+  /// Serve-layer mutators (src/serve/session.cc): a resident session
+  /// maintains the graph incrementally under fact edits instead of
+  /// rebuilding it.  All three preserve the constructor's invariants —
+  /// sorted deduplicated adjacency, lexicographically sorted edge list —
+  /// so a mutated graph is indistinguishable from a rebuilt one.
+
+  /// Grows the vertex set to `num_facts` (new vertices isolated).
+  void ResizeUniverse(size_t num_facts);
+
+  /// Adds the edges {f, g} for every g in `neighbors` (callers pass the
+  /// exact δ-conflict set of a freshly inserted fact; pairs already
+  /// present are rejected as a bug).
+  void AddConflictEdges(FactId f, const std::vector<FactId>& neighbors);
+
+  /// Removes every edge incident to `f` (fact deletion).  The vertex
+  /// itself stays — ids are stable — it is simply isolated afterwards.
+  void RemoveIncidentEdges(FactId f);
+
  private:
   const Instance* instance_;
   std::vector<std::vector<FactId>> adjacency_;

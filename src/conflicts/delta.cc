@@ -1,0 +1,96 @@
+#include "conflicts/delta.h"
+
+#include <algorithm>
+
+#include "model/schema.h"
+
+namespace prefrep {
+
+namespace {
+
+// Projects a fact onto an attribute set, producing a hashable key
+// (same keying as the ConflictGraph constructor).
+std::vector<ValueId> Project(const Fact& f, AttrSet attrs) {
+  std::vector<ValueId> key;
+  key.reserve(static_cast<size_t>(attrs.size()));
+  attrs.ForEach([&](int a) { key.push_back(f.values[a - 1]); });
+  return key;
+}
+
+}  // namespace
+
+ConflictDeltaIndex::ConflictDeltaIndex(const Instance& instance)
+    : instance_(&instance) {
+  const Schema& schema = instance.schema();
+  tables_.resize(schema.num_relations());
+  for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
+    size_t nontrivial = 0;
+    for (const FD& fd : schema.fds(rel).fds()) {
+      if (!fd.IsTrivial()) {
+        ++nontrivial;
+      }
+    }
+    tables_[rel].resize(nontrivial);
+  }
+}
+
+std::vector<FactId> ConflictDeltaIndex::InsertAndCollect(FactId f) {
+  PREFREP_CHECK_MSG(!Contains(f), "fact is already indexed");
+  if (indexed_.size() <= f) {
+    indexed_.resize(f + 1, false);
+  }
+  indexed_[f] = true;
+  const Fact& fact = instance_->fact(f);
+  std::vector<FactId> neighbors;
+  size_t k = 0;
+  for (const FD& fd : instance_->schema().fds(fact.rel).fds()) {
+    if (fd.IsTrivial()) {
+      continue;
+    }
+    SubBuckets& subs = tables_[fact.rel][k++][Project(fact, fd.lhs)];
+    std::vector<ValueId> rhs_key = Project(fact, fd.rhs);
+    for (const auto& [key, group] : subs) {
+      if (key == rhs_key) {
+        continue;  // same rhs-projection: no δ-conflict under this FD
+      }
+      neighbors.insert(neighbors.end(), group.begin(), group.end());
+    }
+    subs[std::move(rhs_key)].push_back(f);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  return neighbors;
+}
+
+void ConflictDeltaIndex::Erase(FactId f) {
+  if (!Contains(f)) {
+    return;
+  }
+  indexed_[f] = false;
+  const Fact& fact = instance_->fact(f);
+  size_t k = 0;
+  for (const FD& fd : instance_->schema().fds(fact.rel).fds()) {
+    if (fd.IsTrivial()) {
+      continue;
+    }
+    Buckets& buckets = tables_[fact.rel][k++];
+    auto bucket_it = buckets.find(Project(fact, fd.lhs));
+    PREFREP_CHECK_MSG(bucket_it != buckets.end(),
+                      "indexed fact missing from its lhs bucket");
+    SubBuckets& subs = bucket_it->second;
+    auto sub_it = subs.find(Project(fact, fd.rhs));
+    PREFREP_CHECK_MSG(sub_it != subs.end(),
+                      "indexed fact missing from its rhs sub-bucket");
+    std::vector<FactId>& group = sub_it->second;
+    group.erase(std::remove(group.begin(), group.end(), f), group.end());
+    if (group.empty()) {
+      subs.erase(sub_it);
+      if (subs.empty()) {
+        buckets.erase(bucket_it);
+      }
+    }
+  }
+}
+
+}  // namespace prefrep

@@ -1,0 +1,66 @@
+// Copyright (c) prefrep contributors.
+// Delta conflict detection for resident sessions (src/serve).  The
+// one-shot ConflictGraph constructor buckets all facts per (relation,
+// FD) by their lhs-projection, sub-bucketed by rhs-projection, and
+// connects across sub-buckets.  A ConflictDeltaIndex keeps exactly
+// those buckets *alive* across edits, so inserting a fact finds its
+// δ-conflict neighbors in O(|∆| · bucket) instead of O(instance), and
+// deleting a fact just unhooks it from its buckets.
+//
+// The index tracks the live facts only: the serve layer tombstones
+// deleted facts (ids are stable, the Instance never shrinks), and a
+// tombstoned fact must neither conflict with anything nor be revived
+// into the wrong bucket — reviving re-inserts it like a fresh fact.
+
+#ifndef PREFREP_CONFLICTS_DELTA_H_
+#define PREFREP_CONFLICTS_DELTA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "model/instance.h"
+
+namespace prefrep {
+
+/// Persistent per-(relation, FD) conflict buckets over the live facts
+/// of one (growing) instance.
+class ConflictDeltaIndex {
+ public:
+  /// Binds `instance` (must outlive the index) with no facts indexed.
+  /// Callers Insert() every initially-live fact.
+  explicit ConflictDeltaIndex(const Instance& instance);
+
+  /// Indexes fact `f` and returns its δ-conflict neighbors among the
+  /// facts indexed so far — sorted ascending, deduplicated (a pair may
+  /// conflict under several FDs).  `f` must not be indexed already.
+  std::vector<FactId> InsertAndCollect(FactId f);
+
+  /// Unhooks fact `f` from every bucket.  No-op if `f` is not indexed.
+  void Erase(FactId f);
+
+  bool Contains(FactId f) const {
+    return f < indexed_.size() && indexed_[f];
+  }
+
+ private:
+  // One (relation, FD) bucket table: lhs-projection → rhs-projection →
+  // facts.  Two indexed facts conflict under this FD iff they share the
+  // outer key but sit in different inner groups.
+  using SubBuckets =
+      std::unordered_map<std::vector<ValueId>, std::vector<FactId>,
+                         VectorHash<ValueId>>;
+  using Buckets =
+      std::unordered_map<std::vector<ValueId>, SubBuckets,
+                         VectorHash<ValueId>>;
+
+  const Instance* instance_;
+  // tables_[rel][k] is the bucket table of the k-th nontrivial FD of
+  // relation rel (trivial FDs never produce conflicts and are skipped).
+  std::vector<std::vector<Buckets>> tables_;
+  std::vector<bool> indexed_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONFLICTS_DELTA_H_

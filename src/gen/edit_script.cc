@@ -1,0 +1,214 @@
+#include "gen/edit_script.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/macros.h"
+#include "base/random.h"
+#include "base/string_util.h"
+#include "io/ops_format.h"
+
+namespace prefrep {
+
+namespace {
+
+// One fact the script may ever reference.  A fact's priority rank is
+// its global creation order and never changes — revival re-inserts the
+// same label and constants, so every prefer edge points from an
+// earlier-created fact to a later-created one and the priority stays
+// acyclic over any prefix of the script.
+struct ScriptFact {
+  std::string label;
+  std::vector<std::string> constants;
+};
+
+// Live/tombstoned bookkeeping for one shard.  Indices refer to the
+// workload-wide fact table; `tombstoned` is a stack (most recent last)
+// so revival replays the most recently deleted fact first.
+struct ShardState {
+  std::vector<size_t> live;
+  std::vector<size_t> tombstoned;
+};
+
+SessionOp QueryOp(size_t turn) {
+  SessionOp op;
+  switch (turn % 8) {
+    case 0:
+      op.kind = SessionOp::Kind::kCheck;
+      op.semantics = AnswerSemantics::kGlobal;
+      break;
+    case 1:
+      op.kind = SessionOp::Kind::kCount;
+      op.semantics = AnswerSemantics::kGlobal;
+      break;
+    case 2:
+      op.kind = SessionOp::Kind::kCheck;
+      op.semantics = AnswerSemantics::kPareto;
+      break;
+    case 3:
+      op.kind = SessionOp::Kind::kConstruct;
+      break;
+    case 4:
+      op.kind = SessionOp::Kind::kCqa;
+      op.semantics = AnswerSemantics::kGlobal;
+      op.query = "Q(x) :- R(x, y, z)";
+      break;
+    case 5:
+      op.kind = SessionOp::Kind::kCount;
+      op.semantics = AnswerSemantics::kPareto;
+      break;
+    case 6:
+      op.kind = SessionOp::Kind::kCheck;
+      op.semantics = AnswerSemantics::kCompletion;
+      break;
+    default:
+      op.kind = SessionOp::Kind::kCqa;
+      op.semantics = AnswerSemantics::kAllRepairs;
+      op.query = "Q(y) :- R(x, y, z)";
+      break;
+  }
+  return op;
+}
+
+}  // namespace
+
+EditScriptWorkload MakeEditScriptWorkload(const EditScriptOptions& options) {
+  PREFREP_CHECK_MSG(options.shards >= 1,
+                    "an edit script needs at least one shard");
+  PREFREP_CHECK_MSG(options.facts_per_shard >= 2,
+                    "a shard below two facts is not a conflict block");
+  EditScriptWorkload out;
+
+  // R(3) with FD 1 → 2: facts sharing attribute 1 and differing on
+  // attribute 2 conflict pairwise, so each shard (one attribute-1
+  // constant, pairwise-distinct attribute-2 constants) is one clique.
+  Schema schema;
+  const RelId rel = schema.MustAddRelation("R", 3);
+  schema.MustAddFd(rel, FD(AttrSet{1}, AttrSet{2}));
+  out.problem = PreferredRepairProblem(std::move(schema));
+  Instance& inst = *out.problem.instance;
+  const std::string relation = inst.schema().relation_name(rel);
+
+  std::vector<ScriptFact> facts;  // index = creation rank
+  std::vector<ShardState> shard_state(options.shards);
+  auto shard_fact = [&](size_t shard, const std::string& label,
+                        std::string attr2) {
+    ScriptFact f;
+    f.label = label;
+    f.constants = {StrFormat("s%zu", shard), std::move(attr2),
+                   StrFormat("p%zu", facts.size())};
+    facts.push_back(f);
+    return facts.size() - 1;
+  };
+
+  for (size_t s = 0; s < options.shards; ++s) {
+    for (size_t i = 0; i < options.facts_per_shard; ++i) {
+      const size_t idx = shard_fact(s, StrFormat("s%zuf%zu", s, i),
+                                    StrFormat("v%zu_%zu", s, i));
+      inst.MustAddFact(relation, facts[idx].constants, facts[idx].label);
+      shard_state[s].live.push_back(idx);
+    }
+  }
+  out.problem.InitPriority();
+  for (size_t s = 0; s < options.shards; ++s) {
+    PREFREP_CHECK(out.problem.priority
+                      ->AddByLabels(StrFormat("s%zuf0", s),
+                                    StrFormat("s%zuf1", s))
+                      .ok());
+  }
+  out.problem.j = inst.EmptySubinstance();
+  for (size_t s = 0; s < options.shards; ++s) {
+    out.problem.j.set(inst.FindLabel(StrFormat("s%zuf0", s)));
+  }
+
+  Rng rng(options.seed);
+  ZipfTable zipf(options.shards, options.shard_skew);
+  size_t fresh_counter = 0;
+  size_t query_turn = 0;
+
+  auto emit = [&](const SessionOp& op) {
+    out.ops.push_back(SessionOpToString(op));
+  };
+  auto emit_insert = [&](size_t shard, size_t idx) {
+    SessionOp op;
+    op.kind = SessionOp::Kind::kInsert;
+    op.label = facts[idx].label;
+    op.relation = relation;
+    op.constants = facts[idx].constants;
+    emit(op);
+    shard_state[shard].live.push_back(idx);
+  };
+  auto fresh_insert = [&](size_t shard) {
+    const size_t idx =
+        shard_fact(shard, StrFormat("e%zu", fresh_counter),
+                   StrFormat("w%zu", fresh_counter));
+    ++fresh_counter;
+    emit_insert(shard, idx);
+  };
+
+  while (out.ops.size() < options.num_ops) {
+    // Every pass below emits exactly one op, so this is the op index.
+    const size_t op_index = out.ops.size();
+    if (options.jset_every != 0 && op_index > 0 &&
+        op_index % options.jset_every == 0) {
+      // Re-anchor J to the lowest-ranked live fact of every nonempty
+      // shard (deletes may have drained it).
+      SessionOp op;
+      op.kind = SessionOp::Kind::kJSet;
+      for (ShardState& state : shard_state) {
+        if (state.live.empty()) {
+          continue;
+        }
+        const size_t idx =
+            *std::min_element(state.live.begin(), state.live.end());
+        op.labels.push_back(facts[idx].label);
+      }
+      emit(op);
+      continue;
+    }
+    if (rng.NextBool(options.query_fraction)) {
+      emit(QueryOp(query_turn++));
+      continue;
+    }
+    const size_t shard = zipf.Sample(&rng);
+    ShardState& state = shard_state[shard];
+    if (rng.NextBool(options.delete_fraction) && !state.live.empty()) {
+      const size_t pos = rng.NextBounded(state.live.size());
+      const size_t idx = state.live[pos];
+      state.live.erase(state.live.begin() + static_cast<ptrdiff_t>(pos));
+      state.tombstoned.push_back(idx);
+      SessionOp op;
+      op.kind = SessionOp::Kind::kDelete;
+      op.label = facts[idx].label;
+      emit(op);
+      continue;
+    }
+    if (state.live.size() >= 2 && rng.NextBool(0.4)) {
+      // Prefer two live clique members, oriented by creation rank.
+      size_t a = state.live[rng.NextBounded(state.live.size())];
+      size_t b = state.live[rng.NextBounded(state.live.size())];
+      if (a != b) {
+        if (a > b) {
+          std::swap(a, b);
+        }
+        SessionOp op;
+        op.kind = SessionOp::Kind::kPrefer;
+        op.chain = {facts[a].label, facts[b].label};
+        emit(op);
+        continue;
+      }
+    }
+    if (!state.tombstoned.empty() && rng.NextBool(0.3)) {
+      // Revive the shard's most recently deleted fact (same label and
+      // constants — the session's revival path).
+      const size_t idx = state.tombstoned.back();
+      state.tombstoned.pop_back();
+      emit_insert(shard, idx);
+      continue;
+    }
+    fresh_insert(shard);
+  }
+  return out;
+}
+
+}  // namespace prefrep

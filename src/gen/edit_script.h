@@ -1,0 +1,75 @@
+// Copyright (c) prefrep contributors.
+// Edit-script workloads for the resident serving layer (src/serve).
+// A workload is a base prioritizing instance plus a stream of textual
+// session-op lines (src/io/ops_format.h) — inserts, deletes, prefers,
+// J updates and interleaved queries — that every serve consumer (the
+// randomized differential battery in tests/serve_test.cc, the
+// incremental-vs-rebuild benchmark in bench/bench_serve.cc, and
+// prefrepd batch scripts) replays identically.
+//
+// Shape: `shards` conflict cliques on one relation R(3) with FD 1 → 2.
+// All facts of a shard share attribute 1 and differ pairwise on
+// attribute 2, so a shard is one block; shards use disjoint constants,
+// so blocks are independent.  Edits pick their shard Zipf-skewed —
+// like real dirty data, a few hot entities absorb most of the churn
+// while the cold tail stays untouched, which is exactly the access
+// pattern incremental maintenance exploits (hot blocks re-solve, cold
+// blocks replay).
+//
+// Validity by construction: every delete names a live fact, inserts
+// use fresh "e<counter>" labels (or revive a tombstoned fact of the
+// same shard, exercising the revival path), and every prefer joins two
+// live facts of one shard — conflicting by the shard's shared
+// attribute 1 — oriented by a hidden linear order (global creation
+// order), so the priority stays conflict-bounded and acyclic across
+// any prefix of the script.
+
+#ifndef PREFREP_GEN_EDIT_SCRIPT_H_
+#define PREFREP_GEN_EDIT_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// Knobs for MakeEditScriptWorkload.
+struct EditScriptOptions {
+  /// Independent conflict cliques (blocks) in the base instance.
+  size_t shards = 16;
+  /// Initial facts per shard (each shard is one clique of this size).
+  size_t facts_per_shard = 4;
+  /// Session-op lines to generate.
+  size_t num_ops = 128;
+  /// Zipf exponent for shard selection (0 = uniform; higher = hotter
+  /// hot shards).
+  double shard_skew = 1.1;
+  /// Fraction of ops that are queries (check/count/construct/cqa); the
+  /// rest are edits.  Queries rotate through the semantics
+  /// deterministically.
+  double query_fraction = 0.25;
+  /// Among edits: probability of a delete (inserts and prefers split
+  /// the remainder evenly).
+  double delete_fraction = 0.34;
+  /// Every this many ops, a jset line re-anchors J to the first live
+  /// fact of every nonempty shard (0 disables).
+  size_t jset_every = 16;
+  uint64_t seed = 1;
+};
+
+/// A base problem plus the op lines to replay against it.
+struct EditScriptWorkload {
+  PreferredRepairProblem problem;
+  /// Textual session-op lines, parseable by ParseSessionOp; every line
+  /// is valid when executed in order (after any prefix of the script).
+  std::vector<std::string> ops;
+};
+
+/// Generates the sharded base instance and a Zipf-skewed edit/query
+/// script over it.  Deterministic given the options.
+EditScriptWorkload MakeEditScriptWorkload(const EditScriptOptions& options);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GEN_EDIT_SCRIPT_H_

@@ -23,6 +23,27 @@ ProblemContext::ProblemContext(const ConflictGraph& graph,
                     "priority relation is over a different instance");
 }
 
+ProblemContext::ProblemContext(const Instance& instance,
+                               const PriorityRelation& priority,
+                               const ResidentArtifacts& artifacts)
+    : instance_(&instance),
+      priority_(&priority),
+      external_graph_(artifacts.graph),
+      external_classification_(artifacts.classification),
+      external_ccp_classification_(artifacts.ccp_classification),
+      external_blocks_(artifacts.blocks),
+      external_priority_block_local_(artifacts.priority_block_local),
+      parallelism_(ThreadPool::HardwareConcurrency()) {
+  PREFREP_CHECK_MSG(&priority.instance() == &instance,
+                    "priority relation is over a different instance");
+  PREFREP_CHECK_MSG(
+      artifacts.graph != nullptr && artifacts.classification != nullptr &&
+          artifacts.ccp_classification != nullptr &&
+          artifacts.blocks != nullptr &&
+          artifacts.priority_block_local != nullptr,
+      "resident contexts must supply every artifact");
+}
+
 ProblemContext::ProblemContext(WorkerViewTag, const ProblemContext& parent,
                                ResourceGovernor* governor)
     : instance_(parent.instance_),

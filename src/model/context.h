@@ -48,6 +48,24 @@ class ProblemContext {
   /// outlive the context and belong to the same instance as `priority`.
   ProblemContext(const ConflictGraph& graph, const PriorityRelation& priority);
 
+  /// A fully-external artifact set for a *resident* context: the serve
+  /// layer (src/serve/session.h) owns every artifact and maintains them
+  /// incrementally across edits; the context only hands out references.
+  /// All pointers must be non-null and outlive the context.
+  struct ResidentArtifacts {
+    const ConflictGraph* graph = nullptr;
+    const SchemaClassification* classification = nullptr;
+    const CcpSchemaClassification* ccp_classification = nullptr;
+    const BlockDecomposition* blocks = nullptr;
+    const bool* priority_block_local = nullptr;
+  };
+
+  /// Binds resident artifacts.  Nothing is ever built lazily through
+  /// such a context; the owner re-creates it (it is a handful of
+  /// pointers) whenever it swaps an artifact out.
+  ProblemContext(const Instance& instance, const PriorityRelation& priority,
+                 const ResidentArtifacts& artifacts);
+
   PREFREP_DISALLOW_COPY(ProblemContext);
 
   const Instance& instance() const { return *instance_; }

@@ -1,5 +1,7 @@
 #include "priority/priority.h"
 
+#include <algorithm>
+
 #include "conflicts/conflicts.h"
 
 namespace prefrep {
@@ -11,10 +13,47 @@ PriorityRelation::PriorityRelation(const Instance* instance)
   dominated_by_.resize(instance->num_facts());
 }
 
+void PriorityRelation::SyncUniverse() {
+  if (dominates_.size() < instance_->num_facts()) {
+    dominates_.resize(instance_->num_facts());
+    dominated_by_.resize(instance_->num_facts());
+  }
+}
+
+size_t PriorityRelation::RemoveEdgesTouching(FactId f) {
+  size_t removed = 0;
+  std::vector<std::pair<FactId, FactId>> kept;
+  kept.reserve(edges_.size());
+  for (const auto& edge : edges_) {
+    if (edge.first != f && edge.second != f) {
+      kept.push_back(edge);
+      continue;
+    }
+    ++removed;
+    edge_set_.erase(edge);
+    // Unlink from the endpoint that survives; f's own lists are cleared
+    // wholesale below.  std::remove keeps the survivors' order.
+    if (edge.first == f) {
+      std::vector<FactId>& v = dominated_by_[edge.second];
+      v.erase(std::remove(v.begin(), v.end(), f), v.end());
+    } else {
+      std::vector<FactId>& v = dominates_[edge.first];
+      v.erase(std::remove(v.begin(), v.end(), f), v.end());
+    }
+  }
+  edges_ = std::move(kept);
+  if (f < dominates_.size()) {
+    dominates_[f].clear();
+    dominated_by_[f].clear();
+  }
+  return removed;
+}
+
 Status PriorityRelation::Add(FactId higher, FactId lower) {
   if (higher >= instance_->num_facts() || lower >= instance_->num_facts()) {
     return Status::OutOfRange("priority edge references unknown fact");
   }
+  SyncUniverse();
   if (higher == lower) {
     return Status::InvalidArgument(
         "priority self-loop on fact " + instance_->FactToString(higher) +
@@ -70,6 +109,9 @@ bool PriorityRelation::IsAcyclic() const {
     FactId f = queue.back();
     queue.pop_back();
     ++processed;
+    if (f >= dominates_.size()) {
+      continue;  // fact appended after construction, no edges yet
+    }
     for (FactId g : dominates_[f]) {
       if (--indegree[g] == 0) {
         queue.push_back(g);

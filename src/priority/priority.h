@@ -56,6 +56,18 @@ class PriorityRelation {
   /// Fatal-on-error convenience for literal construction.
   void MustAdd(FactId higher, FactId lower);
 
+  /// Removes every edge incident to `f` (both orientations), preserving
+  /// the relative order of the surviving edges — serialization order is
+  /// part of the serve layer's byte-identical-rebuild contract.  Returns
+  /// the number of edges removed.  Used when a fact is deleted.
+  size_t RemoveEdgesTouching(FactId f);
+
+  /// Grows the per-fact edge lists to cover facts appended to the
+  /// instance after this relation was constructed (fact ids are stable,
+  /// existing edges are unaffected).  Add() syncs automatically; callers
+  /// reading Dominates()/DominatedBy() for fresh facts must sync first.
+  void SyncUniverse();
+
   /// True iff f ≻ g was declared.
   bool Prefers(FactId f, FactId g) const {
     return edge_set_.count({f, g}) > 0;

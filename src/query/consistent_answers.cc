@@ -14,15 +14,21 @@ namespace {
 // result; kAllRepairs streams real repairs and is handled separately by
 // the Trilean entry points, which can still refute/confirm early.
 std::optional<std::vector<DynamicBitset>> RepairsForBounded(
-    const ProblemContext& ctx, AnswerSemantics semantics) {
+    const ProblemContext& ctx, AnswerSemantics semantics,
+    const DynamicBitset* all_repairs_universe = nullptr) {
   ResourceGovernor& governor = ctx.governor();
   if (semantics == AnswerSemantics::kAllRepairs) {
     std::vector<DynamicBitset> out;
-    ForEachRepair(ctx.conflict_graph(), governor,
-                  [&](const DynamicBitset& r) {
-                    out.push_back(r);
-                    return true;
-                  });
+    auto collect = [&](const DynamicBitset& r) {
+      out.push_back(r);
+      return true;
+    };
+    if (all_repairs_universe != nullptr) {
+      ForEachRepairWithin(ctx.conflict_graph(), *all_repairs_universe,
+                          governor, collect);
+    } else {
+      ForEachRepair(ctx.conflict_graph(), governor, collect);
+    }
     if (governor.exhausted()) {
       return std::nullopt;
     }
@@ -89,9 +95,9 @@ std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
 
 Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
     const ProblemContext& ctx, const ConjunctiveQuery& query,
-    AnswerSemantics semantics) {
+    AnswerSemantics semantics, const DynamicBitset* all_repairs_universe) {
   std::optional<std::vector<DynamicBitset>> repairs =
-      RepairsForBounded(ctx, semantics);
+      RepairsForBounded(ctx, semantics, all_repairs_universe);
   if (!repairs.has_value()) {
     Status status = ctx.governor().ToStatus();
     return status.ok() ? Status::ResourceExhausted(
@@ -134,20 +140,26 @@ bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
 
 Trilean CertainlyTrueBounded(const ProblemContext& ctx,
                              const ConjunctiveQuery& query,
-                             AnswerSemantics semantics) {
+                             AnswerSemantics semantics,
+                             const DynamicBitset* all_repairs_universe) {
   if (semantics == AnswerSemantics::kAllRepairs) {
     // Stream: each enumerated repair is complete, so one that falsifies
     // Q is a definite refutation even if the budget fires later.
     ResourceGovernor& governor = ctx.governor();
     bool refuted = false;
-    ForEachRepair(ctx.conflict_graph(), governor,
-                  [&](const DynamicBitset& repair) {
-                    if (!query.EvaluateBoolean(ctx.instance(), repair)) {
-                      refuted = true;
-                      return false;
-                    }
-                    return true;
-                  });
+    auto probe = [&](const DynamicBitset& repair) {
+      if (!query.EvaluateBoolean(ctx.instance(), repair)) {
+        refuted = true;
+        return false;
+      }
+      return true;
+    };
+    if (all_repairs_universe != nullptr) {
+      ForEachRepairWithin(ctx.conflict_graph(), *all_repairs_universe,
+                          governor, probe);
+    } else {
+      ForEachRepair(ctx.conflict_graph(), governor, probe);
+    }
     if (refuted) {
       return Trilean::kFalse;
     }
@@ -168,18 +180,24 @@ Trilean CertainlyTrueBounded(const ProblemContext& ctx,
 
 Trilean PossiblyTrueBounded(const ProblemContext& ctx,
                             const ConjunctiveQuery& query,
-                            AnswerSemantics semantics) {
+                            AnswerSemantics semantics,
+                            const DynamicBitset* all_repairs_universe) {
   if (semantics == AnswerSemantics::kAllRepairs) {
     ResourceGovernor& governor = ctx.governor();
     bool confirmed = false;
-    ForEachRepair(ctx.conflict_graph(), governor,
-                  [&](const DynamicBitset& repair) {
-                    if (query.EvaluateBoolean(ctx.instance(), repair)) {
-                      confirmed = true;
-                      return false;
-                    }
-                    return true;
-                  });
+    auto probe = [&](const DynamicBitset& repair) {
+      if (query.EvaluateBoolean(ctx.instance(), repair)) {
+        confirmed = true;
+        return false;
+      }
+      return true;
+    };
+    if (all_repairs_universe != nullptr) {
+      ForEachRepairWithin(ctx.conflict_graph(), *all_repairs_universe,
+                          governor, probe);
+    } else {
+      ForEachRepair(ctx.conflict_graph(), governor, probe);
+    }
     if (confirmed) {
       return Trilean::kTrue;
     }

@@ -67,15 +67,28 @@ bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
 /// even falsify with.  Under kAllRepairs every enumerated repair is
 /// complete, so a definite refutation (CertainlyTrue → kFalse) or
 /// confirmation (PossiblyTrue → kTrue) found before exhaustion stands.
+///
+/// `all_repairs_universe` (optional) restricts the kAllRepairs
+/// enumeration to the maximal consistent subsets of that fact set
+/// instead of the whole id range.  Resident sessions (src/serve) pass
+/// their live-fact mask here: their instances carry tombstoned ids that
+/// must not be enumerated as repair members.  Ignored under the
+/// optimal-repair semantics, whose per-block product already ranges
+/// over blocks ∪ free facts only.
 Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
     const ProblemContext& ctx, const ConjunctiveQuery& query,
-    AnswerSemantics semantics);
+    AnswerSemantics semantics,
+    const DynamicBitset* all_repairs_universe = nullptr);
 Trilean CertainlyTrueBounded(const ProblemContext& ctx,
                              const ConjunctiveQuery& query,
-                             AnswerSemantics semantics);
+                             AnswerSemantics semantics,
+                             const DynamicBitset* all_repairs_universe =
+                                 nullptr);
 Trilean PossiblyTrueBounded(const ProblemContext& ctx,
                             const ConjunctiveQuery& query,
-                            AnswerSemantics semantics);
+                            AnswerSemantics semantics,
+                            const DynamicBitset* all_repairs_universe =
+                                nullptr);
 
 }  // namespace prefrep
 

@@ -70,7 +70,8 @@ void GlobalVerdictImpl(const ConflictGraph& cg, const PriorityRelation& pr,
 void ParetoWitnessImpl(const ConflictGraph& cg, const PriorityRelation& pr,
                        const DynamicBitset& j, const CheckResult& result);
 void ConstructedRepairImpl(const ConflictGraph& cg, const PriorityRelation& pr,
-                           const DynamicBitset& repair, const char* origin);
+                           const DynamicBitset& repair, const char* origin,
+                           const DynamicBitset* universe);
 void ConstructedBlockRepairImpl(const ConflictGraph& cg,
                                 const PriorityRelation& pr,
                                 const DynamicBitset& universe,
@@ -173,18 +174,23 @@ inline void CheckParetoWitness(const ConflictGraph& cg,
 
 /// Postcondition for constructed repairs: consistent, ⊆-maximal, and on
 /// small instances globally-optimal (the completion ⊆ global inclusion
-/// the construction relies on).
+/// the construction relies on).  A non-null `universe` restricts every
+/// check to those facts: a resident session's instance may carry
+/// tombstoned facts outside the solving universe (serve/session.h),
+/// which are neither addable nor allowed to appear in the repair.
 inline void CheckConstructedRepair(const ConflictGraph& cg,
                                    const PriorityRelation& pr,
                                    const DynamicBitset& repair,
-                                   const char* origin) {
+                                   const char* origin,
+                                   const DynamicBitset* universe = nullptr) {
 #if PREFREP_AUDIT_ENABLED
-  internal::ConstructedRepairImpl(cg, pr, repair, origin);
+  internal::ConstructedRepairImpl(cg, pr, repair, origin, universe);
 #else
   (void)cg;
   (void)pr;
   (void)repair;
   (void)origin;
+  (void)universe;
 #endif
 }
 

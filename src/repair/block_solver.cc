@@ -433,9 +433,10 @@ CheckResult CacheAwareCheckBlock(const BlockSolver& solver,
   if (!governor.WouldAdmitBlock(b.size())) {
     return solver.CheckBlock(ctx, b, j);  // records the refusal
   }
+  const BlockFingerprint base = ComputeBlockFingerprint(ctx, b);
   const BlockFingerprint key =
-      DeriveOpKey(ComputeBlockFingerprint(ctx, b), BlockCacheOp::kVerdict,
-                  SolverSalt(solver), CanonicalSubsetDigest(b, j));
+      DeriveOpKey(base, BlockCacheOp::kVerdict, SolverSalt(solver),
+                  CanonicalSubsetDigest(b, j));
   if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
       entry.has_value() && MayServeCachedEntry(governor, *entry)) {
     cache->NoteHit();
@@ -485,7 +486,7 @@ CheckResult CacheAwareCheckBlock(const BlockSolver& solver,
   }
   entry.nodes = governor.nodes_spent() - nodes_before;
   entry.nodes_valid = !governor.unlimited();
-  cache->Store(key, std::move(entry));
+  cache->Store(base, key, std::move(entry));
   return result;
 }
 
@@ -503,9 +504,9 @@ std::vector<DynamicBitset> CachedOptimalBlockRepairs(const BlockSolver& solver,
   if (!governor.WouldAdmitBlock(b.size())) {
     return solver.OptimalBlockRepairs(ctx, b);  // records the refusal
   }
+  const BlockFingerprint base = ComputeBlockFingerprint(ctx, b);
   const BlockFingerprint key =
-      DeriveOpKey(ComputeBlockFingerprint(ctx, b), BlockCacheOp::kOptimalSet,
-                  SolverSalt(solver));
+      DeriveOpKey(base, BlockCacheOp::kOptimalSet, SolverSalt(solver));
   if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
       entry.has_value() && MayServeCachedEntry(governor, *entry)) {
     cache->NoteHit();
@@ -533,7 +534,7 @@ std::vector<DynamicBitset> CachedOptimalBlockRepairs(const BlockSolver& solver,
   }
   entry.nodes = governor.nodes_spent() - nodes_before;
   entry.nodes_valid = !governor.unlimited();
-  cache->Store(key, std::move(entry));
+  cache->Store(base, key, std::move(entry));
   return out;
 }
 
@@ -548,9 +549,9 @@ uint64_t CachedCountBlock(const BlockSolver& solver, const ProblemContext& ctx,
   if (!governor.WouldAdmitBlock(b.size())) {
     return solver.CountBlock(ctx, b);  // records the refusal
   }
-  const BlockFingerprint key = DeriveOpKey(ComputeBlockFingerprint(ctx, b),
-                                           BlockCacheOp::kCount,
-                                           SolverSalt(solver));
+  const BlockFingerprint base = ComputeBlockFingerprint(ctx, b);
+  const BlockFingerprint key =
+      DeriveOpKey(base, BlockCacheOp::kCount, SolverSalt(solver));
   if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
       entry.has_value() && MayServeCachedEntry(governor, *entry)) {
     cache->NoteHit();
@@ -573,7 +574,7 @@ uint64_t CachedCountBlock(const BlockSolver& solver, const ProblemContext& ctx,
   entry.count = count;
   entry.nodes = governor.nodes_spent() - nodes_before;
   entry.nodes_valid = !governor.unlimited();
-  cache->Store(key, std::move(entry));
+  cache->Store(base, key, std::move(entry));
   return count;
 }
 
@@ -765,10 +766,18 @@ std::vector<DynamicBitset> AllOptimalRepairs(const ProblemContext& ctx,
       return {};
     }
     audit::CheckBlockRepairSet(ctx, solver, b, optimal);
+    // The cross-product is where enumeration really explodes — the
+    // per-block sets above are at most 2^|block| each, but their
+    // product multiplies across blocks.  Charge one checkpoint per
+    // materialized repair so a node budget bounds the product itself,
+    // not just the per-block solves feeding it.
     std::vector<DynamicBitset> next;
     next.reserve(out.size() * optimal.size());
     for (const DynamicBitset& prefix : out) {
       for (const DynamicBitset& choice : optimal) {
+        if (!governor.Checkpoint()) {
+          return {};
+        }
         next.push_back(prefix | choice);
       }
     }

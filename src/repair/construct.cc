@@ -111,9 +111,10 @@ std::optional<DynamicBitset> CachedGreedyBlock(const ProblemContext& cx,
       options.tie_break == TieBreak::kRandom
           ? options.seed ^ ((bb.id + 1) * 0x9e3779b97f4a7c15ULL)
           : 0;
-  const BlockFingerprint key = DeriveOpKey(
-      ComputeBlockFingerprint(cx, bb), BlockCacheOp::kConstruct,
-      static_cast<uint64_t>(options.tie_break), stream_salt);
+  const BlockFingerprint base = ComputeBlockFingerprint(cx, bb);
+  const BlockFingerprint key =
+      DeriveOpKey(base, BlockCacheOp::kConstruct,
+                  static_cast<uint64_t>(options.tie_break), stream_salt);
   if (std::optional<BlockSolveCache::Entry> entry = cache->Lookup(key);
       entry.has_value() && MayServeCachedEntry(governor, *entry)) {
     cache->NoteHit();
@@ -140,7 +141,7 @@ std::optional<DynamicBitset> CachedGreedyBlock(const ProblemContext& cx,
   entry.repair_local = CanonicalizeSubset(bb, *out);
   entry.nodes = governor.nodes_spent() - nodes_before;
   entry.nodes_valid = !governor.unlimited();
-  cache->Store(key, std::move(entry));
+  cache->Store(base, key, std::move(entry));
   return out;
 }
 
@@ -188,8 +189,17 @@ DynamicBitset ConstructGloballyOptimalRepair(const ProblemContext& ctx,
   for (const Block& b : ctx.blocks().blocks()) {
     out |= session.Next(b);
   }
-  audit::CheckConstructedRepair(
-      cg, pr, out, "ConstructGloballyOptimalRepair (per-block)");
+  if (audit::Enabled()) {
+    // A resident context's instance may carry tombstoned facts outside
+    // the solving universe (free facts ∪ blocks); audit within it.
+    DynamicBitset universe = ctx.blocks().free_facts();
+    for (const Block& b : ctx.blocks().blocks()) {
+      universe |= b.facts;
+    }
+    audit::CheckConstructedRepair(
+        cg, pr, out, "ConstructGloballyOptimalRepair (per-block)",
+        &universe);
+  }
   return out;
 }
 
@@ -222,8 +232,15 @@ Result<DynamicBitset> TryConstructGloballyOptimalRepair(
     }
     out |= *block_repair;
   }
-  audit::CheckConstructedRepair(
-      cg, pr, out, "TryConstructGloballyOptimalRepair (per-block)");
+  if (audit::Enabled()) {
+    DynamicBitset universe = ctx.blocks().free_facts();
+    for (const Block& b : ctx.blocks().blocks()) {
+      universe |= b.facts;
+    }
+    audit::CheckConstructedRepair(
+        cg, pr, out, "TryConstructGloballyOptimalRepair (per-block)",
+        &universe);
+  }
   return out;
 }
 

@@ -1,0 +1,106 @@
+// Copyright (c) prefrep contributors.
+// The mutable-instance substrate of a resident solving session
+// (src/serve/session.h).  An Instance is append-only with stable dense
+// fact ids — exactly what bitset subinstances need — so mutation is
+// layered on top rather than in: a MutableInstance owns a private
+// Instance copy of the session's problem and represents deletion by
+// *tombstoning* (clearing the fact's bit in the live mask) and
+// re-insertion of identical content by *revival* (the Instance's set
+// semantics hand back the old id).  The id universe only ever grows,
+// which keeps every previously-issued id, bitset and block key valid
+// across arbitrary edit sequences.
+//
+// Every fact is labeled: facts parsed with labels keep them, unlabeled
+// facts get the synthetic f<id> label the text format would print.
+// Labels are what make the serving contract checkable — answers are
+// rendered through labels, so a from-scratch rebuild on the serialized
+// live state (whose ids are compacted) still prints byte-identical
+// output.
+
+#ifndef PREFREP_SERVE_MUTABLE_INSTANCE_H_
+#define PREFREP_SERVE_MUTABLE_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/dynamic_bitset.h"
+#include "base/status.h"
+#include "model/problem.h"
+
+namespace prefrep {
+
+/// An editable fact set with stable ids: tombstone deletes, revival
+/// inserts, synthesized labels, and an edit generation counter.
+class MutableInstance {
+ public:
+  /// Deep-copies `problem`'s instance (schema, facts, labels) fact by
+  /// fact, preserving ids, and synthesizes f<id> labels for unlabeled
+  /// facts.  All facts start live.  The priority and J of `problem` are
+  /// NOT copied — the session layers those separately.
+  explicit MutableInstance(const PreferredRepairProblem& problem);
+
+  PREFREP_DISALLOW_COPY(MutableInstance);
+
+  const Schema& schema() const { return *schema_; }
+  const Instance& instance() const { return *instance_; }
+
+  /// Universe size, including tombstoned ids.
+  size_t universe_size() const { return instance_->num_facts(); }
+
+  size_t num_live() const { return live_.count(); }
+
+  /// Live mask at universe size (tombstoned ids clear).
+  const DynamicBitset& live() const { return live_; }
+
+  bool IsLive(FactId f) const {
+    return f < live_.size() && live_.test(f);
+  }
+
+  /// Monotone counter bumped by every successful Insert/Tombstone.
+  uint64_t generation() const { return generation_; }
+
+  struct InsertOutcome {
+    FactId id = kInvalidFactId;
+    /// True when the fact already existed live (idempotent no-op).
+    bool already_live = false;
+    /// True when a tombstoned fact of identical content was revived.
+    bool revived = false;
+  };
+
+  /// Inserts (or revives) the fact `relation_name(constants...)` under
+  /// `label`.  Errors: unknown relation, arity mismatch, `label` bound
+  /// to a fact of different content, or content already present under a
+  /// different label (labels are permanent, so the insert cannot
+  /// honestly take effect).
+  Result<InsertOutcome> Insert(std::string_view relation_name,
+                               const std::vector<std::string>& constants,
+                               std::string_view label);
+
+  /// Tombstones the live fact named `label`.  Errors when the label is
+  /// unknown or already tombstoned.
+  Result<FactId> Tombstone(std::string_view label);
+
+  /// Resolves a label to a *live* fact id; errors otherwise.
+  Result<FactId> ResolveLive(std::string_view label) const;
+
+  /// Serializes the live state (schema, live facts in id order,
+  /// `priority` edges, `j`) in the io/text_format grammar.  Parsing the
+  /// result rebuilds this state under an order-preserving id
+  /// compaction, which is what the session's byte-identical-rebuild
+  /// contract rests on.
+  std::string SerializeLive(const PriorityRelation* priority,
+                            const DynamicBitset* j) const;
+
+ private:
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Instance> instance_;
+  DynamicBitset live_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_SERVE_MUTABLE_INSTANCE_H_

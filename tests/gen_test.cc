@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "cache/block_fingerprint.h"
+#include "gen/edit_script.h"
 #include "gen/hard_workloads.h"
+#include "io/ops_format.h"
 #include "gen/random_instance.h"
 #include "model/context.h"
 #include "repair/checker.h"
@@ -168,6 +170,86 @@ TEST(ShardedWorkloadTest, DistinctBlocksKeepsJOptimalAndShapeIdentical) {
   auto outcome = checker.CheckGloballyOptimal(distinct.j);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_TRUE(outcome->result.optimal);
+}
+
+TEST(EditScriptTest, BaseInstanceIsOneBlockPerShard) {
+  EditScriptOptions opts;
+  opts.shards = 5;
+  opts.facts_per_shard = 4;
+  EditScriptWorkload w = MakeEditScriptWorkload(opts);
+  ProblemContext ctx(*w.problem.instance, *w.problem.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), opts.shards);
+  for (const Block& b : ctx.blocks().blocks()) {
+    EXPECT_EQ(b.fact_list.size(), opts.facts_per_shard);
+  }
+  EXPECT_TRUE(w.problem.priority->Validate(PriorityMode::kConflictOnly).ok());
+  EXPECT_EQ(w.problem.j.count(), opts.shards);
+}
+
+TEST(EditScriptTest, EveryGeneratedLineParses) {
+  EditScriptOptions opts;
+  opts.num_ops = 200;
+  opts.seed = 3;
+  EditScriptWorkload w = MakeEditScriptWorkload(opts);
+  EXPECT_EQ(w.ops.size(), opts.num_ops);
+  size_t edits = 0;
+  size_t queries = 0;
+  for (const std::string& line : w.ops) {
+    Result<SessionOp> op = ParseSessionOp(line);
+    ASSERT_TRUE(op.ok()) << line << ": " << op.status().ToString();
+    switch (op->kind) {
+      case SessionOp::Kind::kInsert:
+      case SessionOp::Kind::kDelete:
+      case SessionOp::Kind::kPrefer:
+        ++edits;
+        break;
+      case SessionOp::Kind::kCheck:
+      case SessionOp::Kind::kCount:
+      case SessionOp::Kind::kConstruct:
+      case SessionOp::Kind::kCqa:
+        ++queries;
+        break;
+      default:
+        break;
+    }
+  }
+  // The mix respects query_fraction loosely (it is a coin, not a quota).
+  EXPECT_GT(edits, queries);
+  EXPECT_GT(queries, 0u);
+}
+
+TEST(EditScriptTest, ZipfSkewConcentratesEditsOnHotShards) {
+  EditScriptOptions opts;
+  opts.shards = 8;
+  opts.num_ops = 300;
+  opts.shard_skew = 2.0;
+  opts.query_fraction = 0.0;
+  opts.jset_every = 0;
+  opts.seed = 17;
+  EditScriptWorkload w = MakeEditScriptWorkload(opts);
+  // Fresh inserts carry their shard in the first constant: R(s<k>, ...).
+  size_t hot = 0;
+  size_t cold = 0;
+  for (const std::string& line : w.ops) {
+    if (line.find("R(s0,") != std::string::npos) {
+      ++hot;
+    }
+    if (line.find("R(s7,") != std::string::npos) {
+      ++cold;
+    }
+  }
+  EXPECT_GT(hot, cold);
+}
+
+TEST(EditScriptTest, DeterministicGivenSeed) {
+  EditScriptOptions opts;
+  opts.num_ops = 64;
+  opts.seed = 9;
+  EXPECT_EQ(MakeEditScriptWorkload(opts).ops, MakeEditScriptWorkload(opts).ops);
+  EditScriptOptions other = opts;
+  other.seed = 10;
+  EXPECT_NE(MakeEditScriptWorkload(other).ops,
+            MakeEditScriptWorkload(opts).ops);
 }
 
 TEST(ShardedWorkloadTest, JIsGloballyOptimalAtEveryThreadCount) {

@@ -1,0 +1,345 @@
+// Tests for the resident serving layer (serve/): incremental
+// conflict/block maintenance under insert/delete/prefer, the batched
+// op API, and the byte-identical-to-rebuild contract — after any edit
+// sequence every query reply must equal the reply of a fresh session
+// built from the serialized live state, across threads 1/8, cache
+// on/off, and governed/ungoverned configurations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/edit_script.h"
+#include "io/ops_format.h"
+#include "io/text_format.h"
+#include "serve/session.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+using testing_util::ProblemSpec;
+
+std::unique_ptr<SessionContext> MustCreate(const PreferredRepairProblem& p,
+                                           SessionOptions options = {}) {
+  Result<std::unique_ptr<SessionContext>> session =
+      SessionContext::Create(p, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+std::string MustExecute(SessionContext& session, const std::string& line) {
+  Result<SessionOp> op = ParseSessionOp(line);
+  EXPECT_TRUE(op.ok()) << line << ": " << op.status().ToString();
+  Result<std::string> reply = session.Execute(*op);
+  EXPECT_TRUE(reply.ok()) << line << ": " << reply.status().ToString();
+  return reply.ok() ? *reply : std::string();
+}
+
+// The base fixture problem: two independent blocks {a1, a2} and
+// {b1, b2, b3} plus the free fact c1, with a1 ≻ a2 and b1 ≻ b2.
+PreferredRepairProblem FixtureProblem() {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a1: ka, x1", "a2: ka, x2", "b1: kb, y1",
+                "b2: kb, y2", "b3: kb, y3", "c1: kc, z1"};
+  spec.priorities = {"a1 > a2", "b1 > b2"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  p.j = testing_util::Sub(*p.instance, {"a1", "b1", "c1"});
+  return p;
+}
+
+// Every query the battery compares, in one deterministic order.
+std::vector<std::string> AllQueries() {
+  return {
+      "check global",
+      "check pareto",
+      "check completion",
+      "count global",
+      "count pareto",
+      "count completion",
+      "construct",
+      "cqa global Q(x) :- R(x, y)",
+      "cqa repairs Q(y) :- R(x, y)",
+  };
+}
+
+// Asserts that `session` answers every query byte-identically to a
+// fresh session built by parsing session.SerializeLive().  This is THE
+// serving-layer contract: incremental maintenance must be externally
+// invisible.
+void ExpectMatchesRebuild(SessionContext& session, SessionOptions options,
+                          const std::string& note) {
+  const std::string text = session.SerializeLive();
+  Result<PreferredRepairProblem> reparsed = ParseProblemText(text);
+  ASSERT_TRUE(reparsed.ok()) << note << ": " << reparsed.status().ToString();
+  std::unique_ptr<SessionContext> rebuilt = MustCreate(*reparsed, options);
+  // The rebuilt session's J comes from the serialized `j` clause; the
+  // live session's J is whatever the edits left.  SerializeLive emits
+  // it, so the two agree by construction — just confirm.
+  ASSERT_EQ(session.JSubinstance().count(),
+            rebuilt->JSubinstance().count())
+      << note;
+  for (const std::string& query : AllQueries()) {
+    const std::string live_reply = MustExecute(session, query);
+    const std::string rebuilt_reply = MustExecute(*rebuilt, query);
+    EXPECT_EQ(live_reply, rebuilt_reply) << note << " query: " << query;
+  }
+}
+
+// ---- Directed edit/boundary cases ----------------------------------
+
+TEST(ServeSessionTest, InsertIntoFreeSpaceStaysFree) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  const std::string reply = MustExecute(*s, "insert d1 R(kd, w1)");
+  EXPECT_NE(reply.find("(free)"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "free insert");
+}
+
+TEST(ServeSessionTest, InsertMergesFreeFactIntoBlock) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  // c2 conflicts the free fact c1: the pair becomes a new 2-block.
+  const std::string reply = MustExecute(*s, "insert c2 R(kc, z2)");
+  EXPECT_NE(reply.find("block of 2"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "free->block merge");
+}
+
+TEST(ServeSessionTest, InsertMergesTwoBlocksViaBridgeFact) {
+  ProblemSpec spec;
+  spec.arity = 3;
+  // FDs 1→2 and 2→3: {a1,a2} conflict on attribute 1, {b1,b2} on
+  // attribute 2 — a bridge fact sharing ka and m2 joins both.
+  spec.fds = {"1 -> 2", "2 -> 3"};
+  spec.facts = {"a1: ka, m1, t1", "a2: ka, m1b, t2", "b1: kb, m2, u1",
+                "b2: kb2, m2, u2"};
+  spec.priorities = {};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  p.j = p.instance->EmptySubinstance();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  const std::string reply = MustExecute(*s, "insert z R(ka, m2, t9)");
+  EXPECT_NE(reply.find("block of 5"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "two-block merge");
+}
+
+TEST(ServeSessionTest, DeleteSplitsBlockAndFreesSingletons) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  // {a1, a2} is a 2-block; deleting a1 leaves a2 free (0 blocks remain).
+  const std::string reply = MustExecute(*s, "delete a1");
+  EXPECT_NE(reply.find("0 block(s) remain"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "block->free split");
+}
+
+TEST(ServeSessionTest, DeleteBridgeResplitsMergedBlock) {
+  ProblemSpec spec;
+  spec.arity = 3;
+  spec.fds = {"1 -> 2", "2 -> 3"};
+  spec.facts = {"a1: ka, m1, t1", "a2: ka, m1b, t2", "b1: kb, m2, u1",
+                "b2: kb2, m2, u2", "z: ka, m2, t9"};
+  spec.priorities = {};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  p.j = p.instance->EmptySubinstance();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  // z bridges {a1,a2} and {b1,b2} into one 5-block; removing it
+  // restores the two original blocks.
+  const std::string reply = MustExecute(*s, "delete z");
+  EXPECT_NE(reply.find("2 block(s) remain"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "bridge delete resplit");
+}
+
+TEST(ServeSessionTest, DeleteDropsJMember) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  const size_t before = s->JSubinstance().count();
+  MustExecute(*s, "delete b1");
+  EXPECT_EQ(s->JSubinstance().count(), before - 1);
+  ExpectMatchesRebuild(*s, {}, "delete J member");
+}
+
+TEST(ServeSessionTest, RevivalRestoresIdenticalFact) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  MustExecute(*s, "delete b3");
+  const std::string reply = MustExecute(*s, "insert b3 R(kb, y3)");
+  EXPECT_NE(reply.find("revived"), std::string::npos) << reply;
+  ExpectMatchesRebuild(*s, {}, "revival");
+}
+
+TEST(ServeSessionTest, RevivalRejectsChangedContent) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  MustExecute(*s, "delete b3");
+  Result<SessionOp> op = ParseSessionOp("insert b3 R(kb, CHANGED)");
+  ASSERT_TRUE(op.ok());
+  Result<std::string> reply = s->Execute(*op);
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(ServeSessionTest, PreferInvalidatesWithoutChangingBlocks) {
+  PreferredRepairProblem p = FixtureProblem();
+  SessionOptions options;
+  options.cache_capacity = 64;
+  std::unique_ptr<SessionContext> s = MustCreate(p, options);
+  const std::string cold = MustExecute(*s, "check global");
+  MustExecute(*s, "prefer b2 > b3");
+  ExpectMatchesRebuild(*s, options, "prefer");
+  // And the new edge is really in force, not served stale from cache.
+  const std::string after = MustExecute(*s, "check global");
+  std::unique_ptr<SessionContext> fresh =
+      MustCreate(*ParseProblemText(s->SerializeLive()));
+  EXPECT_EQ(after, MustExecute(*fresh, "check global"));
+  (void)cold;
+}
+
+TEST(ServeSessionTest, PreferRejectsCycles) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  // The fixture has b1 ≻ b2 already; closing the triangle must fail.
+  MustExecute(*s, "prefer b2 > b3");
+  Result<SessionOp> op = ParseSessionOp("prefer b3 > b1");
+  ASSERT_TRUE(op.ok());
+  Result<std::string> reply = s->Execute(*op);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("cycle"), std::string::npos)
+      << reply.status().ToString();
+}
+
+TEST(ServeSessionTest, PreferRejectsNonConflictingPair) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  Result<SessionOp> op = ParseSessionOp("prefer a1 > b1");
+  ASSERT_TRUE(op.ok());
+  Result<std::string> reply = s->Execute(*op);
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(ServeSessionTest, BudgetOpGovernsFollowingQueries) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  MustExecute(*s, "budget max-nodes 1");
+  const std::string reply = MustExecute(*s, "count global");
+  EXPECT_NE(reply.find(">="), std::string::npos) << reply;
+  MustExecute(*s, "budget");
+  const std::string exact = MustExecute(*s, "count global");
+  EXPECT_EQ(exact.find(">="), std::string::npos) << exact;
+}
+
+// ---- Randomized differential battery -------------------------------
+
+struct BatteryConfig {
+  size_t threads;
+  size_t cache_capacity;
+  bool governed;
+  const char* name;
+};
+
+void RunBattery(const BatteryConfig& config, uint64_t seed) {
+  EditScriptOptions gen;
+  gen.shards = 6;
+  gen.facts_per_shard = 3;
+  gen.num_ops = 60;
+  gen.seed = seed;
+  EditScriptWorkload workload = MakeEditScriptWorkload(gen);
+
+  SessionOptions options;
+  options.threads = config.threads;
+  options.cache_capacity = config.cache_capacity;
+  std::unique_ptr<SessionContext> session =
+      MustCreate(workload.problem, options);
+  if (config.governed) {
+    MustExecute(*session, "budget max-nodes 100000");
+  }
+  size_t edits_since_check = 0;
+  for (size_t i = 0; i < workload.ops.size(); ++i) {
+    const std::string& line = workload.ops[i];
+    SCOPED_TRACE(config.name + std::string(" op ") + std::to_string(i) +
+                 ": " + line);
+    MustExecute(*session, line);
+    if (++edits_since_check >= 7) {
+      edits_since_check = 0;
+      ExpectMatchesRebuild(*session, options,
+                           config.name + std::string(" after op ") +
+                               std::to_string(i));
+      if (::testing::Test::HasFailure()) {
+        return;
+      }
+    }
+  }
+  ExpectMatchesRebuild(*session, options, config.name + std::string(" end"));
+}
+
+TEST(ServeBatteryTest, SerialNoCache) {
+  RunBattery({1, 0, false, "serial/nocache"}, 7);
+}
+
+TEST(ServeBatteryTest, SerialCached) {
+  RunBattery({1, 128, false, "serial/cache"}, 7);
+}
+
+TEST(ServeBatteryTest, ParallelNoCache) {
+  RunBattery({8, 0, false, "threads8/nocache"}, 11);
+}
+
+TEST(ServeBatteryTest, ParallelCached) {
+  RunBattery({8, 128, false, "threads8/cache"}, 11);
+}
+
+TEST(ServeBatteryTest, GovernedCached) {
+  RunBattery({1, 128, true, "governed/cache"}, 13);
+}
+
+// Cache on vs cache off must agree byte for byte on the same script —
+// the node-replay contract extended to the serving layer.
+TEST(ServeBatteryTest, CacheOnOffAgree) {
+  EditScriptOptions gen;
+  gen.shards = 5;
+  gen.facts_per_shard = 3;
+  gen.num_ops = 50;
+  gen.seed = 23;
+  EditScriptWorkload workload = MakeEditScriptWorkload(gen);
+  SessionOptions with_cache;
+  with_cache.cache_capacity = 128;
+  std::unique_ptr<SessionContext> cached =
+      MustCreate(workload.problem, with_cache);
+  std::unique_ptr<SessionContext> uncached = MustCreate(workload.problem);
+  for (size_t i = 0; i < workload.ops.size(); ++i) {
+    const std::string& line = workload.ops[i];
+    SCOPED_TRACE("op " + std::to_string(i) + ": " + line);
+    EXPECT_EQ(MustExecute(*cached, line), MustExecute(*uncached, line));
+  }
+  for (const std::string& query : AllQueries()) {
+    EXPECT_EQ(MustExecute(*cached, query), MustExecute(*uncached, query))
+        << query;
+  }
+}
+
+// ---- Generator sanity ----------------------------------------------
+
+TEST(ServeScriptTest, GeneratedScriptsExecuteCleanly) {
+  EditScriptOptions gen;
+  gen.shards = 4;
+  gen.facts_per_shard = 2;
+  gen.num_ops = 80;
+  gen.seed = 99;
+  EditScriptWorkload workload = MakeEditScriptWorkload(gen);
+  EXPECT_EQ(workload.ops.size(), gen.num_ops);
+  std::unique_ptr<SessionContext> session = MustCreate(workload.problem);
+  for (const std::string& line : workload.ops) {
+    MustExecute(*session, line);  // every generated op must succeed
+  }
+}
+
+TEST(ServeScriptTest, ScriptsAreDeterministic) {
+  EditScriptOptions gen;
+  gen.num_ops = 40;
+  gen.seed = 5;
+  EXPECT_EQ(MakeEditScriptWorkload(gen).ops, MakeEditScriptWorkload(gen).ops);
+}
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Runs the serving-layer benchmark and distills BENCH_serve.json.
+
+    python3 tools/bench_to_json.py [--bench <path>] [--out <path>]
+
+Drives bench/bench_serve (built binary; default build/bench/bench_serve)
+with --benchmark_format=json and reduces the raw Google-Benchmark dump
+to the three serving-layer figures tracked in EXPERIMENTS.md (B15):
+
+  edit_latency_us      — one tombstone/revival round trip, per edit
+  steady_state_ops_sec — op throughput over the Zipf edit/query script
+  speedup              — per (blocks, cache) point: BM_ServeRebuild
+                         time / BM_ServeIncremental time, the
+                         incremental-vs-rebuild gap at one edit per
+                         query (the ISSUE gate: >= 10x at 64 blocks)
+
+Stdlib-only by design (runs in CI and the bare build container).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_bench(bench: Path) -> dict:
+    cmd = [str(bench), "--benchmark_format=json",
+           "--benchmark_min_time=0.2"]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def by_name(raw: dict) -> dict[str, dict]:
+    return {b["name"]: b for b in raw.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def time_ns(bench: dict) -> float:
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return float(bench["real_time"]) * scale
+
+
+def distill(raw: dict) -> dict:
+    benches = by_name(raw)
+    out: dict = {
+        "benchmark": "bench_serve",
+        "context": {
+            "host": raw.get("context", {}).get("host_name", ""),
+            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "date": raw.get("context", {}).get("date", ""),
+        },
+        "edit_latency_us": {},
+        "steady_state_ops_sec": None,
+        "speedup": {},
+    }
+    for name, bench in benches.items():
+        if name.startswith("BM_ServeEditLatency/"):
+            blocks = name.split("/")[1]
+            # Two edits per iteration (delete + revival).
+            out["edit_latency_us"][blocks] = time_ns(bench) / 2 / 1e3
+        elif name.startswith("BM_ServeScriptReplay/"):
+            ops = float(name.split("/")[1])
+            out["steady_state_ops_sec"] = ops / (time_ns(bench) / 1e9)
+    for blocks in ("64", "256"):
+        rebuild = benches.get(f"BM_ServeRebuild/{blocks}")
+        if rebuild is None:
+            continue
+        for cache in ("0", "1"):
+            incremental = benches.get(f"BM_ServeIncremental/{blocks}/{cache}")
+            if incremental is None:
+                continue
+            key = f"blocks={blocks}/cache={'on' if cache == '1' else 'off'}"
+            out["speedup"][key] = {
+                "rebuild_us": time_ns(rebuild) / 1e3,
+                "incremental_us": time_ns(incremental) / 1e3,
+                "speedup": time_ns(rebuild) / time_ns(incremental),
+            }
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--bench",
+                        default=str(REPO_ROOT / "build/bench/bench_serve"),
+                        help="path to the built bench_serve binary")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_serve.json"),
+                        help="output JSON path")
+    args = parser.parse_args()
+    bench = Path(args.bench)
+    if not bench.exists():
+        print(f"bench_to_json: no binary at {bench} — build bench_serve first",
+              file=sys.stderr)
+        return 1
+    summary = distill(run_bench(bench))
+    Path(args.out).write_text(json.dumps(summary, indent=2) + "\n",
+                              encoding="utf-8")
+    gate = summary["speedup"].get("blocks=64/cache=on", {}).get("speedup")
+    print(f"bench_to_json: wrote {args.out}")
+    for key, row in summary["speedup"].items():
+        print(f"  {key}: {row['speedup']:.1f}x "
+              f"({row['rebuild_us']:.0f}us -> {row['incremental_us']:.1f}us)")
+    if gate is not None and gate < 10.0:
+        print(f"bench_to_json: WARNING speedup gate "
+              f"(>=10x at 64 blocks, cache on) not met: {gate:.1f}x",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

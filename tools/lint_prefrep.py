@@ -56,6 +56,16 @@ Checks
                    comment in the fingerprint source, so any new field
                    forces a human decision (absorb it, or document why
                    it is derived) before the count is bumped.
+9. delta-field-guard
+                   The serving layer (src/serve/session.h) re-derives
+                   every field of struct Block when it materializes the
+                   incremental block view — a field added to Block that
+                   EnsureFresh does not populate would silently reach
+                   the solvers default-initialized after the first edit.
+                   Like check 8, the session header must carry a
+                   `// delta-field-guard: Block=N` comment matching the
+                   actual field count, forcing the delta path and the
+                   cache fingerprint to be revisited together.
 
 Exit status 0 when clean; 1 with one `path:line: message` per finding
 otherwise.  The script is stdlib-only by design (it must run in CI and in
@@ -106,6 +116,10 @@ PRIORITY_HEADER = Path("src/priority/priority.h")
 FINGERPRINT_SOURCE = Path("src/cache/block_fingerprint.cc")
 FINGERPRINT_GUARD_RE = re.compile(
     r"fingerprint-field-guard:\s*Block=(\d+)\s+PriorityRelation=(\d+)")
+
+# The incremental block-maintenance path and its guard comment.
+SESSION_HEADER = Path("src/serve/session.h")
+DELTA_GUARD_RE = re.compile(r"delta-field-guard:\s*Block=(\d+)")
 
 NOLINT_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
 NOLINT_WITH_CHECKS_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN)?\(([^)]+)\)")
@@ -289,7 +303,14 @@ class Linter:
 
     # -- check 8: fingerprint input field counts ---------------------------
     def count_block_fields(self) -> int | None:
-        """Counts the data members of struct Block in conflicts/blocks.h."""
+        """Counts the data members of struct Block in conflicts/blocks.h
+        (memoized — checks 8 and 9 share the count)."""
+        if hasattr(self, "_block_fields"):
+            return self._block_fields
+        self._block_fields = self._count_block_fields_uncached()
+        return self._block_fields
+
+    def _count_block_fields_uncached(self) -> int | None:
         path = REPO_ROOT / BLOCK_HEADER
         if not path.exists():
             self.report(BLOCK_HEADER, 1, "fingerprint-guard", "file missing")
@@ -375,6 +396,39 @@ class Linter:
                 "absorb it (or why it is derived), then update the guard "
                 "comment")
 
+    # -- check 9: incremental maintenance field coverage -------------------
+    def check_delta_guard(self) -> None:
+        path = REPO_ROOT / SESSION_HEADER
+        if not path.exists():
+            self.report(
+                SESSION_HEADER, 1, "delta-field-guard",
+                "file missing — the serving layer's incremental block "
+                "view must exist alongside conflicts/blocks.h")
+            return
+        blocks = self.count_block_fields()
+        if blocks is None:
+            return
+        text = path.read_text(encoding="utf-8")
+        m = DELTA_GUARD_RE.search(text)
+        line = next((i for i, l in enumerate(text.split("\n"), start=1)
+                     if "delta-field-guard" in l), 1)
+        if m is None:
+            self.report(
+                SESSION_HEADER, 1, "delta-field-guard",
+                "missing '// delta-field-guard: Block=N' comment pinning "
+                f"the Block field count (currently {blocks}) — EnsureFresh "
+                "must re-derive every Block field when materializing the "
+                "incremental view")
+            return
+        if int(m.group(1)) != blocks:
+            self.report(
+                SESSION_HEADER, line, "delta-field-guard",
+                f"struct Block has {blocks} field(s) but the guard claims "
+                f"{int(m.group(1))} — a field was added or removed; teach "
+                "the session's EnsureFresh/InstallBlock path to derive it "
+                "(or document why it needs no delta handling), then update "
+                "the guard comment")
+
     # -- driver ------------------------------------------------------------
     def run(self) -> int:
         files = []
@@ -398,6 +452,7 @@ class Linter:
             self.check_raw_thread(rel, code_lines)
         self.check_tsan_suppressions()
         self.check_fingerprint_guard()
+        self.check_delta_guard()
         return len(files)
 
 
