@@ -227,6 +227,16 @@ class ResourceGovernor {
   std::chrono::steady_clock::time_point start() const { return start_; }
 
  private:
+  // Concurrency contract (TSAN-verified; see also the tsa preset):
+  // the atomic counters below are the only fields written after a
+  // governor becomes visible to other threads — they are shared
+  // headroom state and need no lock.  Everything else (budget_, armed_,
+  // fault_at_, cancel_bound_, cancel_position_, start_) is
+  // configuration written by the single owner before the governor is
+  // shared (construction, ArmCancellation, the *ForTesting hook) and
+  // read-only afterwards, which is why no PREFREP_GUARDED_BY appears
+  // here: there is no lock, by design — the unarmed Checkpoint() fast
+  // path must stay write-free and fence-free.
   bool CheckpointSlow();
   void Exhaust(ExhaustCause cause) {
     // First cause wins; a racing second exhaustion keeps the original

@@ -32,8 +32,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error outcome.  Cheap to copy in the OK case (no
-/// allocation); error states carry a message.
-class Status {
+/// allocation); error states carry a message.  [[nodiscard]] at the
+/// class level: a dropped Status is a swallowed failure, so ignoring
+/// any Status-returning call is a compile warning (-Werror in the
+/// strict presets) at every call site, annotated or not.  Deliberate
+/// drops must say why via a justified suppression (see
+/// tools/check_prefrep.py, nodiscard-discipline).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -92,8 +97,11 @@ class Status {
 
 /// A value-or-error outcome.  Access to the value of a non-OK result is a
 /// fatal error (checking tools must not proceed on garbage).
+/// [[nodiscard]] like Status: parse and edit entry points return
+/// Result, and ignoring one silently discards both the value and the
+/// failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, see above.

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -34,16 +34,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   WorkerQueue& queue = *queues_[submit_cursor_];
   submit_cursor_ = (submit_cursor_ + 1) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    MutexLock lock(queue.mutex);
     queue.tasks.push_back(std::move(task));
   }
   {
     // Publish under wake_mutex_ so a worker between its predicate check
     // and its wait cannot miss the wakeup.
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     unclaimed_.fetch_add(1, std::memory_order_relaxed);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::ClaimTask(size_t worker) {
@@ -52,7 +52,7 @@ std::function<void()> ThreadPool::ClaimTask(size_t worker) {
   // task is left.
   {
     WorkerQueue& own = *queues_[worker];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -62,7 +62,7 @@ std::function<void()> ThreadPool::ClaimTask(size_t worker) {
   }
   for (size_t i = 1; i < queues_.size(); ++i) {
     WorkerQueue& victim = *queues_[(worker + i) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -82,8 +82,8 @@ void ThreadPool::WorkerLoop(size_t worker) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mutex_);
+    wake_cv_.Wait(wake_mutex_, [this] {
       return stop_.load(std::memory_order_relaxed) ||
              unclaimed_.load(std::memory_order_relaxed) > 0;
     });

@@ -3,7 +3,8 @@
 // solving (repair/parallel_solver.h).
 //
 // This is deliberately the only place in the library that touches raw
-// std::thread (tools/lint_prefrep.py enforces it): every concurrent
+// std::thread (tools/check_prefrep.py bans it outside src/base/, as
+// prefrep-raw-concurrency): every concurrent
 // computation goes through a pool, so cancellation, budget enforcement
 // and shutdown have one owner.  The pool itself knows nothing about
 // repairs — it runs opaque tasks:
@@ -30,16 +31,15 @@
 #define PREFREP_BASE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 
 namespace prefrep {
 
@@ -71,20 +71,24 @@ class ThreadPool {
   // the front, thieves steal from the back, so they contend only when
   // the deque is nearly empty.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks PREFREP_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t worker);
   std::function<void()> ClaimTask(size_t worker);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
   // Tasks submitted but not yet claimed by a worker; lets idle workers
-  // sleep instead of spinning over empty deques.
+  // sleep instead of spinning over empty deques.  Atomic (not guarded):
+  // read lock-free on the claim fast path; the wake protocol publishes
+  // increments under wake_mutex_ so sleepers cannot miss them.
   std::atomic<size_t> unclaimed_{0};
   std::atomic<bool> stop_{false};
+  // Single-owner state: Submit() is restricted to the owning thread
+  // (class contract), so the round-robin cursor needs no lock.
   size_t submit_cursor_ = 0;
   // Declared last so the loops observe fully-constructed state.
   std::vector<std::thread> workers_;

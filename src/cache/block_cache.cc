@@ -24,7 +24,7 @@ size_t BlockSolveCache::EntryBytes(const Entry& entry) {
 std::optional<BlockSolveCache::Entry> BlockSolveCache::Lookup(
     const BlockFingerprint& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     return std::nullopt;
@@ -36,7 +36,7 @@ std::optional<BlockSolveCache::Entry> BlockSolveCache::Lookup(
 void BlockSolveCache::Store(const BlockFingerprint& key, Entry entry) {
   Shard& shard = shard_of(key);
   const size_t incoming_bytes = EntryBytes(entry);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     Entry& existing = it->second->second;
@@ -69,7 +69,7 @@ void BlockSolveCache::Store(const BlockFingerprint& key, Entry entry) {
 void BlockSolveCache::Store(const BlockFingerprint& base,
                             const BlockFingerprint& key, Entry entry) {
   {
-    std::lock_guard<std::mutex> lock(derived_mu_);
+    MutexLock lock(derived_mu_);
     std::vector<BlockFingerprint>& keys = derived_[base];
     if (std::find(keys.begin(), keys.end(), key) == keys.end() &&
         keys.size() < kMaxDerivedPerBase) {
@@ -81,7 +81,7 @@ void BlockSolveCache::Store(const BlockFingerprint& base,
 
 bool BlockSolveCache::Erase(const BlockFingerprint& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     return false;
@@ -97,7 +97,7 @@ bool BlockSolveCache::Erase(const BlockFingerprint& key) {
 size_t BlockSolveCache::EraseDerivedFrom(const BlockFingerprint& base) {
   std::vector<BlockFingerprint> keys;
   {
-    std::lock_guard<std::mutex> lock(derived_mu_);
+    MutexLock lock(derived_mu_);
     auto it = derived_.find(base);
     if (it == derived_.end()) {
       return 0;
@@ -158,7 +158,7 @@ void ReplayServedNodes(ResourceGovernor& governor,
 
 void BlockSolveCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, entry] : shard.lru) {
       bytes_.fetch_sub(EntryBytes(entry), std::memory_order_relaxed);
       entries_.fetch_sub(1, std::memory_order_relaxed);
@@ -166,7 +166,7 @@ void BlockSolveCache::Clear() {
     shard.index.clear();
     shard.lru.clear();
   }
-  std::lock_guard<std::mutex> lock(derived_mu_);
+  MutexLock lock(derived_mu_);
   derived_.clear();
 }
 

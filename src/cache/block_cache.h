@@ -38,7 +38,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -47,6 +46,7 @@
 #include "base/dynamic_bitset.h"
 #include "base/governor.h"
 #include "base/macros.h"
+#include "base/thread_annotations.h"
 #include "cache/block_fingerprint.h"
 
 namespace prefrep {
@@ -143,13 +143,13 @@ class BlockSolveCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Front = most recently used.
-    std::list<std::pair<BlockFingerprint, Entry>> lru;
+    std::list<std::pair<BlockFingerprint, Entry>> lru PREFREP_GUARDED_BY(mu);
     std::unordered_map<BlockFingerprint,
                        std::list<std::pair<BlockFingerprint, Entry>>::iterator,
                        BlockFingerprintHash>
-        index;
+        index PREFREP_GUARDED_BY(mu);
   };
 
   Shard& shard_of(const BlockFingerprint& key) {
@@ -166,10 +166,10 @@ class BlockSolveCache {
   // different shards.  Guarded by its own mutex; always acquired
   // without any shard lock held (and vice versa), so no lock-order
   // cycle is possible.
-  std::mutex derived_mu_;
+  Mutex derived_mu_;
   std::unordered_map<BlockFingerprint, std::vector<BlockFingerprint>,
                      BlockFingerprintHash>
-      derived_;
+      derived_ PREFREP_GUARDED_BY(derived_mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> stores_{0};

@@ -29,7 +29,11 @@
 namespace prefrep {
 
 /// Refcounted base-fingerprint registry for one session's resident
-/// blocks.  Not thread-safe: the session serializes edits.
+/// blocks.  Thread-compatible, not thread-safe: the owning session
+/// serializes edits (see serve/session.h), so this index carries no
+/// locks and no PREFREP_GUARDED_BY annotations — the BlockSolveCache*
+/// it erases through is the thread-safe boundary, and Retire may run
+/// while solver workers probe that cache concurrently.
 class BlockInvalidationIndex {
  public:
   /// Declares that the resident block keyed by `block_key` now carries

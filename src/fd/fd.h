@@ -53,7 +53,7 @@ struct FD {
   /// Parses "A -> B" where each side is a comma-separated list of 1-based
   /// positions, optionally wrapped in braces; an empty side or "{}" denotes
   /// the empty set.  Examples: "1 -> 2", "{1,2} -> {3}", "{} -> 1".
-  static Result<FD> Parse(std::string_view text);
+  [[nodiscard]] static Result<FD> Parse(std::string_view text);
 };
 
 struct FDHash {

@@ -2,6 +2,10 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
+#include <optional>
+
+#include "base/string_util.h"
 
 namespace prefrep {
 
@@ -69,18 +73,15 @@ const char* SemanticsName(AnswerSemantics s) {
 }
 
 Status ParseU64(std::string_view word, uint64_t* out) {
-  if (word.empty()) {
-    return Status::InvalidArgument("expected a number");
+  // ParseUint rejects overflow; the old hand-rolled loop here wrapped
+  // silently, letting a 20-digit budget value round-trip as garbage
+  // (found by tests/fuzz/ops_format_fuzz.cc).
+  std::optional<uint64_t> value = ParseUint(word);
+  if (!value.has_value()) {
+    return Status::InvalidArgument("bad number '" + std::string(word) +
+                                   "'");
   }
-  uint64_t value = 0;
-  for (char c : word) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      return Status::InvalidArgument("bad number '" + std::string(word) +
-                                     "'");
-    }
-    value = value * 10 + static_cast<uint64_t>(c - '0');
-  }
-  *out = value;
+  *out = *value;
   return Status::OK();
 }
 
@@ -202,6 +203,12 @@ Result<SessionOp> ParseSessionOp(std::string_view line) {
         return s;
       }
       if (words[i] == "deadline-ms") {
+        // deadline_ms is signed; values above INT64_MAX would flip
+        // negative and render unparseably.
+        if (value > static_cast<uint64_t>(
+                        std::numeric_limits<int64_t>::max())) {
+          return Status::InvalidArgument("deadline-ms value out of range");
+        }
         op.budget.deadline_ms = static_cast<int64_t>(value);
       } else if (words[i] == "max-nodes") {
         op.budget.max_nodes = value;

@@ -67,11 +67,12 @@ struct SessionOp {
 };
 
 /// Parses one op line (no comments/blank lines — callers strip those).
-Result<SessionOp> ParseSessionOp(std::string_view line);
+[[nodiscard]] Result<SessionOp> ParseSessionOp(std::string_view line);
 
 /// Parses a whole script: one op per line, '#' comments and blank lines
 /// skipped.  Errors carry the 1-based line number.
-Result<std::vector<SessionOp>> ParseSessionScript(std::string_view text);
+[[nodiscard]] Result<std::vector<SessionOp>> ParseSessionScript(
+    std::string_view text);
 
 /// Renders an op back to its grammar line (tests round-trip through
 /// this; generated workloads are emitted as text so every consumer —

@@ -31,10 +31,12 @@
 namespace prefrep {
 
 /// Parses a whole problem from text.  Errors carry the line number.
-Result<PreferredRepairProblem> ParseProblemText(std::string_view text);
+[[nodiscard]] Result<PreferredRepairProblem> ParseProblemText(
+    std::string_view text);
 
 /// Reads a problem from a file.
-Result<PreferredRepairProblem> ParseProblemFile(const std::string& path);
+[[nodiscard]] Result<PreferredRepairProblem> ParseProblemFile(
+    const std::string& path);
 
 /// Serializes a problem to the same text format (labels are synthesized
 /// as f<id> for unlabeled facts).

@@ -45,7 +45,7 @@ class ConjunctiveQuery {
  public:
   /// Parses "Q(x, y) :- R(x, z), S(z, y)".  Constants are quoted with
   /// double quotes.  Head variables must occur in the body (safety).
-  static Result<ConjunctiveQuery> Parse(std::string_view text);
+  [[nodiscard]] static Result<ConjunctiveQuery> Parse(std::string_view text);
 
   const std::vector<std::string>& variables() const { return variables_; }
   const std::vector<size_t>& head() const { return head_; }

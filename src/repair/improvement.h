@@ -50,7 +50,7 @@ struct ImprovementWitness {
 /// When the verdict is kNo and the algorithm produces witnesses,
 /// `witness` holds an improving subinstance; an unknown result never
 /// carries a witness — cancellation must not leak a torn one.
-struct CheckResult {
+struct [[nodiscard]] CheckResult {
   enum class Verdict { kYes, kNo, kUnknown };
 
   bool optimal = false;

@@ -36,7 +36,7 @@ Result<MutableInstance::InsertOutcome> MutableInstance::Insert(
     return Status::NotFound("unknown relation '" +
                             std::string(relation_name) + "'");
   }
-  if (constants.size() != schema_->arity(rel)) {
+  if (constants.size() != static_cast<size_t>(schema_->arity(rel))) {
     return Status::InvalidArgument(
         "arity mismatch for relation '" + std::string(relation_name) + "'");
   }

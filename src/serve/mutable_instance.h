@@ -34,6 +34,11 @@ namespace prefrep {
 
 /// An editable fact set with stable ids: tombstone deletes, revival
 /// inserts, synthesized labels, and an edit generation counter.
+/// Thread-compatible, not thread-safe: owned and edited by exactly one
+/// SessionContext, which serializes ops (serve/session.h) — solver
+/// workers see the underlying Instance only through const views that
+/// outlive their requests, so no locks or PREFREP_GUARDED_BY
+/// annotations appear here.
 class MutableInstance {
  public:
   /// Deep-copies `problem`'s instance (schema, facts, labels) fact by

@@ -72,9 +72,14 @@ struct SessionStats {
 };
 
 /// A resident prioritizing instance with incremental artifact
-/// maintenance and a batched request API.  Not thread-safe: one session
-/// serializes its ops (per-request solving still fans out through the
-/// parallel per-block dispatcher).
+/// maintenance and a batched request API.  Thread-compatible, not
+/// thread-safe: one session serializes its ops, so its resident state
+/// carries no locks and no PREFREP_GUARDED_BY annotations.  Per-request
+/// solving still fans out through the parallel per-block dispatcher,
+/// whose shared structures (base/thread_pool.h, cache/block_cache.h)
+/// ARE annotated — the session hands workers only the thread-safe
+/// pieces (const ProblemContext views, the BlockSolveCache) and touches
+/// everything else from the op-executing thread alone.
 class SessionContext {
  public:
   /// Builds a session over a deep copy of `problem` (the argument is

@@ -1,0 +1,32 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// AllOptimalRepairs cross-block-product bug class — per-block repair
+// lists are budget-charged when produced, but the product loop below
+// multiplies their sizes with no governor checkpoint, so the
+// materialized cross product can exceed any admitted budget.
+// EXPECT-FINDING: prefrep-checkpoint
+
+#include <vector>
+
+namespace prefrep {
+
+struct Repair {};
+struct Ctx {};
+std::vector<Repair> AllOptimalRepairs(const Ctx& ctx, int block);
+Repair Merge(const Repair& a, const Repair& b);
+
+std::vector<Repair> CrossProduct(const Ctx& ctx, int blocks) {
+  std::vector<Repair> out(1);
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<Repair> optimal = AllOptimalRepairs(ctx, b);
+    std::vector<Repair> next;
+    for (const Repair& prefix : out) {
+      for (const Repair& choice : optimal) {
+        next.push_back(Merge(prefix, choice));  // no Checkpoint() — bug
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,19 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): a
+// subset-space walk bounded by a runtime shift with no governor
+// checkpoint — 2^n iterations the budget never admitted, and UB
+// outright once n reaches 64.
+// EXPECT-FINDING: prefrep-checkpoint
+
+#include <cstdint>
+
+namespace prefrep {
+
+void Use(uint64_t mask);
+
+void EnumerateSubsets(int n) {
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Use(mask);  // no Checkpoint() — bug
+  }
+}
+
+}  // namespace prefrep

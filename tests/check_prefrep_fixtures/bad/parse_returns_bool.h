@@ -1,0 +1,20 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): a
+// Parse* entry point returning bool — the failure can be dropped
+// silently at every call site, which is exactly what the
+// Status/Result/optional return rule exists to prevent.
+// EXPECT-FINDING: prefrep-nodiscard
+
+#ifndef PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_PARSE_RETURNS_BOOL_H_
+#define PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_PARSE_RETURNS_BOOL_H_
+
+#include <string_view>
+
+namespace prefrep {
+
+struct Widget;
+
+bool ParseWidget(std::string_view text, Widget* out);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_PARSE_RETURNS_BOOL_H_

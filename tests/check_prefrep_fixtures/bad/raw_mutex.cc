@@ -1,0 +1,19 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): raw
+// std::mutex/std::lock_guard outside src/base/ — invisible to Thread
+// Safety Analysis, which only sees acquisitions through the annotated
+// wrappers in src/base/thread_annotations.h.
+// EXPECT-FINDING: prefrep-raw-concurrency
+
+#include <mutex>
+
+namespace prefrep {
+
+std::mutex g_mu;
+int g_count = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_count;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,37 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// same cross-block product as bad/checkpoint_product.cc written
+// correctly — a governor checkpoint on every materializing iteration,
+// mirroring the canonical pattern in src/repair/block_solver.cc.
+
+#include <vector>
+
+namespace prefrep {
+
+struct Repair {};
+struct Ctx {};
+struct Governor {
+  bool Checkpoint();
+};
+std::vector<Repair> AllOptimalRepairs(const Ctx& ctx, int block);
+Repair Merge(const Repair& a, const Repair& b);
+
+std::vector<Repair> CrossProduct(const Ctx& ctx, Governor* governor,
+                                 int blocks) {
+  std::vector<Repair> out(1);
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<Repair> optimal = AllOptimalRepairs(ctx, b);
+    std::vector<Repair> next;
+    for (const Repair& prefix : out) {
+      for (const Repair& choice : optimal) {
+        if (!governor->Checkpoint()) {
+          return {};
+        }
+        next.push_back(Merge(prefix, choice));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,31 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled):
+// consuming an already-materialized repair list is NOT the product bug
+// — the list's size was charged to the governor when it was produced,
+// so a single loop over it (even one that materializes answers, even
+// with a per-repair inner loop over non-repair data) is fine without a
+// checkpoint.  This is the src/query/consistent_answers.cc shape; the
+// checker must not flag it.
+
+#include <set>
+#include <vector>
+
+namespace prefrep {
+
+struct Repair {};
+struct Ctx {};
+struct Query {};
+std::vector<Repair> AllOptimalRepairs(const Ctx& ctx);
+std::vector<int> Evaluate(const Query& query, const Repair& repair);
+
+std::set<int> ConsistentAnswers(const Ctx& ctx, const Query& query) {
+  std::set<int> answers;
+  std::vector<Repair> repairs = AllOptimalRepairs(ctx);
+  for (const Repair& repair : repairs) {
+    for (int tuple : Evaluate(query, repair)) {
+      answers.insert(tuple);
+    }
+  }
+  return answers;
+}
+
+}  // namespace prefrep

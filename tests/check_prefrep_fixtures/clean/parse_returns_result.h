@@ -1,0 +1,24 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): Parse*
+// entry points returning the failure-carrying types the nodiscard rule
+// accepts — Result, Status (out-param style) and std::optional.
+
+#ifndef PREFREP_TESTS_CHECK_PREFREP_FIXTURES_CLEAN_PARSE_RETURNS_RESULT_H_
+#define PREFREP_TESTS_CHECK_PREFREP_FIXTURES_CLEAN_PARSE_RETURNS_RESULT_H_
+
+#include <optional>
+#include <string_view>
+
+namespace prefrep {
+
+struct Widget;
+class Status;
+template <typename T>
+class Result;
+
+Result<Widget> ParseWidget(std::string_view text);
+Status ParseWidgetInto(std::string_view text, Widget* out);
+std::optional<int> ParseCount(std::string_view text);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_TESTS_CHECK_PREFREP_FIXTURES_CLEAN_PARSE_RETURNS_RESULT_H_

@@ -1,0 +1,73 @@
+// Copyright (c) prefrep contributors.
+// Fuzz harness for the session-ops grammar (io/ops_format.h).
+//
+// Properties checked on every input the parser accepts:
+//   1. Render/reparse closure: SessionOpToString of a parsed op must
+//      itself parse (an op the session can hold must be expressible in
+//      the grammar — prefrepd logs and replays rendered ops).
+//   2. Render idempotence: rendering the reparsed op must reproduce the
+//      rendered line byte for byte (SessionOpToString is the canonical
+//      form, so one normalization round must reach a fixpoint).
+// Inputs the parser rejects must be rejected with a Status, never a
+// crash or a sanitizer report.
+//
+// Build: linked against libFuzzer under the `fuzz` preset, or against
+// tests/fuzz/standalone_driver.cc everywhere else (same CLI).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/ops_format.h"
+
+namespace prefrep {
+namespace {
+
+[[noreturn]] void PropertyFailure(const char* property, const char* origin,
+                                  const std::string& detail) {
+  std::fprintf(stderr, "[ops_format_fuzz] %s violated (%s): %s\n", property,
+               origin, detail.c_str());
+  std::abort();  // the crash signal both libFuzzer and the driver report
+}
+
+void CheckRoundTrip(const SessionOp& op, const char* origin) {
+  std::string rendered = SessionOpToString(op);
+  Result<SessionOp> reparsed = ParseSessionOp(rendered);
+  if (!reparsed.ok()) {
+    PropertyFailure("render/reparse closure", origin,
+                    "'" + rendered + "': " + reparsed.status().ToString());
+  }
+  std::string again = SessionOpToString(*reparsed);
+  if (again != rendered) {
+    PropertyFailure("render idempotence", origin,
+                    "'" + rendered + "' != '" + again + "'");
+  }
+}
+
+}  // namespace
+}  // namespace prefrep
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Whole input as a script (comment/blank handling, line numbering).
+  prefrep::Result<std::vector<prefrep::SessionOp>> script =
+      prefrep::ParseSessionScript(input);
+  if (script.ok()) {
+    for (const prefrep::SessionOp& op : *script) {
+      prefrep::CheckRoundTrip(op, "script");
+    }
+  }
+
+  // Whole input as a single raw op line: reaches byte sequences the
+  // script reader strips ('#', interior newlines inside one "line").
+  prefrep::Result<prefrep::SessionOp> op = prefrep::ParseSessionOp(input);
+  if (op.ok()) {
+    prefrep::CheckRoundTrip(*op, "line");
+  }
+  return 0;
+}

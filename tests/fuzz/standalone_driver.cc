@@ -1,0 +1,173 @@
+// Copyright (c) prefrep contributors.
+// Standalone driver for the tests/fuzz harnesses, used when the build
+// is not linked against libFuzzer (any non-Clang toolchain).  It speaks
+// the same CLI subset as libFuzzer so CTest smoke runs and CI invoke
+// both builds identically:
+//
+//   <fuzzer> [corpus_dir ...] [-runs=N] [-max_total_time=SECONDS]
+//            [-seed=N]
+//
+// Behavior: every regular file in every corpus directory (recursively)
+// is replayed once; then up to N mutated inputs are generated from
+// random corpus members with a deterministic xorshift PRNG and fed to
+// LLVMFuzzerTestOneInput, stopping early when the time budget runs out.
+// This is corpus replay plus shallow mutation — regression coverage and
+// crash reproduction, not coverage-guided exploration; run the `fuzz`
+// preset (clang + libFuzzer) for real fuzzing.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift64*: deterministic across platforms, no <random> state size
+// ambiguity, good enough for byte mutations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  size_t Below(size_t bound) {
+    return bound == 0 ? 0 : static_cast<size_t>(Next() % bound);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+// One random edit: flip, insert, erase, duplicate a chunk, or splice a
+// chunk from another corpus member.
+void Mutate(std::string* input, const std::vector<std::string>& corpus,
+            Rng* rng) {
+  switch (rng->Below(5)) {
+    case 0: {  // flip a byte
+      if (input->empty()) break;
+      (*input)[rng->Below(input->size())] =
+          static_cast<char>(rng->Next() & 0xff);
+      break;
+    }
+    case 1: {  // insert a byte
+      input->insert(input->begin() + rng->Below(input->size() + 1),
+                    static_cast<char>(rng->Next() & 0xff));
+      break;
+    }
+    case 2: {  // erase a byte
+      if (input->empty()) break;
+      input->erase(input->begin() + rng->Below(input->size()));
+      break;
+    }
+    case 3: {  // duplicate a chunk in place
+      if (input->empty()) break;
+      size_t start = rng->Below(input->size());
+      size_t len = 1 + rng->Below(input->size() - start);
+      std::string chunk = input->substr(start, len);
+      input->insert(rng->Below(input->size() + 1), chunk);
+      break;
+    }
+    case 4: {  // splice a chunk from another corpus member
+      if (corpus.empty()) break;
+      const std::string& other = corpus[rng->Below(corpus.size())];
+      if (other.empty()) break;
+      size_t start = rng->Below(other.size());
+      size_t len = 1 + rng->Below(other.size() - start);
+      input->insert(rng->Below(input->size() + 1),
+                    other.substr(start, len));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 1000;
+  uint64_t max_total_time_s = 0;  // 0: no time limit
+  uint64_t seed = 1;
+  std::vector<std::string> corpus_dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time_s = std::strtoull(arg + 16, nullptr, 10);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = std::strtoull(arg + 6, nullptr, 10);
+    } else if (arg[0] == '-') {
+      // Other libFuzzer flags are accepted and ignored so invocations
+      // written for the fuzz preset also run here.
+      std::fprintf(stderr, "[driver] ignoring flag %s\n", arg);
+    } else {
+      corpus_dirs.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> corpus;
+  for (const std::string& dir : corpus_dirs) {
+    std::error_code ec;
+    std::filesystem::recursive_directory_iterator it(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[driver] cannot open corpus dir %s: %s\n",
+                   dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      corpus.push_back(buffer.str());
+    }
+  }
+
+  for (const std::string& input : corpus) {
+    RunOne(input);
+  }
+  std::fprintf(stderr, "[driver] replayed %zu corpus inputs\n",
+               corpus.size());
+
+  Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t executed = 0;
+  for (; executed < runs; ++executed) {
+    if (max_total_time_s != 0) {
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      if (std::chrono::duration_cast<std::chrono::seconds>(elapsed).count() >=
+          static_cast<int64_t>(max_total_time_s)) {
+        break;
+      }
+    }
+    std::string input =
+        corpus.empty() ? std::string() : corpus[rng.Below(corpus.size())];
+    size_t edits = 1 + rng.Below(8);
+    for (size_t e = 0; e < edits; ++e) {
+      Mutate(&input, corpus, &rng);
+    }
+    RunOne(input);
+  }
+  std::fprintf(stderr, "[driver] executed %llu mutated runs (seed %llu)\n",
+               static_cast<unsigned long long>(executed),
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

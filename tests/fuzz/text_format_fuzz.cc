@@ -1,0 +1,64 @@
+// Copyright (c) prefrep contributors.
+// Fuzz harness for the problem text format (io/text_format.h).
+//
+// Properties checked on every input the parser accepts:
+//   1. Render/reparse closure: ProblemToText of a parsed problem must
+//      itself parse.  Serialization is the session layer's rebuild
+//      surface (serve/session.h byte-identical-rebuild contract), so a
+//      parseable state whose serialization does not reparse would break
+//      resident serving.
+//   2. Render idempotence: serializing the reparsed problem must
+//      reproduce the serialization byte for byte.  ProblemToText emits
+//      facts in id order and the reparse's id compaction is
+//      order-preserving, so one round must reach a fixpoint.
+// Rejected inputs must fail with a Status, never a crash.
+//
+// Build: linked against libFuzzer under the `fuzz` preset, or against
+// tests/fuzz/standalone_driver.cc everywhere else (same CLI).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "io/text_format.h"
+
+namespace prefrep {
+namespace {
+
+[[noreturn]] void PropertyFailure(const char* property,
+                                  const std::string& detail) {
+  std::fprintf(stderr, "[text_format_fuzz] %s violated: %s\n", property,
+               detail.c_str());
+  std::abort();  // the crash signal both libFuzzer and the driver report
+}
+
+}  // namespace
+}  // namespace prefrep
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  prefrep::Result<prefrep::PreferredRepairProblem> problem =
+      prefrep::ParseProblemText(input);
+  if (!problem.ok()) {
+    return 0;  // rejection with a Status is the expected failure mode
+  }
+
+  std::string rendered = prefrep::ProblemToText(*problem);
+  prefrep::Result<prefrep::PreferredRepairProblem> reparsed =
+      prefrep::ParseProblemText(rendered);
+  if (!reparsed.ok()) {
+    prefrep::PropertyFailure(
+        "render/reparse closure",
+        rendered + "\n-- error: " + reparsed.status().ToString());
+  }
+  std::string again = prefrep::ProblemToText(*reparsed);
+  if (again != rendered) {
+    prefrep::PropertyFailure("render idempotence",
+                             rendered + "\n-- reserialized:\n" + again);
+  }
+  return 0;
+}

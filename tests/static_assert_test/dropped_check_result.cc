@@ -1,0 +1,22 @@
+// Copyright (c) prefrep contributors.
+// Negative-compile proof: dropping a CheckResult MUST NOT compile under
+// -Werror=unused-result.  A dropped CheckResult is a swallowed verdict
+// (possibly kUnknown — a budget expiry the caller never saw), so the
+// struct is declared [[nodiscard]] in repair/improvement.h.
+
+#include "repair/improvement.h"
+
+namespace {
+
+prefrep::CheckResult Decide() { return prefrep::CheckResult::Optimal(); }
+
+void Caller() {
+  Decide();  // dropped verdict — must be a hard error
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

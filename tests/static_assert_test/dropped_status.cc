@@ -1,0 +1,23 @@
+// Copyright (c) prefrep contributors.
+// Negative-compile proof (see CMakeLists.txt here): silently dropping a
+// Status MUST NOT compile under -Werror=unused-result.  The class-level
+// [[nodiscard]] on Status (base/status.h) is what rejects this TU; if
+// someone removes the attribute, this test fails by *succeeding* to
+// compile (WILL_FAIL inverts the verdict).
+
+#include "base/status.h"
+
+namespace {
+
+prefrep::Status MightFail() { return prefrep::Status::OK(); }
+
+void Caller() {
+  MightFail();  // dropped Status — must be a hard error
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

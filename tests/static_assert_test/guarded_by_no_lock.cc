@@ -1,0 +1,25 @@
+// Copyright (c) prefrep contributors.
+// Negative-compile proof: reading a PREFREP_GUARDED_BY field without
+// holding its mutex MUST NOT compile under Clang with
+// -Werror=thread-safety (the tsa preset's configuration).  Registered
+// only for Clang builds — the annotations are no-ops elsewhere.
+
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  prefrep::Mutex mu;
+  int value PREFREP_GUARDED_BY(mu) = 0;
+};
+
+int UnlockedRead(Counter& c) {
+  return c.value;  // no lock held — must be a thread-safety error
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return UnlockedRead(c);
+}

@@ -24,26 +24,11 @@ Checks
                    check list or a comment line directly above.  Blanket
                    `// NOLINT` is rejected; NOLINTBEGIN must be matched by
                    NOLINTEND in the same file.
-5. unbounded-shift Files under src/repair that build `1 << n`-style
-                   subset bounds must either cooperate with the resource
-                   governor (call Checkpoint()/AdmitBlock() somewhere in
-                   the file) or justify the shift with a NOLINT on or
-                   above the line.  A shift by a runtime variable with
-                   neither is an ungoverned exponential loop waiting to
-                   happen — and UB outright once n reaches 64 (the
-                   governor's kMaxExhaustiveBlockFacts cap exists for
-                   exactly this).
-6. raw-thread      No raw std::thread/std::jthread/std::async outside
-                   src/base/thread_pool.* — ad-hoc threads bypass the
-                   work-stealing pool and the deterministic merge
-                   discipline of repair/parallel_solver.h, and TSAN CI
-                   only vouches for the one audited concurrency
-                   primitive.
-7. tsan-suppress   Every suppression in tools/tsan_suppressions.txt must
+5. tsan-suppress   Every suppression in tools/tsan_suppressions.txt must
                    be directly preceded by a `#` comment justifying it —
                    an unexplained suppression silently un-verifies the
                    parallel solver.
-8. fingerprint-guard
+6. fingerprint-guard
                    The canonical block fingerprint
                    (src/cache/block_fingerprint.cc) must account for
                    every field of struct Block (src/conflicts/blocks.h)
@@ -56,16 +41,22 @@ Checks
                    comment in the fingerprint source, so any new field
                    forces a human decision (absorb it, or document why
                    it is derived) before the count is bumped.
-9. delta-field-guard
+7. delta-field-guard
                    The serving layer (src/serve/session.h) re-derives
                    every field of struct Block when it materializes the
                    incremental block view — a field added to Block that
                    EnsureFresh does not populate would silently reach
                    the solvers default-initialized after the first edit.
-                   Like check 8, the session header must carry a
+                   Like check 6, the session header must carry a
                    `// delta-field-guard: Block=N` comment matching the
                    actual field count, forcing the delta path and the
                    cache fingerprint to be revisited together.
+
+Two historical regex checks — unbounded-shift and raw-thread — grew
+into semantic rules and moved to the AST-backed checker
+(tools/check_prefrep.py: prefrep-checkpoint, prefrep-raw-concurrency).
+Each rule has exactly one home; this lint keeps only what line regexes
+express faithfully.
 
 Exit status 0 when clean; 1 with one `path:line: message` per finding
 otherwise.  The script is stdlib-only by design (it must run in CI and in
@@ -94,19 +85,6 @@ CITATION_RE = re.compile(
 
 RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_:.])(assert|abort)\s*\(")
 RAW_ASSERT_EXEMPT = {Path("src/base/macros.h")}
-
-# `1 << var` (any integer-suffix spelling) — the shape of an unbounded
-# subset-space bound.  Shifts by literals are fine (bounded by construction).
-UNBOUNDED_SHIFT_RE = re.compile(r"\b1(?:[uU][lL]{0,2}|[lL]{1,2}[uU]?)?\s*<<\s*[A-Za-z_]")
-SHIFT_DIRS = ("src/repair",)
-GOVERNED_RE = re.compile(r"\b(?:Checkpoint|AdmitBlock)\s*\(")
-
-# Raw threading primitives; the only audited home is base/thread_pool.
-RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread|async)\b")
-RAW_THREAD_EXEMPT = {
-    Path("src/base/thread_pool.h"),
-    Path("src/base/thread_pool.cc"),
-}
 
 TSAN_SUPPRESSIONS = Path("tools/tsan_suppressions.txt")
 
@@ -251,39 +229,7 @@ class Linter:
             self.report(rel, len(lines), "nolint",
                         f"{begins} NOLINTBEGIN but {ends} NOLINTEND")
 
-    # -- check 5: ungoverned subset-space shifts ---------------------------
-    def check_unbounded_shift(self, rel: Path, lines: list[str],
-                              code_lines: list[str]) -> None:
-        if GOVERNED_RE.search("\n".join(code_lines)):
-            return  # the file cooperates with the resource governor
-        for idx, line in enumerate(code_lines, start=1):
-            if not UNBOUNDED_SHIFT_RE.search(line):
-                continue
-            raw = lines[idx - 1]
-            prev = lines[idx - 2] if idx >= 2 else ""
-            if "NOLINT" in raw or "NOLINT" in prev:
-                continue  # justification discipline enforced by check 4
-            self.report(
-                rel, idx, "unbounded-shift",
-                "`1 << n` subset bound in a file with no governor "
-                "checkpoint — call ctx.governor().Checkpoint()/AdmitBlock() "
-                "in the enumeration (see src/base/governor.h), or justify "
-                "with a NOLINT(prefrep-unbounded-shift): reason")
-
-    # -- check 6: raw threading primitives ---------------------------------
-    def check_raw_thread(self, rel: Path, code_lines: list[str]) -> None:
-        if rel in RAW_THREAD_EXEMPT:
-            return
-        for idx, line in enumerate(code_lines, start=1):
-            m = RAW_THREAD_RE.search(line)
-            if m:
-                self.report(
-                    rel, idx, "raw-thread",
-                    f"raw std::{m.group(1)} — spawn work through "
-                    "base/thread_pool.h (or repair/parallel_solver.h), the "
-                    "audited concurrency primitives")
-
-    # -- check 7: TSAN suppression discipline ------------------------------
+    # -- check 5: TSAN suppression discipline ------------------------------
     def check_tsan_suppressions(self) -> None:
         path = REPO_ROOT / TSAN_SUPPRESSIONS
         if not path.exists():
@@ -301,10 +247,10 @@ class Linter:
                     "a '# why this race report is benign/false-positive' "
                     "comment on the line directly above")
 
-    # -- check 8: fingerprint input field counts ---------------------------
+    # -- check 6: fingerprint input field counts ---------------------------
     def count_block_fields(self) -> int | None:
         """Counts the data members of struct Block in conflicts/blocks.h
-        (memoized — checks 8 and 9 share the count)."""
+        (memoized — checks 6 and 7 share the count)."""
         if hasattr(self, "_block_fields"):
             return self._block_fields
         self._block_fields = self._count_block_fields_uncached()
@@ -396,7 +342,7 @@ class Linter:
                 "absorb it (or why it is derived), then update the guard "
                 "comment")
 
-    # -- check 9: incremental maintenance field coverage -------------------
+    # -- check 7: incremental maintenance field coverage -------------------
     def check_delta_guard(self) -> None:
         path = REPO_ROOT / SESSION_HEADER
         if not path.exists():
@@ -446,10 +392,7 @@ class Linter:
             self.check_raw_assert(rel, code_lines)
             if any(str(rel).startswith(d + "/") for d in CITATION_DIRS):
                 self.check_citation(rel, text)
-            if any(str(rel).startswith(d + "/") for d in SHIFT_DIRS):
-                self.check_unbounded_shift(rel, lines, code_lines)
             self.check_nolint(rel, lines)
-            self.check_raw_thread(rel, code_lines)
         self.check_tsan_suppressions()
         self.check_fingerprint_guard()
         self.check_delta_guard()
