@@ -1,0 +1,221 @@
+// Durability cost model (src/persist/, docs/durability.md).  Four
+// measurements behind the three numbers EXPERIMENTS.md tracks:
+//
+//   BM_WalAppend          — per-record append cost under each fsync
+//                           mode; the always/batch/off spread IS the
+//                           durability price list a deployment chooses
+//                           from.
+//   BM_RecoveryReplay     — DurableSession::Open against a WAL of N
+//                           records and no snapshot: cold-boot cost as
+//                           a function of un-checkpointed history.
+//   BM_RecoverySnapshot   — the same durable state recovered from a
+//                           checkpoint (snapshot + empty WAL tail):
+//                           what --snapshot-every buys at boot.
+//   BM_Checkpoint         — one snapshot + WAL truncation, the price
+//                           paid every --snapshot-every edits.
+//
+// All file I/O happens under a per-benchmark mkdtemp directory; the
+// timed loops exclude workload construction (PauseTiming / fixture
+// setup) so the numbers isolate the persistence layer.
+// tools/bench_to_json.py --suite recovery reduces the dump to
+// BENCH_recovery.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/macros.h"
+#include "gen/edit_script.h"
+#include "io/ops_format.h"
+#include "persist/durable_session.h"
+#include "persist/file_io.h"
+#include "persist/wal.h"
+
+namespace prefrep {
+namespace {
+
+// A scratch directory that lives for one benchmark function.  Removal
+// is best-effort recursive (the tree only ever holds our WAL/snapshot
+// files); std::system is acceptable in bench scaffolding.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/prefrep_bench_recovery.XXXXXX";
+    PREFREP_CHECK_MSG(::mkdtemp(tmpl) != nullptr, "mkdtemp failed");
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    // NOLINTNEXTLINE(cert-env33-c): bench-only recursive cleanup.
+    (void)std::system(cmd.c_str());
+  }
+  PREFREP_DISALLOW_COPY(TempDir);
+  std::string File(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+// The durable workload: the generated Zipf edit/query script from
+// gen/edit_script.h, filtered down to its durable edits — exactly the
+// lines a serving session would append to its WAL.
+EditScriptWorkload RecoveryWorkload(size_t num_ops) {
+  EditScriptOptions opts;
+  opts.shards = 8;
+  opts.facts_per_shard = 4;
+  opts.num_ops = num_ops;
+  opts.seed = 7;
+  return MakeEditScriptWorkload(opts);
+}
+
+SessionOptions BenchSessionOptions() {
+  SessionOptions options;
+  options.threads = 1;
+  options.cache_capacity = 0;
+  options.budget.max_nodes = 20000;
+  return options;
+}
+
+std::vector<SessionOp> ParseAll(const std::vector<std::string>& lines) {
+  std::vector<SessionOp> ops;
+  ops.reserve(lines.size());
+  for (const std::string& line : lines) {
+    Result<SessionOp> op = ParseSessionOp(line);
+    PREFREP_CHECK_MSG(op.ok(), "workload line unparsable");
+    ops.push_back(*std::move(op));
+  }
+  return ops;
+}
+
+// Runs the whole workload through a durable session so the WAL (and,
+// with `checkpoint`, the snapshot) on disk is a real artifact of the
+// serving path, not a synthetic image.
+void BuildDurableState(const EditScriptWorkload& workload,
+                       const std::vector<SessionOp>& ops,
+                       const std::string& wal_path, bool checkpoint) {
+  DurabilityOptions durability;
+  durability.wal_path = wal_path;
+  durability.fsync = FsyncMode::kOff;
+  auto session = DurableSession::Open(workload.problem,
+                                      BenchSessionOptions(), durability);
+  PREFREP_CHECK_MSG(session.ok(), "durable open failed");
+  for (const SessionOp& op : ops) {
+    benchmark::DoNotOptimize((*session)->Execute(op).ok());
+  }
+  if (checkpoint) {
+    PREFREP_CHECK((*session)->Close().ok());
+  }
+  // No Close() otherwise: the WAL keeps its full record tail, which is
+  // precisely the cold-boot fixture BM_RecoveryReplay wants.
+}
+
+// arg0: fsync mode (0 = off, 1 = batch, 2 = always).  One WAL record
+// per iteration, payload shaped like a real session edit line.
+void BM_WalAppend(benchmark::State& state) {
+  TempDir dir;
+  const FsyncMode mode = state.range(0) == 0   ? FsyncMode::kOff
+                         : state.range(0) == 1 ? FsyncMode::kBatch
+                                               : FsyncMode::kAlways;
+  WalWriter wal;
+  PREFREP_CHECK(wal.Open(dir.File("append.wal"), mode, 1).ok());
+  const std::string payload = "insert s0:q0:f2 R1(k0_0, m0, c0_0_2)";
+  for (auto _ : state) {
+    Result<uint64_t> seq = wal.Append(payload);
+    benchmark::DoNotOptimize(seq.ok());
+  }
+  PREFREP_CHECK(wal.SyncNow().ok());
+  PREFREP_CHECK(wal.Close().ok());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fsync"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// arg0: durable ops in the WAL tail.  Each iteration is a full cold
+// boot: snapshot probe (absent), WAL parse, session rebuild, replay.
+void BM_RecoveryReplay(benchmark::State& state) {
+  TempDir dir;
+  const EditScriptWorkload workload =
+      RecoveryWorkload(static_cast<size_t>(state.range(0)));
+  const std::vector<SessionOp> ops = ParseAll(workload.ops);
+  const std::string wal_path = dir.File("replay.wal");
+  BuildDurableState(workload, ops, wal_path, /*checkpoint=*/false);
+  DurabilityOptions durability;
+  durability.wal_path = wal_path;
+  durability.fsync = FsyncMode::kOff;
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    auto session = DurableSession::Open(workload.problem,
+                                        BenchSessionOptions(), durability);
+    PREFREP_CHECK_MSG(session.ok(), "recovery failed");
+    replayed = (*session)->recovery().ops_replayed;
+    benchmark::DoNotOptimize(replayed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(replayed));
+  state.counters["ops_replayed"] = static_cast<double>(replayed);
+}
+BENCHMARK(BM_RecoveryReplay)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// The same durable history, checkpointed: boot cost collapses to one
+// snapshot parse + problem rebuild, zero replays.
+void BM_RecoverySnapshot(benchmark::State& state) {
+  TempDir dir;
+  const EditScriptWorkload workload =
+      RecoveryWorkload(static_cast<size_t>(state.range(0)));
+  const std::vector<SessionOp> ops = ParseAll(workload.ops);
+  const std::string wal_path = dir.File("snap.wal");
+  BuildDurableState(workload, ops, wal_path, /*checkpoint=*/true);
+  DurabilityOptions durability;
+  durability.wal_path = wal_path;
+  durability.fsync = FsyncMode::kOff;
+  for (auto _ : state) {
+    auto session = DurableSession::Open(workload.problem,
+                                        BenchSessionOptions(), durability);
+    PREFREP_CHECK_MSG(session.ok(), "snapshot recovery failed");
+    PREFREP_CHECK((*session)->recovery().snapshot_loaded);
+    benchmark::DoNotOptimize((*session)->recovery().durable_seq);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["durable_ops"] = static_cast<double>(ops.size());
+}
+BENCHMARK(BM_RecoverySnapshot)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// One checkpoint: SerializeLive + atomic snapshot publish + WAL
+// truncation, on a session holding the full workload state.
+void BM_Checkpoint(benchmark::State& state) {
+  TempDir dir;
+  const EditScriptWorkload workload =
+      RecoveryWorkload(static_cast<size_t>(state.range(0)));
+  const std::vector<SessionOp> ops = ParseAll(workload.ops);
+  DurabilityOptions durability;
+  durability.wal_path = dir.File("ckpt.wal");
+  durability.fsync = FsyncMode::kOff;
+  auto session = DurableSession::Open(workload.problem,
+                                      BenchSessionOptions(), durability);
+  PREFREP_CHECK(session.ok());
+  for (const SessionOp& op : ops) {
+    benchmark::DoNotOptimize((*session)->Execute(op).ok());
+  }
+  for (auto _ : state) {
+    PREFREP_CHECK((*session)->Checkpoint().ok());
+  }
+  PREFREP_CHECK((*session)->Close().ok());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Checkpoint)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefrep

@@ -39,6 +39,7 @@
 // Exit codes: 0 = success ("yes" answers), 1 = "no" answer, 2 = usage,
 // 3 = input error, 4 = unknown (resource budget exhausted).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -46,6 +47,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cache/block_cache.h"
 #include "classify/ccp_dichotomy.h"
@@ -53,6 +55,7 @@
 #include "io/dot_export.h"
 #include "io/ops_format.h"
 #include "io/text_format.h"
+#include "persist/durable_session.h"
 #include "query/consistent_answers.h"
 #include "repair/checker.h"
 #include "conflicts/stats.h"
@@ -83,7 +86,15 @@ int Usage() {
       "  --threads N      per-block solver threads (0 = hardware, 1 = "
       "serial)\n"
       "  --cache[=N]      memoize per-block solves (N = capacity in "
-      "entries)\n");
+      "entries)\n"
+      "durability options (session; see docs/durability.md):\n"
+      "  --wal <path>     recover from and log edits to a write-ahead "
+      "log\n"
+      "  --snapshot <path>  snapshot location (default <wal>.snapshot)\n"
+      "  --snapshot-every N  checkpoint after every N logged edits\n"
+      "  --fsync=MODE     always | batch | off (default always)\n"
+      "  --crossover      report resident-vs-rebuild query timing after "
+      "the script\n");
   return 2;
 }
 
@@ -302,7 +313,74 @@ int CmdAnswers(const PreferredRepairProblem& p, SessionContext& session,
   return 0;
 }
 
-int CmdSession(SessionContext& session, const char* script_path) {
+// Re-runs the script's queries on a from-scratch rebuild of the
+// session's serialized live state and reports resident-vs-rebuild wall
+// time.  This is the visibility half of the cache-off degradation fix:
+// a resident session with the cache disabled can end up SLOWER than
+// rebuilding per batch (BENCH_serve.json, blocks=256 cache=off at
+// 0.84x), and before this probe nothing in the serving surface said so.
+void PrintCrossover(SessionContext& session, SessionOptions options,
+                    const std::vector<SessionOp>& ops) {
+  const uint64_t resident_micros = session.stats().query_micros;
+  if (session.stats().queries == 0) {
+    std::printf("crossover: no queries in script, nothing to compare\n");
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<PreferredRepairProblem> rebuilt_problem =
+      ParseProblemText(session.SerializeLive());
+  if (!rebuilt_problem.ok()) {
+    std::printf("crossover: rebuild probe failed: %s\n",
+                rebuilt_problem.status().ToString().c_str());
+    return;
+  }
+  Result<std::unique_ptr<SessionContext>> rebuilt =
+      SessionContext::Create(*rebuilt_problem, options);
+  if (!rebuilt.ok()) {
+    std::printf("crossover: rebuild probe failed: %s\n",
+                rebuilt.status().ToString().c_str());
+    return;
+  }
+  for (const SessionOp& op : ops) {
+    if (op.kind == SessionOp::Kind::kCheck ||
+        op.kind == SessionOp::Kind::kCount ||
+        op.kind == SessionOp::Kind::kConstruct ||
+        op.kind == SessionOp::Kind::kCqa) {
+      // Replies were proven byte-identical by the serve battery; here
+      // only the wall clock matters.
+      Result<std::string> reply = (*rebuilt)->Execute(op);
+      if (!reply.ok()) {
+        std::printf("crossover: rebuild probe failed: %s\n",
+                    reply.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  const uint64_t rebuild_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  const double speedup =
+      resident_micros == 0
+          ? 0.0
+          : static_cast<double>(rebuild_micros) /
+                static_cast<double>(resident_micros);
+  std::printf("crossover: resident-query-micros=%llu "
+              "rebuild-replay-micros=%llu speedup=%.2fx\n",
+              static_cast<unsigned long long>(resident_micros),
+              static_cast<unsigned long long>(rebuild_micros),
+              speedup);
+  if (speedup != 0.0 && speedup < 1.0) {
+    std::printf("warning: resident serving is SLOWER than rebuilding per "
+                "batch (cache-capacity=%zu); consider --cache or larger "
+                "capacity\n",
+                options.cache_capacity);
+  }
+}
+
+int CmdSession(SessionContext& session, DurableSession* durable,
+               const SessionOptions& options, const char* script_path,
+               bool crossover) {
   std::ifstream in(script_path);
   if (!in.is_open()) {
     std::fprintf(stderr, "error: cannot open script '%s'\n", script_path);
@@ -316,7 +394,8 @@ int CmdSession(SessionContext& session, const char* script_path) {
     return 3;
   }
   for (const SessionOp& op : *ops) {
-    Result<std::string> reply = session.Execute(op);
+    Result<std::string> reply = durable != nullptr ? durable->Execute(op)
+                                                   : session.Execute(op);
     if (reply.ok()) {
       std::printf("%s\n\n", reply->c_str());
     } else {
@@ -324,6 +403,17 @@ int CmdSession(SessionContext& session, const char* script_path) {
     }
   }
   PrintCacheStats(session.cache());
+  if (crossover) {
+    PrintCrossover(session, options, *ops);
+  }
+  if (durable != nullptr) {
+    const Status closed = durable->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "error: shutdown checkpoint failed: %s\n",
+                   closed.ToString().c_str());
+      return 3;
+    }
+  }
   return 0;
 }
 
@@ -348,10 +438,30 @@ int main(int argc, char** argv) {
   ResourceBudget budget;
   size_t threads = 0;  // 0 = hardware concurrency (the context default)
   size_t cache_capacity = 0;
+  DurabilityOptions durability;
+  bool crossover = false;
   const char* query_text = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ccp") == 0) {
       ccp = true;
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      durability.wal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      durability.snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 &&
+               i + 1 < argc) {
+      durability.snapshot_every =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--fsync=", 8) == 0) {
+      Result<FsyncMode> mode = ParseFsyncMode(argv[i] + 8);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     mode.status().ToString().c_str());
+        return 2;
+      }
+      durability.fsync = *mode;
+    } else if (std::strcmp(argv[i], "--crossover") == 0) {
+      crossover = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       cache_capacity = BlockSolveCache::kDefaultCapacity;
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
@@ -395,6 +505,26 @@ int main(int argc, char** argv) {
   if (command == "session") {
     session_options.budget = budget;
   }
+
+  // `session --wal` recovers through the durable wrapper; every other
+  // command (and walless session runs) stays on the plain path.
+  if (command == "session" && !durability.wal_path.empty()) {
+    if (query_text == nullptr) {
+      return Usage();
+    }
+    Result<std::unique_ptr<DurableSession>> durable =
+        DurableSession::Open(*problem, session_options, durability);
+    if (!durable.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   durable.status().ToString().c_str());
+      return durable.status().code() == StatusCode::kDataLoss ? 5 : 3;
+    }
+    std::printf("recovery: %s\n\n",
+                (*durable)->recovery().ToString().c_str());
+    return CmdSession((*durable)->session(), durable->get(),
+                      session_options, query_text, crossover);
+  }
+
   Result<std::unique_ptr<SessionContext>> session =
       SessionContext::Create(*problem, session_options);
   if (!session.ok()) {
@@ -419,7 +549,8 @@ int main(int argc, char** argv) {
     if (query_text == nullptr) {
       return Usage();
     }
-    return CmdSession(**session, query_text);
+    return CmdSession(**session, /*durable=*/nullptr, session_options,
+                      query_text, crossover);
   }
   if (command == "stats") {
     const ConflictGraph& cg = (*session)->context().conflict_graph();

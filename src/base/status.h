@@ -26,6 +26,8 @@ enum class StatusCode {
   kParseError,        ///< text-format syntax error
   kDeadlineExceeded,  ///< wall-clock budget ran out before an answer
   kResourceExhausted,  ///< work budget (nodes, block size) ran out
+  kDataLoss,          ///< durable state is corrupt beyond safe recovery
+  kUnavailable,       ///< durable backing store cannot be opened/written
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -77,6 +79,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -281,6 +281,12 @@ Result<std::vector<SessionOp>> ParseSessionScript(std::string_view text) {
         nl == std::string_view::npos ? text : text.substr(0, nl);
     text = nl == std::string_view::npos ? std::string_view{}
                                         : text.substr(nl + 1);
+    if (line.size() > kMaxSessionOpLineBytes) {
+      return Status::ResourceExhausted(
+          "line " + std::to_string(line_no) + ": " +
+          std::to_string(line.size()) + " bytes is over the " +
+          std::to_string(kMaxSessionOpLineBytes) + "-byte line cap");
+    }
     size_t hash = line.find('#');
     if (hash != std::string_view::npos) {
       line = line.substr(0, hash);
@@ -288,6 +294,11 @@ Result<std::vector<SessionOp>> ParseSessionScript(std::string_view text) {
     line = Trim(line);
     if (line.empty()) {
       continue;
+    }
+    if (ops.size() >= kMaxSessionScriptOps) {
+      return Status::ResourceExhausted(
+          "line " + std::to_string(line_no) + ": script exceeds the " +
+          std::to_string(kMaxSessionScriptOps) + "-op cap");
     }
     Result<SessionOp> op = ParseSessionOp(line);
     if (!op.ok()) {

@@ -69,8 +69,20 @@ struct SessionOp {
 /// Parses one op line (no comments/blank lines — callers strip those).
 [[nodiscard]] Result<SessionOp> ParseSessionOp(std::string_view line);
 
+/// Hostile-input caps on batch scripts.  They live HERE, on the script
+/// reader (and on prefrepd's stream reader, which shares the line cap),
+/// not inside ParseSessionOp: rendering can legitimately inflate an
+/// accepted line (canonical spacing), so a per-op byte cap would break
+/// the render/reparse closure the fuzzer proves.  The line cap matches
+/// the WAL record payload cap (persist/wal.h) so every acceptable op is
+/// also loggable.
+inline constexpr size_t kMaxSessionOpLineBytes = 1u << 20;  // 1 MiB
+inline constexpr size_t kMaxSessionScriptOps = 1u << 20;
+
 /// Parses a whole script: one op per line, '#' comments and blank lines
-/// skipped.  Errors carry the 1-based line number.
+/// skipped.  Errors carry the 1-based line number.  Scripts over the
+/// caps above are rejected with kResourceExhausted before any
+/// proportional allocation happens.
 [[nodiscard]] Result<std::vector<SessionOp>> ParseSessionScript(
     std::string_view text);
 

@@ -1,0 +1,209 @@
+#include "persist/durable_session.h"
+
+#include <utility>
+
+#include "io/text_format.h"
+#include "persist/file_io.h"
+#include "persist/snapshot.h"
+
+namespace prefrep {
+
+namespace {
+
+Status AsDataLoss(const Status& inner, const std::string& context) {
+  return Status::DataLoss(context + ": " + inner.ToString());
+}
+
+}  // namespace
+
+std::string RecoveryStats::ToString() const {
+  std::string out = snapshot_loaded
+                        ? "snapshot loaded (seq " +
+                              std::to_string(snapshot_seq) + ")"
+                        : "no snapshot";
+  out += ", " + std::to_string(ops_replayed) + " ops replayed";
+  if (records_skipped > 0) {
+    out += ", " + std::to_string(records_skipped) +
+           " stale records skipped";
+  }
+  if (torn_tail_dropped) {
+    out += ", torn tail dropped";
+  }
+  out += ", durable seq " + std::to_string(durable_seq);
+  return out;
+}
+
+bool DurableSession::IsDurableEdit(SessionOp::Kind kind) {
+  switch (kind) {
+    case SessionOp::Kind::kInsert:
+    case SessionOp::Kind::kDelete:
+    case SessionOp::Kind::kPrefer:
+    case SessionOp::Kind::kJSet:
+    case SessionOp::Kind::kJAdd:
+    case SessionOp::Kind::kJDel:
+    case SessionOp::Kind::kBudget:
+      return true;
+    case SessionOp::Kind::kCheck:
+    case SessionOp::Kind::kCount:
+    case SessionOp::Kind::kConstruct:
+    case SessionOp::Kind::kCqa:
+    case SessionOp::Kind::kStats:
+      return false;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<DurableSession>> DurableSession::Open(
+    const PreferredRepairProblem& base_problem,
+    SessionOptions session_options, DurabilityOptions durability) {
+  if (durability.wal_path.empty()) {
+    return Status::InvalidArgument("DurabilityOptions.wal_path is empty");
+  }
+  if (durability.snapshot_path.empty()) {
+    durability.snapshot_path = durability.wal_path + ".snapshot";
+  }
+
+  auto out = std::unique_ptr<DurableSession>(new DurableSession());
+  out->options_ = std::move(durability);
+
+  // 1. Latest valid snapshot (absence is a normal first boot).
+  uint64_t snapshot_seq = 0;
+  if (FileExists(out->options_.snapshot_path)) {
+    PREFREP_ASSIGN_OR_RETURN(
+        const SnapshotContents snap,
+        ReadSnapshotFile(out->options_.snapshot_path));
+    Result<PreferredRepairProblem> problem = ParseProblemText(snap.body);
+    if (!problem.ok()) {
+      // The body passed its checksum, so a parse failure means the
+      // snapshot writer and reader disagree — corruption of our own
+      // making, not user error.
+      return AsDataLoss(problem.status(), "snapshot body unparsable");
+    }
+    PREFREP_ASSIGN_OR_RETURN(
+        out->session_, SessionContext::Create(*problem, session_options));
+    Result<SessionOp> budget_op = ParseSessionOp(snap.budget_line);
+    if (!budget_op.ok() ||
+        budget_op->kind != SessionOp::Kind::kBudget) {
+      return AsDataLoss(budget_op.ok() ? Status::DataLoss("not a budget op")
+                                       : budget_op.status(),
+                        "snapshot budget line unparsable");
+    }
+    out->session_->set_budget(budget_op->budget);
+    snapshot_seq = snap.seq;
+    out->recovery_.snapshot_loaded = true;
+    out->recovery_.snapshot_seq = snapshot_seq;
+  } else {
+    PREFREP_ASSIGN_OR_RETURN(
+        out->session_,
+        SessionContext::Create(base_problem, session_options));
+  }
+
+  // 2. WAL tail.
+  std::string wal_bytes;
+  const bool wal_exists = FileExists(out->options_.wal_path);
+  if (wal_exists) {
+    PREFREP_ASSIGN_OR_RETURN(wal_bytes,
+                             ReadFileToString(out->options_.wal_path));
+  }
+  PREFREP_ASSIGN_OR_RETURN(const WalContents wal, ParseWalBytes(wal_bytes));
+  out->recovery_.torn_tail_dropped = wal.torn_tail_dropped;
+  uint64_t last_seq = snapshot_seq;
+  for (const WalRecord& record : wal.records) {
+    if (record.seq <= snapshot_seq) {
+      ++out->recovery_.records_skipped;
+      continue;
+    }
+    if (record.seq != last_seq + 1) {
+      return Status::DataLoss(
+          "WAL/snapshot generation mismatch: first live WAL record has "
+          "seq " +
+          std::to_string(record.seq) + " but the durable state ends at " +
+          std::to_string(last_seq));
+    }
+    Result<SessionOp> op = ParseSessionOp(record.payload);
+    if (!op.ok()) {
+      return AsDataLoss(op.status(), "WAL record " +
+                                         std::to_string(record.seq) +
+                                         " unparsable");
+    }
+    Result<std::string> reply = out->session_->Execute(*op);
+    if (!reply.ok()) {
+      // This op succeeded when it was logged; if it fails now the
+      // durable history and the recovered state have diverged.
+      return AsDataLoss(reply.status(),
+                        "replay of durable op " +
+                            std::to_string(record.seq) + " ('" +
+                            record.payload + "') failed");
+    }
+    last_seq = record.seq;
+    ++out->recovery_.ops_replayed;
+  }
+  out->recovery_.durable_seq = last_seq;
+
+  // 3. Physically drop any torn tail (and heal a torn, absent or
+  // empty-file magic) before appending after the valid prefix.
+  if (wal_exists && (wal.valid_bytes != wal_bytes.size() ||
+                     wal.valid_bytes < kWalMagicBytes)) {
+    std::string healed =
+        wal.valid_bytes >= kWalMagicBytes
+            ? std::string(wal_bytes.substr(0, wal.valid_bytes))
+            : std::string(kWalMagic, kWalMagicBytes);
+    PREFREP_RETURN_NOT_OK(
+        AtomicWriteFile(out->options_.wal_path, healed));
+  }
+
+  PREFREP_RETURN_NOT_OK(out->wal_.Open(
+      out->options_.wal_path, out->options_.fsync, last_seq + 1));
+  return out;
+}
+
+Result<std::string> DurableSession::Execute(const SessionOp& op) {
+  if (closed_) {
+    return Status::Unavailable("Execute on a closed DurableSession");
+  }
+  PREFREP_ASSIGN_OR_RETURN(std::string reply, session_->Execute(op));
+  if (IsDurableEdit(op.kind)) {
+    Result<uint64_t> seq = wal_.Append(SessionOpToString(op));
+    if (!seq.ok()) {
+      return seq.status();
+    }
+    ++edits_since_checkpoint_;
+    if (options_.snapshot_every > 0 &&
+        edits_since_checkpoint_ >= options_.snapshot_every) {
+      PREFREP_RETURN_NOT_OK(Checkpoint());
+    }
+  }
+  return reply;
+}
+
+Status DurableSession::Checkpoint() {
+  if (closed_) {
+    return Status::Unavailable("Checkpoint on a closed DurableSession");
+  }
+  // Make the log durable up to the seq the snapshot will claim, so a
+  // crash mid-checkpoint can never lose acknowledged ops.
+  PREFREP_RETURN_NOT_OK(wal_.SyncNow());
+  const uint64_t seq = wal_.next_seq() - 1;
+  SessionOp budget_op;
+  budget_op.kind = SessionOp::Kind::kBudget;
+  budget_op.budget = session_->budget();
+  PREFREP_RETURN_NOT_OK(WriteSnapshotFile(
+      options_.snapshot_path, seq, SessionOpToString(budget_op),
+      session_->SerializeLive()));
+  // A crash here leaves WAL records with seq ≤ snapshot seq; recovery
+  // skips them.
+  PREFREP_RETURN_NOT_OK(wal_.Truncate(seq + 1));
+  edits_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status DurableSession::Close() {
+  if (closed_) {
+    return Status::OK();
+  }
+  PREFREP_RETURN_NOT_OK(Checkpoint());
+  closed_ = true;
+  return wal_.Close();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,120 @@
+// Copyright (c) prefrep contributors.
+// DurableSession — a SessionContext whose acknowledged edits survive a
+// crash.  It composes the two persist primitives:
+//
+//   WAL     (persist/wal.h)      every successful state-changing op is
+//                                appended, as its rendered ops-format
+//                                line, after it applies and before its
+//                                reply is returned;
+//   snapshot (persist/snapshot.h) periodic checkpoints capture the full
+//                                live state and atomically truncate the
+//                                log the snapshot subsumes.
+//
+// Recovery order (Open): load the newest valid snapshot if present,
+// rebuild the session from its body, then replay the WAL tail — records
+// with seq ≤ the snapshot's are skipped (a crash can land between
+// snapshot publication and WAL truncation), the first replayed record
+// must be snapshot-seq + 1 (a gap means the WAL and snapshot are from
+// different generations → kDataLoss), and a torn final record is
+// dropped.  Replayed ops were all acknowledged successes, so a replay
+// *failure* is also kDataLoss — the durable history no longer matches
+// the state it claims to rebuild — never a silent skip.
+//
+// Queries are not logged; the durable history is exactly the edit
+// sequence, and the serving layer's byte-identical-under-rebuild
+// contract extends to recovery: a recovered session answers every query
+// identically to an uninterrupted session that executed the durable
+// edit prefix (proved by the crash battery in tests/durability_test.cc
+// and tests/durability_crash_sweep.sh).
+
+#ifndef PREFREP_PERSIST_DURABLE_SESSION_H_
+#define PREFREP_PERSIST_DURABLE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/problem.h"
+#include "persist/wal.h"
+#include "serve/session.h"
+
+namespace prefrep {
+
+/// Where and how session state is persisted.
+struct DurabilityOptions {
+  std::string wal_path;       ///< required
+  std::string snapshot_path;  ///< default: wal_path + ".snapshot"
+  FsyncMode fsync = FsyncMode::kAlways;
+  /// Checkpoint automatically after this many logged edits (0: only at
+  /// Close / explicit Checkpoint).
+  uint64_t snapshot_every = 0;
+};
+
+/// What recovery found on disk (reported on daemon startup).
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;
+  uint64_t ops_replayed = 0;
+  /// Stale records (seq ≤ snapshot seq) skipped — a crash landed
+  /// between snapshot publication and WAL truncation.
+  uint64_t records_skipped = 0;
+  bool torn_tail_dropped = false;
+  uint64_t durable_seq = 0;
+
+  /// One human-readable line ("snapshot loaded (seq 12), 3 ops
+  /// replayed, torn tail dropped, durable seq 15").
+  std::string ToString() const;
+};
+
+/// A resident session backed by a WAL + snapshot pair.
+class DurableSession {
+ public:
+  /// Recovers (or bootstraps) durable state and opens the WAL for
+  /// appending.  `base_problem` seeds the session only when no snapshot
+  /// exists yet — after the first checkpoint the snapshot takes over.
+  /// Errors: kDataLoss for unrecoverable on-disk corruption (see file
+  /// header), kUnavailable when the backing files cannot be opened.
+  static Result<std::unique_ptr<DurableSession>> Open(
+      const PreferredRepairProblem& base_problem,
+      SessionOptions session_options, DurabilityOptions durability);
+
+  PREFREP_DISALLOW_COPY(DurableSession);
+
+  /// Executes one op; successful state-changing ops are appended to the
+  /// WAL (per the fsync mode) before the reply is returned, then a
+  /// snapshot-every checkpoint may run.  A WAL append failure is
+  /// returned as the op's status: the edit is live in memory but NOT
+  /// durable, and the caller must not acknowledge it.
+  [[nodiscard]] Result<std::string> Execute(const SessionOp& op);
+
+  /// Publishes a snapshot at the current durable seq and truncates the
+  /// WAL it subsumes.
+  [[nodiscard]] Status Checkpoint();
+
+  /// Clean shutdown: final checkpoint + WAL close (idempotent).  After
+  /// Close, Execute returns kUnavailable.
+  [[nodiscard]] Status Close();
+
+  /// True for the op kinds that mutate session state and are therefore
+  /// logged (insert/delete/prefer/jset/jadd/jdel/budget).
+  static bool IsDurableEdit(SessionOp::Kind kind);
+
+  SessionContext& session() { return *session_; }
+  const RecoveryStats& recovery() const { return recovery_; }
+  uint64_t durable_seq() const { return wal_.next_seq() - 1; }
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  DurableSession() = default;
+
+  std::unique_ptr<SessionContext> session_;
+  WalWriter wal_;
+  DurabilityOptions options_;
+  RecoveryStats recovery_;
+  uint64_t edits_since_checkpoint_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PERSIST_DURABLE_SESSION_H_

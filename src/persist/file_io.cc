@@ -1,0 +1,201 @@
+#include "persist/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace prefrep {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Directory portion of `path` ("." when there is none) — what must be
+// fsynced for a rename inside it to be durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Unavailable(Errno("cannot open directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Unavailable(Errno("cannot fsync directory", dir));
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(Errno("write failed on", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path,
+                                     size_t max_bytes) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file '" + path + "'");
+    }
+    return Status::Unavailable(Errno("cannot open", path));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Unavailable(Errno("cannot stat", path));
+  }
+  if (st.st_size > static_cast<off_t>(max_bytes)) {
+    ::close(fd);
+    return Status::ResourceExhausted(
+        "file '" + path + "' is " + std::to_string(st.st_size) +
+        " bytes, over the " + std::to_string(max_bytes) + "-byte cap");
+  }
+  std::string out;
+  out.resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Status::Unavailable(Errno("read failed on", path));
+    }
+    if (n == 0) {
+      break;  // file shrank under us; return what we have
+    }
+    off += static_cast<size_t>(n);
+  }
+  out.resize(off);
+  ::close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(Errno("cannot create", tmp));
+  }
+  Status write = WriteFully(fd, contents, tmp);
+  if (!write.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return write;
+  }
+  if (::fsync(fd) != 0) {
+    const Status sync = Status::Unavailable(Errno("cannot fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return sync;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Unavailable(Errno("cannot close", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status ren =
+        Status::Unavailable(Errno("cannot rename over", path));
+    ::unlink(tmp.c_str());
+    return ren;
+  }
+  return SyncDir(ParentDir(path));
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Unavailable(Errno("cannot remove", path));
+  }
+  return Status::OK();
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // destructor path: best effort, errors surfaced by Close()
+    fd_ = -1;
+  }
+}
+
+Status AppendOnlyFile::Open(const std::string& path) {
+  PREFREP_CHECK_MSG(fd_ < 0, "AppendOnlyFile is already open");
+  fd_ = ::open(path.c_str(),
+               O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Unavailable(Errno("cannot open for append", path));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  if (fd_ < 0) {
+    return Status::Unavailable("append on a closed file");
+  }
+  return WriteFully(fd_, data, path_);
+}
+
+Status AppendOnlyFile::AppendPrefix(std::string_view data,
+                                    size_t prefix_bytes) {
+  return Append(data.substr(0, std::min(prefix_bytes, data.size())));
+}
+
+Status AppendOnlyFile::Sync() {
+  if (fd_ < 0) {
+    return Status::Unavailable("sync on a closed file");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(Errno("cannot fsync", path_));
+  }
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Close() {
+  if (fd_ < 0) {
+    return Status::OK();
+  }
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::Unavailable(Errno("cannot close", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace prefrep

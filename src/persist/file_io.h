@@ -1,0 +1,92 @@
+// Copyright (c) prefrep contributors.
+// The single raw-file-I/O choke point of the durability subsystem
+// (src/persist/).  Every byte the WAL and snapshot layers put on disk
+// flows through this module — nothing else in src/persist/ may touch
+// fopen/ofstream/::open directly (enforced by the prefrep-durability
+// rule in tools/check_prefrep.py) — so the fsync and atomic-rename
+// discipline that crash-recovery rests on lives in exactly one place:
+//
+//   * AtomicWriteFile: write-to-temp + fsync + rename(2) + directory
+//     fsync.  A reader (and a crash) sees either the old file or the
+//     complete new file, never a torn mixture — the snapshot publish
+//     primitive and also how the WAL is truncated (an empty log is
+//     renamed over the old one).
+//   * AppendOnlyFile: O_APPEND writes with an explicit Sync(), the WAL
+//     append primitive.  A crash mid-append leaves a torn suffix that
+//     recovery detects by checksum (persist/wal.h).
+//
+// All functions return Status/Result; no error is reported by crashing
+// (a serving process must survive a full disk or yanked volume).
+
+#ifndef PREFREP_PERSIST_FILE_IO_H_
+#define PREFREP_PERSIST_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace prefrep {
+
+/// Default ReadFileToString cap (also the prefrepd batch-script cap).
+inline constexpr size_t kMaxPersistFileBytes = 256u << 20;  // 256 MiB
+
+/// Reads a whole file.  kNotFound when it does not exist, kUnavailable
+/// on any other I/O error.  `max_bytes` caps hostile inputs: a larger
+/// file is rejected with kResourceExhausted before any allocation.
+[[nodiscard]] Result<std::string> ReadFileToString(
+    const std::string& path, size_t max_bytes = kMaxPersistFileBytes);
+
+/// Returns true iff `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+/// Publishes `contents` at `path` atomically: writes `path`.tmp, fsyncs
+/// it, renames over `path`, then fsyncs the parent directory so the
+/// rename itself is durable.  kUnavailable on any failure (the original
+/// file, if any, is untouched).
+[[nodiscard]] Status AtomicWriteFile(const std::string& path,
+                                     std::string_view contents);
+
+/// Removes `path` if present (missing is OK); kUnavailable otherwise.
+[[nodiscard]] Status RemoveFileIfExists(const std::string& path);
+
+/// An append-only file handle (the WAL backing).  Writes go straight to
+/// the OS; durability requires an explicit Sync() (see FsyncMode in
+/// persist/wal.h for who calls it when).
+class AppendOnlyFile {
+ public:
+  AppendOnlyFile() = default;
+  ~AppendOnlyFile();
+
+  PREFREP_DISALLOW_COPY(AppendOnlyFile);
+
+  /// Opens (creating if needed) `path` for appending.
+  [[nodiscard]] Status Open(const std::string& path);
+
+  /// Appends `data` fully; kUnavailable on short or failed writes.
+  [[nodiscard]] Status Append(std::string_view data);
+
+  /// Appends only the first `prefix_bytes` of `data` and syncs — the
+  /// crash-injection hook uses this to leave a deliberately torn record
+  /// on disk before the process dies (persist/wal.h).
+  [[nodiscard]] Status AppendPrefix(std::string_view data,
+                                    size_t prefix_bytes);
+
+  /// fsync(2): blocks until everything appended so far is on stable
+  /// storage.
+  [[nodiscard]] Status Sync();
+
+  /// Closes the handle (idempotent).  Errors on the final flush are
+  /// reported here rather than swallowed in the destructor.
+  [[nodiscard]] Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PERSIST_FILE_IO_H_

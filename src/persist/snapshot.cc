@@ -1,0 +1,151 @@
+#include "persist/snapshot.h"
+
+#include <cstdio>
+
+#include "persist/file_io.h"
+#include "persist/wal.h"
+
+namespace prefrep {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+// Consumes the next '\n'-terminated line of `text` starting at *pos.
+// Returns false at end of input.
+bool NextLine(std::string_view text, size_t* pos, std::string_view* line) {
+  if (*pos >= text.size()) {
+    return false;
+  }
+  const size_t nl = text.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    *line = text.substr(*pos);
+    *pos = text.size();
+  } else {
+    *line = text.substr(*pos, nl - *pos);
+    *pos = nl + 1;
+  }
+  return true;
+}
+
+// Parses a decimal uint64 occupying the whole of `word`.
+bool ParseU64(std::string_view word, uint64_t* out) {
+  if (word.empty() || word.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : word) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseHexU64(std::string_view word, uint64_t* out) {
+  if (word.size() != 16) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : word) {
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("snapshot corrupt: " + what);
+}
+
+}  // namespace
+
+std::string RenderSnapshot(uint64_t seq, std::string_view budget_line,
+                           std::string_view body) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += kSnapshotMagicLine;
+  out += '\n';
+  out += "# seq ";
+  out += std::to_string(seq);
+  out += '\n';
+  out += "# budget ";
+  out += budget_line;
+  out += '\n';
+  out += "# body-checksum ";
+  out += HexU64(WalRecordChecksum(seq, body));
+  out += '\n';
+  out += body;
+  return out;
+}
+
+Result<SnapshotContents> ParseSnapshotText(std::string_view text) {
+  size_t pos = 0;
+  std::string_view line;
+  if (!NextLine(text, &pos, &line) || line != kSnapshotMagicLine) {
+    return Corrupt("missing '# prefrep-snapshot v1' header");
+  }
+  SnapshotContents out;
+  if (!NextLine(text, &pos, &line) || line.substr(0, 6) != "# seq ") {
+    return Corrupt("missing '# seq' header");
+  }
+  if (!ParseU64(line.substr(6), &out.seq)) {
+    return Corrupt("unparsable seq");
+  }
+  if (!NextLine(text, &pos, &line) || line.substr(0, 9) != "# budget ") {
+    return Corrupt("missing '# budget' header");
+  }
+  out.budget_line.assign(line.substr(9));
+  if (!NextLine(text, &pos, &line) ||
+      line.substr(0, 16) != "# body-checksum ") {
+    return Corrupt("missing '# body-checksum' header");
+  }
+  uint64_t declared = 0;
+  if (!ParseHexU64(line.substr(16), &declared)) {
+    return Corrupt("unparsable body checksum");
+  }
+  out.body.assign(text.substr(pos));
+  const uint64_t actual = WalRecordChecksum(out.seq, out.body);
+  if (declared != actual) {
+    return Corrupt("body checksum mismatch (declared " + HexU64(declared) +
+                   ", computed " + HexU64(actual) + ")");
+  }
+  return out;
+}
+
+Status WriteSnapshotFile(const std::string& path, uint64_t seq,
+                         std::string_view budget_line,
+                         std::string_view body) {
+  return AtomicWriteFile(path, RenderSnapshot(seq, budget_line, body));
+}
+
+Result<SnapshotContents> ReadSnapshotFile(const std::string& path) {
+  PREFREP_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  Result<SnapshotContents> parsed = ParseSnapshotText(text);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (at '" + path + "')");
+  }
+  return parsed;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,69 @@
+// Copyright (c) prefrep contributors.
+// Durable snapshots of a resident session.  A snapshot captures the
+// full session state at one durable seq — the live instance in the
+// io/text_format grammar (SessionContext::SerializeLive, the same text
+// whose from-scratch rebuild the serving contract already proves
+// byte-identical) plus the candidate-independent extras the body text
+// cannot carry (the current per-request budget) — so recovery is
+// "parse the snapshot, replay the WAL records after its seq".
+//
+// Layout (text; '#' header lines then the body verbatim):
+//
+//   # prefrep-snapshot v1
+//   # seq <N>
+//   # budget <rendered budget op line>
+//   # body-checksum <16 lowercase hex digits>
+//   <SerializeLive() text ...>
+//
+// The checksum covers (seq, body) with the same 64-bit chain as WAL
+// records, so a torn or bit-rotted snapshot is detected, never parsed
+// into a half-instance.  Snapshots are only ever published through
+// AtomicWriteFile (persist/file_io.h): a crash during publication
+// leaves the previous snapshot intact.
+
+#ifndef PREFREP_PERSIST_SNAPSHOT_H_
+#define PREFREP_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace prefrep {
+
+inline constexpr char kSnapshotMagicLine[] = "# prefrep-snapshot v1";
+
+/// A parsed snapshot: the durable seq it captures, the rendered budget
+/// op to replay, and the instance body text to rebuild from.
+struct SnapshotContents {
+  uint64_t seq = 0;
+  std::string budget_line;  ///< a full "budget ..." op line
+  std::string body;         ///< io/text_format problem text
+};
+
+/// Renders a snapshot file image.
+std::string RenderSnapshot(uint64_t seq, std::string_view budget_line,
+                           std::string_view body);
+
+/// Parses a snapshot image.  kDataLoss on any structural or checksum
+/// violation — a snapshot is machine-written, so every deviation is
+/// corruption, not user error.  Never crashes on arbitrary input
+/// (fuzzed by tests/fuzz/wal_fuzz.cc).
+[[nodiscard]] Result<SnapshotContents> ParseSnapshotText(
+    std::string_view text);
+
+/// Renders and atomically publishes a snapshot at `path`.
+[[nodiscard]] Status WriteSnapshotFile(const std::string& path,
+                                       uint64_t seq,
+                                       std::string_view budget_line,
+                                       std::string_view body);
+
+/// Reads and parses the snapshot at `path`.  kNotFound when absent
+/// (first boot), kDataLoss when present but invalid.
+[[nodiscard]] Result<SnapshotContents> ReadSnapshotFile(
+    const std::string& path);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,298 @@
+#include "persist/wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/hash.h"
+#include "base/macros.h"
+
+namespace prefrep {
+
+namespace {
+
+// Crash-injection state (test-only, set before any Append happens).
+uint64_t g_crash_at_append = 0;
+size_t g_crash_partial_bytes = 0;
+uint64_t g_append_count = 0;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Decodes the record starting at `bytes`; returns false when the bytes
+// do not form a complete, checksum-valid record (torn or corrupt).
+// On success sets *record and *record_bytes.
+bool TryDecodeRecord(std::string_view bytes, WalRecord* record,
+                     size_t* record_bytes) {
+  if (bytes.size() < kWalRecordHeaderBytes) {
+    return false;
+  }
+  const uint32_t payload_len = GetU32(bytes.data());
+  if (payload_len > kMaxWalPayloadBytes) {
+    return false;
+  }
+  const size_t total = kWalRecordHeaderBytes + payload_len;
+  if (bytes.size() < total) {
+    return false;
+  }
+  const uint64_t seq = GetU64(bytes.data() + 4);
+  const uint64_t checksum = GetU64(bytes.data() + 12);
+  const std::string_view payload =
+      bytes.substr(kWalRecordHeaderBytes, payload_len);
+  if (checksum != WalRecordChecksum(seq, payload)) {
+    return false;
+  }
+  record->seq = seq;
+  record->payload.assign(payload);
+  *record_bytes = total;
+  return true;
+}
+
+// True when any complete, checksum-valid record starts anywhere in
+// `bytes`.  Distinguishes a torn tail (nothing valid follows the
+// damage) from mid-log corruption (valid records stranded after it).
+bool AnyValidRecordWithin(std::string_view bytes) {
+  WalRecord scratch;
+  size_t scratch_bytes = 0;
+  for (size_t off = 0; off + kWalRecordHeaderBytes <= bytes.size(); ++off) {
+    if (TryDecodeRecord(bytes.substr(off), &scratch, &scratch_bytes)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<FsyncMode> ParseFsyncMode(std::string_view word) {
+  if (word == "always") {
+    return FsyncMode::kAlways;
+  }
+  if (word == "batch") {
+    return FsyncMode::kBatch;
+  }
+  if (word == "off") {
+    return FsyncMode::kOff;
+  }
+  return Status::InvalidArgument(
+      "unknown fsync mode '" + std::string(word) +
+      "' (expected always|batch|off)");
+}
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kAlways:
+      return "always";
+    case FsyncMode::kBatch:
+      return "batch";
+    case FsyncMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+uint64_t WalRecordChecksum(uint64_t seq, std::string_view payload) {
+  uint64_t h = HashMix64(seq ^ 0x77616c2d636b73ULL);  // "wal-cks"
+  // Mix 8 payload bytes per step; the tail word is length-tagged so
+  // "ab" and "ab\0" differ.
+  size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    h = HashMix64(h ^ GetU64(payload.data() + i));
+  }
+  uint64_t tail = static_cast<uint64_t>(payload.size());
+  for (size_t j = i; j < payload.size(); ++j) {
+    tail = (tail << 8) | static_cast<unsigned char>(payload[j]);
+  }
+  return HashMix64(h ^ tail);
+}
+
+std::string EncodeWalRecord(uint64_t seq, std::string_view payload) {
+  PREFREP_CHECK_MSG(payload.size() <= kMaxWalPayloadBytes,
+                    "WAL payload over kMaxWalPayloadBytes");
+  std::string out;
+  out.reserve(kWalRecordHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, seq);
+  PutU64(&out, WalRecordChecksum(seq, payload));
+  out.append(payload);
+  return out;
+}
+
+Result<WalContents> ParseWalBytes(std::string_view bytes) {
+  WalContents out;
+  if (bytes.empty()) {
+    return out;  // a never-created log is a valid empty log
+  }
+  const std::string_view magic(kWalMagic, kWalMagicBytes);
+  if (bytes.size() < kWalMagicBytes) {
+    // A crash can tear the very first write (the magic itself); bytes
+    // that are a proper prefix of the magic are a torn empty log.
+    if (magic.substr(0, bytes.size()) == bytes) {
+      out.torn_tail_dropped = true;
+      return out;
+    }
+    return Status::DataLoss("WAL file does not start with " +
+                            std::string(kWalMagic));
+  }
+  if (bytes.substr(0, kWalMagicBytes) != magic) {
+    return Status::DataLoss("WAL file does not start with " +
+                            std::string(kWalMagic));
+  }
+  size_t off = kWalMagicBytes;
+  while (off < bytes.size()) {
+    WalRecord record;
+    size_t record_bytes = 0;
+    if (!TryDecodeRecord(bytes.substr(off), &record, &record_bytes)) {
+      if (AnyValidRecordWithin(bytes.substr(off + 1))) {
+        return Status::DataLoss(
+            "WAL corrupt at byte " + std::to_string(off) +
+            " with valid records after it (not a torn tail)");
+      }
+      out.torn_tail_dropped = true;
+      break;
+    }
+    if (!out.records.empty() &&
+        record.seq != out.records.back().seq + 1) {
+      return Status::DataLoss(
+          "WAL seq gap: record " + std::to_string(record.seq) +
+          " follows " + std::to_string(out.records.back().seq));
+    }
+    out.records.push_back(std::move(record));
+    off += record_bytes;
+  }
+  out.valid_bytes = off < bytes.size() ? off : bytes.size();
+  return out;
+}
+
+Status WalWriter::Open(const std::string& path, FsyncMode mode,
+                       uint64_t next_seq) {
+  PREFREP_CHECK_MSG(!file_.is_open(), "WalWriter is already open");
+  path_ = path;
+  mode_ = mode;
+  next_seq_ = next_seq;
+  unsynced_records_ = 0;
+  const bool fresh = !FileExists(path);
+  PREFREP_RETURN_NOT_OK(file_.Open(path));
+  if (fresh) {
+    PREFREP_RETURN_NOT_OK(
+        file_.Append(std::string_view(kWalMagic, kWalMagicBytes)));
+    if (mode_ != FsyncMode::kOff) {
+      PREFREP_RETURN_NOT_OK(file_.Sync());
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Append(std::string_view payload) {
+  if (!file_.is_open()) {
+    return Status::Unavailable("WAL append on a closed writer");
+  }
+  if (payload.size() > kMaxWalPayloadBytes) {
+    return Status::ResourceExhausted(
+        "WAL payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxWalPayloadBytes) +
+        "-byte record cap");
+  }
+  const uint64_t seq = next_seq_;
+  const std::string record = EncodeWalRecord(seq, payload);
+  ++g_append_count;
+  if (g_crash_at_append != 0 && g_append_count == g_crash_at_append) {
+    // Simulate a power cut mid-append: persist exactly `partial_bytes`
+    // of this record, then die without unwinding.  137 mirrors the
+    // exit status of a SIGKILLed process so the sweep driver treats
+    // both crash flavors identically.
+    const Status partial = file_.AppendPrefix(record, g_crash_partial_bytes);
+    PREFREP_CHECK_MSG(partial.ok(), "crash-injection append failed");
+    const Status sync = file_.Sync();
+    PREFREP_CHECK_MSG(sync.ok(), "crash-injection sync failed");
+    _exit(137);
+  }
+  PREFREP_RETURN_NOT_OK(file_.Append(record));
+  ++next_seq_;
+  ++unsynced_records_;
+  switch (mode_) {
+    case FsyncMode::kAlways:
+      PREFREP_RETURN_NOT_OK(SyncNow());
+      break;
+    case FsyncMode::kBatch:
+      if (unsynced_records_ >= kWalBatchSyncEvery) {
+        PREFREP_RETURN_NOT_OK(SyncNow());
+      }
+      break;
+    case FsyncMode::kOff:
+      break;
+  }
+  return seq;
+}
+
+Status WalWriter::SyncNow() {
+  if (!file_.is_open()) {
+    return Status::Unavailable("WAL sync on a closed writer");
+  }
+  if (unsynced_records_ == 0) {
+    return Status::OK();
+  }
+  PREFREP_RETURN_NOT_OK(file_.Sync());
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (!file_.is_open()) {
+    return Status::OK();
+  }
+  if (mode_ != FsyncMode::kOff) {
+    PREFREP_RETURN_NOT_OK(SyncNow());
+  }
+  return file_.Close();
+}
+
+Status WalWriter::Truncate(uint64_t next_seq) {
+  if (!file_.is_open()) {
+    return Status::Unavailable("WAL truncate on a closed writer");
+  }
+  // Publish an empty log atomically, then reopen the append handle on
+  // the new inode (the old fd still points at the renamed-away file).
+  PREFREP_RETURN_NOT_OK(file_.Close());
+  PREFREP_RETURN_NOT_OK(
+      AtomicWriteFile(path_, std::string_view(kWalMagic, kWalMagicBytes)));
+  PREFREP_RETURN_NOT_OK(file_.Open(path_));
+  next_seq_ = next_seq;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+void ForceCrashAtWalRecordForTesting(uint64_t nth_append,
+                                     size_t partial_bytes) {
+  g_crash_at_append = nth_append;
+  g_crash_partial_bytes = partial_bytes;
+  g_append_count = 0;
+}
+
+}  // namespace prefrep

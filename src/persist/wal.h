@@ -1,0 +1,147 @@
+// Copyright (c) prefrep contributors.
+// Write-ahead log for resident sessions (serve/session.h).  The WAL
+// makes an acknowledged edit durable: every state-changing session op
+// (insert/delete/prefer/jset/jadd/jdel/budget) is appended — as its
+// rendered io/ops_format line, the same grammar scripts and prefrepd
+// speak — *after* it applies and *before* its reply is returned, so a
+// recovered session is always some prefix of the acknowledged edit
+// sequence (the whole sequence under FsyncMode::kAlways).
+//
+// On-disk layout (all integers little-endian, fixed width):
+//
+//   file   := magic record*
+//   magic  := "PREFWAL1"                                   (8 bytes)
+//   record := payload_len:u32 seq:u64 checksum:u64 payload (20 + n bytes)
+//
+// `seq` is the 1-based position of the op in the session's durable
+// history and must be contiguous within a file; `checksum` covers seq
+// and the payload bytes (WalRecordChecksum).  A crash mid-append leaves
+// a torn final record that fails the length or checksum test; recovery
+// (ParseWalBytes) stops at the last valid record and reports the torn
+// tail.  Invalid bytes *followed by* further valid records are NOT a
+// torn tail — an append-only log can only tear at the end — and are
+// reported as kDataLoss rather than silently dropped.
+//
+// Checkpointing truncates the WAL by atomically renaming a fresh
+// magic-only file over it (persist/file_io.h), after the snapshot that
+// subsumes it is durably published (persist/snapshot.h).
+
+#ifndef PREFREP_PERSIST_WAL_H_
+#define PREFREP_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/file_io.h"
+
+namespace prefrep {
+
+/// When appends reach stable storage relative to the op reply.
+enum class FsyncMode {
+  kAlways,  ///< fsync after every record: no acknowledged op is ever lost
+  kBatch,   ///< fsync every kWalBatchSyncEvery records and at checkpoints
+  kOff,     ///< never fsync explicitly: the OS decides (test/bench mode)
+};
+
+/// Parses "always" / "batch" / "off".
+[[nodiscard]] Result<FsyncMode> ParseFsyncMode(std::string_view word);
+const char* FsyncModeName(FsyncMode mode);
+
+/// Record-count cadence of FsyncMode::kBatch.
+inline constexpr size_t kWalBatchSyncEvery = 32;
+
+/// Hard cap on one record's payload (a rendered op line).  A length
+/// prefix above the cap is corruption by definition — recovery must
+/// never size a buffer from hostile bytes.
+inline constexpr uint32_t kMaxWalPayloadBytes = 1u << 20;  // 1 MiB
+
+inline constexpr char kWalMagic[] = "PREFWAL1";  // 8 bytes, no NUL
+inline constexpr size_t kWalMagicBytes = 8;
+inline constexpr size_t kWalRecordHeaderBytes = 4 + 8 + 8;
+
+/// Checksum of one record (seq + payload), 64-bit splitmix chain.
+uint64_t WalRecordChecksum(uint64_t seq, std::string_view payload);
+
+/// Renders one record's bytes (header + payload).
+std::string EncodeWalRecord(uint64_t seq, std::string_view payload);
+
+/// One decoded record.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Result of decoding a WAL byte stream.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// True when trailing bytes after the last valid record were dropped
+  /// (the crash-torn-append case).
+  bool torn_tail_dropped = false;
+  /// Bytes consumed by the valid prefix (magic + whole records).
+  size_t valid_bytes = 0;
+};
+
+/// Decodes `bytes` (a whole WAL file).  Never crashes on arbitrary
+/// input (fuzzed by tests/fuzz/wal_fuzz.cc).  Errors:
+///   * kDataLoss — wrong magic on a non-empty file, a non-contiguous
+///     seq run, or an invalid region followed by further valid records
+///     (mid-log corruption, not a torn append).
+/// An empty byte string is a valid, empty log; a partially-written
+/// magic counts as a torn tail of an empty log.
+[[nodiscard]] Result<WalContents> ParseWalBytes(std::string_view bytes);
+
+/// Appends records to a WAL file under one fsync policy.
+class WalWriter {
+ public:
+  WalWriter() = default;
+
+  PREFREP_DISALLOW_COPY(WalWriter);
+
+  /// Opens `path` for appending, creating it (with its magic header)
+  /// when absent or empty.  `next_seq` is the seq the next Append will
+  /// use — recovery passes last-durable + 1.
+  [[nodiscard]] Status Open(const std::string& path, FsyncMode mode,
+                            uint64_t next_seq);
+
+  /// Appends one op payload as the next record and applies the fsync
+  /// policy.  Returns the record's seq.
+  [[nodiscard]] Result<uint64_t> Append(std::string_view payload);
+
+  /// fsync regardless of mode (checkpoint boundary; no-op fast path
+  /// when nothing was appended since the last sync).
+  [[nodiscard]] Status SyncNow();
+
+  /// Closes the underlying file (idempotent).
+  [[nodiscard]] Status Close();
+
+  /// Atomically replaces the on-disk log with an empty (magic-only)
+  /// one and resets seq numbering to `next_seq`.  The writer stays
+  /// open for further appends.
+  [[nodiscard]] Status Truncate(uint64_t next_seq);
+
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  AppendOnlyFile file_;
+  std::string path_;
+  FsyncMode mode_ = FsyncMode::kBatch;
+  uint64_t next_seq_ = 1;
+  size_t unsynced_records_ = 0;
+};
+
+/// Crash-fault injection: when `nth_append` is > 0, the `nth_append`-th
+/// WalWriter::Append of this process writes only `partial_bytes` of its
+/// encoded record (clamped to the record size), fsyncs what it wrote,
+/// and terminates the process with _exit(137) — a SIGKILL-faithful
+/// death: no destructors, no flushes, disk state exactly as a power cut
+/// at that offset would leave it.  The kill-point battery
+/// (tests/durability_test.cc) sweeps this over every record and byte
+/// boundary of a generated script.  Pass nth_append = 0 to disarm.
+void ForceCrashAtWalRecordForTesting(uint64_t nth_append,
+                                     size_t partial_bytes);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_PERSIST_WAL_H_

@@ -1,6 +1,7 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
@@ -654,7 +655,9 @@ std::string SessionContext::RenderStats() {
          " queries=" + std::to_string(stats_.queries) +
          " blocks-retired=" + std::to_string(stats_.blocks_retired) +
          " cache-entries-erased=" +
-         std::to_string(stats_.cache_entries_erased);
+         std::to_string(stats_.cache_entries_erased) +
+         " query-micros=" + std::to_string(stats_.query_micros) +
+         " cache-capacity=" + std::to_string(options_.cache_capacity);
 }
 
 Result<std::string> SessionContext::Execute(const SessionOp& op) {
@@ -708,17 +711,23 @@ Result<std::string> SessionContext::Execute(const SessionOp& op) {
       set_budget(op.budget);
       return "ok " + SessionOpToString(op);
     case SessionOp::Kind::kCheck:
-      ++stats_.queries;
-      return RunCheck(op.semantics);
     case SessionOp::Kind::kCount:
-      ++stats_.queries;
-      return RunCount(op.semantics);
     case SessionOp::Kind::kConstruct:
+    case SessionOp::Kind::kCqa: {
       ++stats_.queries;
-      return RunConstruct();
-    case SessionOp::Kind::kCqa:
-      ++stats_.queries;
-      return RunCqa(op.semantics, op.query);
+      const auto start = std::chrono::steady_clock::now();
+      Result<std::string> reply =
+          op.kind == SessionOp::Kind::kCheck   ? RunCheck(op.semantics)
+          : op.kind == SessionOp::Kind::kCount ? RunCount(op.semantics)
+          : op.kind == SessionOp::Kind::kConstruct
+              ? RunConstruct()
+              : RunCqa(op.semantics, op.query);
+      stats_.query_micros += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      return reply;
+    }
     case SessionOp::Kind::kStats:
       return RenderStats();
   }

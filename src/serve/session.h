@@ -69,6 +69,11 @@ struct SessionStats {
   uint64_t queries = 0;
   uint64_t blocks_retired = 0;
   uint64_t cache_entries_erased = 0;
+  /// Wall time spent answering queries (check/count/construct/cqa).
+  /// `prefrepctl session --crossover` divides a rebuild-and-replay
+  /// probe by this to surface when the resident path has degraded
+  /// below a from-scratch rebuild (e.g. cache off under heavy edits).
+  uint64_t query_micros = 0;
 };
 
 /// A resident prioritizing instance with incremental artifact
@@ -136,6 +141,10 @@ class SessionContext {
 
   /// Replaces the per-request budget (budget op).
   void set_budget(const ResourceBudget& budget) { budget_ = budget; }
+
+  /// The current per-request budget (snapshots persist it alongside the
+  /// serialized instance — see persist/snapshot.h).
+  const ResourceBudget& budget() const { return budget_; }
 
  private:
   SessionContext(const PreferredRepairProblem& problem,

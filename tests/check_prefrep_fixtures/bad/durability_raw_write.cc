@@ -1,0 +1,19 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): a
+// persistence-layer writer that bypasses the checksummed
+// AppendOnlyFile/AtomicWriteFile choke point.  The bytes hit disk with
+// no record framing, no checksum and no atomic publish, so a crash
+// mid-write leaves a torn file recovery cannot distinguish from valid
+// state — exactly what the raw-write ban exists to prevent.
+// EXPECT-FINDING: prefrep-durability
+
+#include <fstream>
+#include <string>
+
+namespace prefrep {
+
+void SaveStateUnsafely(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,21 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled):
+// durability entry points whose failures are a bool and a void — a
+// recovery step that cannot report data loss turns corruption into
+// silent wrong answers, which is what the Status/Result return rule
+// exists to prevent.
+// EXPECT-FINDING: prefrep-durability
+
+#ifndef PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_DURABILITY_UNTYPED_RECOVERY_H_
+#define PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_DURABILITY_UNTYPED_RECOVERY_H_
+
+#include <string>
+
+namespace prefrep {
+
+bool RecoverFromDisk(const std::string& wal_path);
+
+void TruncateLog(const std::string& wal_path);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_TESTS_CHECK_PREFREP_FIXTURES_BAD_DURABILITY_UNTYPED_RECOVERY_H_

@@ -1,0 +1,21 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// blessed persistence shapes — bytes reach disk only through the
+// checksummed choke point (persist/file_io.h), and every durability
+// entry point carries its failure in a Status or Result.
+
+#include <string>
+
+#include "base/status.h"
+#include "persist/file_io.h"
+
+namespace prefrep {
+
+Status WriteManifest(const std::string& path, const std::string& body) {
+  return AtomicWriteFile(path, body);
+}
+
+Result<std::string> LoadManifest(const std::string& path) {
+  return ReadFileToString(path);
+}
+
+}  // namespace prefrep

@@ -1,0 +1,197 @@
+#!/usr/bin/env bash
+# External crash-fault battery for prefrepd durability (docs/durability.md).
+#
+# Four phases, all against a real daemon process:
+#   1. Kill-point sweep: --test-crash-at-wal-record=K:B murders the daemon
+#      at every WAL append of a 12-edit script, with the torn tail cut at
+#      several offsets inside the record.  After each crash the daemon is
+#      rebooted on the same WAL and its query answers must be byte-identical
+#      to a never-crashed control run over the durable prefix.
+#   2. Raw SIGKILL: the daemon is killed -9 mid-stream while edits arrive
+#      over a pipe; recovery must succeed and answer exactly as a control
+#      run over whatever prefix turned out to be durable.
+#   3. Clean-shutdown checkpoint: EOF must leave a magic-only WAL and a
+#      snapshot that a second boot recovers from with zero replayed ops.
+#   4. Bounded reader: a multi-MiB input line must get an error reply, not
+#      unbounded buffering or a crash, and the daemon must keep serving.
+#
+# Usage: durability_crash_sweep.sh <prefrepd-binary> [workdir]
+# Exit 0 on success; nonzero with a FAIL line on the first violation.
+set -u
+
+PREFREPD=${1:?usage: durability_crash_sweep.sh <prefrepd-binary> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "${WORK}"
+trap 'rm -rf "${WORK}"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+PROBLEM="${WORK}/problem.txt"
+cat > "${PROBLEM}" <<'EOF'
+relation LibLoc 2
+fd LibLoc: {1} -> {2}
+fact d1a LibLoc(lib1, almaden)
+fact e1b LibLoc(lib1, bascom)
+fact d2a LibLoc(lib2, almaden)
+prefer e1b > d1a
+j d1a
+EOF
+
+# Every line is a durable edit; each prefix of the list is itself a valid
+# script (labels are defined before they are referenced), which is what
+# lets a control run replay any crash prefix.
+EDITS="${WORK}/edits.ops"
+cat > "${EDITS}" <<'EOF'
+insert m1 LibLoc(lib1, c1)
+insert m2 LibLoc(lib2, c2)
+insert m3 LibLoc(lib5, c3)
+prefer m1 > d1a
+prefer m2 > d2a
+jadd m3
+insert m4 LibLoc(lib6, c4)
+delete m4
+budget max-nodes 100000
+insert m5 LibLoc(lib1, c5)
+prefer e1b > m5
+jdel m3
+EOF
+NUM_EDITS=$(wc -l < "${EDITS}")
+
+QUERIES="${WORK}/queries.ops"
+cat > "${QUERIES}" <<'EOF'
+check global
+count global
+count pareto
+construct
+cqa global Q(x) :- LibLoc(x, y)
+EOF
+
+# Query replies only: drop edit acks, the recovery banner, and blank
+# separators so a recovered run and a plain control run compare equal.
+query_replies() {
+  grep -v -e '^ok ' -e '^recovery:' -e '^$' "$1" || true
+}
+
+# Control answers after the first $1 edits, computed without durability.
+control_answers() {
+  local prefix_len=$1
+  local out="${WORK}/control_${prefix_len}.out"
+  if [ ! -f "${out}" ]; then
+    { head -n "${prefix_len}" "${EDITS}"; cat "${QUERIES}"; } \
+      > "${WORK}/control_${prefix_len}.ops"
+    "${PREFREPD}" "${PROBLEM}" --script "${WORK}/control_${prefix_len}.ops" \
+      > "${out}" 2>/dev/null \
+      || fail "control run for prefix ${prefix_len} failed"
+  fi
+  query_replies "${out}"
+}
+
+# --- Phase 1: kill-point sweep over every WAL append -----------------------
+# Partial-tail offsets all sit inside the 20-byte record header, so the
+# torn record can never masquerade as complete.
+PARTIALS=(0 7 19)
+for K in $(seq 1 "${NUM_EDITS}"); do
+  B=${PARTIALS[$(( (K - 1) % ${#PARTIALS[@]} ))]}
+  WAL="${WORK}/sweep_${K}_${B}.wal"
+  "${PREFREPD}" "${PROBLEM}" --wal "${WAL}" --fsync=off \
+    --test-crash-at-wal-record="${K}:${B}" --script "${EDITS}" \
+    > /dev/null 2>&1
+  rc=$?
+  [ "${rc}" -eq 137 ] || fail "crash at record ${K}: expected exit 137, got ${rc}"
+  "${PREFREPD}" "${PROBLEM}" --wal "${WAL}" --script "${QUERIES}" \
+    > "${WORK}/recovered.out" 2>&1 \
+    || fail "recovery after crash at record ${K} exited nonzero"
+  grep -q "durable seq $((K - 1))\$" "${WORK}/recovered.out" \
+    || fail "crash at record ${K}: recovery did not report durable seq $((K - 1)): $(head -n 1 "${WORK}/recovered.out")"
+  if ! diff <(control_answers $((K - 1))) \
+            <(query_replies "${WORK}/recovered.out") > /dev/null; then
+    fail "crash at record ${K} (torn at ${B} bytes): recovered answers diverge from the durable prefix"
+  fi
+done
+echo "ok: kill-point sweep, ${NUM_EDITS} records x torn offsets ${PARTIALS[*]}"
+
+# --- Phase 2: raw SIGKILL mid-stream ---------------------------------------
+WAL="${WORK}/sigkill.wal"
+mkfifo "${WORK}/feed"
+# The daemon runs under a reaper subshell so the outer script sees its
+# exit status without bash's "Killed" job notice polluting the output.
+(
+  "${PREFREPD}" "${PROBLEM}" --wal "${WAL}" --fsync=off \
+    < "${WORK}/feed" > /dev/null 2>&1 &
+  echo $! > "${WORK}/daemon.pid"
+  wait $!
+  echo $? > "${WORK}/daemon.rc"
+) 2>/dev/null &
+REAPER=$!
+{
+  while IFS= read -r line; do
+    echo "${line}"
+    sleep 0.02
+  done < "${EDITS}"
+  # Keep the pipe open so the daemon dies by signal, not EOF checkpoint.
+  sleep 5
+} > "${WORK}/feed" &
+FEEDER=$!
+for _ in $(seq 1 50); do
+  [ -s "${WORK}/daemon.pid" ] && break
+  sleep 0.01
+done
+sleep 0.11
+kill -9 "$(cat "${WORK}/daemon.pid")" 2>/dev/null
+wait "${REAPER}" 2>/dev/null
+rc=$(cat "${WORK}/daemon.rc")
+kill "${FEEDER}" 2>/dev/null
+wait "${FEEDER}" 2>/dev/null
+[ "${rc}" -eq 137 ] || fail "SIGKILL phase: daemon exit ${rc}, expected 137"
+"${PREFREPD}" "${PROBLEM}" --wal "${WAL}" --script "${QUERIES}" \
+  > "${WORK}/sigkill.out" 2>&1 \
+  || fail "recovery after SIGKILL exited nonzero"
+SEQ=$(sed -n 's/.*durable seq \([0-9][0-9]*\)$/\1/p;1q' "${WORK}/sigkill.out")
+[ -n "${SEQ}" ] || fail "SIGKILL phase: no recovery banner in output"
+[ "${SEQ}" -le "${NUM_EDITS}" ] || fail "SIGKILL phase: durable seq ${SEQ} exceeds ${NUM_EDITS} edits"
+if ! diff <(control_answers "${SEQ}") \
+          <(query_replies "${WORK}/sigkill.out") > /dev/null; then
+  fail "SIGKILL phase: recovered answers diverge from durable prefix ${SEQ}"
+fi
+echo "ok: SIGKILL mid-stream, recovered at durable seq ${SEQ}"
+
+# --- Phase 3: clean shutdown checkpoints -----------------------------------
+WAL="${WORK}/clean.wal"
+cat "${EDITS}" "${QUERIES}" \
+  | "${PREFREPD}" "${PROBLEM}" --wal "${WAL}" > /dev/null 2>&1 \
+  || fail "clean durable run exited nonzero"
+[ -f "${WAL}.snapshot" ] || fail "clean shutdown left no snapshot"
+WAL_BYTES=$(wc -c < "${WAL}")
+[ "${WAL_BYTES}" -eq 8 ] \
+  || fail "clean shutdown left ${WAL_BYTES} WAL bytes, expected magic-only 8"
+"${PREFREPD}" "${PROBLEM}" --wal "${WAL}" --script "${QUERIES}" \
+  > "${WORK}/clean.out" 2>&1 \
+  || fail "boot from checkpoint exited nonzero"
+grep -q "snapshot loaded (seq ${NUM_EDITS}), 0 ops replayed" "${WORK}/clean.out" \
+  || fail "boot from checkpoint did not recover from the snapshot: $(head -n 1 "${WORK}/clean.out")"
+if ! diff <(control_answers "${NUM_EDITS}") \
+          <(query_replies "${WORK}/clean.out") > /dev/null; then
+  fail "checkpoint boot answers diverge from the full-script control"
+fi
+echo "ok: clean shutdown checkpoint, magic-only WAL + snapshot seq ${NUM_EDITS}"
+
+# --- Phase 4: bounded input reader -----------------------------------------
+{
+  printf 'insert '
+  head -c 2097152 /dev/zero | tr '\0' 'a'
+  printf '\ncount global\n'
+} > "${WORK}/huge.ops"
+"${PREFREPD}" "${PROBLEM}" --script "${WORK}/huge.ops" \
+  > "${WORK}/huge.out" 2>&1
+rc=$?
+[ "${rc}" -eq 0 ] || fail "over-cap line: daemon exited ${rc}, expected 0"
+grep -q '^error:' "${WORK}/huge.out" \
+  || fail "over-cap line did not produce an error reply"
+grep -q '^count global: ' "${WORK}/huge.out" \
+  || fail "daemon stopped serving after the over-cap line"
+echo "ok: 2 MiB line rejected with an error reply, daemon kept serving"
+
+echo "PASS: durability crash sweep"

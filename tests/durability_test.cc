@@ -1,0 +1,733 @@
+// Tests for the durability subsystem (src/persist/): WAL record codec,
+// snapshot render/parse, the DurableSession recovery path, and the
+// crash-fault battery.
+//
+// The battery's core move: a crash while appending WAL record k+1
+// leaves EXACTLY the bytes  magic · record_1 … record_k · partial  on
+// disk (the crash hook and a SIGKILL both stop mid-write), so the sweep
+// synthesizes that image directly for every record boundary and every
+// byte offset, recovers from it, and requires the recovered session to
+// answer every query byte-identically to an uninterrupted control
+// session that executed the durable prefix.  A handful of death tests
+// plus tests/durability_crash_sweep.sh prove the real process-murder
+// paths produce those same images.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/edit_script.h"
+#include "io/ops_format.h"
+#include "io/text_format.h"
+#include "persist/durable_session.h"
+#include "persist/file_io.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "serve/session.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+using testing_util::ProblemSpec;
+
+// ---- scaffolding ----------------------------------------------------
+
+// A per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "prefrep_durXXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    // NOLINTNEXTLINE(cert-env33-c): test cleanup of a path we created.
+    if (std::system(cmd.c_str()) != 0) {
+      // Leaking a temp dir is not worth failing the test over.
+    }
+  }
+  std::string File(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+void MustWrite(const std::string& path, std::string_view bytes) {
+  const Status s = AtomicWriteFile(path, bytes);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+std::string MustRead(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? *bytes : std::string();
+}
+
+std::string MustExecute(SessionContext& session, const std::string& line) {
+  Result<SessionOp> op = ParseSessionOp(line);
+  EXPECT_TRUE(op.ok()) << line << ": " << op.status().ToString();
+  Result<std::string> reply = session.Execute(*op);
+  EXPECT_TRUE(reply.ok()) << line << ": " << reply.status().ToString();
+  return reply.ok() ? *reply : std::string();
+}
+
+PreferredRepairProblem FixtureProblem() {
+  ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"a1: ka, x1", "a2: ka, x2", "b1: kb, y1",
+                "b2: kb, y2", "c1: kc, z1"};
+  spec.priorities = {"a1 > a2"};
+  PreferredRepairProblem p = testing_util::MakeProblem(spec);
+  p.j = testing_util::Sub(*p.instance, {"a1", "b1", "c1"});
+  return p;
+}
+
+std::vector<std::string> AllQueries() {
+  return {
+      "check global",
+      "check pareto",
+      "check completion",
+      "count global",
+      "count pareto",
+      "count completion",
+      "construct",
+      "cqa global Q(x) :- R(x, y)",
+      "cqa repairs Q(y) :- R(x, y)",
+  };
+}
+
+// ---- WAL record codec ----------------------------------------------
+
+std::string WalImage(const std::vector<std::string>& payloads,
+                     uint64_t first_seq = 1) {
+  std::string bytes(kWalMagic, kWalMagicBytes);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    bytes += EncodeWalRecord(first_seq + i, payloads[i]);
+  }
+  return bytes;
+}
+
+TEST(WalCodecTest, EncodeParseRoundTrip) {
+  const std::vector<std::string> payloads = {
+      "insert a R(k, v)", "delete a", "", "prefer x > y",
+      std::string(1000, 'z')};
+  Result<WalContents> parsed = ParseWalBytes(WalImage(payloads));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->torn_tail_dropped);
+  ASSERT_EQ(parsed->records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].seq, i + 1);
+    EXPECT_EQ(parsed->records[i].payload, payloads[i]);
+  }
+}
+
+TEST(WalCodecTest, EmptyBytesAreAValidEmptyLog) {
+  Result<WalContents> parsed = ParseWalBytes("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->records.empty());
+  EXPECT_FALSE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, MagicAloneIsAValidEmptyLog) {
+  Result<WalContents> parsed =
+      ParseWalBytes(std::string_view(kWalMagic, kWalMagicBytes));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->records.empty());
+  EXPECT_FALSE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, TornMagicIsATornEmptyLog) {
+  Result<WalContents> parsed = ParseWalBytes("PREF");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->records.empty());
+  EXPECT_TRUE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, WrongMagicIsDataLoss) {
+  Result<WalContents> parsed = ParseWalBytes("NOTAWAL0garbage");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalCodecTest, TruncatedLengthPrefixIsATornTail) {
+  std::string bytes = WalImage({"insert a R(k, v)"});
+  bytes += "\x05\x00";  // two bytes of the next record's length prefix
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_TRUE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, CorruptFinalChecksumIsATornTail) {
+  std::string bytes = WalImage({"insert a R(k, v)", "delete a"});
+  bytes.back() ^= 0x40;  // damage the last record's payload
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_TRUE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, MidLogCorruptionIsDataLossNotATornTail) {
+  // Damage the FIRST record: the second record stays valid, so this
+  // cannot be a torn append and must refuse recovery.
+  std::string bytes = WalImage({"insert a R(k, v)", "delete a"});
+  bytes[kWalMagicBytes + kWalRecordHeaderBytes] ^= 0x40;
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalCodecTest, ValidPrefixGarbageSuffixIsATornTail) {
+  std::string bytes = WalImage({"insert a R(k, v)", "delete a"});
+  bytes += "\xde\xad\xbe\xef then some trailing noise";
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->records.size(), 2u);
+  EXPECT_TRUE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, OversizedLengthPrefixNeverAllocates) {
+  // A length prefix of ~4 GiB must be treated as corruption, not as a
+  // buffer size.
+  std::string bytes(kWalMagic, kWalMagicBytes);
+  bytes += std::string("\xff\xff\xff\xff", 4);
+  bytes += std::string(16, '\x01');
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->records.empty());
+  EXPECT_TRUE(parsed->torn_tail_dropped);
+}
+
+TEST(WalCodecTest, SeqGapIsDataLoss) {
+  std::string bytes(kWalMagic, kWalMagicBytes);
+  bytes += EncodeWalRecord(1, "insert a R(k, v)");
+  bytes += EncodeWalRecord(3, "delete a");
+  Result<WalContents> parsed = ParseWalBytes(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalCodecTest, ChecksumCoversSeqAndLength) {
+  EXPECT_NE(WalRecordChecksum(1, "abc"), WalRecordChecksum(2, "abc"));
+  EXPECT_NE(WalRecordChecksum(1, "ab"),
+            WalRecordChecksum(1, std::string("ab\0", 3)));
+}
+
+// ---- snapshot format -----------------------------------------------
+
+TEST(SnapshotTest, RenderParseRoundTrip) {
+  const std::string body = "relation R 2\nfact a R(k, v)\n";
+  Result<SnapshotContents> parsed =
+      ParseSnapshotText(RenderSnapshot(42, "budget max-nodes 7", body));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->budget_line, "budget max-nodes 7");
+  EXPECT_EQ(parsed->body, body);
+}
+
+TEST(SnapshotTest, BodyCorruptionIsDataLoss) {
+  std::string image = RenderSnapshot(7, "budget", "relation R 2\n");
+  image[image.size() - 3] ^= 0x01;
+  Result<SnapshotContents> parsed = ParseSnapshotText(image);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, HeaderCorruptionIsDataLoss) {
+  for (const std::string image :
+       {std::string(""), std::string("# prefrep-snapshot v2\n"),
+        std::string("# prefrep-snapshot v1\n# seq x\n"),
+        std::string("# prefrep-snapshot v1\n# seq 1\nno budget line\n")}) {
+    Result<SnapshotContents> parsed = ParseSnapshotText(image);
+    ASSERT_FALSE(parsed.ok()) << "'" << image << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+// ---- DurableSession recovery ---------------------------------------
+
+std::unique_ptr<DurableSession> MustOpen(
+    const PreferredRepairProblem& problem, const std::string& wal_path,
+    SessionOptions session_options = {},
+    FsyncMode fsync = FsyncMode::kOff, uint64_t snapshot_every = 0) {
+  DurabilityOptions durability;
+  durability.wal_path = wal_path;
+  durability.fsync = fsync;
+  durability.snapshot_every = snapshot_every;
+  Result<std::unique_ptr<DurableSession>> opened =
+      DurableSession::Open(problem, session_options, durability);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return opened.ok() ? std::move(opened).value() : nullptr;
+}
+
+std::string MustExecuteDurable(DurableSession& durable,
+                               const std::string& line) {
+  Result<SessionOp> op = ParseSessionOp(line);
+  EXPECT_TRUE(op.ok()) << line << ": " << op.status().ToString();
+  Result<std::string> reply = durable.Execute(*op);
+  EXPECT_TRUE(reply.ok()) << line << ": " << reply.status().ToString();
+  return reply.ok() ? *reply : std::string();
+}
+
+TEST(DurableSessionTest, WalReplayRebuildsStateWithoutSnapshot) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+    MustExecuteDurable(*d, "prefer c1 > c2");
+    // No Close: the process "dies" with only the WAL on disk.
+  }
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->recovery().snapshot_loaded);
+  EXPECT_EQ(d->recovery().ops_replayed, 2u);
+  EXPECT_EQ(d->durable_seq(), 2u);
+
+  std::unique_ptr<SessionContext> control =
+      std::move(SessionContext::Create(p).value());
+  MustExecute(*control, "insert c2 R(kc, z2)");
+  MustExecute(*control, "prefer c1 > c2");
+  for (const std::string& query : AllQueries()) {
+    EXPECT_EQ(MustExecuteDurable(*d, query), MustExecute(*control, query))
+        << query;
+  }
+}
+
+TEST(DurableSessionTest, CleanCloseCheckpointsAndTruncates) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+    const Status closed = d->Close();
+    ASSERT_TRUE(closed.ok()) << closed.ToString();
+  }
+  // The WAL is back to magic-only; the snapshot carries the state.
+  EXPECT_EQ(MustRead(dir.File("s.wal")),
+            std::string(kWalMagic, kWalMagicBytes));
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->recovery().snapshot_loaded);
+  EXPECT_EQ(d->recovery().ops_replayed, 0u);
+  EXPECT_EQ(d->durable_seq(), 1u);
+}
+
+TEST(DurableSessionTest, BudgetSurvivesCheckpointAndRecovery) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "budget max-nodes 123");
+    const Status closed = d->Close();
+    ASSERT_TRUE(closed.ok()) << closed.ToString();
+  }
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->session().budget().max_nodes, 123u);
+}
+
+TEST(DurableSessionTest, SnapshotEveryCheckpointsAutomatically) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<DurableSession> d =
+      MustOpen(p, dir.File("s.wal"), {}, FsyncMode::kOff,
+               /*snapshot_every=*/2);
+  ASSERT_NE(d, nullptr);
+  MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+  EXPECT_FALSE(FileExists(dir.File("s.wal.snapshot")));
+  MustExecuteDurable(*d, "insert c3 R(kc, z3)");
+  EXPECT_TRUE(FileExists(dir.File("s.wal.snapshot")));
+  EXPECT_EQ(MustRead(dir.File("s.wal")),
+            std::string(kWalMagic, kWalMagicBytes));
+}
+
+TEST(DurableSessionTest, StaleRecordsAfterCheckpointAreSkipped) {
+  // Simulate a crash BETWEEN snapshot publication and WAL truncation:
+  // run two edits, checkpoint, then restore the pre-checkpoint WAL so
+  // its records (seq 1, 2) coexist with the snapshot (seq 2).
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+    MustExecuteDurable(*d, "prefer c1 > c2");
+    const std::string pre_checkpoint_wal = MustRead(dir.File("s.wal"));
+    const Status checkpointed = d->Checkpoint();
+    ASSERT_TRUE(checkpointed.ok()) << checkpointed.ToString();
+    MustWrite(dir.File("s.wal"), pre_checkpoint_wal);
+  }
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->recovery().snapshot_loaded);
+  EXPECT_EQ(d->recovery().records_skipped, 2u);
+  EXPECT_EQ(d->recovery().ops_replayed, 0u);
+  EXPECT_EQ(d->durable_seq(), 2u);
+}
+
+TEST(DurableSessionTest, GenerationMismatchIsDataLoss) {
+  // A snapshot at seq 2 next to a WAL whose records start at seq 4:
+  // record 3 is missing, so the durable history has a hole.
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+    MustExecuteDurable(*d, "prefer c1 > c2");
+    const Status checkpointed = d->Checkpoint();
+    ASSERT_TRUE(checkpointed.ok()) << checkpointed.ToString();
+  }
+  std::string bytes(kWalMagic, kWalMagicBytes);
+  bytes += EncodeWalRecord(4, "delete c2");
+  MustWrite(dir.File("s.wal"), bytes);
+  DurabilityOptions durability;
+  durability.wal_path = dir.File("s.wal");
+  Result<std::unique_ptr<DurableSession>> opened =
+      DurableSession::Open(p, {}, durability);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableSessionTest, UnreplayableRecordIsDataLoss) {
+  // A record that parses but cannot re-apply (its label never existed)
+  // means the log and the state diverged: refuse, don't skip.
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  std::string bytes(kWalMagic, kWalMagicBytes);
+  bytes += EncodeWalRecord(1, "delete no_such_label");
+  MustWrite(dir.File("s.wal"), bytes);
+  DurabilityOptions durability;
+  durability.wal_path = dir.File("s.wal");
+  Result<std::unique_ptr<DurableSession>> opened =
+      DurableSession::Open(p, {}, durability);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableSessionTest, EmptyExistingWalFileIsHealed) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  MustWrite(dir.File("s.wal"), "");
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+  std::unique_ptr<DurableSession> again = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->recovery().ops_replayed, 1u);
+}
+
+TEST(DurableSessionTest, CorruptSnapshotIsDataLossNeverWrongAnswers) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  {
+    std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+    ASSERT_NE(d, nullptr);
+    MustExecuteDurable(*d, "insert c2 R(kc, z2)");
+    const Status closed = d->Close();
+    ASSERT_TRUE(closed.ok()) << closed.ToString();
+  }
+  std::string snapshot = MustRead(dir.File("s.wal.snapshot"));
+  snapshot[snapshot.size() / 2] ^= 0x20;
+  MustWrite(dir.File("s.wal.snapshot"), snapshot);
+  DurabilityOptions durability;
+  durability.wal_path = dir.File("s.wal");
+  Result<std::unique_ptr<DurableSession>> opened =
+      DurableSession::Open(p, {}, durability);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableSessionTest, ExecuteAfterCloseIsUnavailable) {
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<DurableSession> d = MustOpen(p, dir.File("s.wal"));
+  ASSERT_NE(d, nullptr);
+  const Status closed = d->Close();
+  ASSERT_TRUE(closed.ok()) << closed.ToString();
+  Result<SessionOp> op = ParseSessionOp("insert c2 R(kc, z2)");
+  ASSERT_TRUE(op.ok());
+  Result<std::string> reply = d->Execute(*op);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- crash-fault battery -------------------------------------------
+
+// Runs `workload` through a DurableSession and returns the payload list
+// the WAL ends up holding (the rendered durable-edit lines, in order).
+std::vector<std::string> DurablePayloads(
+    const EditScriptWorkload& workload) {
+  std::vector<std::string> payloads;
+  for (const std::string& line : workload.ops) {
+    Result<SessionOp> op = ParseSessionOp(line);
+    EXPECT_TRUE(op.ok()) << line;
+    if (op.ok() && DurableSession::IsDurableEdit(op->kind)) {
+      payloads.push_back(SessionOpToString(*op));
+    }
+  }
+  return payloads;
+}
+
+// The crash sweep for one configuration: for every record boundary k
+// (0..N) synthesize the exact post-crash WAL image — k whole records
+// plus a deterministic partial slice of record k+1 — recover from it,
+// and compare every query against an uninterrupted control session
+// that executed the first k durable edits.
+void RunCrashSweep(size_t threads, size_t cache_capacity, uint64_t seed) {
+  EditScriptOptions gen;
+  gen.shards = 6;
+  gen.facts_per_shard = 3;
+  gen.num_ops = 60;
+  gen.seed = seed;
+  EditScriptWorkload workload = MakeEditScriptWorkload(gen);
+  const std::vector<std::string> payloads = DurablePayloads(workload);
+  ASSERT_GE(payloads.size(), 20u);
+
+  SessionOptions options;
+  options.threads = threads;
+  options.cache_capacity = cache_capacity;
+
+  // The full-run WAL image, reconstructed record by record (verified
+  // below against a real durable run so the synthesis is honest).
+  std::vector<std::string> records;
+  records.reserve(payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    records.push_back(EncodeWalRecord(i + 1, payloads[i]));
+  }
+
+  TempDir dir;
+  {
+    std::unique_ptr<DurableSession> full =
+        MustOpen(workload.problem, dir.File("full.wal"), options);
+    ASSERT_NE(full, nullptr);
+    for (const std::string& line : workload.ops) {
+      Result<SessionOp> op = ParseSessionOp(line);
+      ASSERT_TRUE(op.ok()) << line;
+      Result<std::string> reply = full->Execute(*op);
+      ASSERT_TRUE(reply.ok()) << line << ": " << reply.status().ToString();
+    }
+    std::string expect(kWalMagic, kWalMagicBytes);
+    for (const std::string& r : records) {
+      expect += r;
+    }
+    ASSERT_EQ(MustRead(dir.File("full.wal")), expect)
+        << "synthesized WAL image diverges from a real durable run";
+  }
+
+  // Uninterrupted control, grown one durable edit per sweep step.
+  std::unique_ptr<SessionContext> control =
+      std::move(SessionContext::Create(workload.problem, options).value());
+
+  std::string image(kWalMagic, kWalMagicBytes);
+  for (size_t k = 0; k <= records.size(); ++k) {
+    SCOPED_TRACE("crash after record " + std::to_string(k) + " (threads=" +
+                 std::to_string(threads) + " cache=" +
+                 std::to_string(cache_capacity) + ")");
+    if (k > 0) {
+      image += records[k - 1];
+      MustExecute(*control, payloads[k - 1]);
+    }
+    // The torn slice of the record being appended when the crash hit:
+    // cycle through 0 (clean boundary), mid-header, just past the
+    // header, and one byte short of complete.
+    std::string crashed = image;
+    if (k < records.size()) {
+      const size_t full = records[k].size();
+      const size_t choices[] = {0, kWalRecordHeaderBytes / 2,
+                                kWalRecordHeaderBytes + 1, full - 1};
+      crashed += records[k].substr(0, choices[k % 4]);
+    }
+    MustWrite(dir.File("s.wal"), crashed);
+    const Status no_snapshot = RemoveFileIfExists(dir.File("s.wal.snapshot"));
+    ASSERT_TRUE(no_snapshot.ok()) << no_snapshot.ToString();
+
+    std::unique_ptr<DurableSession> recovered =
+        MustOpen(workload.problem, dir.File("s.wal"), options);
+    ASSERT_NE(recovered, nullptr);
+    EXPECT_EQ(recovered->recovery().ops_replayed, k);
+    EXPECT_EQ(recovered->recovery().torn_tail_dropped,
+              crashed.size() > image.size());
+    for (const std::string& query : AllQueries()) {
+      EXPECT_EQ(MustExecuteDurable(*recovered, query),
+                MustExecute(*control, query))
+          << query;
+    }
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(DurabilityCrashSweepTest, SerialNoCache) { RunCrashSweep(1, 0, 31); }
+
+TEST(DurabilityCrashSweepTest, SerialCached) { RunCrashSweep(1, 128, 31); }
+
+TEST(DurabilityCrashSweepTest, ParallelNoCache) {
+  RunCrashSweep(8, 0, 37);
+}
+
+TEST(DurabilityCrashSweepTest, ParallelCached) {
+  RunCrashSweep(8, 128, 37);
+}
+
+// Byte-level truncation sweep: EVERY prefix of the WAL (including cuts
+// inside the magic) must recover to the longest durable prefix it
+// fully contains, never crash, never answer differently from the
+// control.  One config, a smaller script, a focused query set — the
+// record-boundary sweeps above cover the full config matrix.
+TEST(DurabilityCrashSweepTest, EveryByteOffsetRecovers) {
+  EditScriptOptions gen;
+  gen.shards = 4;
+  gen.facts_per_shard = 2;
+  gen.num_ops = 16;
+  gen.query_fraction = 0.0;
+  gen.seed = 41;
+  EditScriptWorkload workload = MakeEditScriptWorkload(gen);
+  const std::vector<std::string> payloads = DurablePayloads(workload);
+  ASSERT_GE(payloads.size(), 8u);
+
+  std::string full(kWalMagic, kWalMagicBytes);
+  std::vector<size_t> boundaries = {full.size()};
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    full += EncodeWalRecord(i + 1, payloads[i]);
+    boundaries.push_back(full.size());
+  }
+
+  std::unique_ptr<SessionContext> control =
+      std::move(SessionContext::Create(workload.problem).value());
+  size_t control_ops = 0;
+  const std::vector<std::string> queries = {"check global", "count global",
+                                            "construct"};
+  std::vector<std::string> control_replies;
+  for (const std::string& query : queries) {
+    control_replies.push_back(MustExecute(*control, query));
+  }
+
+  TempDir dir;
+  for (size_t len = 0; len <= full.size(); ++len) {
+    // Durable ops fully contained in this prefix.
+    size_t k = 0;
+    while (k + 1 < boundaries.size() && boundaries[k + 1] <= len) {
+      ++k;
+    }
+    while (control_ops < k) {
+      MustExecute(*control, payloads[control_ops++]);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        control_replies[q] = MustExecute(*control, queries[q]);
+      }
+    }
+    SCOPED_TRACE("prefix of " + std::to_string(len) + " bytes (" +
+                 std::to_string(k) + " whole records)");
+    MustWrite(dir.File("s.wal"), std::string_view(full).substr(0, len));
+    std::unique_ptr<DurableSession> recovered =
+        MustOpen(workload.problem, dir.File("s.wal"));
+    ASSERT_NE(recovered, nullptr);
+    EXPECT_EQ(recovered->recovery().ops_replayed, k);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(MustExecuteDurable(*recovered, queries[q]),
+                control_replies[q])
+          << queries[q];
+    }
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+// ---- crash hook (real process death) -------------------------------
+
+// The hook must die with exit 137 leaving exactly the partial record on
+// disk — the same image the sweeps above synthesize.
+TEST(CrashHookDeathTest, KillsProcessLeavingATornRecord) {
+  // Default ("fast") death-test style: the child is forked in place, so
+  // it shares this test's temp directory and leaves its torn WAL where
+  // the parent can inspect it.
+  TempDir dir;
+  PreferredRepairProblem p = FixtureProblem();
+  const std::string wal_path = dir.File("s.wal");
+  EXPECT_EXIT(
+      {
+        ForceCrashAtWalRecordForTesting(2, 5);
+        DurabilityOptions durability;
+        durability.wal_path = wal_path;
+        durability.fsync = FsyncMode::kAlways;
+        Result<std::unique_ptr<DurableSession>> d =
+            DurableSession::Open(p, {}, durability);
+        if (!d.ok()) {
+          _exit(3);
+        }
+        for (const char* line :
+             {"insert c2 R(kc, z2)", "prefer c1 > c2"}) {
+          Result<SessionOp> op = ParseSessionOp(line);
+          Result<std::string> reply = (*d)->Execute(*op);
+          if (!reply.ok()) {
+            _exit(4);
+          }
+        }
+        _exit(0);  // unreachable: the second append must crash
+      },
+      ::testing::ExitedWithCode(137), "");
+
+  // Disk: record 1 whole, 5 bytes of record 2.
+  const std::string bytes = MustRead(wal_path);
+  std::string expect(kWalMagic, kWalMagicBytes);
+  expect += EncodeWalRecord(1, "insert c2 R(kc, z2)");
+  expect += EncodeWalRecord(2, "prefer c1 > c2").substr(0, 5);
+  EXPECT_EQ(bytes, expect);
+
+  std::unique_ptr<DurableSession> recovered = MustOpen(p, wal_path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->recovery().ops_replayed, 1u);
+  EXPECT_TRUE(recovered->recovery().torn_tail_dropped);
+}
+
+// ---- input hardening (satellite) -----------------------------------
+
+TEST(ScriptCapsTest, OverlongLineIsRejectedWithStatus) {
+  std::string script = "insert a R(k, ";
+  script += std::string(kMaxSessionOpLineBytes, 'v');
+  script += ")\n";
+  Result<std::vector<SessionOp>> ops = ParseSessionScript(script);
+  ASSERT_FALSE(ops.ok());
+  EXPECT_EQ(ops.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ScriptCapsTest, LineCapMatchesWalPayloadCap) {
+  // Every script-acceptable op must be WAL-loggable; keep the caps in
+  // lockstep.
+  EXPECT_LE(kMaxSessionOpLineBytes,
+            static_cast<size_t>(kMaxWalPayloadBytes));
+}
+
+TEST(ScriptCapsTest, WalRejectsOverlongPayloadWithStatus) {
+  TempDir dir;
+  WalWriter writer;
+  const Status opened =
+      writer.Open(dir.File("w.wal"), FsyncMode::kOff, 1);
+  ASSERT_TRUE(opened.ok()) << opened.ToString();
+  Result<uint64_t> seq =
+      writer.Append(std::string(kMaxWalPayloadBytes + 1, 'x'));
+  ASSERT_FALSE(seq.ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kResourceExhausted);
+  const Status closed = writer.Close();
+  EXPECT_TRUE(closed.ok()) << closed.ToString();
+}
+
+}  // namespace
+}  // namespace prefrep

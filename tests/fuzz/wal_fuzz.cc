@@ -1,0 +1,105 @@
+// Copyright (c) prefrep contributors.
+// Fuzz harness for the durable-state readers (src/persist/): recovery
+// must never crash, whatever bytes a dying disk hands it.
+//
+// Properties checked on every input:
+//   1. ParseWalBytes never crashes; accepted inputs obey the framing
+//      invariants (contiguous seqs, payloads under the record cap,
+//      valid_bytes consistent with the reported records) and
+//      re-encoding the accepted records reproduces the valid prefix
+//      byte for byte (decode/encode closure — what recovery appends
+//      after must be exactly what a writer would have produced).
+//   2. ParseSnapshotText never crashes; accepted inputs re-render to an
+//      image that parses to the same contents (render/parse closure).
+// Rejections must be Status values (kDataLoss), never aborts — a
+// serving process refuses corrupt state, it does not die on it.
+//
+// Build: linked against libFuzzer under the `fuzz` preset, or against
+// tests/fuzz/standalone_driver.cc everywhere else (same CLI).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace prefrep {
+namespace {
+
+[[noreturn]] void PropertyFailure(const char* property,
+                                  const std::string& detail) {
+  std::fprintf(stderr, "[wal_fuzz] %s violated: %s\n", property,
+               detail.c_str());
+  std::abort();  // the crash signal both libFuzzer and the driver report
+}
+
+void CheckWal(std::string_view input) {
+  Result<WalContents> parsed = ParseWalBytes(input);
+  if (!parsed.ok()) {
+    return;  // rejected with a Status: exactly what corruption gets
+  }
+  uint64_t expect_seq = 0;
+  std::string reencoded;
+  if (!parsed->records.empty() || parsed->valid_bytes > 0 ||
+      parsed->torn_tail_dropped) {
+    if (!input.empty() && input.size() >= kWalMagicBytes &&
+        parsed->valid_bytes >= kWalMagicBytes) {
+      reencoded.assign(kWalMagic, kWalMagicBytes);
+    }
+  }
+  for (const WalRecord& record : parsed->records) {
+    if (expect_seq != 0 && record.seq != expect_seq + 1) {
+      PropertyFailure("seq contiguity",
+                      "seq " + std::to_string(record.seq) + " follows " +
+                          std::to_string(expect_seq));
+    }
+    expect_seq = record.seq;
+    if (record.payload.size() > kMaxWalPayloadBytes) {
+      PropertyFailure("payload cap", std::to_string(record.payload.size()) +
+                                         " bytes accepted");
+    }
+    reencoded += EncodeWalRecord(record.seq, record.payload);
+  }
+  if (parsed->valid_bytes > input.size()) {
+    PropertyFailure("valid_bytes bound",
+                    std::to_string(parsed->valid_bytes) + " > " +
+                        std::to_string(input.size()));
+  }
+  if (parsed->valid_bytes >= kWalMagicBytes &&
+      reencoded != input.substr(0, parsed->valid_bytes)) {
+    PropertyFailure("decode/encode closure",
+                    "re-encoded prefix diverges at valid_bytes=" +
+                        std::to_string(parsed->valid_bytes));
+  }
+}
+
+void CheckSnapshot(std::string_view input) {
+  Result<SnapshotContents> parsed = ParseSnapshotText(input);
+  if (!parsed.ok()) {
+    return;
+  }
+  const std::string rendered =
+      RenderSnapshot(parsed->seq, parsed->budget_line, parsed->body);
+  Result<SnapshotContents> again = ParseSnapshotText(rendered);
+  if (!again.ok()) {
+    PropertyFailure("render/parse closure", again.status().ToString());
+  }
+  if (again->seq != parsed->seq || again->budget_line != parsed->budget_line ||
+      again->body != parsed->body) {
+    PropertyFailure("render/parse closure", "contents changed on re-render");
+  }
+}
+
+}  // namespace
+}  // namespace prefrep
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  prefrep::CheckWal(input);
+  prefrep::CheckSnapshot(input);
+  return 0;
+}

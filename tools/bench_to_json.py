@@ -1,18 +1,30 @@
 #!/usr/bin/env python3
-"""Runs the serving-layer benchmark and distills BENCH_serve.json.
+"""Runs a benchmark suite and distills its BENCH_<suite>.json.
 
-    python3 tools/bench_to_json.py [--bench <path>] [--out <path>]
+    python3 tools/bench_to_json.py [--suite serve|recovery]
+                                   [--bench <path>] [--out <path>]
 
-Drives bench/bench_serve (built binary; default build/bench/bench_serve)
-with --benchmark_format=json and reduces the raw Google-Benchmark dump
-to the three serving-layer figures tracked in EXPERIMENTS.md (B15):
+Drives the suite's built binary with --benchmark_format=json and
+reduces the raw Google-Benchmark dump to the figures EXPERIMENTS.md
+tracks:
 
-  edit_latency_us      — one tombstone/revival round trip, per edit
-  steady_state_ops_sec — op throughput over the Zipf edit/query script
-  speedup              — per (blocks, cache) point: BM_ServeRebuild
-                         time / BM_ServeIncremental time, the
-                         incremental-vs-rebuild gap at one edit per
-                         query (the ISSUE gate: >= 10x at 64 blocks)
+  serve (BENCH_serve.json, B15):
+    edit_latency_us      — one tombstone/revival round trip, per edit
+    steady_state_ops_sec — op throughput over the Zipf edit/query script
+    speedup              — per (blocks, cache) point: BM_ServeRebuild
+                           time / BM_ServeIncremental time, the
+                           incremental-vs-rebuild gap at one edit per
+                           query (the ISSUE gate: >= 10x at 64 blocks).
+                           Any point below 1.0x is a crossover — the
+                           resident session is slower than rebuilding —
+                           and gets a WARNING.
+
+  recovery (BENCH_recovery.json, B16):
+    wal_append_us        — per-record append cost by fsync mode; the
+                           always/off ratio is the durability price
+    recovery_replay      — cold boot vs un-checkpointed WAL length
+    snapshot_boot        — the same state recovered from a checkpoint
+    checkpoint_ms        — one snapshot + WAL truncation
 
 Stdlib-only by design (runs in CI and the bare build container).
 """
@@ -46,15 +58,19 @@ def time_ns(bench: dict) -> float:
     return float(bench["real_time"]) * scale
 
 
-def distill(raw: dict) -> dict:
+def context_of(raw: dict) -> dict:
+    return {
+        "host": raw.get("context", {}).get("host_name", ""),
+        "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+        "date": raw.get("context", {}).get("date", ""),
+    }
+
+
+def distill_serve(raw: dict) -> dict:
     benches = by_name(raw)
     out: dict = {
         "benchmark": "bench_serve",
-        "context": {
-            "host": raw.get("context", {}).get("host_name", ""),
-            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
-            "date": raw.get("context", {}).get("date", ""),
-        },
+        "context": context_of(raw),
         "edit_latency_us": {},
         "steady_state_ops_sec": None,
         "speedup": {},
@@ -84,32 +100,125 @@ def distill(raw: dict) -> dict:
     return out
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--bench",
-                        default=str(REPO_ROOT / "build/bench/bench_serve"),
-                        help="path to the built bench_serve binary")
-    parser.add_argument("--out",
-                        default=str(REPO_ROOT / "BENCH_serve.json"),
-                        help="output JSON path")
-    args = parser.parse_args()
-    bench = Path(args.bench)
-    if not bench.exists():
-        print(f"bench_to_json: no binary at {bench} — build bench_serve first",
-              file=sys.stderr)
-        return 1
-    summary = distill(run_bench(bench))
-    Path(args.out).write_text(json.dumps(summary, indent=2) + "\n",
-                              encoding="utf-8")
+def report_serve(summary: dict) -> None:
     gate = summary["speedup"].get("blocks=64/cache=on", {}).get("speedup")
-    print(f"bench_to_json: wrote {args.out}")
     for key, row in summary["speedup"].items():
         print(f"  {key}: {row['speedup']:.1f}x "
               f"({row['rebuild_us']:.0f}us -> {row['incremental_us']:.1f}us)")
+        if row["speedup"] < 1.0:
+            print(f"bench_to_json: WARNING {key} crossed over "
+                  f"({row['speedup']:.2f}x): the resident session is slower "
+                  f"than a per-request rebuild at this point — see "
+                  f"`prefrepctl session --crossover` and docs/serving.md",
+                  file=sys.stderr)
     if gate is not None and gate < 10.0:
         print(f"bench_to_json: WARNING speedup gate "
               f"(>=10x at 64 blocks, cache on) not met: {gate:.1f}x",
               file=sys.stderr)
+
+
+FSYNC_MODES = {"0": "off", "1": "batch", "2": "always"}
+
+
+def distill_recovery(raw: dict) -> dict:
+    benches = by_name(raw)
+    out: dict = {
+        "benchmark": "bench_recovery",
+        "context": context_of(raw),
+        "wal_append_us": {},
+        "fsync_penalty": None,
+        "recovery_replay": {},
+        "snapshot_boot": {},
+        "checkpoint_ms": None,
+    }
+    for name, bench in benches.items():
+        if name.startswith("BM_WalAppend/"):
+            mode = FSYNC_MODES.get(name.split("/")[1], name.split("/")[1])
+            out["wal_append_us"][mode] = time_ns(bench) / 1e3
+        elif name.startswith("BM_RecoveryReplay/"):
+            ops = name.split("/")[1]
+            replayed = bench.get("ops_replayed", 0.0)
+            row = {"boot_ms": time_ns(bench) / 1e6,
+                   "ops_replayed": int(replayed)}
+            if replayed:
+                row["us_per_replayed_op"] = time_ns(bench) / replayed / 1e3
+            out["recovery_replay"][ops] = row
+        elif name.startswith("BM_RecoverySnapshot/"):
+            ops = name.split("/")[1]
+            out["snapshot_boot"][ops] = {"boot_ms": time_ns(bench) / 1e6}
+        elif name.startswith("BM_Checkpoint/"):
+            out["checkpoint_ms"] = time_ns(bench) / 1e6
+    off = out["wal_append_us"].get("off")
+    always = out["wal_append_us"].get("always")
+    if off and always:
+        out["fsync_penalty"] = always / off
+    for ops, row in out["snapshot_boot"].items():
+        replay = out["recovery_replay"].get(ops)
+        if replay is not None and row["boot_ms"] > 0:
+            row["speedup_vs_replay"] = replay["boot_ms"] / row["boot_ms"]
+    return out
+
+
+def report_recovery(summary: dict) -> None:
+    for mode, us in summary["wal_append_us"].items():
+        print(f"  append fsync={mode}: {us:.2f}us/record")
+    if summary["fsync_penalty"] is not None:
+        print(f"  fsync=always costs {summary['fsync_penalty']:.0f}x "
+              f"fsync=off per record")
+    for ops, row in summary["recovery_replay"].items():
+        print(f"  cold boot, {ops}-op WAL: {row['boot_ms']:.2f}ms "
+              f"({row['ops_replayed']} replayed)")
+    for ops, row in summary["snapshot_boot"].items():
+        speedup = row.get("speedup_vs_replay")
+        extra = f", {speedup:.1f}x over replay" if speedup else ""
+        print(f"  checkpointed boot, {ops} ops: "
+              f"{row['boot_ms']:.2f}ms{extra}")
+        if speedup is not None and speedup < 1.0:
+            print(f"bench_to_json: WARNING snapshot boot at {ops} ops is "
+                  f"slower than WAL replay ({speedup:.2f}x) — "
+                  f"checkpointing lost its purpose",
+                  file=sys.stderr)
+    if summary["checkpoint_ms"] is not None:
+        print(f"  checkpoint: {summary['checkpoint_ms']:.2f}ms")
+
+
+SUITES = {
+    "serve": {
+        "bench": "build/bench/bench_serve",
+        "out": "BENCH_serve.json",
+        "distill": distill_serve,
+        "report": report_serve,
+    },
+    "recovery": {
+        "bench": "build/bench/bench_recovery",
+        "out": "BENCH_recovery.json",
+        "distill": distill_recovery,
+        "report": report_recovery,
+    },
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), default="serve",
+                        help="which benchmark suite to run and distill")
+    parser.add_argument("--bench", default=None,
+                        help="path to the built benchmark binary")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path")
+    args = parser.parse_args()
+    suite = SUITES[args.suite]
+    bench = Path(args.bench or REPO_ROOT / suite["bench"])
+    out_path = Path(args.out or REPO_ROOT / suite["out"])
+    if not bench.exists():
+        print(f"bench_to_json: no binary at {bench} — build "
+              f"{bench.name} first", file=sys.stderr)
+        return 1
+    summary = suite["distill"](run_bench(bench))
+    out_path.write_text(json.dumps(summary, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"bench_to_json: wrote {out_path}")
+    suite["report"](summary)
     return 0
 
 

@@ -63,6 +63,20 @@ prefrep-raw-concurrency
     lint_prefrep's regex raw-thread and unbounded-shift checks.
     Escape: NOLINT(prefrep-raw-concurrency) on or above the line.
 
+prefrep-durability
+    Two invariants of the persistence layer (src/persist/,
+    docs/durability.md).  (a) Raw write primitives (fopen/fwrite,
+    std::ofstream/std::fstream, ::open/::write/::creat and friends)
+    are banned in src/persist/ outside file_io.cc: every byte that
+    reaches disk must pass through the checksummed AppendOnlyFile /
+    AtomicWriteFile choke point, or crash-atomicity claims rot one
+    convenience write at a time.  (b) Recovery and durability entry
+    points declared in src/persist/ headers (Open/Read*/Load*/
+    Recover*/Replay*/Write*/Append*/Sync*/Close/Truncate)
+    must return Status or Result<...>: a recovery step whose failure
+    is a bool or void turns data loss into silent wrong answers.
+    Escape: NOLINT(prefrep-durability) on or above the line.
+
 Exit status 0 when clean; 1 with one `path:line: message` per finding.
 Stdlib-only unless the clang engine is explicitly requested.
 """
@@ -106,6 +120,23 @@ RAW_CONCURRENCY_RE = re.compile(
 
 PARSE_DECL_NAME_RE = re.compile(r"\bParse\w*\s*\(")
 NODISCARD_RETURN_RE = re.compile(r"\bStatus\b|\bResult\s*<|\boptional\s*<")
+
+DURABILITY_DIR = "src/persist"
+DURABILITY_WRITE_CHOKE_POINT = "src/persist/file_io.cc"
+RAW_WRITE_RE = re.compile(
+    r"\b(?:fopen|freopen|fwrite|fputs|fprintf|std::ofstream|std::fstream|"
+    r"::open|::openat|::creat|::write|::pwrite|::writev)\b")
+# `Checkpoint` is deliberately absent: it names governor checkpointing
+# in the enumeration core (canonically bool), not a durability entry.
+RECOVERY_ENTRY_RE = re.compile(
+    r"\b(?:Open|Read\w*|Load\w*|Recover\w*|Replay\w*|Write\w*|Append\w*|"
+    r"Sync\w*|Close|Truncate)\s*\(")
+# Tokens that may precede a declaration without being its return type;
+# a statement holding nothing else is a constructor (no return type).
+DECL_QUALIFIERS = frozenset((
+    "public", "private", "protected", "static", "virtual", "inline",
+    "constexpr", "explicit", "friend", "nodiscard", "maybe_unused",
+    "override", "final"))
 
 EXPECT_FINDING_RE = re.compile(r"EXPECT-FINDING:\s*([\w-]+)")
 
@@ -439,6 +470,57 @@ class Checker:
                 "sees the acquisition, and base/thread_pool.h for "
                 "execution; or justify with NOLINT(prefrep-raw-concurrency)")
 
+    # -- prefrep-durability ------------------------------------------------
+
+    def check_raw_persist_writes(self, rel: Path, text: str,
+                                 code: str) -> None:
+        lines = text.split("\n")
+        for idx, code_line in enumerate(code.split("\n"), start=1):
+            m = RAW_WRITE_RE.search(code_line)
+            if not m:
+                continue
+            raw = lines[idx - 1] if idx <= len(lines) else ""
+            prev = lines[idx - 2] if idx >= 2 else ""
+            if "prefrep-durability" in raw or "prefrep-durability" in prev:
+                continue
+            self.report(
+                rel, idx, "prefrep-durability",
+                f"raw write primitive `{m.group(0)}` in the persistence "
+                "layer — every byte that reaches disk must go through the "
+                "checksummed AppendOnlyFile/AtomicWriteFile choke point "
+                "(src/persist/file_io.h), or justify with "
+                "NOLINT(prefrep-durability)")
+
+    def check_recovery_entry_returns(self, rel: Path, text: str,
+                                     code: str) -> None:
+        lines = text.split("\n")
+        for m in RECOVERY_ENTRY_RE.finditer(code):
+            if m.start() > 0 and code[m.start() - 1] in "~.:_":
+                continue  # destructor, member call, or qualified name tail
+            stmt_start = max(code.rfind(ch, 0, m.start()) for ch in ";{}#")
+            stmt = code[stmt_start + 1:m.start()]
+            if not stmt.strip():
+                continue
+            if re.search(r"[=.,(]|->|\breturn\b", stmt):
+                continue  # a call or initializer, not a declaration
+            return_type = [t for t in IDENT_RE.findall(stmt)
+                           if t not in DECL_QUALIFIERS]
+            if not return_type:
+                continue  # constructor: qualifiers only, no return type
+            if NODISCARD_RETURN_RE.search(stmt):
+                continue
+            line = code.count("\n", 0, m.start()) + 1
+            raw = lines[line - 1] if line <= len(lines) else ""
+            prev = lines[line - 2] if line >= 2 else ""
+            if "prefrep-durability" in raw or "prefrep-durability" in prev:
+                continue
+            self.report(
+                rel, line, "prefrep-durability",
+                "durability/recovery entry point must return Status or "
+                "Result<...> — a recovery step whose failure is void or "
+                "bool turns data loss into silent wrong answers; or "
+                "justify with NOLINT(prefrep-durability)")
+
     # -- drivers -----------------------------------------------------------
 
     def run_tree(self) -> int:
@@ -458,6 +540,17 @@ class Checker:
             code = strip_comments_and_strings(
                 path.read_text(encoding="utf-8"))
             self.check_parse_declarations(rel, code)
+            scanned += 1
+        for path in sorted((REPO_ROOT / DURABILITY_DIR).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            if str(rel) != DURABILITY_WRITE_CHOKE_POINT:
+                self.check_raw_persist_writes(rel, text, code)
+            if path.suffix == ".h":
+                self.check_recovery_entry_returns(rel, text, code)
             scanned += 1
         for d in RAW_CONCURRENCY_DIRS:
             for suffix in ("*.h", "*.cc", "*.cpp"):
@@ -484,6 +577,8 @@ class Checker:
         self.check_checkpoint(rel, text, code)
         self.check_parse_declarations(rel, code)
         self.check_raw_concurrency(rel, text, code)
+        self.check_raw_persist_writes(rel, text, code)
+        self.check_recovery_entry_returns(rel, text, code)
         got, self.findings = self.findings, saved
         return got
 
