@@ -279,13 +279,22 @@ int CmdAnswers(const PreferredRepairProblem& p, SessionContext& session,
   if (!budget.Unlimited()) {
     ctx.set_governor(&governor);
   }
+  // Report which route answered: "categorical" (the pre-pass certified
+  // a unique optimal repair and the intersection collapsed to one query
+  // evaluation) or "enumeration" (the general repair-set product).
+  CqaPath path = CqaPath::kEnumeration;
+  CqaOptions cqa_options;
+  cqa_options.memo = &session.categoricity_memo();
+  cqa_options.path = &path;
   if (query->IsBoolean()) {
-    Trilean certain = CertainlyTrueBounded(ctx, *query, sem);
+    Trilean certain = CertainlyTrueBounded(ctx, *query, sem, nullptr,
+                                           cqa_options);
     ctx.set_governor(nullptr);
     std::printf("certainly true: %s\n",
                 certain == Trilean::kTrue
                     ? "yes"
                     : certain == Trilean::kFalse ? "no" : "unknown");
+    std::printf("path: %s\n", CqaPathName(path));
     PrintCacheStats(session.cache());
     if (certain == Trilean::kUnknown) {
       std::printf("budget: %s\n", governor.CauseString().c_str());
@@ -293,7 +302,8 @@ int CmdAnswers(const PreferredRepairProblem& p, SessionContext& session,
     }
     return certain == Trilean::kTrue ? 0 : 1;
   }
-  auto bounded = ConsistentAnswersBounded(ctx, *query, sem);
+  auto bounded = ConsistentAnswersBounded(ctx, *query, sem, nullptr,
+                                          cqa_options);
   ctx.set_governor(nullptr);
   if (!bounded.ok()) {
     std::printf("answers unknown: %s\n", bounded.status().ToString().c_str());
@@ -309,6 +319,7 @@ int CmdAnswers(const PreferredRepairProblem& p, SessionContext& session,
     }
     std::printf(")\n");
   }
+  std::printf("path: %s\n", CqaPathName(path));
   PrintCacheStats(session.cache());
   return 0;
 }

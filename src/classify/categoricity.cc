@@ -1,0 +1,427 @@
+#include "classify/categoricity.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/text_format.h"
+#include "repair/audit.h"
+#include "repair/block_solver.h"
+#include "repair/parallel_solver.h"
+
+namespace prefrep {
+
+const char* CategoricityName(Categoricity value) {
+  switch (value) {
+    case Categoricity::kCategorical:
+      return "categorical";
+    case Categoricity::kAmbiguous:
+      return "ambiguous";
+    case Categoricity::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+// ---- CategoricityMemo ------------------------------------------------
+
+const CategoricityMemo::Entry* CategoricityMemo::Lookup(
+    FactId key, RepairSemantics semantics) const {
+  auto it = entries_.find({key, static_cast<int>(semantics)});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CategoricityMemo::Store(FactId key, RepairSemantics semantics,
+                             Entry entry) {
+  PREFREP_CHECK_MSG(entry.unique != Trilean::kUnknown,
+                    "only complete categoricity verdicts may be memoized");
+  entries_[{key, static_cast<int>(semantics)}] = std::move(entry);
+}
+
+void CategoricityMemo::Invalidate(FactId key) {
+  auto it = entries_.lower_bound({key, 0});
+  while (it != entries_.end() && it->first.first == key) {
+    it = entries_.erase(it);
+  }
+}
+
+namespace {
+
+// A block's memo key: its smallest fact id — the same key the serve
+// layer files block state (and fingerprint invalidation) under.
+FactId BlockKey(const Block& b) { return b.fact_list.front(); }
+
+// Whether the priority totally orders every conflicting pair of `b`.
+// Conflict neighbors of a block fact are block facts by definition of
+// connected components, so scanning adjacency lists covers exactly the
+// block's conflict pairs.
+bool BlockPriorityTotalOnConflicts(const ConflictGraph& cg,
+                                   const PriorityRelation& pr,
+                                   const Block& b) {
+  for (FactId f : b.fact_list) {
+    for (FactId g : cg.neighbors(f)) {
+      if (g <= f) {
+        continue;  // each conflict pair once
+      }
+      if (!pr.Prefers(f, g) && !pr.Prefers(g, f)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Whether no priority edge touches any fact of `b` (in either
+// orientation, including edges leaving the block).  Such a block's
+// improvement relation is empty under every semantics — nothing is
+// preferred to anything — so EVERY block-repair is optimal, and a block
+// with a conflict pair has at least two maximal independent sets:
+// ambiguous outright, in time linear in the block.
+bool BlockPriorityEmpty(const PriorityRelation& pr, const Block& b) {
+  for (FactId f : b.fact_list) {
+    if (!pr.Dominates(f).empty() || !pr.DominatedBy(f).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Test-only fault injection, same contract as AuditedCheckBlock:
+// corrupt the verdict *before* it is audited so the death test can
+// prove the categoricity audit actually fires.  A flipped kFalse gets
+// no repair, which the audit also rejects.
+void MaybeCorruptForTesting(BlockCategoricity* result) {
+  if (audit::Enabled() && audit::internal::ForcingWrongVerdict() &&
+      result->unique != Trilean::kUnknown) {
+    result->unique = result->unique == Trilean::kTrue ? Trilean::kFalse
+                                                      : Trilean::kTrue;
+  }
+}
+
+// The per-block decision with the conflict-boundedness of the whole
+// priority precomputed (it is O(priority edges) to test, so
+// DecideCategoricity pays for it once, not per block).
+BlockCategoricity DecideBlockImpl(const ProblemContext& ctx, const Block& b,
+                                  RepairSemantics semantics,
+                                  bool conflict_bounded) {
+  BlockCategoricity out;
+  if (conflict_bounded &&
+      BlockPriorityTotalOnConflicts(ctx.conflict_graph(), ctx.priority(), b)) {
+    // Fast tier: a total priority admits exactly one optimal
+    // block-repair, identical under all three semantics ([SCM]), and
+    // the greedy block construction produces it in polynomial time.
+    out.unique = Trilean::kTrue;
+    out.repair = SolverForSemantics(ctx, b, semantics).ConstructBlock(ctx, b);
+    MaybeCorruptForTesting(&out);
+    return out;
+  }
+  if (b.fact_list.size() >= 2 && BlockPriorityEmpty(ctx.priority(), b)) {
+    // Ambiguity tier: conflicts with no preferences means every
+    // block-repair is optimal, and there are at least two.  Keeps the
+    // pre-pass polynomial on near-miss instances, where the broken
+    // block is exactly this shape.
+    out.unique = Trilean::kFalse;
+    MaybeCorruptForTesting(&out);
+    return out;
+  }
+  // Exact tier: materialize the optimal block-repairs and test
+  // uniqueness.  Empty unambiguously means abandoned (every block has
+  // at least one optimal block-repair).
+  out.exponential = true;
+  std::vector<DynamicBitset> optimal = CachedOptimalBlockRepairs(
+      SolverForSemantics(ctx, b, semantics), ctx, b);
+  if (optimal.empty()) {
+    ResourceGovernor& governor = ctx.governor();
+    out.unique = Trilean::kUnknown;
+    out.unknown_reason = governor.exhausted()
+                             ? governor.CauseString()
+                             : "block " + std::to_string(b.id) +
+                                   " refused by the block-admission budget";
+  } else if (optimal.size() == 1) {
+    out.unique = Trilean::kTrue;
+    out.repair = std::move(optimal.front());
+  } else {
+    out.unique = Trilean::kFalse;
+  }
+  MaybeCorruptForTesting(&out);
+  return out;
+}
+
+// Mirror of the block-solve cache's MayServeCachedEntry (see
+// docs/caching.md): serve a memoized verdict only when a fresh decision
+// under `governor` would have completed identically.  Exponential
+// entries must additionally re-pass block admission, so the refusal a
+// fresh solve would have recorded is reproduced by an actual refused
+// solve instead of short-circuited.
+bool MayServeMemoEntry(const ResourceGovernor& governor,
+                       const CategoricityMemo::Entry& entry,
+                       size_t block_facts) {
+  if (entry.exponential && !governor.WouldAdmitBlock(block_facts)) {
+    return false;
+  }
+  if (governor.unlimited()) {
+    return true;
+  }
+  if (governor.exhausted()) {
+    return false;
+  }
+  if (governor.budget().Unlimited() && governor.NodeFiringIndex() == 0) {
+    return true;  // cancellation-only governor: no node-space dimension
+  }
+  if (!entry.nodes_valid) {
+    return false;
+  }
+  const uint64_t firing = governor.NodeFiringIndex();
+  if (firing != 0 && governor.nodes_spent() + entry.nodes >= firing) {
+    return false;
+  }
+  return true;
+}
+
+BlockCategoricity FromMemoEntry(const CategoricityMemo::Entry& entry,
+                                size_t universe_size) {
+  BlockCategoricity out;
+  out.unique = entry.unique;
+  out.exponential = entry.exponential;
+  if (entry.unique == Trilean::kTrue) {
+    out.repair = DynamicBitset(universe_size);
+    for (FactId f : entry.repair_facts) {
+      out.repair.set(f);
+    }
+  }
+  return out;
+}
+
+CategoricityMemo::Entry ToMemoEntry(const BlockCategoricity& result,
+                                    uint64_t nodes, bool nodes_valid) {
+  CategoricityMemo::Entry entry;
+  entry.unique = result.unique;
+  entry.exponential = result.exponential;
+  entry.nodes = nodes;
+  entry.nodes_valid = nodes_valid;
+  if (result.unique == Trilean::kTrue) {
+    for (size_t f = 0; f < result.repair.size(); ++f) {
+      if (result.repair.test(f)) {
+        entry.repair_facts.push_back(f);
+      }
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+BlockCategoricity DecideBlockCategoricity(const ProblemContext& ctx,
+                                          const Block& b,
+                                          RepairSemantics semantics) {
+  return DecideBlockImpl(ctx, b, semantics,
+                         ctx.priority().IsConflictBounded());
+}
+
+CategoricityResult DecideCategoricity(const ProblemContext& ctx,
+                                      RepairSemantics semantics,
+                                      CategoricityMemo* memo) {
+  CategoricityResult result;
+  if (!ctx.priority_block_local()) {
+    // Per-block composition is unsound for cross-block priorities, and
+    // a whole-instance uniqueness test costs exactly the enumeration
+    // the fast path exists to avoid — report "undecided" for free.
+    result.unknown_reason =
+        "priority relates facts across blocks; per-block categoricity "
+        "does not apply";
+    return result;
+  }
+  ResourceGovernor& governor = ctx.governor();
+  const BlockDecomposition& blocks = ctx.blocks();
+  const bool conflict_bounded = ctx.priority().IsConflictBounded();
+
+  // Blocks without a memoized verdict run through the parallel session;
+  // memoized blocks are resolved at merge time, rerun serially when the
+  // entry cannot be served under this governor.
+  std::vector<const CategoricityMemo::Entry*> memoized(blocks.num_blocks(),
+                                                       nullptr);
+  std::vector<size_t> fresh_order;
+  fresh_order.reserve(blocks.num_blocks());
+  for (const Block& b : blocks.blocks()) {
+    if (memo != nullptr) {
+      memoized[b.id] = memo->Lookup(BlockKey(b), semantics);
+    }
+    if (memoized[b.id] == nullptr) {
+      if (memo != nullptr) {
+        ++memo->misses_;
+      }
+      fresh_order.push_back(b.id);
+    }
+  }
+  ParallelBlockSession<BlockCategoricity> session(
+      ctx, std::move(fresh_order),
+      [semantics, conflict_bounded](const ProblemContext& cx,
+                                    const Block& bb) {
+        return DecideBlockImpl(cx, bb, semantics, conflict_bounded);
+      },
+      [](const BlockCategoricity& r) { return r.unique != Trilean::kUnknown; },
+      [](const BlockCategoricity& r) { return r.unique == Trilean::kFalse; });
+
+  DynamicBitset repair = blocks.free_facts();
+  for (const Block& b : blocks.blocks()) {
+    if (!governor.Checkpoint()) {
+      result.unknown_reason = governor.CauseString();
+      return result;
+    }
+    BlockCategoricity block_result;
+    bool store = false;
+    const uint64_t before = governor.nodes_spent();
+    if (memoized[b.id] != nullptr &&
+        MayServeMemoEntry(governor, *memoized[b.id], b.size())) {
+      ++memo->hits_;
+      const CategoricityMemo::Entry& entry = *memoized[b.id];
+      governor.CommitReplayNodes(entry.nodes_valid ? entry.nodes : 0);
+      block_result = FromMemoEntry(entry, repair.size());
+    } else if (memoized[b.id] != nullptr) {
+      // Unservable entry: rerun on the caller's thread so the shared
+      // governor records the authoritative refusal/exhaustion.
+      ++memo->misses_;
+      block_result = DecideBlockImpl(ctx, b, semantics, conflict_bounded);
+      store = true;
+    } else {
+      block_result = session.Next(b);
+      store = memo != nullptr;
+    }
+    audit::CheckBlockCategoricity(ctx, b, semantics, block_result);
+    if (store && block_result.unique != Trilean::kUnknown) {
+      memo->Store(BlockKey(b), semantics,
+                  ToMemoEntry(block_result, governor.nodes_spent() - before,
+                              /*nodes_valid=*/!governor.unlimited()));
+    }
+    if (block_result.unique == Trilean::kFalse) {
+      result.verdict = Categoricity::kAmbiguous;
+      result.ambiguous_block = b.id;
+      audit::CheckCategoricityVerdict(ctx, semantics, result);
+      return result;
+    }
+    if (block_result.unique == Trilean::kUnknown) {
+      result.unknown_reason = block_result.unknown_reason.empty()
+                                  ? governor.CauseString()
+                                  : block_result.unknown_reason;
+      return result;
+    }
+    repair |= block_result.repair;
+  }
+  result.verdict = Categoricity::kCategorical;
+  result.repair = std::move(repair);
+  audit::CheckCategoricityVerdict(ctx, semantics, result);
+  return result;
+}
+
+namespace audit {
+namespace internal {
+
+#if PREFREP_AUDIT_ENABLED
+
+namespace {
+
+// Same contract as the repair-audit Fail: print the offending instance
+// in the io/text_format grammar for replay, then abort.
+[[noreturn]] void FailCategoricity(const Instance& instance,
+                                   const PriorityRelation& pr,
+                                   const std::string& what) {
+  std::string dump = ProblemToText(instance, &pr, nullptr);
+  std::fprintf(stderr,
+               "[prefrep audit] %s\n"
+               "[prefrep audit] replay input (io/text_format):\n%s",
+               what.c_str(), dump.c_str());
+  PREFREP_FATAL("categoricity audit failed — replay dump above");
+}
+
+// The definitional optimal-repair set of one block: enumerate its
+// block-repairs and keep the ones nothing improves (repair/exhaustive.h
+// — the same baseline layer every repair audit uses).
+std::vector<DynamicBitset> DefinitionalBlockOptimal(
+    const ProblemContext& ctx, const Block& b, RepairSemantics semantics) {
+  return OptimalRepairsWithin(ctx.conflict_graph(), ctx.priority(), b.facts,
+                              semantics);
+}
+
+}  // namespace
+
+void BlockCategoricityImpl(const ProblemContext& ctx, const Block& b,
+                           RepairSemantics semantics,
+                           const BlockCategoricity& result) {
+  if (result.unique == Trilean::kUnknown || b.size() > kMaxVerdictBlock) {
+    return;  // an undecided verdict asserts nothing
+  }
+  std::vector<DynamicBitset> optimal =
+      DefinitionalBlockOptimal(ctx, b, semantics);
+  const bool unique = optimal.size() == 1;
+  const std::string tag =
+      "categoricity of block " + std::to_string(b.id) + " (" +
+      std::to_string(b.size()) + " facts)";
+  if (unique != (result.unique == Trilean::kTrue)) {
+    FailCategoricity(ctx.instance(), ctx.priority(),
+                     tag + ": verdict " + TrileanName(result.unique) +
+                         " but the block has " +
+                         std::to_string(optimal.size()) +
+                         " optimal block-repair(s)");
+  }
+  if (result.unique == Trilean::kTrue && !(result.repair == optimal.front())) {
+    FailCategoricity(ctx.instance(), ctx.priority(),
+                     tag + ": reported unique block-repair is not the "
+                           "definitional one");
+  }
+}
+
+void CategoricityVerdictImpl(const ProblemContext& ctx,
+                             RepairSemantics semantics,
+                             const CategoricityResult& result) {
+  if (result.verdict == Categoricity::kUnknown ||
+      !ctx.priority_block_local()) {
+    return;
+  }
+  const BlockDecomposition& blocks = ctx.blocks();
+  size_t live_facts = blocks.free_facts().count();
+  for (const Block& b : blocks.blocks()) {
+    live_facts += b.size();
+  }
+  if (live_facts > kMaxWholeInstance) {
+    return;
+  }
+  // Definitional optimal-repair set over the context's own universe
+  // ({free facts} × ∏ per-block optimal block-repairs — the resident
+  // decomposition may carry tombstoned ids a from-graph rebuild would
+  // misread as free facts).  Ungoverned on purpose, like every audit
+  // baseline: the kMaxWholeInstance gate above bounds the product.
+  std::vector<DynamicBitset> all{blocks.free_facts()};
+  for (const Block& b : blocks.blocks()) {
+    std::vector<DynamicBitset> per_block =
+        DefinitionalBlockOptimal(ctx, b, semantics);
+    std::vector<DynamicBitset> next;
+    next.reserve(all.size() * per_block.size());
+    for (const DynamicBitset& prefix : all) {
+      for (const DynamicBitset& choice : per_block) {
+        next.push_back(prefix | choice);
+      }
+    }
+    all = std::move(next);
+  }
+  const bool unique = all.size() == 1;
+  if (unique != (result.verdict == Categoricity::kCategorical)) {
+    FailCategoricity(ctx.instance(), ctx.priority(),
+                     std::string("whole-instance categoricity: verdict ") +
+                         CategoricityName(result.verdict) + " but " +
+                         std::to_string(all.size()) +
+                         " optimal repair(s) exist");
+  }
+  if (result.verdict == Categoricity::kCategorical &&
+      !(result.repair == all.front())) {
+    FailCategoricity(ctx.instance(), ctx.priority(),
+                     "whole-instance categoricity: reported unique repair "
+                     "is not the definitional one");
+  }
+}
+
+#endif  // PREFREP_AUDIT_ENABLED
+
+}  // namespace internal
+}  // namespace audit
+}  // namespace prefrep

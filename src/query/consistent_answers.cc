@@ -6,7 +6,44 @@
 
 namespace prefrep {
 
+const char* CqaPathName(CqaPath value) {
+  switch (value) {
+    case CqaPath::kCategorical:
+      return "categorical";
+    case CqaPath::kEnumeration:
+      return "enumeration";
+  }
+  return "?";
+}
+
 namespace {
+
+// The categoricity pre-pass: the unique optimal repair as a singleton
+// repair set when the instance is certified categorical, nullopt
+// otherwise.  Runs under a PRIVATE governor derived from the caller's
+// budget (same node/block/deadline dimensions, deadline anchored at the
+// caller's start), so an ambiguous or undecided verdict leaves the
+// caller's governor untouched and the enumeration fallback behaves
+// byte-identically to a build without the pre-pass.  Worker views
+// disable nested parallelism, so the view restores the caller's knob —
+// the pre-pass parallelizes over blocks exactly like the enumeration
+// it replaces.
+std::optional<std::vector<DynamicBitset>> CategoricalRepairSet(
+    const ProblemContext& ctx, RepairSemantics semantics,
+    const CqaOptions& options) {
+  if (ctx.governor().exhausted()) {
+    return std::nullopt;  // the enumeration must observe the exhaustion
+  }
+  ResourceGovernor prepass(ctx.governor().budget(), ctx.governor().start());
+  ProblemContext view = ctx.WorkerView(&prepass);
+  view.set_parallelism(ctx.parallelism());
+  CategoricityResult result =
+      DecideCategoricity(view, semantics, options.memo);
+  if (result.verdict != Categoricity::kCategorical) {
+    return std::nullopt;
+  }
+  return std::vector<DynamicBitset>{std::move(result.repair)};
+}
 
 // The σ-repair set to intersect over, or nullopt when the governed
 // enumeration was abandoned by the budget.  An abandoned optimal-repair
@@ -15,7 +52,11 @@ namespace {
 // the Trilean entry points, which can still refute/confirm early.
 std::optional<std::vector<DynamicBitset>> RepairsForBounded(
     const ProblemContext& ctx, AnswerSemantics semantics,
-    const DynamicBitset* all_repairs_universe = nullptr) {
+    const DynamicBitset* all_repairs_universe = nullptr,
+    const CqaOptions& options = {}) {
+  if (options.path != nullptr) {
+    *options.path = CqaPath::kEnumeration;
+  }
   ResourceGovernor& governor = ctx.governor();
   if (semantics == AnswerSemantics::kAllRepairs) {
     std::vector<DynamicBitset> out;
@@ -47,6 +88,15 @@ std::optional<std::vector<DynamicBitset>> RepairsForBounded(
     case AnswerSemantics::kCompletion:
       rs = RepairSemantics::kCompletion;
       break;
+  }
+  if (!options.force_enumeration) {
+    if (std::optional<std::vector<DynamicBitset>> categorical =
+            CategoricalRepairSet(ctx, rs, options)) {
+      if (options.path != nullptr) {
+        *options.path = CqaPath::kCategorical;
+      }
+      return categorical;
+    }
   }
   std::vector<DynamicBitset> out = AllOptimalRepairs(ctx, rs);
   if (out.empty()) {
@@ -95,9 +145,10 @@ std::vector<ConjunctiveQuery::AnswerTuple> ConsistentAnswers(
 
 Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
     const ProblemContext& ctx, const ConjunctiveQuery& query,
-    AnswerSemantics semantics, const DynamicBitset* all_repairs_universe) {
+    AnswerSemantics semantics, const DynamicBitset* all_repairs_universe,
+    const CqaOptions& options) {
   std::optional<std::vector<DynamicBitset>> repairs =
-      RepairsForBounded(ctx, semantics, all_repairs_universe);
+      RepairsForBounded(ctx, semantics, all_repairs_universe, options);
   if (!repairs.has_value()) {
     Status status = ctx.governor().ToStatus();
     return status.ok() ? Status::ResourceExhausted(
@@ -141,10 +192,14 @@ bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
 Trilean CertainlyTrueBounded(const ProblemContext& ctx,
                              const ConjunctiveQuery& query,
                              AnswerSemantics semantics,
-                             const DynamicBitset* all_repairs_universe) {
+                             const DynamicBitset* all_repairs_universe,
+                             const CqaOptions& options) {
   if (semantics == AnswerSemantics::kAllRepairs) {
     // Stream: each enumerated repair is complete, so one that falsifies
     // Q is a definite refutation even if the budget fires later.
+    if (options.path != nullptr) {
+      *options.path = CqaPath::kEnumeration;
+    }
     ResourceGovernor& governor = ctx.governor();
     bool refuted = false;
     auto probe = [&](const DynamicBitset& repair) {
@@ -166,7 +221,7 @@ Trilean CertainlyTrueBounded(const ProblemContext& ctx,
     return governor.exhausted() ? Trilean::kUnknown : Trilean::kTrue;
   }
   std::optional<std::vector<DynamicBitset>> repairs =
-      RepairsForBounded(ctx, semantics);
+      RepairsForBounded(ctx, semantics, nullptr, options);
   if (!repairs.has_value()) {
     return Trilean::kUnknown;
   }
@@ -181,8 +236,12 @@ Trilean CertainlyTrueBounded(const ProblemContext& ctx,
 Trilean PossiblyTrueBounded(const ProblemContext& ctx,
                             const ConjunctiveQuery& query,
                             AnswerSemantics semantics,
-                            const DynamicBitset* all_repairs_universe) {
+                            const DynamicBitset* all_repairs_universe,
+                            const CqaOptions& options) {
   if (semantics == AnswerSemantics::kAllRepairs) {
+    if (options.path != nullptr) {
+      *options.path = CqaPath::kEnumeration;
+    }
     ResourceGovernor& governor = ctx.governor();
     bool confirmed = false;
     auto probe = [&](const DynamicBitset& repair) {
@@ -204,7 +263,7 @@ Trilean PossiblyTrueBounded(const ProblemContext& ctx,
     return governor.exhausted() ? Trilean::kUnknown : Trilean::kFalse;
   }
   std::optional<std::vector<DynamicBitset>> repairs =
-      RepairsForBounded(ctx, semantics);
+      RepairsForBounded(ctx, semantics, nullptr, options);
   if (!repairs.has_value()) {
     return Trilean::kUnknown;
   }

@@ -15,6 +15,7 @@
 #ifndef PREFREP_QUERY_CONSISTENT_ANSWERS_H_
 #define PREFREP_QUERY_CONSISTENT_ANSWERS_H_
 
+#include "classify/categoricity.h"
 #include "model/context.h"
 #include "priority/priority.h"
 #include "query/conjunctive_query.h"
@@ -28,6 +29,37 @@ enum class AnswerSemantics {
   kGlobal,       ///< globally-optimal repairs only
   kPareto,       ///< Pareto-optimal repairs only
   kCompletion,   ///< completion-optimal repairs only
+};
+
+/// Which route produced an answer (reported through CqaOptions::path).
+enum class CqaPath {
+  /// The categoricity pre-pass (classify/categoricity.h) certified a
+  /// unique optimal repair; the answer is one construct call plus one
+  /// query evaluation.
+  kCategorical,
+  /// The repair set was enumerated and intersected (the general route;
+  /// always taken under kAllRepairs and on non-categorical or undecided
+  /// instances).
+  kEnumeration,
+};
+
+/// Short human-readable name ("categorical" / "enumeration").
+const char* CqaPathName(CqaPath value);
+
+/// Knobs for the categoricity fast path of the *Bounded entry points.
+/// The defaults preserve the historical behaviour observably: the
+/// pre-pass runs under a *private* governor derived from the caller's
+/// budget, so when it does not certify categoricity the enumeration
+/// path runs with the caller's governor untouched — byte-identical
+/// answers, Trileans and degradation to a build without the pre-pass.
+struct CqaOptions {
+  /// Memoized per-block categoricity verdicts (serve layer); nullptr
+  /// decides from scratch.  Changes cost, never answers.
+  CategoricityMemo* memo = nullptr;
+  /// When non-null, receives which route produced the answer.
+  CqaPath* path = nullptr;
+  /// Skips the pre-pass outright (differential testing / benchmarks).
+  bool force_enumeration = false;
 };
 
 /// Computes the consistent answers of `query` on (I, ≻) under the given
@@ -75,20 +107,35 @@ bool PossiblyTrue(const ProblemContext& ctx, const ConjunctiveQuery& query,
 /// must not be enumerated as repair members.  Ignored under the
 /// optimal-repair semantics, whose per-block product already ranges
 /// over blocks ∪ free facts only.
+///
+/// Under the optimal-repair semantics every Bounded entry point first
+/// runs the categoricity pre-pass (see CqaOptions): a certified unique
+/// optimal repair turns the enumeration + intersection into a single
+/// query evaluation — identical output, since intersecting (or
+/// scanning) a one-element repair set is evaluating its only member.
+/// Degradation is one-sided: the tier-1 categoricity test is
+/// polynomial, so on total-priority instances the fast route can still
+/// answer under budgets (notably max_block) that refuse the
+/// exponential enumeration — never the reverse, and any answer it
+/// produces equals the ungoverned ground truth (tests/
+/// categoricity_test.cc, BlockStarvationDegradesNoWorse).
 Result<std::vector<ConjunctiveQuery::AnswerTuple>> ConsistentAnswersBounded(
     const ProblemContext& ctx, const ConjunctiveQuery& query,
     AnswerSemantics semantics,
-    const DynamicBitset* all_repairs_universe = nullptr);
+    const DynamicBitset* all_repairs_universe = nullptr,
+    const CqaOptions& options = {});
 Trilean CertainlyTrueBounded(const ProblemContext& ctx,
                              const ConjunctiveQuery& query,
                              AnswerSemantics semantics,
                              const DynamicBitset* all_repairs_universe =
-                                 nullptr);
+                                 nullptr,
+                             const CqaOptions& options = {});
 Trilean PossiblyTrueBounded(const ProblemContext& ctx,
                             const ConjunctiveQuery& query,
                             AnswerSemantics semantics,
                             const DynamicBitset* all_repairs_universe =
-                                nullptr);
+                                nullptr,
+                            const CqaOptions& options = {});
 
 }  // namespace prefrep
 

@@ -165,6 +165,7 @@ void SessionContext::InstallBlock(std::vector<FactId> members) {
 void SessionContext::RetireBlock(FactId key) {
   invalidation_.Retire(key, cache_.get());
   stats_.cache_entries_erased = invalidation_.entries_erased();
+  categoricity_memo_.Invalidate(key);
   block_members_.erase(key);
   changed_keys_.erase(key);
   ++stats_.blocks_retired;
@@ -339,10 +340,13 @@ Result<std::string> SessionContext::Prefer(std::string_view higher_label,
   priority_->MustAdd(*higher, *lower);
   ++stats_.edits;
   // The block's fact set is unchanged (no view rebuild), but its solved
-  // state — and so its fingerprint-keyed cache entries — is stale.
+  // state — and so its fingerprint-keyed cache entries and its memoized
+  // categoricity bit — is stale.  The memo exists with the cache off,
+  // so its invalidation is NOT gated on cache_.
   const FactId key = block_key_of_[*higher];
   PREFREP_CHECK_MSG(key != kInvalidFactId && key == block_key_of_[*lower],
                     "conflicting facts share a block");
+  categoricity_memo_.Invalidate(key);
   if (cache_ != nullptr) {
     invalidation_.Retire(key, cache_.get());
     stats_.cache_entries_erased = invalidation_.entries_erased();
@@ -612,17 +616,26 @@ Result<std::string> SessionContext::RunCqa(AnswerSemantics semantics,
   if (!budget_.Unlimited()) {
     ctx_->set_governor(&governor);
   }
+  // Memoized per-block categoricity verdicts ride along; the memo
+  // changes cost, never answers, and the path taken is a deterministic
+  // function of the live state and budget — so the path line below is
+  // part of the byte-identical-under-rebuild reply surface.
+  CqaPath path = CqaPath::kEnumeration;
+  CqaOptions cqa_options;
+  cqa_options.memo = &categoricity_memo_;
+  cqa_options.path = &path;
   std::string out = std::string("cqa ") + SemName(semantics) + ": ";
   if (query->IsBoolean()) {
     const Trilean certain =
-        CertainlyTrueBounded(*ctx_, *query, semantics, universe);
+        CertainlyTrueBounded(*ctx_, *query, semantics, universe, cqa_options);
     out += TrileanName(certain);
     if (certain == Trilean::kUnknown) {
       out += " (" + governor.CauseString() + ")";
     }
   } else {
     Result<std::vector<ConjunctiveQuery::AnswerTuple>> answers =
-        ConsistentAnswersBounded(*ctx_, *query, semantics, universe);
+        ConsistentAnswersBounded(*ctx_, *query, semantics, universe,
+                                 cqa_options);
     if (!answers.ok()) {
       out += "unknown (" + answers.status().message() + ")";
     } else {
@@ -639,6 +652,8 @@ Result<std::string> SessionContext::RunCqa(AnswerSemantics semantics,
       }
     }
   }
+  out += "\npath: ";
+  out += CqaPathName(path);
   ctx_->set_governor(nullptr);
   return out;
 }
@@ -657,7 +672,11 @@ std::string SessionContext::RenderStats() {
          " cache-entries-erased=" +
          std::to_string(stats_.cache_entries_erased) +
          " query-micros=" + std::to_string(stats_.query_micros) +
-         " cache-capacity=" + std::to_string(options_.cache_capacity);
+         " cache-capacity=" + std::to_string(options_.cache_capacity) +
+         " categoricity-memo=" + std::to_string(categoricity_memo_.size()) +
+         " categoricity-hits=" + std::to_string(categoricity_memo_.hits()) +
+         " categoricity-misses=" +
+         std::to_string(categoricity_memo_.misses());
 }
 
 Result<std::string> SessionContext::Execute(const SessionOp& op) {

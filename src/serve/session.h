@@ -45,6 +45,7 @@
 
 #include "cache/block_cache.h"
 #include "cache/invalidation.h"
+#include "classify/categoricity.h"
 #include "conflicts/delta.h"
 #include "io/ops_format.h"
 #include "model/context.h"
@@ -139,6 +140,13 @@ class SessionContext {
   const SessionStats& stats() const { return stats_; }
   BlockSolveCache* cache() { return cache_.get(); }
 
+  /// Per-block categoricity verdicts resident across requests; entries
+  /// are retired whenever their block's membership or internal priority
+  /// edges change (insert-merge, delete-split, prefer), alongside the
+  /// fingerprint invalidation.  Exposed so tests can cross-check every
+  /// cached bit against a from-scratch recomputation after each edit.
+  CategoricityMemo& categoricity_memo() { return categoricity_memo_; }
+
   /// Replaces the per-request budget (budget op).
   void set_budget(const ResourceBudget& budget) { budget_ = budget; }
 
@@ -219,6 +227,7 @@ class SessionContext {
 
   std::unique_ptr<BlockSolveCache> cache_;
   BlockInvalidationIndex invalidation_;
+  CategoricityMemo categoricity_memo_;
   std::set<FactId> changed_keys_;  // fingerprints to (re-)register
 
   std::set<FactId> j_;  // ordered: renders deterministically

@@ -1,0 +1,29 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// categoricity-merge bug class — a per-block uniqueness test walks the
+// materialized optimal block-repair set (budget-charged when produced)
+// and accumulates witnesses with no governor checkpoint, so a block
+// with an exponential repair set runs unbounded between polls.
+// EXPECT-FINDING: prefrep-checkpoint
+
+#include <vector>
+
+namespace prefrep {
+
+struct Repair {};
+struct Verdict {};
+struct Ctx {};
+std::vector<Repair> CachedOptimalBlockRepairs(const Ctx& ctx, int block);
+Verdict Examine(const Repair& r);
+
+std::vector<Verdict> DecideAllBlocks(const Ctx& ctx, int blocks) {
+  std::vector<Verdict> verdicts;
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<Repair> optimal = CachedOptimalBlockRepairs(ctx, b);
+    for (const Repair& candidate : optimal) {
+      verdicts.push_back(Examine(candidate));  // no Checkpoint() — bug
+    }
+  }
+  return verdicts;
+}
+
+}  // namespace prefrep

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include "cache/block_fingerprint.h"
+#include "gen/categorical_workload.h"
 #include "gen/edit_script.h"
 #include "gen/hard_workloads.h"
 #include "io/ops_format.h"
 #include "gen/random_instance.h"
 #include "model/context.h"
+#include "repair/block_solver.h"
 #include "repair/checker.h"
+#include "repair/exhaustive.h"
 #include "reductions/hard_schemas.h"
 #include "repair/subinstance_ops.h"
 
@@ -262,6 +265,80 @@ TEST(ShardedWorkloadTest, JIsGloballyOptimalAtEveryThreadCount) {
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_TRUE(outcome->result.optimal) << "threads=" << threads;
   }
+}
+
+TEST(CategoricalWorkloadTest, StructureAndPriorityShape) {
+  CategoricalWorkloadOptions opts;
+  opts.blocks = 3;
+  opts.cliques = 3;
+  opts.clique_size = 4;
+  PreferredRepairProblem p = MakeCategoricalWorkload(opts);
+  EXPECT_TRUE(p.priority->Validate(PriorityMode::kConflictOnly).ok());
+  EXPECT_TRUE(p.priority->IsConflictBounded());
+  ProblemContext ctx(*p.instance, *p.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), opts.blocks);
+  EXPECT_TRUE(ctx.priority_block_local());
+  // Total on conflicts: every conflict edge carries a priority edge,
+  // lower id preferred.
+  const ConflictGraph& cg = ctx.conflict_graph();
+  for (FactId u = 0; u < cg.num_facts(); ++u) {
+    for (FactId v : cg.neighbors(u)) {
+      if (u < v) {
+        EXPECT_TRUE(p.priority->Prefers(u, v));
+        EXPECT_FALSE(p.priority->Prefers(v, u));
+      }
+    }
+  }
+  // J is a repair, and the unique optimal one under every semantics.
+  EXPECT_TRUE(IsRepair(cg, p.j));
+  for (RepairSemantics sem :
+       {RepairSemantics::kGlobal, RepairSemantics::kPareto,
+        RepairSemantics::kCompletion}) {
+    std::vector<DynamicBitset> optimal = AllOptimalRepairs(ctx, sem);
+    ASSERT_EQ(optimal.size(), 1u) << "sem " << static_cast<int>(sem);
+    EXPECT_EQ(optimal.front(), p.j);
+  }
+}
+
+TEST(CategoricalWorkloadTest, NearMissBreaksExactlyOneBlock) {
+  CategoricalWorkloadOptions opts;
+  opts.blocks = 3;
+  opts.near_miss = true;
+  PreferredRepairProblem p = MakeCategoricalWorkload(opts);
+  EXPECT_TRUE(p.priority->Validate(PriorityMode::kConflictOnly).ok());
+  ProblemContext ctx(*p.instance, *p.priority);
+  ASSERT_EQ(ctx.blocks().num_blocks(), opts.blocks);
+  const ConflictGraph& cg = ctx.conflict_graph();
+  // The stripped block still has its conflicts — hence its many
+  // repairs — but no priority edge touches it, so ALL its block-repairs
+  // are optimal and the instance has more than one optimal repair.
+  const Block& last = ctx.blocks().block(opts.blocks - 1);
+  for (FactId f : last.fact_list) {
+    for (FactId g : cg.neighbors(f)) {
+      EXPECT_FALSE(p.priority->Prefers(f, g));
+    }
+  }
+  std::vector<DynamicBitset> last_optimal = OptimalRepairsWithin(
+      cg, *p.priority, last.facts, RepairSemantics::kGlobal);
+  EXPECT_GT(last_optimal.size(), 1u);
+  // Every other block keeps its total priority and its unique optimum.
+  for (size_t i = 0; i + 1 < ctx.blocks().num_blocks(); ++i) {
+    std::vector<DynamicBitset> optimal =
+        OptimalRepairsWithin(cg, *p.priority, ctx.blocks().block(i).facts,
+                             RepairSemantics::kGlobal);
+    EXPECT_EQ(optimal.size(), 1u) << "block " << i;
+  }
+  EXPECT_TRUE(IsRepair(cg, p.j));
+}
+
+TEST(CategoricalWorkloadTest, DeterministicForFixedKnobs) {
+  CategoricalWorkloadOptions opts;
+  opts.blocks = 2;
+  PreferredRepairProblem a = MakeCategoricalWorkload(opts);
+  PreferredRepairProblem b = MakeCategoricalWorkload(opts);
+  EXPECT_EQ(a.instance->num_facts(), b.instance->num_facts());
+  EXPECT_EQ(a.priority->edges(), b.priority->edges());
+  EXPECT_EQ(a.j, b.j);
 }
 
 }  // namespace

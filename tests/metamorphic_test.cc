@@ -26,8 +26,10 @@
 #include <vector>
 
 #include "cache/block_cache.h"
+#include "classify/categoricity.h"
 #include "gen/hard_workloads.h"
 #include "gen/random_instance.h"
+#include "query/consistent_answers.h"
 #include "repair/checker.h"
 #include "repair/construct.h"
 #include "repair/counting.h"
@@ -273,6 +275,89 @@ TEST_P(MetamorphicTest, BlockPermutationInvariant) {
         Fingerprint(permuted.p, Inverse(permuted.map), threads),
         "block permutation, threads=" + std::to_string(threads) +
             " seed=" + std::to_string(GetParam()));
+  }
+}
+
+/// Categoricity as a metamorphic invariant: the verdict, the unique
+/// optimal repair (when categorical, canonicalized through the fact-id
+/// mapping) and the CQA route taken are all properties of the abstract
+/// prioritizing instance, so fact reordering, value renaming and block
+/// permutation must leave them unchanged at every thread count.
+std::string CategoricityFingerprint(const PreferredRepairProblem& problem,
+                                    const std::vector<FactId>& map,
+                                    size_t threads) {
+  ProblemContext ctx(*problem.instance, *problem.priority);
+  ctx.set_parallelism(threads);
+  std::string out;
+  for (RepairSemantics sem :
+       {RepairSemantics::kGlobal, RepairSemantics::kPareto,
+        RepairSemantics::kCompletion}) {
+    CategoricityResult result = DecideCategoricity(ctx, sem);
+    out += CategoricityName(result.verdict);
+    if (result.verdict == Categoricity::kCategorical) {
+      std::vector<FactId> facts;
+      result.repair.ForEach([&](size_t f) { facts.push_back(map[f]); });
+      std::sort(facts.begin(), facts.end());
+      out += "=";
+      for (FactId f : facts) {
+        out += std::to_string(f) + ",";
+      }
+    }
+    out += ";";
+  }
+  // The route a boolean CQA probe takes (and its answer) must be
+  // invariant too — the pre-pass decision may not depend on
+  // representation.
+  const Schema& schema = problem.instance->schema();
+  std::string body = std::string(schema.relation_name(0)) + "(";
+  for (int a = 0; a < schema.arity(0); ++a) {
+    body += a ? ", x" : "x";
+    body += std::to_string(a);
+  }
+  auto query = ConjunctiveQuery::Parse("Q() :- " + body + ")");
+  EXPECT_TRUE(query.ok());
+  CqaPath path = CqaPath::kEnumeration;
+  CqaOptions options;
+  options.path = &path;
+  Trilean certain = CertainlyTrueBounded(ctx, *query,
+                                         AnswerSemantics::kGlobal, nullptr,
+                                         options);
+  out += std::string(CqaPathName(path)) + "/" +
+         std::to_string(static_cast<int>(certain));
+  return out;
+}
+
+TEST_P(MetamorphicTest, CategoricityInvariant) {
+  PreferredRepairProblem problem = RandomProblem(GetParam());
+  Rng rng(GetParam() * 262147 + 41);
+  Rebuilt shuffled =
+      Rebuild(problem, ShuffledInsertion(*problem.instance, &rng),
+              IdentityRelations(problem.instance->schema()), KeepName);
+  Rebuilt renamed = Rebuild(
+      problem, IdentityInsertion(*problem.instance),
+      IdentityRelations(problem.instance->schema()),
+      [](const std::string& s) { return "cat_" + s; });
+  std::vector<RelId> reversed = IdentityRelations(problem.instance->schema());
+  std::reverse(reversed.begin(), reversed.end());
+  Rebuilt permuted = Rebuild(problem, IdentityInsertion(*problem.instance),
+                             reversed, KeepName);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const std::string original =
+        CategoricityFingerprint(problem, SelfMap(*problem.instance), threads);
+    const std::string suffix = " threads=" + std::to_string(threads) +
+                               " seed=" + std::to_string(GetParam());
+    EXPECT_EQ(original,
+              CategoricityFingerprint(shuffled.p, Inverse(shuffled.map),
+                                      threads))
+        << "fact reorder" << suffix;
+    EXPECT_EQ(original,
+              CategoricityFingerprint(renamed.p, Inverse(renamed.map),
+                                      threads))
+        << "value rename" << suffix;
+    EXPECT_EQ(original,
+              CategoricityFingerprint(permuted.p, Inverse(permuted.map),
+                                      threads))
+        << "block permute" << suffix;
   }
 }
 

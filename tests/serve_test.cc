@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,49 @@ void ExpectMatchesRebuild(SessionContext& session, SessionOptions options,
     const std::string live_reply = MustExecute(session, query);
     const std::string rebuilt_reply = MustExecute(*rebuilt, query);
     EXPECT_EQ(live_reply, rebuilt_reply) << note << " query: " << query;
+  }
+}
+
+// Cross-checks every cached per-block categoricity bit against a
+// from-scratch recomputation on the current resident state: (1) no
+// memo entry may outlive its block (insert-merge, delete-split and
+// prefer must have retired it), and (2) every surviving entry must
+// still equal what deciding the block fresh produces.
+void ExpectMemoMatchesRecompute(SessionContext& session,
+                                const std::string& note) {
+  ProblemContext& ctx = session.context();
+  CategoricityMemo& memo = session.categoricity_memo();
+  std::set<FactId> block_keys;
+  for (const Block& b : ctx.blocks().blocks()) {
+    block_keys.insert(b.fact_list.front());
+  }
+  for (const auto& [key, sem] : memo.keys()) {
+    ASSERT_TRUE(block_keys.count(key) > 0)
+        << note << ": memo entry for key " << key
+        << " outlived its block (sem " << sem << ")";
+  }
+  for (const Block& b : ctx.blocks().blocks()) {
+    const FactId key = b.fact_list.front();
+    for (RepairSemantics sem :
+         {RepairSemantics::kGlobal, RepairSemantics::kPareto,
+          RepairSemantics::kCompletion}) {
+      const CategoricityMemo::Entry* entry = memo.Lookup(key, sem);
+      if (entry == nullptr) {
+        continue;
+      }
+      BlockCategoricity fresh = DecideBlockCategoricity(ctx, b, sem);
+      ASSERT_EQ(entry->unique, fresh.unique)
+          << note << ": cached categoricity bit diverged for block key "
+          << key << " sem " << static_cast<int>(sem);
+      if (entry->unique == Trilean::kTrue) {
+        std::vector<FactId> fresh_facts;
+        fresh.repair.ForEach(
+            [&](size_t f) { fresh_facts.push_back(f); });
+        EXPECT_EQ(entry->repair_facts, fresh_facts)
+            << note << ": cached unique repair diverged for block key "
+            << key;
+      }
+    }
   }
 }
 
@@ -196,6 +240,33 @@ TEST(ServeSessionTest, PreferInvalidatesWithoutChangingBlocks) {
   (void)cold;
 }
 
+TEST(ServeSessionTest, CqaPopulatesAndEditsRetireCategoricityMemo) {
+  PreferredRepairProblem p = FixtureProblem();
+  std::unique_ptr<SessionContext> s = MustCreate(p);
+  EXPECT_EQ(s->categoricity_memo().size(), 0u);
+  const std::string reply = MustExecute(*s, "cqa global Q(x) :- R(x, y)");
+  // The reply reports which route answered, and the pre-pass left one
+  // verdict per block behind.
+  EXPECT_NE(reply.find("path: "), std::string::npos) << reply;
+  EXPECT_EQ(s->categoricity_memo().size(), 2u);  // blocks {a*} and {b*}
+  ExpectMemoMatchesRecompute(*s, "after cqa");
+  // Prefer retires exactly the edited block's entries — with the
+  // block-solve cache OFF, proving the memo invalidation is not gated
+  // on it.
+  MustExecute(*s, "prefer b2 > b3");
+  EXPECT_EQ(s->categoricity_memo().size(), 1u);
+  ExpectMemoMatchesRecompute(*s, "after prefer");
+  // Delete splits the b-block: its entry must not survive either.
+  MustExecute(*s, "cqa global Q(x) :- R(x, y)");
+  EXPECT_EQ(s->categoricity_memo().size(), 2u);
+  MustExecute(*s, "delete b2");
+  ExpectMemoMatchesRecompute(*s, "after delete");
+  for (const auto& [key, sem] : s->categoricity_memo().keys()) {
+    EXPECT_EQ(key, p.instance->FindLabel("a1"))
+        << "only the untouched a-block's entry may survive";
+  }
+}
+
 TEST(ServeSessionTest, PreferRejectsCycles) {
   PreferredRepairProblem p = FixtureProblem();
   std::unique_ptr<SessionContext> s = MustCreate(p);
@@ -260,6 +331,11 @@ void RunBattery(const BatteryConfig& config, uint64_t seed) {
     SCOPED_TRACE(config.name + std::string(" op ") + std::to_string(i) +
                  ": " + line);
     MustExecute(*session, line);
+    ExpectMemoMatchesRecompute(*session, config.name + std::string(" op ") +
+                                             std::to_string(i));
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
     if (++edits_since_check >= 7) {
       edits_since_check = 0;
       ExpectMatchesRebuild(*session, options,

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Runs a benchmark suite and distills its BENCH_<suite>.json.
 
-    python3 tools/bench_to_json.py [--suite serve|recovery]
+    python3 tools/bench_to_json.py [--suite serve|recovery|categoricity]
                                    [--bench <path>] [--out <path>]
 
 Drives the suite's built binary with --benchmark_format=json and
@@ -25,6 +25,21 @@ tracks:
     recovery_replay      — cold boot vs un-checkpointed WAL length
     snapshot_boot        — the same state recovered from a checkpoint
     checkpoint_ms        — one snapshot + WAL truncation
+
+  categoricity (BENCH_categoricity.json, B17):
+    speedup              — per clique count: BM_CqaCategoricalEnum
+                           time / BM_CqaCategoricalFast time, the
+                           categoricity fast path against the forced
+                           enumeration on a certified-categorical
+                           instance (the ISSUE gate: >= 5x on the
+                           many-repair points).
+    fallback_overhead    — per clique count: BM_CqaNearMissFast time /
+                           BM_CqaNearMissEnum time; the pre-pass
+                           refutes in polynomial time on the broken
+                           block, so this must stay within noise of
+                           1.0 (WARNING above 1.25x).
+    decide_us            — the bare DecideCategoricity cost, the
+                           serving layer's price for a memo miss.
 
 Stdlib-only by design (runs in CI and the bare build container).
 """
@@ -182,6 +197,65 @@ def report_recovery(summary: dict) -> None:
         print(f"  checkpoint: {summary['checkpoint_ms']:.2f}ms")
 
 
+def distill_categoricity(raw: dict) -> dict:
+    benches = by_name(raw)
+    out: dict = {
+        "benchmark": "bench_categoricity",
+        "context": context_of(raw),
+        "speedup": {},
+        "fallback_overhead": {},
+        "decide_us": {},
+    }
+    for name, bench in benches.items():
+        if name.startswith("BM_CqaCategoricalFast/"):
+            cliques = name.split("/")[1]
+            enum = benches.get(f"BM_CqaCategoricalEnum/{cliques}")
+            if enum is None:
+                continue
+            out["speedup"][cliques] = {
+                "fast_us": time_ns(bench) / 1e3,
+                "enum_us": time_ns(enum) / 1e3,
+                "speedup": time_ns(enum) / time_ns(bench),
+            }
+        elif name.startswith("BM_CqaNearMissFast/"):
+            cliques = name.split("/")[1]
+            enum = benches.get(f"BM_CqaNearMissEnum/{cliques}")
+            if enum is None:
+                continue
+            out["fallback_overhead"][cliques] = {
+                "fast_us": time_ns(bench) / 1e3,
+                "enum_us": time_ns(enum) / 1e3,
+                "overhead": time_ns(bench) / time_ns(enum),
+            }
+        elif name.startswith("BM_DecideCategoricity/"):
+            cliques = name.split("/")[1]
+            out["decide_us"][cliques] = time_ns(bench) / 1e3
+    return out
+
+
+def report_categoricity(summary: dict) -> None:
+    for cliques, row in sorted(summary["speedup"].items(), key=lambda kv: int(kv[0])):
+        print(f"  categorical, {cliques} cliques: {row['speedup']:.1f}x "
+              f"({row['enum_us']:.0f}us -> {row['fast_us']:.1f}us)")
+        if row["speedup"] < 5.0:
+            print(f"bench_to_json: WARNING categoricity speedup gate "
+                  f"(>=5x) not met at {cliques} cliques: "
+                  f"{row['speedup']:.1f}x", file=sys.stderr)
+    for cliques, row in sorted(summary["fallback_overhead"].items(),
+                               key=lambda kv: int(kv[0])):
+        print(f"  near-miss, {cliques} cliques: "
+              f"{row['overhead']:.2f}x enumeration "
+              f"({row['enum_us']:.0f}us -> {row['fast_us']:.0f}us)")
+        if row["overhead"] > 1.25:
+            print(f"bench_to_json: WARNING near-miss fallback at {cliques} "
+                  f"cliques costs {row['overhead']:.2f}x the forced "
+                  f"enumeration — the pre-pass is no longer within noise "
+                  f"(see docs/categoricity.md)", file=sys.stderr)
+    for cliques, us in sorted(summary["decide_us"].items(),
+                              key=lambda kv: int(kv[0])):
+        print(f"  decide, {cliques} cliques: {us:.1f}us")
+
+
 SUITES = {
     "serve": {
         "bench": "build/bench/bench_serve",
@@ -194,6 +268,12 @@ SUITES = {
         "out": "BENCH_recovery.json",
         "distill": distill_recovery,
         "report": report_recovery,
+    },
+    "categoricity": {
+        "bench": "build/bench/bench_categoricity",
+        "out": "BENCH_categoricity.json",
+        "distill": distill_categoricity,
+        "report": report_categoricity,
     },
 }
 

@@ -91,7 +91,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-CHECKPOINT_DIRS = ("src/repair", "src/query", "src/serve")
+CHECKPOINT_DIRS = ("src/repair", "src/query", "src/serve", "src/classify")
 RAW_CONCURRENCY_DIRS = ("src", "tests", "bench", "examples")
 RAW_CONCURRENCY_EXEMPT_PREFIX = "src/base/"
 FIXTURE_DIR = Path("tests/check_prefrep_fixtures")
