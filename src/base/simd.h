@@ -1,0 +1,115 @@
+// Copyright (c) prefrep contributors.
+// Word-parallel equality over contiguous ValueId runs — the innermost
+// kernel of FD-projection comparison (conflicts/projection.h).  The
+// columnar fact arena (model/instance.h) stores a tuple as a contiguous
+// fixed-stride row of 32-bit ValueIds, so "do two facts agree on a
+// contiguous attribute range" is a memcmp-shaped loop: 8 ValueIds per
+// 64-byte cache line, 4 per 128-bit vector register.
+//
+// Dispatch rules (documented in docs/memory-layout.md):
+//   * runs shorter than one vector (n < 4) take the scalar loop — the
+//     common case for narrow FDs (1–3 columns), where a branch to the
+//     vector path would cost more than it saves;
+//   * SSE2 on x86-64 and NEON on AArch64 are compile-time baseline ISA
+//     features, so there is no runtime CPUID probing — the preprocessor
+//     picks exactly one implementation per build;
+//   * every vector path has a scalar twin (EqualRangeScalar) that is
+//     always compiled, is the only implementation on other targets, and
+//     can be forced at runtime (SetForceScalar) so benchmarks report an
+//     honest no-SIMD fallback column (bench/bench_hotpath.cc).
+//
+// All comparisons are exact 32-bit equality; there is no tolerance, no
+// masking, and no read past `n` elements (tails fall back to scalar),
+// so the kernel is safe on the last row of an arena slab.
+
+#ifndef PREFREP_BASE_SIMD_H_
+#define PREFREP_BASE_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define PREFREP_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define PREFREP_SIMD_NEON 1
+#endif
+
+namespace prefrep {
+namespace simd {
+
+/// True when this build has a vector implementation compiled in (the
+/// scalar fallback is always present regardless).
+inline constexpr bool kHasVectorKernel =
+#if defined(PREFREP_SIMD_SSE2) || defined(PREFREP_SIMD_NEON)
+    true;
+#else
+    false;
+#endif
+
+namespace internal {
+/// Benchmark-only switch: when set, EqualRange always takes the scalar
+/// loop, so the fallback column in BENCH_hotpath.json measures real
+/// code, not a simulation.  Relaxed atomics: toggled only between
+/// benchmark runs, never mid-solve.
+inline std::atomic<bool> g_force_scalar{false};
+}  // namespace internal
+
+inline void SetForceScalar(bool force) {
+  internal::g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+inline bool force_scalar() {
+  return internal::g_force_scalar.load(std::memory_order_relaxed);
+}
+
+/// The honest fallback: a plain early-exit loop, no wide loads.
+inline bool EqualRangeScalar(const uint32_t* a, const uint32_t* b,
+                             size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Element-wise equality of two runs of `n` 32-bit values.  Unaligned
+/// loads (arena rows have arity stride, not vector stride); scalar tail.
+inline bool EqualRange(const uint32_t* a, const uint32_t* b, size_t n) {
+  if (n < 4 || force_scalar()) {
+    return EqualRangeScalar(a, b, n);
+  }
+#if defined(PREFREP_SIMD_SSE2)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(va, vb)) != 0xFFFF) {
+      return false;
+    }
+  }
+  return EqualRangeScalar(a + i, b + i, n - i);
+#elif defined(PREFREP_SIMD_NEON)
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t va = vld1q_u32(a + i);
+    uint32x4_t vb = vld1q_u32(b + i);
+    uint32x4_t eq = vceqq_u32(va, vb);
+    // All four lanes must be all-ones; min-across-lanes is ~0 iff so.
+    if (vminvq_u32(eq) != ~uint32_t{0}) {
+      return false;
+    }
+  }
+  return EqualRangeScalar(a + i, b + i, n - i);
+#else
+  return EqualRangeScalar(a, b, n);
+#endif
+}
+
+}  // namespace simd
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_SIMD_H_

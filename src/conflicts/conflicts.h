@@ -35,6 +35,23 @@ bool FactsConflict(const Instance& instance, FactId f, FactId g);
 std::vector<std::pair<FactId, FactId>> AllConflictPairsNaive(
     const Instance& instance);
 
+/// All conflicting pairs by the pre-columnar hash join (nested
+/// node-based hash maps keyed by materialized projection vectors) —
+/// preserved as the ablation baseline the perf-regression gate
+/// (tools/perf_gate.py, bench/bench_hotpath.cc) measures the flat join
+/// against and the metamorphic battery cross-checks it with.  Results
+/// are sorted and deduplicated; must equal ConflictGraph::edges().
+std::vector<std::pair<FactId, FactId>> AllConflictPairsHashedReference(
+    const Instance& instance);
+
+/// All conflicting pairs by the flat columnar join (open-addressing
+/// table keyed by the seeded hash of the projected lhs columns, rows
+/// compared in place — conflicts/projection.h): the production kernel,
+/// also the core of the ConflictGraph constructor.  Results are sorted
+/// and deduplicated; equal to both baselines above by construction.
+std::vector<std::pair<FactId, FactId>> AllConflictPairsFlat(
+    const Instance& instance);
+
 /// The materialized conflict graph of an instance: for each fact, the
 /// (sorted) list of facts it conflicts with, plus the edge list.
 ///

@@ -6,32 +6,33 @@
 
 namespace prefrep {
 
-namespace {
-
-// Projects a fact onto an attribute set, producing a hashable key
-// (same keying as the ConflictGraph constructor).
-std::vector<ValueId> Project(const Fact& f, AttrSet attrs) {
-  std::vector<ValueId> key;
-  key.reserve(static_cast<size_t>(attrs.size()));
-  attrs.ForEach([&](int a) { key.push_back(f.values[a - 1]); });
-  return key;
-}
-
-}  // namespace
-
 ConflictDeltaIndex::ConflictDeltaIndex(const Instance& instance)
     : instance_(&instance) {
   const Schema& schema = instance.schema();
   tables_.resize(schema.num_relations());
   for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
-    size_t nontrivial = 0;
-    for (const FD& fd : schema.fds(rel).fds()) {
-      if (!fd.IsTrivial()) {
-        ++nontrivial;
-      }
+    for (const FdProjection& p : BuildFdProjections(schema, rel)) {
+      Table table;
+      table.proj = p;
+      tables_[rel].push_back(std::move(table));
     }
-    tables_[rel].resize(nontrivial);
   }
+}
+
+uint32_t ConflictDeltaIndex::FindGroup(const Table& table, uint64_t hash,
+                                       const ValueId* row) const {
+  auto it = table.by_hash.find(hash);
+  if (it == table.by_hash.end()) {
+    return UINT32_MAX;
+  }
+  for (uint32_t gid : it->second) {
+    const LhsGroup& grp = table.groups[gid];
+    const FactId rep = grp.subs.front().members.front();
+    if (RowsEqualOn(row, instance_->row(rep), table.proj.lhs)) {
+      return gid;
+    }
+  }
+  return UINT32_MAX;
 }
 
 std::vector<FactId> ConflictDeltaIndex::InsertAndCollect(FactId f) {
@@ -40,22 +41,40 @@ std::vector<FactId> ConflictDeltaIndex::InsertAndCollect(FactId f) {
     indexed_.resize(f + 1, false);
   }
   indexed_[f] = true;
-  const Fact& fact = instance_->fact(f);
+  const RelId rel = instance_->rel_of(f);
+  const ValueId* row = instance_->row(f);
   std::vector<FactId> neighbors;
-  size_t k = 0;
-  for (const FD& fd : instance_->schema().fds(fact.rel).fds()) {
-    if (fd.IsTrivial()) {
-      continue;
-    }
-    SubBuckets& subs = tables_[fact.rel][k++][Project(fact, fd.lhs)];
-    std::vector<ValueId> rhs_key = Project(fact, fd.rhs);
-    for (const auto& [key, group] : subs) {
-      if (key == rhs_key) {
-        continue;  // same rhs-projection: no δ-conflict under this FD
+  for (Table& table : tables_[rel]) {
+    const uint64_t h = ProjectHash(row, table.proj.lhs, table.proj.lhs_seed);
+    uint32_t gid = FindGroup(table, h, row);
+    if (gid == UINT32_MAX) {
+      if (!table.free_list.empty()) {
+        gid = table.free_list.back();
+        table.free_list.pop_back();
+      } else {
+        gid = static_cast<uint32_t>(table.groups.size());
+        table.groups.emplace_back();
       }
-      neighbors.insert(neighbors.end(), group.begin(), group.end());
+      table.by_hash[h].push_back(gid);
     }
-    subs[std::move(rhs_key)].push_back(f);
+    LhsGroup& grp = table.groups[gid];
+    // Same lhs bucket: every member of a different rhs class is a
+    // δ-conflict neighbor; same rhs class is where f belongs.
+    RhsGroup* mine = nullptr;
+    for (RhsGroup& sub : grp.subs) {
+      if (RowsEqualOn(row, instance_->row(sub.members.front()),
+                      table.proj.rhs)) {
+        mine = &sub;
+      } else {
+        neighbors.insert(neighbors.end(), sub.members.begin(),
+                         sub.members.end());
+      }
+    }
+    if (mine == nullptr) {
+      grp.subs.emplace_back();
+      mine = &grp.subs.back();
+    }
+    mine->members.push_back(f);
   }
   std::sort(neighbors.begin(), neighbors.end());
   neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
@@ -68,26 +87,33 @@ void ConflictDeltaIndex::Erase(FactId f) {
     return;
   }
   indexed_[f] = false;
-  const Fact& fact = instance_->fact(f);
-  size_t k = 0;
-  for (const FD& fd : instance_->schema().fds(fact.rel).fds()) {
-    if (fd.IsTrivial()) {
-      continue;
-    }
-    Buckets& buckets = tables_[fact.rel][k++];
-    auto bucket_it = buckets.find(Project(fact, fd.lhs));
-    PREFREP_CHECK_MSG(bucket_it != buckets.end(),
+  const RelId rel = instance_->rel_of(f);
+  const ValueId* row = instance_->row(f);
+  for (Table& table : tables_[rel]) {
+    const uint64_t h = ProjectHash(row, table.proj.lhs, table.proj.lhs_seed);
+    const uint32_t gid = FindGroup(table, h, row);
+    PREFREP_CHECK_MSG(gid != UINT32_MAX,
                       "indexed fact missing from its lhs bucket");
-    SubBuckets& subs = bucket_it->second;
-    auto sub_it = subs.find(Project(fact, fd.rhs));
-    PREFREP_CHECK_MSG(sub_it != subs.end(),
+    LhsGroup& grp = table.groups[gid];
+    auto sub_it = std::find_if(
+        grp.subs.begin(), grp.subs.end(), [&](const RhsGroup& sub) {
+          return RowsEqualOn(row, instance_->row(sub.members.front()),
+                             table.proj.rhs);
+        });
+    PREFREP_CHECK_MSG(sub_it != grp.subs.end(),
                       "indexed fact missing from its rhs sub-bucket");
-    std::vector<FactId>& group = sub_it->second;
-    group.erase(std::remove(group.begin(), group.end(), f), group.end());
-    if (group.empty()) {
-      subs.erase(sub_it);
-      if (subs.empty()) {
-        buckets.erase(bucket_it);
+    std::vector<FactId>& members = sub_it->members;
+    members.erase(std::remove(members.begin(), members.end(), f),
+                  members.end());
+    if (members.empty()) {
+      grp.subs.erase(sub_it);
+      if (grp.subs.empty()) {
+        std::vector<uint32_t>& ids = table.by_hash[h];
+        ids.erase(std::remove(ids.begin(), ids.end(), gid), ids.end());
+        if (ids.empty()) {
+          table.by_hash.erase(h);
+        }
+        table.free_list.push_back(gid);
       }
     }
   }

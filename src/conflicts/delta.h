@@ -7,6 +7,13 @@
 // δ-conflict neighbors in O(|∆| · bucket) instead of O(instance), and
 // deleting a fact just unhooks it from its buckets.
 //
+// Bucketing uses the same key-materialization-free projection kernel
+// as the batch join (conflicts/projection.h): buckets are keyed by the
+// seeded 64-bit hash of the projected lhs columns, collision-verified
+// by comparing rows word-parallel against a bucket representative —
+// never by a materialized key vector.  A resident-session edit thus
+// pays the same per-probe cost profile as a batch-build fact.
+//
 // The index tracks the live facts only: the serve layer tombstones
 // deleted facts (ids are stable, the Instance never shrinks), and a
 // tombstoned fact must neither conflict with anything nor be revived
@@ -15,10 +22,12 @@
 #ifndef PREFREP_CONFLICTS_DELTA_H_
 #define PREFREP_CONFLICTS_DELTA_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "base/hash.h"
+#include "conflicts/projection.h"
 #include "model/instance.h"
 
 namespace prefrep {
@@ -44,20 +53,41 @@ class ConflictDeltaIndex {
   }
 
  private:
-  // One (relation, FD) bucket table: lhs-projection → rhs-projection →
-  // facts.  Two indexed facts conflict under this FD iff they share the
-  // outer key but sit in different inner groups.
-  using SubBuckets =
-      std::unordered_map<std::vector<ValueId>, std::vector<FactId>,
-                         VectorHash<ValueId>>;
-  using Buckets =
-      std::unordered_map<std::vector<ValueId>, SubBuckets,
-                         VectorHash<ValueId>>;
+  // One rhs-equivalence class inside an lhs bucket; members.front() is
+  // the representative rows are compared against.  Invariant: never
+  // empty (empty classes are erased immediately).
+  struct RhsGroup {
+    std::vector<FactId> members;
+  };
+
+  // One lhs bucket: the rhs classes of its facts.  Invariant: never
+  // empty; the representative of the bucket's lhs projection is
+  // subs.front().members.front().
+  struct LhsGroup {
+    std::vector<RhsGroup> subs;
+  };
+
+  // One (relation, FD) bucket table.  `by_hash` maps the seeded lhs
+  // projection hash to the bucket ids carrying that hash (usually one;
+  // more only on a 64-bit collision, disambiguated by row compare).
+  // Buckets live in `groups`, recycled through `free_list` so ids stay
+  // stable while the map only ever stores small integers.
+  struct Table {
+    FdProjection proj;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash;
+    std::vector<LhsGroup> groups;
+    std::vector<uint32_t> free_list;
+  };
+
+  /// The bucket of `row` in `table`, or UINT32_MAX when absent.
+  uint32_t FindGroup(const Table& table, uint64_t hash,
+                     const ValueId* row) const;
 
   const Instance* instance_;
   // tables_[rel][k] is the bucket table of the k-th nontrivial FD of
   // relation rel (trivial FDs never produce conflicts and are skipped).
-  std::vector<std::vector<Buckets>> tables_;
+  std::vector<std::vector<Table>> tables_;
+  // indexed_[f]: whether fact f currently sits in the buckets.
   std::vector<bool> indexed_;
 };
 

@@ -1,0 +1,126 @@
+// Copyright (c) prefrep contributors.
+// FD-projection kernels over columnar fact rows (docs/memory-layout.md).
+// Every conflict-detection site asks the same two questions about two
+// facts of one relation: do their rows agree on the FD's lhs / rhs
+// attribute set, and what bucket does a row's lhs projection fall into?
+// This header answers both without materializing a projected key:
+//
+//   * AttrOffsets — a 1-based AttrSet compiled to a table of 0-based
+//     column offsets, with the contiguous-range case (FDs over an
+//     attribute prefix or any unbroken run, by far the common shape)
+//     detected once so the equality kernel can compare the run
+//     word-parallel (base/simd.h) instead of gathering;
+//   * RowsEqualOn — short-circuit equality of two rows on a table;
+//   * ProjectHash — a seeded HashMix64 chain over the projected
+//     columns, the key of the flat-hash LHS join (conflicts.cc,
+//     delta.cc) and the violation scan (repair/subinstance_ops.cc).
+//     Hashes are compared 64-bit AND verified by RowsEqualOn — a
+//     collision can cost a compare, never an answer.
+//
+// FdProjection pairs the lhs/rhs tables of one FD with per-side seeds
+// (domain-separated by relation and FD index) so buckets of different
+// FDs never alias.
+
+#ifndef PREFREP_CONFLICTS_PROJECTION_H_
+#define PREFREP_CONFLICTS_PROJECTION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/simd.h"
+#include "fd/attr_set.h"
+#include "fd/fd.h"
+#include "model/schema.h"
+#include "model/value.h"
+
+namespace prefrep {
+
+/// An AttrSet compiled to 0-based column offsets over a fixed-arity row.
+struct AttrOffsets {
+  uint8_t count = 0;         ///< number of projected columns
+  bool contiguous = false;   ///< offsets form an unbroken run [lo, lo+count)
+  uint8_t lo = 0;            ///< first offset when contiguous
+  std::array<uint8_t, kMaxArity> offsets{};  ///< ascending 0-based offsets
+
+  static AttrOffsets Build(AttrSet attrs) {
+    AttrOffsets t;
+    attrs.ForEach([&t](int a) {
+      t.offsets[t.count++] = static_cast<uint8_t>(a - 1);
+    });
+    if (t.count > 0) {
+      t.lo = t.offsets[0];
+      t.contiguous =
+          t.offsets[t.count - 1] == t.lo + t.count - 1;
+    } else {
+      t.contiguous = true;  // the empty projection is a (trivial) run
+    }
+    return t;
+  }
+};
+
+/// True when rows `a` and `b` agree on every projected column.
+/// Short-circuits on the first mismatch; word-parallel on runs.
+inline bool RowsEqualOn(const ValueId* a, const ValueId* b,
+                        const AttrOffsets& t) {
+  if (t.contiguous) {
+    return simd::EqualRange(a + t.lo, b + t.lo, t.count);
+  }
+  for (uint8_t i = 0; i < t.count; ++i) {
+    const uint8_t o = t.offsets[i];
+    if (a[o] != b[o]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Seeded content hash of a row's projection — no key materialized.
+inline uint64_t ProjectHash(const ValueId* row, const AttrOffsets& t,
+                            uint64_t seed) {
+  uint64_t h = seed;
+  for (uint8_t i = 0; i < t.count; ++i) {
+    h = HashMix64(h ^ row[t.offsets[i]]);
+  }
+  return h;
+}
+
+/// The compiled lhs/rhs projection tables of one nontrivial FD.
+struct FdProjection {
+  AttrOffsets lhs;
+  AttrOffsets rhs;
+  uint64_t lhs_seed = 0;
+  uint64_t rhs_seed = 0;
+};
+
+/// Compiles the nontrivial FDs of `rel` (in ∆|rel order, trivial FDs
+/// skipped — they never produce conflicts) to projection tables.  The
+/// k-th entry corresponds to the k-th nontrivial FD, matching the
+/// table layout of ConflictDeltaIndex.
+inline std::vector<FdProjection> BuildFdProjections(const Schema& schema,
+                                                    RelId rel) {
+  std::vector<FdProjection> out;
+  uint64_t k = 0;
+  for (const FD& fd : schema.fds(rel).fds()) {
+    if (fd.IsTrivial()) {
+      continue;
+    }
+    FdProjection p;
+    p.lhs = AttrOffsets::Build(fd.lhs);
+    p.rhs = AttrOffsets::Build(fd.rhs);
+    // Domain separation: seeds differ per relation, FD and side, so a
+    // row can never land in a bucket built for another projection.
+    p.lhs_seed = HashMix64(0xc0f1dEc0ffee0000ULL ^ (uint64_t{rel} << 20) ^
+                           (k << 1));
+    p.rhs_seed = HashMix64(0xc0f1dEc0ffee0000ULL ^ (uint64_t{rel} << 20) ^
+                           (k << 1) ^ 1);
+    ++k;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONFLICTS_PROJECTION_H_

@@ -2,6 +2,22 @@
 
 namespace prefrep {
 
+namespace {
+// Index sizing: grow at 70% load, start small (most test instances hold
+// a handful of facts; hot workloads rehash a few amortized times).
+constexpr size_t kInitialIndexCapacity = 16;
+constexpr size_t kLoadNumerator = 7;
+constexpr size_t kLoadDenominator = 10;
+}  // namespace
+
+uint64_t Instance::HashRow(RelId rel, const ValueId* values, size_t count) {
+  uint64_t h = HashMix64(0x5eedfac75eedfac7ULL ^ rel);
+  for (size_t i = 0; i < count; ++i) {
+    h = HashMix64(h ^ values[i]);
+  }
+  return h;
+}
+
 Result<FactId> Instance::AddFact(RelId rel,
                                  const std::vector<std::string>& constants,
                                  std::string_view label) {
@@ -24,21 +40,10 @@ Result<FactId> Instance::AddFactValues(RelId rel, std::vector<ValueId> values,
         std::to_string(values.size()) + " values, arity is " +
         std::to_string(schema_->arity(rel)));
   }
-  Fact fact{rel, std::move(values)};
-  auto it = fact_index_.find(fact);
-  FactId id;
-  if (it != fact_index_.end()) {
-    id = it->second;  // set semantics: duplicate facts collapse
-  } else {
-    PREFREP_CHECK_MSG(facts_.size() < kInvalidFactId, "fact id overflow");
-    id = static_cast<FactId>(facts_.size());
-    facts_.push_back(fact);
-    labels_.emplace_back();
-    if (by_relation_.size() < schema_->num_relations()) {
-      by_relation_.resize(schema_->num_relations());
-    }
-    by_relation_[rel].push_back(id);
-    fact_index_.emplace(std::move(fact), id);
+  FactId id = FindRow(rel, values.data(), values.size());
+  if (id == kInvalidFactId) {  // set semantics: duplicates collapse
+    PREFREP_CHECK_MSG(num_facts() < kInvalidFactId, "fact id overflow");
+    id = AppendRow(rel, values.data(), values.size());
   }
   if (!label.empty()) {
     std::string key(label);
@@ -53,6 +58,70 @@ Result<FactId> Instance::AddFactValues(RelId rel, std::vector<ValueId> values,
   return id;
 }
 
+FactId Instance::AppendRow(RelId rel, const ValueId* values, size_t count) {
+  // Ensure index capacity BEFORE touching the directories: GrowIndex
+  // reinserts exactly the facts already appended.
+  if (index_slots_.empty() ||
+      (num_facts() + 1) * kLoadDenominator >
+          index_slots_.size() * kLoadNumerator) {
+    GrowIndex();
+  }
+  FactId id = static_cast<FactId>(num_facts());
+  std::vector<ValueId>& slab = columns_[rel];
+  uint32_t slot = static_cast<uint32_t>(slab.size() / stride_[rel]);
+  slab.insert(slab.end(), values, values + count);
+  fact_rel_.push_back(rel);
+  fact_slot_.push_back(slot);
+  labels_.emplace_back();
+  if (by_relation_.size() < schema_->num_relations()) {
+    by_relation_.resize(schema_->num_relations());
+  }
+  by_relation_[rel].push_back(id);
+
+  size_t mask = index_slots_.size() - 1;
+  size_t i = HashRow(rel, values, count) & mask;
+  while (index_slots_[i] != kInvalidFactId) {
+    i = (i + 1) & mask;
+  }
+  index_slots_[i] = id;
+  return id;
+}
+
+void Instance::GrowIndex() {
+  size_t capacity =
+      index_slots_.empty() ? kInitialIndexCapacity : index_slots_.size() * 2;
+  index_slots_.assign(capacity, kInvalidFactId);
+  size_t mask = capacity - 1;
+  for (FactId f = 0; f < num_facts(); ++f) {
+    RelId rel = fact_rel_[f];
+    size_t i = HashRow(rel, row(f), stride_[rel]) & mask;
+    while (index_slots_[i] != kInvalidFactId) {
+      i = (i + 1) & mask;
+    }
+    index_slots_[i] = f;
+  }
+}
+
+FactId Instance::FindRow(RelId rel, const ValueId* values,
+                         size_t count) const {
+  if (index_slots_.empty()) {
+    return kInvalidFactId;
+  }
+  size_t mask = index_slots_.size() - 1;
+  size_t i = HashRow(rel, values, count) & mask;
+  while (true) {
+    FactId f = index_slots_[i];
+    if (f == kInvalidFactId) {
+      return kInvalidFactId;
+    }
+    if (fact_rel_[f] == rel && stride_[rel] == count &&
+        simd::EqualRange(row(f), values, count)) {
+      return f;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
 FactId Instance::MustAddFact(std::string_view relation_name,
                              const std::vector<std::string>& constants,
                              std::string_view label) {
@@ -63,11 +132,6 @@ FactId Instance::MustAddFact(std::string_view relation_name,
   return *r;
 }
 
-FactId Instance::FindFact(const Fact& fact) const {
-  auto it = fact_index_.find(fact);
-  return it == fact_index_.end() ? kInvalidFactId : it->second;
-}
-
 FactId Instance::FindLabel(std::string_view label) const {
   auto it = label_index_.find(std::string(label));
   return it == label_index_.end() ? kInvalidFactId : it->second;
@@ -75,7 +139,7 @@ FactId Instance::FindLabel(std::string_view label) const {
 
 DynamicBitset Instance::SubinstanceByLabels(
     const std::vector<std::string>& labels) const {
-  DynamicBitset sub(facts_.size());
+  DynamicBitset sub(num_facts());
   for (const std::string& label : labels) {
     FactId id = FindLabel(label);
     PREFREP_CHECK_MSG(id != kInvalidFactId, "unknown fact label");
@@ -85,7 +149,7 @@ DynamicBitset Instance::SubinstanceByLabels(
 }
 
 std::string Instance::FactToString(FactId id) const {
-  const Fact& f = fact(id);
+  const Fact f = fact(id);
   std::string out;
   if (!labels_[id].empty()) {
     out += labels_[id];

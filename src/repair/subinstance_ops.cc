@@ -5,19 +5,9 @@
 #include <unordered_map>
 
 #include "base/hash.h"
+#include "conflicts/projection.h"
 
 namespace prefrep {
-
-namespace {
-
-std::vector<ValueId> Project(const Fact& f, AttrSet attrs) {
-  std::vector<ValueId> key;
-  key.reserve(static_cast<size_t>(attrs.size()));
-  attrs.ForEach([&](int a) { key.push_back(f.values[a - 1]); });
-  return key;
-}
-
-}  // namespace
 
 bool IsConsistent(const Instance& instance, const DynamicBitset& sub) {
   return !FindViolation(instance, sub).has_value();
@@ -26,28 +16,33 @@ bool IsConsistent(const Instance& instance, const DynamicBitset& sub) {
 std::optional<std::pair<FactId, FactId>> FindViolation(
     const Instance& instance, const DynamicBitset& sub) {
   const Schema& schema = instance.schema();
+  // Representatives of each lhs-projection group, keyed by the seeded
+  // projection hash (collision lists, verified by row compare — no key
+  // vectors materialized, see conflicts/projection.h).
+  std::unordered_map<uint64_t, std::vector<FactId>> reps;
   for (RelId rel = 0; rel < schema.num_relations(); ++rel) {
-    for (const FD& fd : schema.fds(rel).fds()) {
-      if (fd.IsTrivial()) {
-        continue;
-      }
+    for (const FdProjection& p : BuildFdProjections(schema, rel)) {
       // For A → B: within each A-projection group, all facts must share
       // the same B-projection; remember one representative per group.
-      std::unordered_map<std::vector<ValueId>,
-                         std::pair<std::vector<ValueId>, FactId>,
-                         VectorHash<ValueId>>
-          groups;
+      reps.clear();
       for (FactId f : instance.facts_of(rel)) {
         if (!sub.test(f)) {
           continue;
         }
-        const Fact& fact = instance.fact(f);
-        std::vector<ValueId> lhs_key = Project(fact, fd.lhs);
-        std::vector<ValueId> rhs_key = Project(fact, fd.rhs);
-        auto [it, inserted] =
-            groups.try_emplace(std::move(lhs_key), rhs_key, f);
-        if (!inserted && it->second.first != rhs_key) {
-          return std::make_pair(it->second.second, f);
+        const ValueId* row = instance.row(f);
+        const uint64_t h = ProjectHash(row, p.lhs, p.lhs_seed);
+        std::vector<FactId>& bucket = reps[h];
+        FactId rep = kInvalidFactId;
+        for (FactId r : bucket) {
+          if (RowsEqualOn(row, instance.row(r), p.lhs)) {
+            rep = r;
+            break;
+          }
+        }
+        if (rep == kInvalidFactId) {
+          bucket.push_back(f);
+        } else if (!RowsEqualOn(row, instance.row(rep), p.rhs)) {
+          return std::make_pair(rep, f);
         }
       }
     }

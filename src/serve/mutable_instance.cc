@@ -9,7 +9,7 @@ MutableInstance::MutableInstance(const PreferredRepairProblem& problem) {
   instance_ = std::make_unique<Instance>(schema_.get());
   const Instance& src = *problem.instance;
   for (FactId f = 0; f < src.num_facts(); ++f) {
-    const Fact& fact = src.fact(f);
+    const Fact fact = src.fact(f);
     std::vector<std::string> constants;
     constants.reserve(fact.values.size());
     for (ValueId v : fact.values) {
@@ -43,13 +43,12 @@ Result<MutableInstance::InsertOutcome> MutableInstance::Insert(
   // Probe by content first: the append-only Instance would otherwise
   // happily relabel an existing fact, and labels must stay permanent
   // for the rebuild contract.
-  Fact probe;
-  probe.rel = rel;
-  probe.values.reserve(constants.size());
+  std::vector<ValueId> values;
+  values.reserve(constants.size());
   for (const std::string& c : constants) {
-    probe.values.push_back(instance_->dict().Intern(c));
+    values.push_back(instance_->dict().Intern(c));
   }
-  FactId existing = instance_->FindFact(probe);
+  FactId existing = instance_->FindRow(rel, values.data(), values.size());
   if (existing != kInvalidFactId) {
     if (instance_->label(existing) != label) {
       return Status::AlreadyExists(
@@ -72,7 +71,7 @@ Result<MutableInstance::InsertOutcome> MutableInstance::Insert(
                                  "' already names a different fact");
   }
   Result<FactId> added =
-      instance_->AddFactValues(rel, std::move(probe.values), label);
+      instance_->AddFactValues(rel, std::move(values), label);
   if (!added.ok()) {
     return added.status();
   }
@@ -121,7 +120,7 @@ std::string MutableInstance::SerializeLive(const PriorityRelation* priority,
     }
   }
   live_.ForEach([&](size_t f) {
-    const Fact& fact = instance_->fact(static_cast<FactId>(f));
+    const Fact fact = instance_->fact(static_cast<FactId>(f));
     out += "fact " + instance_->label(static_cast<FactId>(f)) + " " +
            schema_->relation_name(fact.rel) + "(";
     for (size_t i = 0; i < fact.values.size(); ++i) {

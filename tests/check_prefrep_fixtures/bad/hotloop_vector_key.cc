@@ -1,0 +1,28 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// vector-keyed-map bug class the columnar rewrite retired — a conflict
+// join that materializes a projected key vector per fact and buckets
+// through a node-based hash map, paying one heap allocation per probe
+// on the hottest loop in the system (docs/memory-layout.md).
+// EXPECT-FINDING: prefrep-hotloop
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace prefrep {
+
+struct VecHash {
+  uint64_t operator()(const std::vector<uint32_t>& v) const;
+};
+
+std::vector<uint32_t> ProjectKey(const uint32_t* row);
+
+int CountLhsGroups(const std::vector<const uint32_t*>& rows) {
+  std::unordered_map<std::vector<uint32_t>, int, VecHash> buckets;
+  for (const uint32_t* row : rows) {
+    ++buckets[ProjectKey(row)];  // one key vector per probe — bug
+  }
+  return static_cast<int>(buckets.size());
+}
+
+}  // namespace prefrep

@@ -1,0 +1,53 @@
+// Fixture for tools/check_prefrep.py --selftest (never compiled): the
+// sanctioned conflict-join shapes — buckets keyed by the seeded 64-bit
+// projection hash with rows verified against a representative (no key
+// vectors materialized), and a deliberately preserved vector-keyed
+// baseline justified with a NOLINT(prefrep-hotloop) escape, mirroring
+// the reference join kept in conflicts.cc.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace prefrep {
+
+uint64_t ProjectHashOf(const uint32_t* row);
+bool RowsEqual(const uint32_t* a, const uint32_t* b);
+
+int CountLhsGroups(const std::vector<const uint32_t*>& rows) {
+  std::unordered_map<uint64_t, std::vector<const uint32_t*>> reps;
+  int groups = 0;
+  for (const uint32_t* row : rows) {
+    std::vector<const uint32_t*>& bucket = reps[ProjectHashOf(row)];
+    bool found = false;
+    for (const uint32_t* rep : bucket) {
+      if (RowsEqual(row, rep)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      bucket.push_back(row);
+      ++groups;
+    }
+  }
+  return groups;
+}
+
+struct VecHash {
+  uint64_t operator()(const std::vector<uint32_t>& v) const;
+};
+
+std::vector<uint32_t> ProjectKey(const uint32_t* row);
+
+int CountLhsGroupsReference(const std::vector<const uint32_t*>& rows) {
+  // Ablation baseline kept for differential testing.
+  // NOLINT(prefrep-hotloop)
+  std::unordered_map<std::vector<uint32_t>, int, VecHash> buckets;
+  for (const uint32_t* row : rows) {
+    ++buckets[ProjectKey(row)];
+  }
+  return static_cast<int>(buckets.size());
+}
+
+}  // namespace prefrep

@@ -1,0 +1,184 @@
+// Pins the columnar arena layout of Instance (docs/memory-layout.md):
+// per-relation fixed-stride slabs, the (relation, slot) fact directory,
+// the open-addressing content index, and the ValueSpan view contract —
+// plus the serve-layer tombstone/revival semantics that ride on stable
+// fact ids.  These are layout *semantics*, not implementation trivia:
+// the conflict-join kernels (conflicts/projection.h) read rows straight
+// out of the slabs and are only correct if slot i of facts_of(rel)
+// occupies the i-th stride-sized run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/simd.h"
+#include "model/instance.h"
+#include "model/problem.h"
+#include "serve/mutable_instance.h"
+#include "test_util.h"
+
+namespace prefrep {
+namespace {
+
+Schema TwoRelationSchema() {
+  Schema schema;
+  RelId r = schema.MustAddRelation("R", 3);
+  schema.MustAddFd(r, FD(AttrSet{1}, AttrSet{2}));
+  schema.MustAddRelation("S", 2);
+  return schema;
+}
+
+TEST(InstanceLayoutTest, AppendsFillRelationSlabsInSlotOrder) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  // Interleave appends across relations: each slab must stay dense and
+  // per-relation, slot i of facts_of(rel) at offset i * arity.
+  FactId r0 = instance.MustAddFact("R", {"a", "b", "c"});
+  FactId s0 = instance.MustAddFact("S", {"x", "y"});
+  FactId r1 = instance.MustAddFact("R", {"a", "b", "d"});
+  FactId s1 = instance.MustAddFact("S", {"x", "z"});
+  EXPECT_EQ(instance.num_facts(), 4u);
+  EXPECT_EQ(instance.rel_of(r0), instance.rel_of(r1));
+  EXPECT_NE(instance.rel_of(r0), instance.rel_of(s0));
+  const RelId rel_r = instance.rel_of(r0);
+  const RelId rel_s = instance.rel_of(s0);
+  ASSERT_EQ(instance.facts_of(rel_r).size(), 2u);
+  ASSERT_EQ(instance.facts_of(rel_s).size(), 2u);
+  EXPECT_EQ(instance.relation_slab(rel_r).size(), 2u * 3u);
+  EXPECT_EQ(instance.relation_slab(rel_s).size(), 2u * 2u);
+  // Slot order: the i-th fact of a relation owns the i-th stride run.
+  for (size_t i = 0; i < 2; ++i) {
+    const FactId f = instance.facts_of(rel_r)[i];
+    EXPECT_EQ(instance.row(f), instance.relation_slab(rel_r).data() + i * 3)
+        << "R slot " << i;
+    const FactId g = instance.facts_of(rel_s)[i];
+    EXPECT_EQ(instance.row(g), instance.relation_slab(rel_s).data() + i * 2)
+        << "S slot " << i;
+  }
+  // The Fact view reads the same memory the row accessor exposes.
+  const Fact fr1 = instance.fact(r1);
+  EXPECT_EQ(fr1.values.data(), instance.row(r1));
+  EXPECT_EQ(fr1.values.size(), 3u);
+  EXPECT_EQ(instance.dict().Text(fr1.values[2]), "d");
+  (void)s1;
+}
+
+TEST(InstanceLayoutTest, DuplicateContentCollapsesToOneSlot) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  FactId first = instance.MustAddFact("R", {"a", "b", "c"});
+  FactId again = instance.MustAddFact("R", {"a", "b", "c"});
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(instance.num_facts(), 1u);
+  EXPECT_EQ(instance.relation_slab(instance.rel_of(first)).size(), 3u)
+      << "a collapsed duplicate must not grow the slab";
+}
+
+TEST(InstanceLayoutTest, ContentIndexSurvivesSlabGrowth) {
+  // Enough appends to force both slab reallocation and several index
+  // doublings; every fact must stay findable by content afterwards, and
+  // every row must still match its fact view.
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  constexpr int kFacts = 500;
+  for (int i = 0; i < kFacts; ++i) {
+    instance.MustAddFact("R", {"a" + std::to_string(i), "b",
+                               "c" + std::to_string(i % 7)});
+  }
+  ASSERT_EQ(instance.num_facts(), static_cast<size_t>(kFacts));
+  for (FactId f = 0; f < static_cast<FactId>(kFacts); ++f) {
+    const Fact fact = instance.fact(f);
+    EXPECT_EQ(instance.FindFact(fact), f);
+    EXPECT_EQ(fact.values.data(), instance.row(f));
+  }
+  // A caller-local probe buffer (not pointing into the arena) works too.
+  std::vector<ValueId> probe = {instance.fact(3).values[0],
+                                instance.fact(3).values[1],
+                                instance.fact(3).values[2]};
+  EXPECT_EQ(instance.FindRow(instance.rel_of(3), probe.data(), probe.size()),
+            FactId{3});
+  probe[2] = instance.fact(4).values[2];
+  EXPECT_EQ(instance.FindRow(instance.rel_of(3), probe.data(), probe.size()),
+            kInvalidFactId);
+}
+
+TEST(InstanceLayoutTest, ValueSpanEqualityIsContentEquality) {
+  Schema schema;
+  schema.MustAddRelation("W", 8);
+  Instance instance(&schema);
+  FactId a = instance.MustAddFact(
+      "W", {"1", "2", "3", "4", "5", "6", "7", "8"});
+  FactId b = instance.MustAddFact(
+      "W", {"1", "2", "3", "4", "5", "6", "7", "9"});
+  const Fact fa = instance.fact(a);
+  const Fact fb = instance.fact(b);
+  EXPECT_TRUE(fa == instance.fact(a));
+  EXPECT_FALSE(fa == fb) << "wide rows differing only in the tail must "
+                            "compare unequal through the SIMD kernel";
+  // The scalar fallback must agree with the vector kernel.
+  simd::SetForceScalar(true);
+  EXPECT_TRUE(fa == instance.fact(a));
+  EXPECT_FALSE(fa == fb);
+  simd::SetForceScalar(false);
+}
+
+TEST(InstanceLayoutTest, ArityAndLabelErrorsAreRejected) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  RelId rel = instance.rel_of(instance.MustAddFact("R", {"a", "b", "c"},
+                                                   "f0"));
+  Result<FactId> wrong_arity = instance.AddFact(rel, {"a", "b"});
+  ASSERT_FALSE(wrong_arity.ok());
+  EXPECT_EQ(wrong_arity.status().code(), StatusCode::kInvalidArgument);
+  // Same content under a fresh label: the Instance relabels in place
+  // (set semantics; the serve layer's probe-first Insert is what makes
+  // labels permanent for sessions — see mutable_instance.cc).
+  Result<FactId> relabel = instance.AddFact(rel, {"a", "b", "c"}, "f1");
+  ASSERT_TRUE(relabel.ok());
+  EXPECT_EQ(*relabel, FactId{0});
+  EXPECT_EQ(instance.label(0), "f1");
+  // Same label, different content: rejected.  (The row itself lands in
+  // the arena before the label check — set semantics make the stray
+  // unlabeled fact harmless, and callers that care probe first.)
+  Result<FactId> reuse = instance.AddFact(rel, {"a", "b", "d"}, "f0");
+  ASSERT_FALSE(reuse.ok());
+  EXPECT_EQ(reuse.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InstanceLayoutTest, TombstoneAndRevivalKeepIdsAndSlotsStable) {
+  testing_util::ProblemSpec spec;
+  spec.arity = 2;
+  spec.fds = {"1 -> 2"};
+  spec.facts = {"f0: a, b", "f1: a, c"};
+  PreferredRepairProblem problem = testing_util::MakeProblem(spec);
+  MutableInstance mi(problem);
+  const Instance& instance = mi.instance();
+  const size_t slab_before =
+      instance.relation_slab(instance.rel_of(0)).size();
+  // Tombstone then revive by content: the fact keeps its id and its
+  // arena slot — the slab never shrinks or reorders.
+  ASSERT_TRUE(mi.Tombstone("f0").ok());
+  EXPECT_FALSE(mi.live().test(0));
+  auto revived = mi.Insert("R", {"a", "b"}, "f0");
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived->id, FactId{0});
+  EXPECT_TRUE(revived->revived);
+  EXPECT_TRUE(mi.live().test(0));
+  EXPECT_EQ(instance.relation_slab(instance.rel_of(0)).size(), slab_before);
+  // Reviving under a different label must fail — ids stay bound to
+  // their labels forever.
+  ASSERT_TRUE(mi.Tombstone("f0").ok());
+  auto relabeled = mi.Insert("R", {"a", "b"}, "f9");
+  ASSERT_FALSE(relabeled.ok());
+  EXPECT_EQ(relabeled.status().code(), StatusCode::kAlreadyExists);
+  // A genuinely new fact appends a fresh slot at the slab's tail.
+  auto fresh = mi.Insert("R", {"a", "d"}, "f2");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->id, FactId{2});
+  EXPECT_EQ(instance.relation_slab(instance.rel_of(0)).size(),
+            slab_before + 2);
+}
+
+}  // namespace
+}  // namespace prefrep

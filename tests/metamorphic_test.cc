@@ -25,8 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "base/simd.h"
 #include "cache/block_cache.h"
 #include "classify/categoricity.h"
+#include "conflicts/blocks.h"
+#include "conflicts/conflicts.h"
 #include "gen/hard_workloads.h"
 #include "gen/random_instance.h"
 #include "query/consistent_answers.h"
@@ -543,6 +546,109 @@ TEST_P(CacheDifferentialTest, ShardedHardWorkloadsAreCacheTransparent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferentialTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+// ---- Columnar-vs-reference conflict differential --------------------
+//
+// The columnar rewrite (docs/memory-layout.md) replaced the production
+// conflict join but kept two independent oracles alive: the O(n²)
+// all-pairs scan and the pre-columnar nested-map join
+// (AllConflictPairsHashedReference).  These tests pin the contract that
+// the flat join, the graph built from it, and both oracles agree
+// exactly — on the instance as parsed, under fact reordering, under
+// value renaming, and with the SIMD kernel forced to its scalar
+// fallback.  Block partitions are compared as canonical (id-mapped)
+// set-of-sets.  Thread counts don't appear here because the join is
+// serial by design; the thread-parameterized fingerprints above cover
+// everything downstream of it at threads 1/2/8.
+
+using PairList = std::vector<std::pair<FactId, FactId>>;
+
+PairList MapPairs(const PairList& pairs, const std::vector<FactId>& map) {
+  PairList out;
+  out.reserve(pairs.size());
+  for (const auto& [f, g] : pairs) {
+    out.emplace_back(std::min(map[f], map[g]), std::max(map[f], map[g]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The block partition as a canonical value: sorted list of sorted
+/// mapped fact lists, plus the mapped free facts.
+std::vector<std::vector<FactId>> CanonicalBlocks(
+    const Instance& instance, const std::vector<FactId>& map) {
+  ConflictGraph cg(instance);
+  BlockDecomposition blocks(cg);
+  std::vector<std::vector<FactId>> out;
+  for (const Block& b : blocks.blocks()) {
+    std::vector<FactId> facts;
+    facts.reserve(b.fact_list.size());
+    for (FactId f : b.fact_list) {
+      facts.push_back(map[f]);
+    }
+    std::sort(facts.begin(), facts.end());
+    out.push_back(std::move(facts));
+  }
+  std::vector<FactId> free_facts;
+  blocks.free_facts().ForEach(
+      [&](size_t f) { free_facts.push_back(map[f]); });
+  std::sort(free_facts.begin(), free_facts.end());
+  out.push_back(std::move(free_facts));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ConflictDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConflictDifferentialTest, JoinsAgreeWithOracles) {
+  PreferredRepairProblem problem = RandomProblem(GetParam());
+  const Instance& instance = *problem.instance;
+  const PairList naive = AllConflictPairsNaive(instance);
+  const PairList reference = AllConflictPairsHashedReference(instance);
+  const PairList flat = AllConflictPairsFlat(instance);
+  EXPECT_EQ(naive, reference) << "seed=" << GetParam();
+  EXPECT_EQ(naive, flat) << "seed=" << GetParam();
+  ConflictGraph cg(instance);
+  EXPECT_EQ(cg.edges(), flat) << "seed=" << GetParam();
+  // The scalar fallback must be a pure speed change.
+  simd::SetForceScalar(true);
+  const PairList scalar = AllConflictPairsFlat(instance);
+  simd::SetForceScalar(false);
+  EXPECT_EQ(flat, scalar) << "seed=" << GetParam();
+}
+
+TEST_P(ConflictDifferentialTest, PairsInvariantUnderReorderAndRename) {
+  PreferredRepairProblem problem = RandomProblem(GetParam());
+  Rng rng(GetParam() * 524287 + 7);
+  Rebuilt shuffled =
+      Rebuild(problem, ShuffledInsertion(*problem.instance, &rng),
+              IdentityRelations(problem.instance->schema()), KeepName);
+  Rebuilt renamed = Rebuild(
+      problem, IdentityInsertion(*problem.instance),
+      IdentityRelations(problem.instance->schema()),
+      [](const std::string& s) { return "col_" + s; });
+  const std::vector<FactId> self = SelfMap(*problem.instance);
+  const PairList original = MapPairs(AllConflictPairsFlat(*problem.instance),
+                                     self);
+  EXPECT_EQ(original,
+            MapPairs(AllConflictPairsFlat(*shuffled.p.instance),
+                     Inverse(shuffled.map)))
+      << "fact reorder, seed=" << GetParam();
+  EXPECT_EQ(original,
+            MapPairs(AllConflictPairsFlat(*renamed.p.instance),
+                     Inverse(renamed.map)))
+      << "value rename, seed=" << GetParam();
+  const auto blocks = CanonicalBlocks(*problem.instance, self);
+  EXPECT_EQ(blocks,
+            CanonicalBlocks(*shuffled.p.instance, Inverse(shuffled.map)))
+      << "fact reorder blocks, seed=" << GetParam();
+  EXPECT_EQ(blocks,
+            CanonicalBlocks(*renamed.p.instance, Inverse(renamed.map)))
+      << "value rename blocks, seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 41));
 
 }  // namespace
 }  // namespace prefrep

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Runs a benchmark suite and distills its BENCH_<suite>.json.
 
-    python3 tools/bench_to_json.py [--suite serve|recovery|categoricity]
+    python3 tools/bench_to_json.py [--suite serve|recovery|categoricity|hotpath]
                                    [--bench <path>] [--out <path>]
 
 Drives the suite's built binary with --benchmark_format=json and
@@ -40,6 +40,23 @@ tracks:
                            1.0 (WARNING above 1.25x).
     decide_us            — the bare DecideCategoricity cost, the
                            serving layer's price for a memo miss.
+
+  hotpath (BENCH_hotpath.json, B18):
+    conflict_build       — per shard count: flat columnar join vs the
+                           preserved pre-columnar reference join vs the
+                           flat join on the scalar SIMD fallback.
+                           flat_speedup = reference/flat (the ISSUE
+                           gate: >= 3x on the hard sharded workload);
+                           scalar_penalty = scalar/flat (the honest
+                           no-SSE2/NEON number, reported separately).
+    block_decomposition_us, consistency_scan_us
+                         — downstream consumers of the same kernels.
+    agree_kernel         — FactsAgreeOn with an early exit to take vs a
+                           full 12-column agreement; early_exit_gain =
+                           full/early must stay well above 1.0 or the
+                           short-circuit has been lost.
+    Ratios, not absolute times, are what tools/perf_gate.py compares
+    against the committed baseline — they transfer across machines.
 
 Stdlib-only by design (runs in CI and the bare build container).
 """
@@ -256,6 +273,71 @@ def report_categoricity(summary: dict) -> None:
         print(f"  decide, {cliques} cliques: {us:.1f}us")
 
 
+def distill_hotpath(raw: dict) -> dict:
+    benches = by_name(raw)
+    out: dict = {
+        "benchmark": "bench_hotpath",
+        "context": context_of(raw),
+        "conflict_build": {},
+        "graph_build_us": {},
+        "block_decomposition_us": {},
+        "consistency_scan_us": {},
+        "agree_kernel": {},
+    }
+    for name, bench in benches.items():
+        if name.startswith("BM_ConflictPairsFlat/"):
+            shards = name.split("/")[1]
+            ref = benches.get(f"BM_ConflictPairsReference/{shards}")
+            scalar = benches.get(f"BM_ConflictPairsFlatScalar/{shards}")
+            row = {"flat_us": time_ns(bench) / 1e3}
+            if ref is not None:
+                row["reference_us"] = time_ns(ref) / 1e3
+                row["flat_speedup"] = time_ns(ref) / time_ns(bench)
+            if scalar is not None:
+                row["scalar_us"] = time_ns(scalar) / 1e3
+                row["scalar_penalty"] = time_ns(scalar) / time_ns(bench)
+            out["conflict_build"][shards] = row
+        elif name.startswith("BM_ConflictGraphBuild/"):
+            shards = name.split("/")[1]
+            out["graph_build_us"][shards] = time_ns(bench) / 1e3
+        elif name.startswith("BM_BlockDecomposition/"):
+            shards = name.split("/")[1]
+            out["block_decomposition_us"][shards] = time_ns(bench) / 1e3
+        elif name.startswith("BM_ConsistencyScan/"):
+            shards = name.split("/")[1]
+            out["consistency_scan_us"][shards] = time_ns(bench) / 1e3
+    early = benches.get("BM_AgreeEarlyExit")
+    full = benches.get("BM_AgreeFullScan")
+    if early is not None and full is not None:
+        out["agree_kernel"] = {
+            "early_exit_ns": time_ns(early),
+            "full_scan_ns": time_ns(full),
+            "early_exit_gain": time_ns(full) / time_ns(early),
+        }
+    return out
+
+
+def report_hotpath(summary: dict) -> None:
+    for shards, row in sorted(summary["conflict_build"].items(),
+                              key=lambda kv: int(kv[0])):
+        speedup = row.get("flat_speedup")
+        if speedup is None:
+            continue
+        print(f"  conflict build, {shards} shards: {speedup:.1f}x "
+              f"({row['reference_us']:.0f}us -> {row['flat_us']:.1f}us"
+              + (f", scalar {row['scalar_us']:.1f}us"
+                 if "scalar_us" in row else "") + ")")
+        if speedup < 3.0:
+            print(f"bench_to_json: WARNING conflict-build speedup gate "
+                  f"(>=3x) not met at {shards} shards: {speedup:.1f}x",
+                  file=sys.stderr)
+    kernel = summary["agree_kernel"]
+    if kernel:
+        print(f"  agree kernel: early exit {kernel['early_exit_ns']:.1f}ns, "
+              f"full scan {kernel['full_scan_ns']:.1f}ns "
+              f"({kernel['early_exit_gain']:.1f}x gain)")
+
+
 SUITES = {
     "serve": {
         "bench": "build/bench/bench_serve",
@@ -274,6 +356,12 @@ SUITES = {
         "out": "BENCH_categoricity.json",
         "distill": distill_categoricity,
         "report": report_categoricity,
+    },
+    "hotpath": {
+        "bench": "build/bench/bench_hotpath",
+        "out": "BENCH_hotpath.json",
+        "distill": distill_hotpath,
+        "report": report_hotpath,
     },
 }
 

@@ -77,6 +77,17 @@ prefrep-durability
     is a bool or void turns data loss into silent wrong answers.
     Escape: NOLINT(prefrep-durability) on or above the line.
 
+prefrep-hotloop
+    Node-based hash maps keyed by materialized key vectors
+    (std::unordered_map<std::vector<...>, ...>) are banned in
+    src/conflicts/: the conflict join is the hot path the columnar
+    rewrite flattened (docs/memory-layout.md), and a vector-keyed map
+    reintroduces one heap allocation per probe plus pointer-chasing
+    per bucket.  Key by the seeded projection hash and verify against
+    a row representative instead (conflicts/projection.h).
+    Escape: NOLINT(prefrep-hotloop) on or above the line — the
+    preserved reference join (conflicts.cc) carries one deliberately.
+
 Exit status 0 when clean; 1 with one `path:line: message` per finding.
 Stdlib-only unless the clang engine is explicitly requested.
 """
@@ -111,6 +122,9 @@ MATERIALIZE_RE = re.compile(r"\b(?:push_back|emplace_back|emplace|insert)\s*\(")
 CHECKPOINT_RE = re.compile(r"\bCheckpoint\s*\(")
 ASSIGN_RE = re.compile(r"(\w+)\s*=[^=]")
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+HOTLOOP_DIR = "src/conflicts"
+HOTLOOP_RE = re.compile(r"\bstd::unordered_map\s*<\s*std::vector\b")
 
 RAW_CONCURRENCY_RE = re.compile(
     r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
@@ -470,6 +484,24 @@ class Checker:
                 "sees the acquisition, and base/thread_pool.h for "
                 "execution; or justify with NOLINT(prefrep-raw-concurrency)")
 
+    # -- prefrep-hotloop ---------------------------------------------------
+
+    def check_hotloop(self, rel: Path, text: str, code: str) -> None:
+        lines = text.split("\n")
+        for m in HOTLOOP_RE.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            raw = lines[line - 1] if line <= len(lines) else ""
+            prev = lines[line - 2] if line >= 2 else ""
+            if "prefrep-hotloop" in raw or "prefrep-hotloop" in prev:
+                continue
+            self.report(
+                rel, line, "prefrep-hotloop",
+                "hash map keyed by a materialized std::vector in the "
+                "conflict hot path — key by the seeded projection hash "
+                "and verify against a row representative instead "
+                "(conflicts/projection.h, docs/memory-layout.md); or "
+                "justify with NOLINT(prefrep-hotloop)")
+
     # -- prefrep-durability ------------------------------------------------
 
     def check_raw_persist_writes(self, rel: Path, text: str,
@@ -552,6 +584,13 @@ class Checker:
             if path.suffix == ".h":
                 self.check_recovery_entry_returns(rel, text, code)
             scanned += 1
+        for path in sorted((REPO_ROOT / HOTLOOP_DIR).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            text = path.read_text(encoding="utf-8")
+            self.check_hotloop(rel, text, strip_comments_and_strings(text))
+            scanned += 1
         for d in RAW_CONCURRENCY_DIRS:
             for suffix in ("*.h", "*.cc", "*.cpp"):
                 for path in sorted((REPO_ROOT / d).rglob(suffix)):
@@ -577,6 +616,7 @@ class Checker:
         self.check_checkpoint(rel, text, code)
         self.check_parse_declarations(rel, code)
         self.check_raw_concurrency(rel, text, code)
+        self.check_hotloop(rel, text, code)
         self.check_raw_persist_writes(rel, text, code)
         self.check_recovery_entry_returns(rel, text, code)
         got, self.findings = self.findings, saved
